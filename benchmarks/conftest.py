@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at full
+scale (DESIGN.md Section 3), prints the rows/series the paper reports, and
+persists them under ``benchmarks/results/``. A session-wide runner memoizes
+(workload, mode) runs so later figures reuse earlier simulations.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.experiments.common import shared_runner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Session-wide runner shared by all figure benchmarks."""
+    return shared_runner()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist an ExperimentResult (text + CSV rows) and echo the text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(result):
+        path = RESULTS_DIR / f"{result.name}.txt"
+        path.write_text(result.text + "\n")
+        if result.rows:
+            import csv
+
+            csv_path = RESULTS_DIR / f"{result.name}.csv"
+            fieldnames = list(result.rows[0])
+            with csv_path.open("w", newline="") as handle:
+                writer = csv.DictWriter(handle, fieldnames=fieldnames)
+                writer.writeheader()
+                writer.writerows(result.rows)
+        print(f"\n{result.text}\n[saved to {path}]")
+        return result
+
+    return save

@@ -1,0 +1,89 @@
+"""Ablation: COBRA vs the software escape hatch (multi-pass partitioning).
+
+The radix-partitioning literature the paper cites avoids the many-bins
+cliff in software by partitioning in two passes of sqrt(B) bins each —
+every pass stays cache-resident, but every tuple is moved twice. COBRA's
+hierarchical C-Buffers achieve the resident working set in one pass. This
+bench compares Binning to the accumulate-optimal bin count three ways:
+single-pass software PB, two-pass software partitioning, and COBRA.
+"""
+
+import math
+
+from repro.harness import modes
+from repro.harness.experiments.common import ExperimentResult
+from repro.harness.inputs import make_workload
+from repro.harness.report import format_table
+from repro.pb import BinSpec, MultiPassPartitioner
+
+
+def _two_pass_cycles(runner, workload, total_bins):
+    """Two sqrt(B)-bin passes; the second streams tuples back from bins."""
+    partitioner = MultiPassPartitioner(
+        workload.num_indices, total_bins, passes=2
+    )
+    coarse_bins = partitioner.max_live_buffers()
+    coarse = BinSpec.from_num_bins(workload.num_indices, coarse_bins)
+    first = workload.pb_phases(coarse, include_init=False)[0]
+    second = workload.pb_phases(coarse, include_init=False)[0]
+    # Pass 2 re-reads the binned tuples instead of the original stream.
+    second.streaming_bytes = workload.num_updates * workload.tuple_bytes
+    return sum(
+        runner._simulate_phase(workload, phase, None).cycles
+        for phase in (first, second)
+    )
+
+
+def test_ablation_multipass(benchmark, runner, save_result):
+    def run():
+        rows = []
+        for input_name in ("KRON", "URND"):
+            workload = make_workload("neighbor-populate", input_name)
+            cobra_cfg = runner.cobra_config(workload)
+            total_bins = cobra_cfg.llc.num_buffers
+            total_bins = 1 << (total_bins.bit_length() - 1)
+            single_spec = BinSpec.from_num_bins(
+                workload.num_indices, total_bins
+            )
+            single = runner._simulate_phase(
+                workload,
+                workload.pb_phases(single_spec, include_init=False)[0],
+                None,
+            ).cycles
+            double = _two_pass_cycles(runner, workload, total_bins)
+            cobra = runner.run(workload, modes.COBRA).phase("binning").cycles
+            rows.append(
+                {
+                    "input": input_name,
+                    "bins": total_bins,
+                    "single_pass": single,
+                    "two_pass": double,
+                    "cobra": cobra,
+                }
+            )
+        text = format_table(
+            ["input", "bins", "1-pass Mcyc", "2-pass Mcyc", "COBRA Mcyc"],
+            [
+                [
+                    r["input"],
+                    r["bins"],
+                    r["single_pass"] / 1e6,
+                    r["two_pass"] / 1e6,
+                    r["cobra"] / 1e6,
+                ]
+                for r in rows
+            ],
+            title="Ablation: Binning to the accumulate-optimal bin count",
+        )
+        return ExperimentResult(name="ablation_multipass", rows=rows, text=text)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(result)
+    for row in result.rows:
+        # COBRA beats both software strategies outright…
+        assert row["cobra"] < row["two_pass"]
+        assert row["cobra"] < row["single_pass"]
+        # …and two-pass partitioning, despite moving every tuple twice,
+        # is itself competitive with (or better than) the spilling
+        # single pass — the cliff the literature documents.
+        assert row["two_pass"] < 2.5 * row["single_pass"]

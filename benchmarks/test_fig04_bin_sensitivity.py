@@ -1,0 +1,20 @@
+"""Figure 4 benchmark: PB's bin-count tension (Binning vs Accumulate)."""
+
+from repro.harness.experiments import fig04
+
+
+def test_fig04_bin_sensitivity(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        fig04.run, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    save_result(result)
+    rows = result.rows
+    # Binning degrades as bins grow (C-Buffers spill down the hierarchy)…
+    assert rows[-1]["binning_cycles"] > 1.5 * rows[0]["binning_cycles"]
+    # …while Accumulate improves (bin ranges shrink toward the L1)…
+    assert rows[0]["accumulate_cycles"] > 2 * rows[-1]["accumulate_cycles"]
+    # …so the best total sits strictly between the extremes (the
+    # compromise of Section III-C).
+    totals = [row["total_cycles"] for row in rows]
+    best = totals.index(min(totals))
+    assert 0 < best < len(rows) - 1

@@ -1,0 +1,21 @@
+"""Figure 5 benchmark: headroom of PB-SW-IDEAL over software PB."""
+
+from repro.harness.experiments import fig05
+from repro.harness.report import geomean
+
+
+def test_fig05_ideal_headroom(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        fig05.run, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    save_result(result)
+    # Paper: the ideal variant gains a mean 1.2x over PB-SW. Our model
+    # shows the same headroom direction, somewhat smaller in magnitude.
+    assert 1.03 < result.extras["headroom"] < 1.35
+    # PINV is the documented outlier where ideal *underperforms* PB-SW
+    # (Section VII-A: parallelism artifacts beat locality).
+    pinv = [r for r in result.rows if r["workload"] == "pinv"]
+    assert all(row["headroom"] < 1.0 for row in pinv)
+    # Everyone else benefits.
+    others = [r["headroom"] for r in result.rows if r["workload"] != "pinv"]
+    assert geomean(others) > 1.05

@@ -1,0 +1,32 @@
+"""Figure 10 benchmark: the headline speedups.
+
+Paper bands: PB-SW 1.81x mean over baseline, COBRA 3.16x over baseline,
+1.74x over PB (up to 3.78x), and 1.2x/1.45x for the IDEAL decomposition.
+Shape checks assert who wins and by roughly what factor.
+"""
+
+from repro.harness.experiments import fig10
+
+
+def test_fig10_speedups(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        fig10.run, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    save_result(result)
+    extras = result.extras
+    # Mean PB gain in the paper's neighbourhood (1.81x).
+    assert 1.5 < extras["pb"] < 3.0
+    # COBRA over baseline (paper: 3.16x).
+    assert 2.5 < extras["cobra"] < 5.0
+    # COBRA over PB (paper: 1.74x mean, 3.78x max).
+    assert 1.4 < extras["cobra_over_pb"] < 2.2
+    assert extras["max_cobra_over_pb"] < 4.0
+    # Ordering holds pointwise: COBRA never loses to PB, PB never loses to
+    # the baseline.
+    for row in result.rows:
+        assert row["cobra_speedup"] > row["pb_speedup"] > 1.0
+    # SymPerm is the weakest COBRA beneficiary (limited locality headroom).
+    symperm = [r for r in result.rows if r["workload"] == "symperm"]
+    weakest = min(result.rows, key=lambda r: r["cobra_over_pb"])
+    assert weakest["workload"] in ("symperm", "pinv", "radii")
+    assert all(row["cobra_over_pb"] < extras["cobra_over_pb"] for row in symperm)

@@ -1,0 +1,17 @@
+"""Figure 11 benchmark: COBRA's per-phase speedups over software PB."""
+
+from repro.harness.experiments import fig11
+
+
+def test_fig11_phase_speedups(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        fig11.run, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    save_result(result)
+    extras = result.extras
+    # Binning is where the architecture support bites (paper: 2.2-32x).
+    assert extras["binning"] > 2.0
+    assert all(row["binning_speedup"] > 1.2 for row in result.rows)
+    # Accumulate gains come only from the better bin count: smaller.
+    assert 1.0 < extras["accumulate"] < 2.0
+    assert extras["binning"] > extras["accumulate"]

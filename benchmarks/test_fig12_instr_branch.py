@@ -1,0 +1,30 @@
+"""Figure 12 benchmark: instruction and branch-misprediction overheads."""
+
+from repro.harness.experiments import fig12
+
+
+def test_fig12_instr_branch(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        fig12.run, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    save_result(result)
+    # Paper (top): COBRA executes 2-5.5x fewer instructions than PB.
+    for row in result.rows:
+        assert 1.7 < row["instr_reduction"] < 5.5
+    # Paper (Section III-C): PB executes up to ~4x the baseline's
+    # instructions (Integer Sort is excluded: its baseline is n log n;
+    # PINV's near-bare store loop makes the relative overhead largest).
+    for row in result.rows:
+        if row["workload"] != "integer-sort":
+            assert 1.5 < row["pb_over_baseline_instr"] < 5.0
+    # Paper (bottom): COBRA eliminates the C-Buffer-full branches. For
+    # kernels with no other unpredictable branches, the COBRA MPKI drops
+    # to ~the baseline level; PR/Radii/SymPerm keep their boundary checks
+    # (footnote 3).
+    for row in result.rows:
+        assert row["mpki_pb"] > 0
+        if row["workload"] in ("degree-count", "neighbor-populate", "spmv",
+                               "pinv", "transpose"):
+            assert row["mpki_cobra"] < 0.05
+        if row["workload"] in ("pagerank", "radii", "symperm"):
+            assert row["mpki_cobra"] > 0  # boundary/upper checks remain

@@ -1,0 +1,22 @@
+"""Figure 13a benchmark: eviction-buffer sizing via the DES model."""
+
+from repro.des import littles_law_queue_estimate
+from repro.harness.experiments import fig13
+
+
+def test_fig13a_eviction_buffers(benchmark, save_result):
+    result = benchmark.pedantic(
+        fig13.run_eviction_buffers, rounds=1, iterations=1
+    )
+    save_result(result)
+    by_input = {}
+    for row in result.rows:
+        by_input.setdefault(row["input"], {})[row["queue_entries"]] = row
+    for input_name, rows in by_input.items():
+        # Stall fraction is monotonically non-increasing in FIFO size…
+        sizes = sorted(rows)
+        stalls = [rows[s]["stall_fraction"] for s in sizes]
+        assert all(a >= b - 1e-9 for a, b in zip(stalls, stalls[1:]))
+        # …and a 32-entry L1→L2 buffer hides eviction latency for every
+        # input (the paper's headline sizing result).
+        assert rows[32]["stall_fraction"] < 0.005, input_name

@@ -1,0 +1,23 @@
+"""Figure 13b benchmark: sensitivity to ways reserved for C-Buffers."""
+
+from repro.harness.experiments import fig13
+
+
+def test_fig13b_way_sensitivity(benchmark, save_result):
+    result = benchmark.pedantic(
+        fig13.run_way_sensitivity, rounds=1, iterations=1
+    )
+    save_result(result)
+    worst = {
+        level: max(
+            row["normalized"] for row in result.rows if row["level"] == level
+        )
+        for level in ("l1", "l2", "llc")
+    }
+    # Paper: Binning is robust (<=10% variation) to L1/LLC reservations…
+    assert worst["l1"] < 1.12
+    assert worst["llc"] < 1.12
+    # …but sensitive at the L2, where the stream prefetcher needs space.
+    assert worst["l2"] > worst["l1"]
+    assert worst["l2"] > worst["llc"]
+    assert worst["l2"] > 1.1

@@ -1,0 +1,19 @@
+"""Figure 13c benchmark: context-switch DRAM bandwidth waste."""
+
+from repro.harness.experiments import fig13
+
+
+def test_fig13c_context_switch(benchmark, save_result):
+    result = benchmark.pedantic(
+        fig13.run_context_switch, rounds=1, iterations=1
+    )
+    save_result(result)
+    rows = sorted(result.rows, key=lambda r: r["quantum_tuples"])
+    wastes = [row["waste_fraction"] for row in rows]
+    # Waste shrinks monotonically as the quantum grows…
+    assert all(a >= b - 1e-9 for a, b in zip(wastes, wastes[1:]))
+    # …and even at 1/100th-of-Linux-quantum preemption rates the waste is
+    # small (paper: <5%). Our quantum axis is in tuples; the second-largest
+    # point corresponds to that regime.
+    assert wastes[-2] < 0.05
+    assert wastes[-1] < 0.02

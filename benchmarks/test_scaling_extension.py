@@ -1,0 +1,26 @@
+"""Extension benchmark: multicore scalability (not a paper figure).
+
+Quantifies the consequence of the paper's per-thread duplication design:
+PB/COBRA scale near-linearly (no inter-thread communication), while the
+baseline's shared scatters pay MESI invalidations on skewed inputs.
+"""
+
+from repro.harness.experiments import scaling
+
+
+def test_scaling_extension(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        scaling.run, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    save_result(result)
+    at_16 = {row["mode"]: row for row in result.rows if row["cores"] == 16}
+    # PB scales near-linearly; the baseline is coherence-limited.
+    assert at_16["pb-sw"]["speedup"] > 14
+    assert at_16["baseline"]["speedup"] < at_16["pb-sw"]["speedup"]
+    assert at_16["baseline"]["invalidations_per_update"] > 0.3
+    assert at_16["pb-sw"]["invalidations_per_update"] == 0
+    assert at_16["cobra"]["invalidations_per_update"] == 0
+    # Monotone speedups for every mode.
+    for mode in ("baseline", "pb-sw", "cobra"):
+        curve = [r["speedup"] for r in result.rows if r["mode"] == mode]
+        assert all(a <= b + 1e-9 for a, b in zip(curve, curve[1:]))

@@ -1,0 +1,19 @@
+"""Table I benchmark: where a PB execution spends its cycles."""
+
+from repro.harness.experiments import table1
+
+
+def test_table1_phase_breakup(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        table1.run, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    save_result(result)
+    small, large = result.rows
+    # Binning dominates at large bin counts — COBRA's target.
+    assert large["binning_pct"] > 50
+    assert large["binning_pct"] > small["binning_pct"]
+    # Init is the smallest phase in both configurations (the paper counts
+    # it against PB and COBRA alike).
+    for row in (small, large):
+        assert row["init_pct"] < row["binning_pct"]
+        assert row["init_pct"] < row["accumulate_pct"]

@@ -1,0 +1,68 @@
+"""Multicore scaling: why PB/COBRA's per-thread duplication matters.
+
+The paper's parallel PB gives every thread its own bins and C-Buffers, so
+Binning needs no synchronization and no cache line ever ping-pongs. This
+example measures the consequence with the MESI directory model: the
+baseline's shared scatters pay invalidations per update on skewed graphs,
+while PB and COBRA scale cleanly.
+
+Run:  python examples/multicore_scaling.py
+"""
+
+from repro.cache import DirectoryMESI
+from repro.harness import BASELINE, COBRA, PB_SW, Runner
+from repro.harness.inputs import make_workload
+from repro.harness.parallel import ParallelModel
+from repro.harness.report import format_table
+
+
+def main():
+    runner = Runner(max_sim_events=100_000)
+    workload = make_workload("pagerank", "KRON", scale=17)
+    print(f"workload: {workload}\n")
+
+    # A direct look at the coherence behaviour: interleave the update
+    # stream across 4 cores and watch the MESI directory.
+    directory = DirectoryMESI(num_cores=4)
+    sample = workload.update_indices[:40_000]
+    for position, index in enumerate((sample // 16).tolist()):
+        directory.write(position % 4, index)
+    stats = directory.stats
+    print(
+        f"baseline sharing on 4 cores: "
+        f"{stats.invalidations_per_access:.2f} invalidations/update, "
+        f"{stats.cache_transfers} cache-to-cache transfers in "
+        f"{stats.accesses} updates\n"
+    )
+
+    # The scaling curves.
+    model = ParallelModel(runner)
+    rows = []
+    for mode in (BASELINE, PB_SW, COBRA):
+        curve = model.scaling_curve(workload, mode, core_counts=(1, 4, 16))
+        base = curve[0].parallel_cycles
+        for estimate in curve:
+            rows.append(
+                [
+                    mode,
+                    estimate.num_cores,
+                    base / estimate.parallel_cycles,
+                    estimate.invalidations_per_update,
+                ]
+            )
+    print(
+        format_table(
+            ["mode", "cores", "speedup", "inval/update"],
+            rows,
+            title="Scalability (speedup vs the same mode on 1 core)",
+        )
+    )
+    print(
+        "\nPB and COBRA scale without coherence traffic because bins and\n"
+        "C-Buffers are core-private — the property that also lets COBRA\n"
+        "repurpose the MESI state bits as offset counters (Section V-C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro: a Python reproduction of COBRA (HPCA 2022).
+
+"Improving Locality of Irregular Updates with Hardware Assisted
+Propagation Blocking" — software Propagation Blocking, the COBRA
+architecture model, every substrate they run on (cache simulator, core
+model, DES eviction model, graph/sparse inputs, nine kernels), and a
+harness that regenerates every figure and table of the paper's evaluation.
+
+Quick tour::
+
+    from repro.pb import PropagationBlocker          # software PB
+    from repro.core import CobraConfig, CobraMachine  # the contribution
+    from repro.harness import Runner                  # experiments
+
+See README.md and DESIGN.md for the full map.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,61 @@
+"""Small shared helpers used across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_index_array",
+    "check_positive",
+    "check_power_of_two",
+    "is_power_of_two",
+    "next_power_of_two",
+    "rng_from_seed",
+]
+
+
+def rng_from_seed(seed):
+    """Return a :class:`numpy.random.Generator` from ``seed``.
+
+    ``seed`` may be ``None`` (non-deterministic), an integer, or an existing
+    generator (returned unchanged so callers can thread one RNG through).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def check_positive(name, value):
+    """Raise ``ValueError`` unless ``value`` is a positive integer."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def is_power_of_two(value):
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def check_power_of_two(name, value):
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    check_positive(name, value)
+    if not is_power_of_two(value):
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return int(value)
+
+
+def next_power_of_two(value):
+    """Smallest power of two ``>= value`` (``value`` must be positive)."""
+    check_positive("value", value)
+    return 1 << (int(value) - 1).bit_length()
+
+
+def as_index_array(values, name="indices"):
+    """Coerce ``values`` to a 1-D int64 numpy array, validating shape."""
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr

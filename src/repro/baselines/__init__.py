@@ -1,0 +1,6 @@
+"""Comparison systems: PHI (hardware coalescing) and CSR-Segmenting."""
+
+from repro.baselines.phi import PhiMachine
+from repro.baselines.segmenting import GraphSegment, SegmentedGraph
+
+__all__ = ["GraphSegment", "PhiMachine", "SegmentedGraph"]

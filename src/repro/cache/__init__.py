@@ -1,0 +1,50 @@
+"""Cache hierarchy simulator (the Pin-based simulator analog)."""
+
+from repro.cache.address import AddressSpace, Region
+from repro.cache.cache import Cache, Eviction
+from repro.cache.coherence import (
+    AccessOutcome,
+    CoherenceStats,
+    DirectoryMESI,
+)
+from repro.cache.config import HierarchyConfig
+from repro.cache.fastsim import FastHierarchy
+from repro.cache.mrc import miss_ratio_curve, working_set_lines
+from repro.cache.hierarchy import (
+    LEVEL_DRAM,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_LLC,
+    LEVEL_NAMES,
+    CacheHierarchy,
+)
+from repro.cache.prefetcher import StreamPrefetcher
+from repro.cache.replacement import DRRIP, LRU, BitPLRU, make_policy
+from repro.cache.stats import MemoryTraffic, ServiceCounts
+
+__all__ = [
+    "AccessOutcome",
+    "AddressSpace",
+    "BitPLRU",
+    "Cache",
+    "CoherenceStats",
+    "CacheHierarchy",
+    "DRRIP",
+    "DirectoryMESI",
+    "Eviction",
+    "FastHierarchy",
+    "HierarchyConfig",
+    "LEVEL_DRAM",
+    "LEVEL_L1",
+    "LEVEL_L2",
+    "LEVEL_LLC",
+    "LEVEL_NAMES",
+    "LRU",
+    "MemoryTraffic",
+    "Region",
+    "ServiceCounts",
+    "StreamPrefetcher",
+    "make_policy",
+    "miss_ratio_curve",
+    "working_set_lines",
+]

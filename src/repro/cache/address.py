@@ -1,0 +1,108 @@
+"""Address-space layout helpers.
+
+Workload phases describe accesses as (region, element index) pairs; a
+:class:`AddressSpace` assigns each region a disjoint, line-aligned span of
+the simulated physical address space so streams from different arrays never
+alias. (The paper likewise assumes matching virtual/physical addresses for
+the important data structures, Section V-E.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive
+
+__all__ = ["Region", "AddressSpace"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named array in the simulated address space.
+
+    ``element_bytes`` and ``num_elements`` define its footprint;
+    ``base_line`` is filled in by :class:`AddressSpace`.
+    """
+
+    name: str
+    element_bytes: int
+    num_elements: int
+    base_line: int = 0
+    line_bytes: int = 64
+
+    def __post_init__(self):
+        check_positive("element_bytes", self.element_bytes)
+        check_positive("num_elements", self.num_elements)
+        if self.line_bytes % self.element_bytes and self.element_bytes % self.line_bytes:
+            raise ValueError(
+                "element size must divide or be a multiple of the line size"
+            )
+
+    @property
+    def num_lines(self):
+        """Number of cache lines the region spans."""
+        total = self.element_bytes * self.num_elements
+        return (total + self.line_bytes - 1) // self.line_bytes
+
+    @property
+    def footprint_bytes(self):
+        """Total bytes occupied."""
+        return self.element_bytes * self.num_elements
+
+    def line_of(self, index):
+        """Global line number holding element ``index``."""
+        if index < 0 or index >= self.num_elements:
+            raise IndexError(
+                f"element {index} out of range for region {self.name!r} "
+                f"({self.num_elements} elements)"
+            )
+        return self.base_line + (index * self.element_bytes) // self.line_bytes
+
+    def lines_of(self, indices):
+        """Vectorized :meth:`line_of` for an int array (no bounds check)."""
+        return self.base_line + (indices * self.element_bytes) // self.line_bytes
+
+
+class AddressSpace:
+    """Allocates disjoint line spans to regions.
+
+    Regions are padded to the next line boundary plus one guard line so
+    distinct arrays never share a cache line.
+    """
+
+    def __init__(self, line_bytes=64):
+        check_positive("line_bytes", line_bytes)
+        self.line_bytes = line_bytes
+        self._next_line = 0
+        self._regions = {}
+
+    def allocate(self, name, element_bytes, num_elements):
+        """Create and place a region; names must be unique."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        region = Region(
+            name,
+            element_bytes,
+            num_elements,
+            base_line=self._next_line,
+            line_bytes=self.line_bytes,
+        )
+        self._next_line += region.num_lines + 1  # guard line between regions
+        self._regions[name] = region
+        return region
+
+    def __getitem__(self, name):
+        return self._regions[name]
+
+    def __contains__(self, name):
+        return name in self._regions
+
+    @property
+    def regions(self):
+        """Mapping of region name to :class:`Region`."""
+        return dict(self._regions)
+
+    @property
+    def total_lines(self):
+        """Lines allocated so far (including guard lines)."""
+        return self._next_line

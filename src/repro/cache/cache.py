@@ -1,0 +1,232 @@
+"""A single set-associative, write-back cache level.
+
+The unit of storage is the *line number* (byte address / line size); tags
+are full line numbers for simplicity. Way-based partitioning ("reserved
+ways") models Intel-CAT-style static partitioning used by COBRA to pin
+C-Buffers: regular data is confined to the unreserved ways.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_positive
+from repro.cache.replacement import BitPLRU, make_policy
+
+__all__ = ["Cache", "Eviction"]
+
+
+class Eviction:
+    """A line displaced by a fill. ``dirty`` lines must be written back."""
+
+    __slots__ = ("line", "dirty")
+
+    def __init__(self, line, dirty):
+        self.line = line
+        self.dirty = dirty
+
+    def __repr__(self):
+        return f"Eviction(line={self.line}, dirty={self.dirty})"
+
+
+class Cache:
+    """One level of a cache hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Label used in statistics ("L1", "L2", "LLC").
+    size_bytes, num_ways, line_bytes:
+        Geometry; ``size_bytes`` must be divisible by ``num_ways *
+        line_bytes``.
+    policy:
+        Replacement policy name: ``"plru"`` (Bit-PLRU), ``"drrip"``, or
+        ``"lru"``.
+    """
+
+    def __init__(self, name, size_bytes, num_ways, line_bytes=64, policy="plru"):
+        check_positive("size_bytes", size_bytes)
+        check_positive("num_ways", num_ways)
+        check_positive("line_bytes", line_bytes)
+        if size_bytes % (num_ways * line_bytes):
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"ways*line ({num_ways} * {line_bytes})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.num_ways = num_ways
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (num_ways * line_bytes)
+        self.policy_name = policy
+        self.policy = make_policy(policy, self.num_sets, num_ways)
+        self._usable_ways = num_ways
+        self._tag_to_way = [dict() for _ in range(self.num_sets)]
+        self._way_line = [None] * (self.num_sets * num_ways)
+        self._dirty = bytearray(self.num_sets * num_ways)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Partitioning
+    # ------------------------------------------------------------------ #
+
+    @property
+    def usable_ways(self):
+        """Ways available to regular data (ways beyond this are reserved)."""
+        return self._usable_ways
+
+    @property
+    def reserved_ways(self):
+        """Ways reserved (pinned) and unavailable to regular data."""
+        return self.num_ways - self._usable_ways
+
+    def reserve_ways(self, count):
+        """Reserve the top ``count`` ways, evicting any lines living there.
+
+        Returns the list of :class:`Eviction` for displaced lines so the
+        caller can account for writebacks. Passing ``count=0`` releases all
+        reservations.
+        """
+        if count < 0 or count >= self.num_ways:
+            raise ValueError(
+                f"can reserve between 0 and {self.num_ways - 1} ways, "
+                f"got {count}"
+            )
+        evictions = []
+        new_usable = self.num_ways - count
+        if new_usable < self._usable_ways:
+            for set_idx in range(self.num_sets):
+                base = set_idx * self.num_ways
+                mapping = self._tag_to_way[set_idx]
+                for way in range(new_usable, self._usable_ways):
+                    line = self._way_line[base + way]
+                    if line is not None:
+                        evictions.append(
+                            Eviction(line, bool(self._dirty[base + way]))
+                        )
+                        del mapping[line]
+                        self._way_line[base + way] = None
+                        self._dirty[base + way] = 0
+        self._usable_ways = new_usable
+        return evictions
+
+    # ------------------------------------------------------------------ #
+    # Accesses
+    # ------------------------------------------------------------------ #
+
+    def set_index(self, line):
+        """Set that ``line`` maps to."""
+        return line % self.num_sets
+
+    def probe(self, line, is_write=False):
+        """Look up ``line``; on a hit, update replacement state and dirtiness.
+
+        Returns True on hit. Statistics are updated.
+        """
+        set_idx = line % self.num_sets
+        way = self._tag_to_way[set_idx].get(line)
+        if way is None:
+            self.misses += 1
+            return False
+        self.hits += 1
+        policy = self.policy
+        if isinstance(policy, BitPLRU):
+            policy.on_hit_range(set_idx, way, 0, self._usable_ways)
+        else:
+            policy.on_hit(set_idx, way)
+        if is_write:
+            self._dirty[set_idx * self.num_ways + way] = 1
+        return True
+
+    def contains(self, line):
+        """True when ``line`` is resident (no state/statistics change)."""
+        return line in self._tag_to_way[line % self.num_sets]
+
+    def fill(self, line, dirty=False):
+        """Insert ``line``; return the displaced :class:`Eviction` or None.
+
+        Filling a resident line refreshes its replacement state and ORs in
+        ``dirty`` (this is the writeback-hit case).
+        """
+        set_idx = line % self.num_sets
+        mapping = self._tag_to_way[set_idx]
+        num_ways = self.num_ways
+        base = set_idx * num_ways
+        existing = mapping.get(line)
+        policy = self.policy
+        if existing is not None:
+            if dirty:
+                self._dirty[base + existing] = 1
+            if isinstance(policy, BitPLRU):
+                policy.on_hit_range(set_idx, existing, 0, self._usable_ways)
+            else:
+                policy.on_hit(set_idx, existing)
+            return None
+        evicted = None
+        way = None
+        way_line = self._way_line
+        for w in range(self._usable_ways):  # prefer an empty way
+            if way_line[base + w] is None:
+                way = w
+                break
+        if way is None:
+            way = policy.victim(set_idx, 0, self._usable_ways)
+            old_line = way_line[base + way]
+            evicted = Eviction(old_line, bool(self._dirty[base + way]))
+            del mapping[old_line]
+        mapping[line] = way
+        way_line[base + way] = line
+        self._dirty[base + way] = 1 if dirty else 0
+        if isinstance(policy, BitPLRU):
+            policy.on_fill_range(set_idx, way, 0, self._usable_ways)
+        else:
+            policy.on_fill(set_idx, way)
+        return evicted
+
+    def invalidate(self, line):
+        """Drop ``line`` if resident; return its :class:`Eviction` or None."""
+        set_idx = line % self.num_sets
+        mapping = self._tag_to_way[set_idx]
+        way = mapping.pop(line, None)
+        if way is None:
+            return None
+        base = set_idx * self.num_ways
+        evicted = Eviction(line, bool(self._dirty[base + way]))
+        self._way_line[base + way] = None
+        self._dirty[base + way] = 0
+        return evicted
+
+    def flush(self):
+        """Drop every resident line, returning evictions for dirty ones."""
+        evictions = []
+        for set_idx in range(self.num_sets):
+            base = set_idx * self.num_ways
+            for line, way in list(self._tag_to_way[set_idx].items()):
+                if self._dirty[base + way]:
+                    evictions.append(Eviction(line, True))
+                self._way_line[base + way] = None
+                self._dirty[base + way] = 0
+            self._tag_to_way[set_idx].clear()
+        return evictions
+
+    def resident_lines(self):
+        """All resident line numbers (tests/diagnostics)."""
+        lines = []
+        for mapping in self._tag_to_way:
+            lines.extend(mapping.keys())
+        return sorted(lines)
+
+    def reset_stats(self):
+        """Zero the hit/miss counters."""
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self):
+        """Total probes since the last stats reset."""
+        return self.hits + self.misses
+
+    def __repr__(self):
+        return (
+            f"Cache({self.name}, {self.size_bytes}B, {self.num_ways}-way, "
+            f"{self.num_sets} sets, policy={self.policy_name})"
+        )

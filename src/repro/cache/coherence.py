@@ -1,0 +1,207 @@
+"""Directory-based MESI coherence model (Table II's protocol).
+
+COBRA sidesteps coherence entirely during Binning — C-Buffers are
+core-private, which is why the MESI state bits can be repurposed as offset
+counters (Section V-C). The baseline's parallel irregular updates, by
+contrast, write shared data from every core and pay invalidation and
+ownership-transfer traffic. This directory model quantifies that
+difference for the multicore extension experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive
+
+__all__ = ["MESI_INVALID", "MESI_SHARED", "MESI_EXCLUSIVE", "MESI_MODIFIED",
+           "AccessOutcome", "CoherenceStats", "DirectoryMESI"]
+
+MESI_INVALID = "I"
+MESI_SHARED = "S"
+MESI_EXCLUSIVE = "E"
+MESI_MODIFIED = "M"
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """What one read/write did at the directory."""
+
+    hit: bool
+    invalidations: int = 0
+    cache_transfer: bool = False  # line supplied by another cache
+    memory_fetch: bool = False
+    writeback: bool = False  # a dirty copy was flushed or transferred
+
+
+@dataclass
+class CoherenceStats:
+    """Aggregate protocol activity."""
+
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+    invalidations: int = 0
+    cache_transfers: int = 0
+    memory_fetches: int = 0
+    writebacks: int = 0
+
+    def record(self, outcome, is_write):
+        """Fold one :class:`AccessOutcome` into the totals."""
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        if outcome.hit:
+            self.hits += 1
+        self.invalidations += outcome.invalidations
+        self.cache_transfers += int(outcome.cache_transfer)
+        self.memory_fetches += int(outcome.memory_fetch)
+        self.writebacks += int(outcome.writeback)
+
+    @property
+    def accesses(self):
+        """Total reads + writes."""
+        return self.reads + self.writes
+
+    @property
+    def invalidations_per_access(self):
+        """Coherence pressure: invalidations per demand access."""
+        return self.invalidations / self.accesses if self.accesses else 0.0
+
+
+class _LineState:
+    __slots__ = ("owner", "owner_state", "sharers")
+
+    def __init__(self):
+        self.owner = None  # core holding M or E
+        self.owner_state = MESI_INVALID
+        self.sharers = set()
+
+
+class DirectoryMESI:
+    """A full-map directory tracking MESI state across ``num_cores`` caches.
+
+    The model is capacity-free (no evictions unless requested): it isolates
+    *sharing* behaviour from capacity behaviour, which the cache simulator
+    already covers.
+    """
+
+    def __init__(self, num_cores):
+        check_positive("num_cores", num_cores)
+        self.num_cores = num_cores
+        self._lines = {}
+        self.stats = CoherenceStats()
+
+    def _check_core(self, core):
+        if not 0 <= core < self.num_cores:
+            raise IndexError(f"core {core} outside [0, {self.num_cores})")
+
+    def state_of(self, core, line):
+        """MESI state of ``line`` in ``core``'s cache."""
+        self._check_core(core)
+        entry = self._lines.get(line)
+        if entry is None or core not in entry.sharers:
+            return MESI_INVALID
+        if entry.owner == core:
+            # Owner with sharers == itself only: E or M. We fold E/M
+            # distinction into the dirty flag tracked via writes: owner
+            # set by write => M, by read-exclusive => E.
+            return entry.owner_state
+        return MESI_SHARED
+
+    def read(self, core, line):
+        """Core ``core`` loads ``line``; returns the :class:`AccessOutcome`."""
+        self._check_core(core)
+        entry = self._lines.get(line)
+        if entry is None:
+            entry = _LineState()
+            entry.owner = core
+            entry.owner_state = MESI_EXCLUSIVE
+            entry.sharers = {core}
+            self._lines[line] = entry
+            outcome = AccessOutcome(hit=False, memory_fetch=True)
+        elif core in entry.sharers:
+            outcome = AccessOutcome(hit=True)
+        elif entry.owner is not None:
+            # Owner downgrades to S; dirty data flows to the requester
+            # (and memory) if it was Modified.
+            writeback = entry.owner_state == MESI_MODIFIED
+            entry.owner = None
+            entry.sharers.add(core)
+            outcome = AccessOutcome(
+                hit=False, cache_transfer=True, writeback=writeback
+            )
+        else:
+            entry.sharers.add(core)
+            outcome = AccessOutcome(hit=False, cache_transfer=True)
+        self.stats.record(outcome, is_write=False)
+        return outcome
+
+    def write(self, core, line):
+        """Core ``core`` stores to ``line``; invalidates other copies."""
+        self._check_core(core)
+        entry = self._lines.get(line)
+        if entry is None:
+            entry = _LineState()
+            entry.owner = core
+            entry.owner_state = MESI_MODIFIED
+            entry.sharers = {core}
+            self._lines[line] = entry
+            outcome = AccessOutcome(hit=False, memory_fetch=True)
+        elif entry.owner == core:
+            entry.owner_state = MESI_MODIFIED  # silent E->M upgrade
+            outcome = AccessOutcome(hit=True)
+        else:
+            others = entry.sharers - {core}
+            transfer = bool(others)
+            writeback = entry.owner is not None and entry.owner_state == MESI_MODIFIED
+            hit = core in entry.sharers  # upgrade from S
+            entry.owner = core
+            entry.owner_state = MESI_MODIFIED
+            entry.sharers = {core}
+            outcome = AccessOutcome(
+                hit=hit,
+                invalidations=len(others),
+                cache_transfer=transfer and not hit,
+                memory_fetch=not transfer and not hit,
+                writeback=writeback,
+            )
+        self.stats.record(outcome, is_write=True)
+        return outcome
+
+    def evict(self, core, line):
+        """Drop ``core``'s copy; returns True when dirty data wrote back."""
+        self._check_core(core)
+        entry = self._lines.get(line)
+        if entry is None or core not in entry.sharers:
+            return False
+        dirty = entry.owner == core and entry.owner_state == MESI_MODIFIED
+        entry.sharers.discard(core)
+        if entry.owner == core:
+            entry.owner = None
+        if not entry.sharers:
+            del self._lines[line]
+        if dirty:
+            self.stats.writebacks += 1
+        return dirty
+
+    # ------------------------------------------------------------------ #
+    # Invariant checking (used by property tests)
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self):
+        """Raise ``AssertionError`` if any protocol invariant is violated."""
+        for line, entry in self._lines.items():
+            assert entry.sharers, f"line {line}: empty sharer set retained"
+            if entry.owner is not None:
+                assert entry.sharers == {entry.owner}, (
+                    f"line {line}: owner coexists with sharers"
+                )
+            assert all(0 <= c < self.num_cores for c in entry.sharers)
+        return True
+
+    @property
+    def tracked_lines(self):
+        """Lines with at least one cached copy."""
+        return len(self._lines)

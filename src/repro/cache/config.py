@@ -1,0 +1,96 @@
+"""Hierarchy configuration shared by the reference and fast simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro._util import check_positive
+
+__all__ = ["HierarchyConfig"]
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry and policies of the simulated three-level hierarchy.
+
+    Defaults are the scaled Table II machine (DESIGN.md Section 5): sizes
+    are 16x smaller than the paper's so that scaled-down inputs preserve
+    the paper's working-set-to-cache ratios.
+    """
+
+    l1_bytes: int = 2 * 1024
+    l1_ways: int = 8
+    l1_policy: str = "plru"
+    l2_bytes: int = 16 * 1024
+    l2_ways: int = 8
+    l2_policy: str = "plru"
+    llc_bytes: int = 128 * 1024
+    llc_ways: int = 16
+    llc_policy: str = "drrip"
+    line_bytes: int = 64
+    prefetch: bool = True
+    prefetch_streams: int = 16
+    prefetch_degree: int = 4
+    prefetch_threshold: int = 2
+    l1_reserved_ways: int = 0
+    l2_reserved_ways: int = 0
+    llc_reserved_ways: int = 0
+
+    def __post_init__(self):
+        for name in ("l1_bytes", "l1_ways", "l2_bytes", "l2_ways",
+                     "llc_bytes", "llc_ways", "line_bytes"):
+            check_positive(name, getattr(self, name))
+        for level, size, ways, reserved in [
+            ("l1", self.l1_bytes, self.l1_ways, self.l1_reserved_ways),
+            ("l2", self.l2_bytes, self.l2_ways, self.l2_reserved_ways),
+            ("llc", self.llc_bytes, self.llc_ways, self.llc_reserved_ways),
+        ]:
+            if size % (ways * self.line_bytes):
+                raise ValueError(f"{level} size not divisible by ways*line")
+            if not 0 <= reserved < ways:
+                raise ValueError(
+                    f"{level} reserved ways must lie in [0, {ways})"
+                )
+
+    def sets(self, level):
+        """Number of sets at ``level`` ('l1', 'l2', or 'llc')."""
+        size = getattr(self, f"{level}_bytes")
+        ways = getattr(self, f"{level}_ways")
+        return size // (ways * self.line_bytes)
+
+    def lines(self, level):
+        """Line capacity of ``level``."""
+        return getattr(self, f"{level}_bytes") // self.line_bytes
+
+    def with_reserved(self, l1=None, l2=None, llc=None):
+        """Copy with the given reserved-way counts."""
+        return replace(
+            self,
+            l1_reserved_ways=self.l1_reserved_ways if l1 is None else l1,
+            l2_reserved_ways=self.l2_reserved_ways if l2 is None else l2,
+            llc_reserved_ways=self.llc_reserved_ways if llc is None else llc,
+        )
+
+    def build_reference(self):
+        """Construct the reference :class:`~repro.cache.CacheHierarchy`."""
+        from repro.cache.cache import Cache
+        from repro.cache.hierarchy import CacheHierarchy
+        from repro.cache.prefetcher import StreamPrefetcher
+
+        l1 = Cache("L1", self.l1_bytes, self.l1_ways, self.line_bytes, self.l1_policy)
+        l2 = Cache("L2", self.l2_bytes, self.l2_ways, self.line_bytes, self.l2_policy)
+        llc = Cache(
+            "LLC", self.llc_bytes, self.llc_ways, self.line_bytes, self.llc_policy
+        )
+        prefetcher = (
+            StreamPrefetcher(
+                self.prefetch_streams, self.prefetch_degree, self.prefetch_threshold
+            )
+            if self.prefetch
+            else None
+        )
+        hierarchy = CacheHierarchy(l1, l2, llc, prefetcher=prefetcher)
+        hierarchy.reserve_ways(
+            self.l1_reserved_ways, self.l2_reserved_ways, self.llc_reserved_ways
+        )
+        return hierarchy

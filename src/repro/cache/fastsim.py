@@ -1,0 +1,296 @@
+"""Flat-state fast cache hierarchy simulator.
+
+Semantically identical to the reference object model
+(:class:`repro.cache.CacheHierarchy` built from the same
+:class:`~repro.cache.config.HierarchyConfig` — equivalence is asserted by
+tests), but implemented with one line→way dict per level, flat policy-state
+arrays, and inlined policy logic so full experiment sweeps are feasible in
+pure Python.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import HierarchyConfig
+from repro.cache.prefetcher import StreamPrefetcher
+from repro.cache.stats import ServiceCounts
+
+__all__ = ["FastHierarchy"]
+
+_PLRU, _DRRIP, _LRU = 0, 1, 2
+_POLICY_CODES = {"plru": _PLRU, "drrip": _DRRIP, "lru": _LRU}
+
+# DRRIP per-set roles.
+_FOLLOWER, _SRRIP_LEADER, _BRRIP_LEADER = 0, 1, 2
+
+
+class FastHierarchy:
+    """Three-level hierarchy with the same semantics as the reference.
+
+    Levels are indexed 0 (L1), 1 (L2), 2 (LLC); :meth:`access` returns the
+    servicing level as 1..4 (DRAM = 4) to match
+    :mod:`repro.cache.hierarchy`'s constants.
+    """
+
+    def __init__(self, config: HierarchyConfig):
+        self.config = config
+        self._sets = []
+        self._ways = []
+        self._usable = []
+        self._pol = []
+        self._map = []  # line -> way, one dict per level
+        self._way_line = []
+        self._dirty = []
+        self._occ = []  # per-set occupied-way count (within usable range)
+        self._mru = []
+        self._mru_cnt = []
+        self._rrpv = []
+        self._role = []
+        self._stamp = []
+        self._clock = [0, 0, 0]
+        self._psel = [512, 512, 512]
+        self._brrip_tick = [0, 0, 0]
+        self.hits = [0, 0, 0]
+        self.misses = [0, 0, 0]
+        self.dram_reads = 0
+        self.dram_writes = 0
+        self.dram_prefetch_reads = 0
+        for level, name in enumerate(("l1", "l2", "llc")):
+            sets = config.sets(name)
+            ways = getattr(config, f"{name}_ways")
+            reserved = getattr(config, f"{name}_reserved_ways")
+            policy = _POLICY_CODES[getattr(config, f"{name}_policy")]
+            self._sets.append(sets)
+            self._ways.append(ways)
+            self._usable.append(ways - reserved)
+            self._pol.append(policy)
+            self._map.append({})
+            self._way_line.append([-1] * (sets * ways))
+            self._dirty.append(bytearray(sets * ways))
+            self._occ.append([0] * sets)
+            self._mru.append(bytearray(sets * ways))
+            self._mru_cnt.append([0] * sets)
+            self._rrpv.append(bytearray([3] * (sets * ways)))
+            self._stamp.append([0] * (sets * ways))
+            role = [_FOLLOWER] * sets
+            leaders = min(32, max(2, sets // 2) & ~1)
+            stride = max(1, sets // max(1, leaders))
+            for s in range(0, sets, stride * 2):
+                role[s] = _SRRIP_LEADER
+            for s in range(stride, sets, stride * 2):
+                role[s] = _BRRIP_LEADER
+            self._role.append(role)
+        self.prefetcher = (
+            StreamPrefetcher(
+                config.prefetch_streams,
+                config.prefetch_degree,
+                config.prefetch_threshold,
+            )
+            if config.prefetch
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Policy helpers
+    # ------------------------------------------------------------------ #
+
+    def _touch(self, level, set_idx, way):
+        """Replacement-state update on hit or fill."""
+        policy = self._pol[level]
+        ways = self._ways[level]
+        pos = set_idx * ways + way
+        if policy == _PLRU:
+            mru = self._mru[level]
+            if not mru[pos]:
+                counts = self._mru_cnt[level]
+                count = counts[set_idx] + 1
+                usable = self._usable[level]
+                if count >= usable:
+                    base = set_idx * ways
+                    mru[base : base + usable] = bytes(usable)
+                    mru[pos] = 1
+                    counts[set_idx] = 1
+                else:
+                    mru[pos] = 1
+                    counts[set_idx] = count
+        elif policy == _DRRIP:
+            self._rrpv[level][pos] = 0
+        else:  # LRU
+            self._clock[level] += 1
+            self._stamp[level][pos] = self._clock[level]
+
+    def _fill_policy(self, level, set_idx, way):
+        """Replacement-state update specific to a new fill."""
+        policy = self._pol[level]
+        if policy != _DRRIP:
+            self._touch(level, set_idx, way)
+            return
+        role = self._role[level][set_idx]
+        if role == _SRRIP_LEADER:
+            if self._psel[level] < 1023:
+                self._psel[level] += 1
+        elif role == _BRRIP_LEADER:
+            if self._psel[level] > 0:
+                self._psel[level] -= 1
+        use_brrip = role == _BRRIP_LEADER or (
+            role == _FOLLOWER and self._psel[level] < 512
+        )
+        if use_brrip:
+            self._brrip_tick[level] += 1
+            rrpv = 2 if self._brrip_tick[level] % 32 == 0 else 3
+        else:
+            rrpv = 2
+        self._rrpv[level][set_idx * self._ways[level] + way] = rrpv
+
+    def _victim(self, level, set_idx):
+        """Pick the replacement way in ``[0, usable)`` of ``set_idx``."""
+        policy = self._pol[level]
+        ways = self._ways[level]
+        usable = self._usable[level]
+        base = set_idx * ways
+        if policy == _PLRU:
+            mru = self._mru[level]
+            for w in range(usable):
+                if not mru[base + w]:
+                    return w
+            return 0
+        if policy == _DRRIP:
+            rrpv = self._rrpv[level]
+            while True:
+                for w in range(usable):
+                    if rrpv[base + w] >= 3:
+                        return w
+                for w in range(usable):
+                    rrpv[base + w] += 1
+        stamp = self._stamp[level]
+        best_way, best = 0, stamp[base]
+        for w in range(1, usable):
+            if stamp[base + w] < best:
+                best_way, best = w, stamp[base + w]
+        return best_way
+
+    # ------------------------------------------------------------------ #
+    # Fill / eviction cascade
+    # ------------------------------------------------------------------ #
+
+    def _fill(self, level, line, dirty):
+        """Insert ``line`` at ``level``; cascade dirty evictions downward."""
+        mapping = self._map[level]
+        ways = self._ways[level]
+        set_idx = line % self._sets[level]
+        existing = mapping.get(line)
+        if existing is not None:
+            if dirty:
+                self._dirty[level][set_idx * ways + existing] = 1
+            self._touch(level, set_idx, existing)
+            return
+        base = set_idx * ways
+        way_line = self._way_line[level]
+        occ = self._occ[level]
+        usable = self._usable[level]
+        if occ[set_idx] < usable:
+            way = 0
+            for w in range(usable):
+                if way_line[base + w] == -1:
+                    way = w
+                    break
+            occ[set_idx] += 1
+        else:
+            way = self._victim(level, set_idx)
+            old_line = way_line[base + way]
+            del mapping[old_line]
+            if self._dirty[level][base + way]:
+                if level < 2:
+                    self._fill(level + 1, old_line, True)
+                else:
+                    self.dram_writes += 1
+        mapping[line] = way
+        way_line[base + way] = line
+        self._dirty[level][base + way] = 1 if dirty else 0
+        self._fill_policy(level, set_idx, way)
+
+    # ------------------------------------------------------------------ #
+    # Demand path
+    # ------------------------------------------------------------------ #
+
+    def access(self, line, is_write=False):
+        """Demand access; returns the servicing level (1=L1 .. 4=DRAM)."""
+        way = self._map[0].get(line)
+        if way is not None:
+            self.hits[0] += 1
+            set_idx = line % self._sets[0]
+            self._touch(0, set_idx, way)
+            if is_write:
+                self._dirty[0][set_idx * self._ways[0] + way] = 1
+            return 1
+        self.misses[0] += 1
+        way = self._map[1].get(line)
+        if way is not None:
+            self.hits[1] += 1
+            self._touch(1, line % self._sets[1], way)
+            served = 2
+        else:
+            self.misses[1] += 1
+            way = self._map[2].get(line)
+            if way is not None:
+                self.hits[2] += 1
+                self._touch(2, line % self._sets[2], way)
+                served = 3
+            else:
+                self.misses[2] += 1
+                self.dram_reads += 1
+                served = 4
+        if served == 4:
+            self._fill(2, line, False)
+        if served >= 3:
+            self._fill(1, line, False)
+        self._fill(0, line, is_write)
+        if self.prefetcher is not None:
+            for pf_line in self.prefetcher.observe(line):
+                if pf_line not in self._map[1]:
+                    if pf_line not in self._map[2]:
+                        self.dram_prefetch_reads += 1
+                    self._fill(1, pf_line, False)
+        return served
+
+    def run_trace(self, lines, writes=None):
+        """Simulate a whole trace; returns :class:`ServiceCounts`.
+
+        ``lines`` is any iterable of line numbers; ``writes`` is a parallel
+        boolean iterable (or a single bool applied to every access).
+        """
+        counts = [0, 0, 0, 0, 0]
+        access = self.access
+        if writes is None or isinstance(writes, bool):
+            flag = bool(writes)
+            for line in lines:
+                counts[access(line, flag)] += 1
+        else:
+            for line, is_write in zip(lines, writes):
+                counts[access(line, is_write)] += 1
+        return ServiceCounts(counts[1], counts[2], counts[3], counts[4])
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def contains(self, level, line):
+        """True when ``line`` is resident at ``level`` (0-indexed)."""
+        return line in self._map[level]
+
+    def reset_stats(self):
+        """Zero hit/miss and DRAM counters (contents unchanged)."""
+        self.hits = [0, 0, 0]
+        self.misses = [0, 0, 0]
+        self.dram_reads = 0
+        self.dram_writes = 0
+        self.dram_prefetch_reads = 0
+        if self.prefetcher is not None:
+            self.prefetcher.reset()
+
+    def write_through_dram(self, num_lines):
+        """Account non-temporal full-line writes (bypass the caches)."""
+        self.dram_writes += num_lines
+
+    def read_through_dram(self, num_lines):
+        """Account streaming reads served straight from DRAM."""
+        self.dram_reads += num_lines

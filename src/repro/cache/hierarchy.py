@@ -1,0 +1,168 @@
+"""Three-level cache hierarchy (private L1/L2, LLC NUCA bank, DRAM).
+
+Write-back, write-allocate, non-inclusive. The LLC models the *local NUCA
+bank* of one core: PB and COBRA duplicate bins and C-Buffers per thread
+(Section III/V-E of the paper), so a single representative core with its
+slice of the LLC captures all locality behaviour (DESIGN.md Section 4).
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import Cache
+from repro.cache.prefetcher import StreamPrefetcher
+
+__all__ = [
+    "LEVEL_L1",
+    "LEVEL_L2",
+    "LEVEL_LLC",
+    "LEVEL_DRAM",
+    "LEVEL_NAMES",
+    "CacheHierarchy",
+]
+
+LEVEL_L1 = 1
+LEVEL_L2 = 2
+LEVEL_LLC = 3
+LEVEL_DRAM = 4
+
+LEVEL_NAMES = {LEVEL_L1: "L1", LEVEL_L2: "L2", LEVEL_LLC: "LLC", LEVEL_DRAM: "DRAM"}
+
+
+class CacheHierarchy:
+    """L1 → L2 → LLC → DRAM with per-level statistics and DRAM traffic.
+
+    ``access`` returns the level that served the request (one of the
+    ``LEVEL_*`` constants), which the timing model converts to latency.
+    """
+
+    def __init__(self, l1: Cache, l2: Cache, llc: Cache, prefetcher=None):
+        for cache, expected in [(l1, "L1"), (l2, "L2"), (llc, "LLC")]:
+            if cache.line_bytes != l1.line_bytes:
+                raise ValueError("all levels must share a line size")
+        self.l1 = l1
+        self.l2 = l2
+        self.llc = llc
+        self.prefetcher = prefetcher
+        self.line_bytes = l1.line_bytes
+        self.dram_reads = 0
+        self.dram_writes = 0
+        self.dram_prefetch_reads = 0
+
+    @classmethod
+    def default(cls, l1_kb=2, l2_kb=16, llc_kb=128, line_bytes=64, prefetch=True):
+        """Build the scaled Table II machine (see DESIGN.md Section 5)."""
+        l1 = Cache("L1", l1_kb * 1024, 8, line_bytes, policy="plru")
+        l2 = Cache("L2", l2_kb * 1024, 8, line_bytes, policy="plru")
+        llc = Cache("LLC", llc_kb * 1024, 16, line_bytes, policy="drrip")
+        pf = StreamPrefetcher() if prefetch else None
+        return cls(l1, l2, llc, prefetcher=pf)
+
+    # ------------------------------------------------------------------ #
+    # Demand path
+    # ------------------------------------------------------------------ #
+
+    def access(self, line, is_write=False):
+        """Demand access to ``line``; returns the servicing level."""
+        if self.l1.probe(line, is_write):
+            return LEVEL_L1
+        if self.l2.probe(line):
+            served = LEVEL_L2
+        elif self.llc.probe(line):
+            served = LEVEL_LLC
+        else:
+            served = LEVEL_DRAM
+            self.dram_reads += 1
+        if served == LEVEL_DRAM:
+            self._handle_llc_eviction(self.llc.fill(line))
+        if served >= LEVEL_LLC:
+            self._handle_l2_eviction(self.l2.fill(line))
+        self._handle_l1_eviction(self.l1.fill(line, dirty=is_write))
+        if self.prefetcher is not None and served != LEVEL_L1:
+            for pf_line in self.prefetcher.observe(line):
+                self._prefetch_into_l2(pf_line)
+        return served
+
+    def _prefetch_into_l2(self, line):
+        if self.l2.contains(line):
+            return
+        if not self.llc.contains(line):
+            self.dram_prefetch_reads += 1
+        self._handle_l2_eviction(self.l2.fill(line))
+
+    # ------------------------------------------------------------------ #
+    # Writeback / eviction cascade
+    # ------------------------------------------------------------------ #
+
+    def _handle_l1_eviction(self, eviction):
+        if eviction is not None and eviction.dirty:
+            self._handle_l2_eviction(self.l2.fill(eviction.line, dirty=True))
+
+    def _handle_l2_eviction(self, eviction):
+        if eviction is not None and eviction.dirty:
+            self._handle_llc_eviction(self.llc.fill(eviction.line, dirty=True))
+
+    def _handle_llc_eviction(self, eviction):
+        if eviction is not None and eviction.dirty:
+            self.dram_writes += 1
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def write_through_dram(self, num_lines):
+        """Account ``num_lines`` of non-temporal (cache-bypassing) writes.
+
+        Software PB transfers full coalescing buffers to in-memory bins with
+        non-temporal stores; the traffic hits DRAM without disturbing the
+        caches.
+        """
+        self.dram_writes += num_lines
+
+    def read_through_dram(self, num_lines):
+        """Account ``num_lines`` of streaming reads served by DRAM only."""
+        self.dram_reads += num_lines
+
+    def flush_all(self):
+        """Flush every level, counting dirty-line writebacks to DRAM."""
+        for eviction in self.l1.flush():
+            self._handle_l2_eviction(self.l2.fill(eviction.line, dirty=True))
+        for eviction in self.l2.flush():
+            self._handle_llc_eviction(self.llc.fill(eviction.line, dirty=True))
+        for eviction in self.llc.flush():
+            if eviction.dirty:
+                self.dram_writes += 1
+
+    def reserve_ways(self, l1_ways=0, l2_ways=0, llc_ways=0):
+        """Apply COBRA-style static way partitioning at every level.
+
+        Displaced dirty lines are written back (and counted as DRAM writes
+        if they fall out of the LLC).
+        """
+        for eviction in self.l1.reserve_ways(l1_ways):
+            self._handle_l2_eviction(self.l2.fill(eviction.line, dirty=eviction.dirty))
+        for eviction in self.l2.reserve_ways(l2_ways):
+            self._handle_llc_eviction(
+                self.llc.fill(eviction.line, dirty=eviction.dirty)
+            )
+        for eviction in self.llc.reserve_ways(llc_ways):
+            if eviction.dirty:
+                self.dram_writes += 1
+
+    def reset_stats(self):
+        """Zero hit/miss and DRAM counters (cache contents unchanged)."""
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+        self.llc.reset_stats()
+        if self.prefetcher is not None:
+            self.prefetcher.reset()
+        self.dram_reads = 0
+        self.dram_writes = 0
+        self.dram_prefetch_reads = 0
+
+    @property
+    def levels(self):
+        """(L1, L2, LLC) tuple."""
+        return (self.l1, self.l2, self.llc)
+
+    def __repr__(self):
+        return f"CacheHierarchy(l1={self.l1!r}, l2={self.l2!r}, llc={self.llc!r})"

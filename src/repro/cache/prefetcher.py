@@ -1,0 +1,57 @@
+"""L2 stream prefetcher.
+
+Models the stream prefetcher the paper's Table II machine has at the L2 —
+the reason COBRA reserves only a single L2 way for C-Buffers (prefetched
+streaming data gainfully uses L2 capacity, Figure 13b).
+
+The stream table is keyed by the *next expected line* of each tracked
+stream, making ``observe`` O(1) per access: an access that extends a stream
+pops its entry and re-inserts it at the following line; anything else
+allocates a new stream, displacing the least-recently-extended one.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_positive
+
+__all__ = ["StreamPrefetcher"]
+
+
+class StreamPrefetcher:
+    """Detects ascending line streams and prefetches ahead.
+
+    Once a stream has been extended ``threshold`` times, every further
+    extension issues the next ``degree`` lines.
+    """
+
+    def __init__(self, num_streams=16, degree=4, threshold=2):
+        check_positive("num_streams", num_streams)
+        check_positive("degree", degree)
+        check_positive("threshold", threshold)
+        self.num_streams = num_streams
+        self.degree = degree
+        self.threshold = threshold
+        self._expect = {}  # next expected line -> confidence (insertion-ordered)
+        self.issued = 0
+
+    def observe(self, line):
+        """Record a demand access; return the list of lines to prefetch."""
+        expect = self._expect
+        confidence = expect.pop(line, None)
+        if confidence is not None:
+            confidence += 1
+            expect[line + 1] = confidence
+            if confidence >= self.threshold:
+                prefetches = list(range(line + 1, line + 1 + self.degree))
+                self.issued += self.degree
+                return prefetches
+            return []
+        expect[line + 1] = 0
+        if len(expect) > self.num_streams:
+            del expect[next(iter(expect))]  # drop least-recently-extended
+        return []
+
+    def reset(self):
+        """Forget all streams and zero statistics."""
+        self._expect.clear()
+        self.issued = 0

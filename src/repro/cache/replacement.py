@@ -1,0 +1,184 @@
+"""Cache replacement policies.
+
+Implements the policies of the paper's simulated machine (Table II):
+Bit-PLRU for L1/L2, DRRIP for the LLC, plus true LRU as a reference policy
+for tests. Policies keep per-(set, way) state in flat arrays and support
+victim selection restricted to a way range so way-based partitioning
+(Intel-CAT-style, used by COBRA to pin C-Buffers) composes with any policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ReplacementPolicy", "LRU", "BitPLRU", "DRRIP", "make_policy"]
+
+
+class ReplacementPolicy:
+    """Interface: per-set victim selection plus hit/fill notifications.
+
+    ``lo``/``hi`` bound the ways eligible for replacement (``hi`` exclusive),
+    letting a partitioned cache restrict regular data to a subset of ways.
+    """
+
+    def __init__(self, num_sets, num_ways):
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+
+    def on_hit(self, set_idx, way):
+        """Record a hit on ``way`` of ``set_idx``."""
+        raise NotImplementedError
+
+    def on_fill(self, set_idx, way):
+        """Record a fill into ``way`` of ``set_idx``."""
+        raise NotImplementedError
+
+    def victim(self, set_idx, lo, hi):
+        """Pick the way in ``[lo, hi)`` of ``set_idx`` to replace."""
+        raise NotImplementedError
+
+
+class LRU(ReplacementPolicy):
+    """True least-recently-used, tracked with monotonically growing stamps."""
+
+    def __init__(self, num_sets, num_ways):
+        super().__init__(num_sets, num_ways)
+        self._stamp = np.zeros(num_sets * num_ways, dtype=np.int64)
+        self._clock = 0
+
+    def _touch(self, set_idx, way):
+        self._clock += 1
+        self._stamp[set_idx * self.num_ways + way] = self._clock
+
+    def on_hit(self, set_idx, way):
+        self._touch(set_idx, way)
+
+    def on_fill(self, set_idx, way):
+        self._touch(set_idx, way)
+
+    def victim(self, set_idx, lo, hi):
+        base = set_idx * self.num_ways
+        stamps = self._stamp[base + lo : base + hi]
+        return lo + int(np.argmin(stamps))
+
+
+class BitPLRU(ReplacementPolicy):
+    """Bit-pseudo-LRU (MRU bits), as in the paper's L1/L2.
+
+    Each way has an MRU bit, set on every touch. When setting a bit would
+    make all bits in the managed range 1, the other bits reset first. The
+    victim is the lowest-index way whose bit is 0.
+    """
+
+    def __init__(self, num_sets, num_ways):
+        super().__init__(num_sets, num_ways)
+        self._mru = bytearray(num_sets * num_ways)
+
+    def _touch(self, set_idx, way, lo, hi):
+        mru = self._mru
+        base = set_idx * self.num_ways
+        mru[base + way] = 1
+        for w in range(lo, hi):
+            if not mru[base + w]:
+                return
+        for w in range(lo, hi):  # all bits set: reset everyone else
+            mru[base + w] = 0
+        mru[base + way] = 1
+
+    def on_hit(self, set_idx, way):
+        # The managed range is unknown on a plain hit; treat the whole set
+        # as the range (correct when unpartitioned; partitioned caches call
+        # on_hit_range instead).
+        self._touch(set_idx, way, 0, self.num_ways)
+
+    def on_hit_range(self, set_idx, way, lo, hi):
+        """Hit notification with an explicit managed way range."""
+        self._touch(set_idx, way, lo, hi)
+
+    def on_fill(self, set_idx, way):
+        self._touch(set_idx, way, 0, self.num_ways)
+
+    def on_fill_range(self, set_idx, way, lo, hi):
+        """Fill notification with an explicit managed way range."""
+        self._touch(set_idx, way, lo, hi)
+
+    def victim(self, set_idx, lo, hi):
+        mru = self._mru
+        base = set_idx * self.num_ways
+        for w in range(lo, hi):
+            if not mru[base + w]:
+                return w
+        return lo  # unreachable in steady state; safe fallback
+
+
+class DRRIP(ReplacementPolicy):
+    """Dynamic Re-Reference Interval Prediction (Jaleel et al.), 2-bit RRPVs.
+
+    Set-dueling between SRRIP (fill at RRPV=2) and BRRIP (fill at RRPV=3,
+    occasionally 2) with a PSEL counter steering follower sets, matching the
+    LLC policy in Table II.
+    """
+
+    RRPV_MAX = 3
+    BRRIP_EPSILON = 32  # 1-in-32 BRRIP fills insert at long (not distant)
+
+    def __init__(self, num_sets, num_ways, num_leader_sets=32):
+        super().__init__(num_sets, num_ways)
+        self._rrpv = np.full(num_sets * num_ways, self.RRPV_MAX, dtype=np.int8)
+        self._psel = 512  # 10-bit counter, midpoint
+        self._brrip_tick = 0
+        leaders = min(num_leader_sets, max(2, num_sets // 2) & ~1)
+        stride = max(1, num_sets // max(1, leaders))
+        self._srrip_leaders = set(range(0, num_sets, stride * 2))
+        self._brrip_leaders = set(range(stride, num_sets, stride * 2))
+
+    def on_hit(self, set_idx, way):
+        self._rrpv[set_idx * self.num_ways + way] = 0
+
+    def _use_brrip(self, set_idx):
+        if set_idx in self._srrip_leaders:
+            return False
+        if set_idx in self._brrip_leaders:
+            return True
+        return self._psel < 512
+
+    def on_fill(self, set_idx, way):
+        if set_idx in self._srrip_leaders:
+            self._psel = min(1023, self._psel + 1)
+        elif set_idx in self._brrip_leaders:
+            self._psel = max(0, self._psel - 1)
+        if self._use_brrip(set_idx):
+            self._brrip_tick += 1
+            rrpv = (
+                self.RRPV_MAX - 1
+                if self._brrip_tick % self.BRRIP_EPSILON == 0
+                else self.RRPV_MAX
+            )
+        else:
+            rrpv = self.RRPV_MAX - 1
+        self._rrpv[set_idx * self.num_ways + way] = rrpv
+
+    def victim(self, set_idx, lo, hi):
+        base = set_idx * self.num_ways
+        rrpv = self._rrpv
+        while True:
+            for w in range(lo, hi):
+                if rrpv[base + w] >= self.RRPV_MAX:
+                    return w
+            for w in range(lo, hi):  # age everyone and retry
+                rrpv[base + w] += 1
+
+
+_POLICIES = {"lru": LRU, "plru": BitPLRU, "drrip": DRRIP}
+
+
+def make_policy(name, num_sets, num_ways):
+    """Instantiate a replacement policy by name ('lru', 'plru', 'drrip')."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; expected one of "
+            f"{sorted(_POLICIES)}"
+        ) from None
+    return cls(num_sets, num_ways)

@@ -1,0 +1,92 @@
+"""Access statistics containers shared by the runner and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.hierarchy import LEVEL_DRAM, LEVEL_L1, LEVEL_L2, LEVEL_LLC
+
+__all__ = ["ServiceCounts", "MemoryTraffic"]
+
+
+@dataclass
+class ServiceCounts:
+    """How many demand accesses each level served."""
+
+    l1: int = 0
+    l2: int = 0
+    llc: int = 0
+    dram: int = 0
+
+    def record(self, level):
+        """Tally one access served at ``level`` (a ``LEVEL_*`` constant)."""
+        if level == LEVEL_L1:
+            self.l1 += 1
+        elif level == LEVEL_L2:
+            self.l2 += 1
+        elif level == LEVEL_LLC:
+            self.llc += 1
+        elif level == LEVEL_DRAM:
+            self.dram += 1
+        else:
+            raise ValueError(f"unknown level {level}")
+
+    @property
+    def total(self):
+        """Total demand accesses."""
+        return self.l1 + self.l2 + self.llc + self.dram
+
+    @property
+    def llc_miss_rate(self):
+        """Fraction of LLC lookups that missed (the paper's Figure 2 metric)."""
+        lookups = self.llc + self.dram
+        return self.dram / lookups if lookups else 0.0
+
+    @property
+    def l1_miss_rate(self):
+        """Fraction of L1 lookups that missed."""
+        return (self.total - self.l1) / self.total if self.total else 0.0
+
+    def merged(self, other):
+        """Element-wise sum with ``other``."""
+        return ServiceCounts(
+            self.l1 + other.l1,
+            self.l2 + other.l2,
+            self.llc + other.llc,
+            self.dram + other.dram,
+        )
+
+    def as_dict(self):
+        """Plain-dict view for reports."""
+        return {"l1": self.l1, "l2": self.l2, "llc": self.llc, "dram": self.dram}
+
+
+@dataclass
+class MemoryTraffic:
+    """DRAM line traffic (64 B lines unless configured otherwise)."""
+
+    reads: int = 0
+    writes: int = 0
+    prefetch_reads: int = 0
+    line_bytes: int = 64
+
+    @property
+    def total_lines(self):
+        """All DRAM line transfers."""
+        return self.reads + self.writes + self.prefetch_reads
+
+    @property
+    def total_bytes(self):
+        """All DRAM traffic in bytes."""
+        return self.total_lines * self.line_bytes
+
+    def merged(self, other):
+        """Element-wise sum with ``other`` (line sizes must match)."""
+        if self.line_bytes != other.line_bytes:
+            raise ValueError("cannot merge traffic with differing line sizes")
+        return MemoryTraffic(
+            self.reads + other.reads,
+            self.writes + other.writes,
+            self.prefetch_reads + other.prefetch_reads,
+            self.line_bytes,
+        )

@@ -1,0 +1,158 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro list                      # available experiments
+    python -m repro inputs                    # the scaled Table III
+    python -m repro run fig10 --scale 16      # one experiment
+    python -m repro run fig13a fig13b fig13c  # several
+    python -m repro machine                   # the simulated machine
+
+Experiments print the same rows/series the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.harness.experiments import (
+    fig02,
+    fig04,
+    fig05,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    mrc,
+    scaling,
+    table1,
+)
+
+__all__ = ["EXPERIMENTS", "build_parser", "main"]
+
+#: Experiment name -> (callable, description).
+EXPERIMENTS = {
+    "fig02": (fig02.run, "LLC miss rates of baseline irregular updates"),
+    "fig04": (fig04.run, "PB bin-count sensitivity (Binning vs Accumulate)"),
+    "fig05": (fig05.run, "PB-SW-IDEAL headroom over software PB"),
+    "table1": (table1.run, "PB phase breakup (Init/Binning/Accumulate)"),
+    "fig10": (fig10.run, "headline speedups: PB-SW / PB-SW-IDEAL / COBRA"),
+    "fig11": (fig11.run, "COBRA per-phase speedups over PB-SW"),
+    "fig12": (fig12.run, "instruction & branch overheads of Binning"),
+    "fig13a": (fig13.run_eviction_buffers, "eviction-buffer sizing (DES)"),
+    "fig13b": (fig13.run_way_sensitivity, "reserved-way sensitivity"),
+    "fig13c": (fig13.run_context_switch, "context-switch bandwidth waste"),
+    "fig14": (fig14.run, "COBRA vs PHI / COBRA-COMM (commutative kernels)"),
+    "fig15": (fig15.run, "PB vs CSR-Segmenting tiling (Pagerank)"),
+    "mrc": (mrc.run, "miss-ratio curves, raw vs binned (supplemental)"),
+    "scaling": (scaling.run, "multicore scalability (extension)"),
+}
+
+
+def build_parser():
+    """The argparse parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Improving Locality of Irregular Updates with "
+            "Hardware Assisted Propagation Blocking' (HPCA 2022)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available experiments")
+    commands.add_parser("inputs", help="describe the input suite (Table III)")
+    commands.add_parser("machine", help="describe the simulated machine")
+
+    run_parser = commands.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS),
+        metavar="experiment",
+        help=f"one of: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    run_parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help="log2 of the input namespace (default: the full-scale suite)",
+    )
+    return parser
+
+
+def _cmd_list(print_fn):
+    width = max(len(name) for name in EXPERIMENTS)
+    for name in sorted(EXPERIMENTS):
+        print_fn(f"{name.ljust(width)}  {EXPERIMENTS[name][1]}")
+
+
+def _cmd_inputs(print_fn, scale=None):
+    from repro.harness.inputs import describe_inputs
+    from repro.harness.report import format_table
+
+    rows = describe_inputs() if scale is None else describe_inputs(scale)
+    print_fn(
+        format_table(
+            ["input", "kind", "size", "entries"],
+            [
+                [
+                    row["input"],
+                    row["kind"],
+                    row.get("vertices", row.get("rows", 0)),
+                    row.get("edges", row.get("nnz", 0)),
+                ]
+                for row in rows
+            ],
+            title="Input suite (scaled Table III)",
+        )
+    )
+
+
+def _cmd_machine(print_fn):
+    from repro.harness.machine import DEFAULT_MACHINE
+
+    hierarchy = DEFAULT_MACHINE.hierarchy
+    core = DEFAULT_MACHINE.core
+    print_fn("Simulated machine (scaled Table II; see DESIGN.md section 5)")
+    print_fn(
+        f"  L1D  {hierarchy.l1_bytes // 1024} KB, {hierarchy.l1_ways}-way, "
+        f"{hierarchy.l1_policy}, load-to-use {core.l1_latency} cycles"
+    )
+    print_fn(
+        f"  L2   {hierarchy.l2_bytes // 1024} KB, {hierarchy.l2_ways}-way, "
+        f"{hierarchy.l2_policy}, {core.l2_latency} cycles, stream prefetcher"
+    )
+    print_fn(
+        f"  LLC  {hierarchy.llc_bytes // 1024} KB/core bank, "
+        f"{hierarchy.llc_ways}-way, {hierarchy.llc_policy}, "
+        f"{core.llc_latency} cycles (remote {core.llc_remote_latency})"
+    )
+    print_fn(
+        f"  core {core.issue_width}-wide @ {core.frequency_ghz} GHz, "
+        f"DRAM {core.dram_latency} cycles, "
+        f"stream {core.stream_bytes_per_cycle} B/cycle/core"
+    )
+
+
+def main(argv=None, print_fn=print):
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        _cmd_list(print_fn)
+        return 0
+    if args.command == "inputs":
+        _cmd_inputs(print_fn)
+        return 0
+    if args.command == "machine":
+        _cmd_machine(print_fn)
+        return 0
+    for name in args.experiments:
+        run_fn, _description = EXPERIMENTS[name]
+        kwargs = {} if args.scale is None else {"scale": args.scale}
+        result = run_fn(**kwargs)
+        print_fn(result.text)
+        print_fn("")
+    return 0

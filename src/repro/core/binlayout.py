@@ -1,0 +1,110 @@
+"""Sequential in-memory bin layout with tag-resident cursors (Figure 9).
+
+Software PB and COBRA both lay bins out contiguously: the Init phase
+counts per-bin tuples and prefix-sums them into the BinOffset array;
+COBRA then loads each bin's starting offset into the corresponding LLC
+C-Buffer's (otherwise unnecessary) tag entry. Every LLC C-Buffer eviction
+writes its tuples at ``BinBasePtr + BinOffset[binID]`` and bumps the
+tag-resident cursor by the tuples written. This module models that layout
+exactly, including the overflow checks a real implementation relies on the
+Init-phase counts for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_index_array, check_positive
+
+__all__ = ["SequentialBins"]
+
+
+class SequentialBins:
+    """Contiguous per-bin tuple storage addressed through BinOffset cursors.
+
+    Parameters
+    ----------
+    counts:
+        Per-bin tuple counts from the Init phase; bin ``b`` owns the slots
+        ``[offsets[b], offsets[b + 1])`` of the flat arrays.
+    tuple_bytes, line_bytes:
+        For DRAM line accounting (a partial line still moves a full line).
+    """
+
+    def __init__(self, counts, tuple_bytes=8, line_bytes=64):
+        counts = as_index_array(counts, "counts")
+        if len(counts) == 0:
+            raise ValueError("counts must name at least one bin")
+        if counts.min() < 0:
+            raise ValueError("counts must be non-negative")
+        check_positive("tuple_bytes", tuple_bytes)
+        self.tuple_bytes = tuple_bytes
+        self.line_bytes = line_bytes
+        self.offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.offsets[1:])
+        self._counts = counts
+        total = int(self.offsets[-1])
+        self.indices = np.full(total, -1, dtype=np.int64)
+        self.values = np.empty(total, dtype=object)
+        #: The tag-resident cursors: BinOffset[binID] in Figure 9.
+        self.cursors = self.offsets[:-1].copy()
+        self.full_lines = 0
+        self.partial_lines = 0
+        self.wasted_bytes = 0
+
+    @property
+    def num_bins(self):
+        """Bins in the layout."""
+        return len(self._counts)
+
+    def remaining(self, bin_id):
+        """Free tuple slots left in ``bin_id``."""
+        return int(self.offsets[bin_id + 1] - self.cursors[bin_id])
+
+    def write_line(self, bin_id, tuples):
+        """One LLC C-Buffer eviction: append ``tuples`` at the cursor.
+
+        Raises ``OverflowError`` when the Init-phase sizing would be
+        violated — the condition a correct PB/COBRA run never hits.
+        """
+        if not 0 <= bin_id < self.num_bins:
+            raise IndexError(f"bin {bin_id} out of range")
+        if not tuples:
+            return
+        cursor = int(self.cursors[bin_id])
+        end = cursor + len(tuples)
+        if end > self.offsets[bin_id + 1]:
+            raise OverflowError(
+                f"bin {bin_id} sized for {self._counts[bin_id]} tuples; "
+                f"write of {len(tuples)} at cursor {cursor} overflows"
+            )
+        for position, (index, value) in enumerate(tuples):
+            self.indices[cursor + position] = index
+            self.values[cursor + position] = value
+        self.cursors[bin_id] = end
+        used = len(tuples) * self.tuple_bytes
+        if used >= self.line_bytes:
+            self.full_lines += 1
+        else:
+            self.partial_lines += 1
+            self.wasted_bytes += self.line_bytes - used
+
+    def bin_contents(self, bin_id):
+        """(indices, values) written to ``bin_id`` so far."""
+        lo = int(self.offsets[bin_id])
+        hi = int(self.cursors[bin_id])
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    def is_complete(self):
+        """True when every bin received exactly its Init-phase count."""
+        return bool(np.array_equal(self.cursors, self.offsets[1:]))
+
+    @property
+    def lines_written(self):
+        """DRAM lines moved into the layout."""
+        return self.full_lines + self.partial_lines
+
+    @property
+    def total_tuples(self):
+        """Tuples written so far."""
+        return int((self.cursors - self.offsets[:-1]).sum())

@@ -1,0 +1,129 @@
+"""COBRA configuration and the ``bininit`` derivation (Section V-A/B).
+
+``bininit`` reserves ways at each cache level and computes, per level, the
+smallest power-of-two bin range whose C-Buffers fit in the reserved
+capacity. The L1 gets the fewest C-Buffers (largest range) and the LLC the
+most; the number of in-memory bins equals the number of LLC C-Buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_positive, next_power_of_two
+from repro.cache.config import HierarchyConfig
+from repro.pb.bins import BinSpec
+
+__all__ = ["LevelBinning", "CobraConfig"]
+
+
+@dataclass(frozen=True)
+class LevelBinning:
+    """Result of ``bininit`` for one cache level."""
+
+    level: str
+    reserved_ways: int
+    ways_used: int  # power-of-two rounding may leave reserved ways unused
+    num_buffers: int
+    bin_range: int
+
+    @property
+    def shift(self):
+        """log2(bin_range) — binning a tuple is this right-shift."""
+        return self.bin_range.bit_length() - 1
+
+
+def _level_binning(level, num_indices, sets, line_capacity_per_way, reserved_ways):
+    """Smallest power-of-two bin range fitting the reserved ways."""
+    capacity = reserved_ways * line_capacity_per_way
+    bin_range = next_power_of_two(max(1, -(-num_indices // max(1, capacity))))
+    num_buffers = -(-num_indices // bin_range)
+    ways_used = -(-num_buffers // sets)
+    return LevelBinning(level, reserved_ways, ways_used, num_buffers, bin_range)
+
+
+@dataclass(frozen=True)
+class CobraConfig:
+    """Full COBRA machine configuration.
+
+    Default way reservations follow Section V-A: all but one way at L1 and
+    LLC, a single way at L2 (to leave room for the stream prefetcher's
+    data).
+    """
+
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    num_indices: int = 1 << 16
+    tuple_bytes: int = 8
+    l1_reserved_ways: int = None
+    l2_reserved_ways: int = 1
+    llc_reserved_ways: int = None
+
+    def __post_init__(self):
+        check_positive("num_indices", self.num_indices)
+        check_positive("tuple_bytes", self.tuple_bytes)
+        if self.hierarchy.line_bytes % self.tuple_bytes:
+            raise ValueError("tuple size must divide the cache line size")
+        if self.l1_reserved_ways is None:
+            object.__setattr__(
+                self, "l1_reserved_ways", self.hierarchy.l1_ways - 1
+            )
+        if self.llc_reserved_ways is None:
+            object.__setattr__(
+                self, "llc_reserved_ways", self.hierarchy.llc_ways - 1
+            )
+        for name, ways in [
+            ("l1", self.hierarchy.l1_ways),
+            ("l2", self.hierarchy.l2_ways),
+            ("llc", self.hierarchy.llc_ways),
+        ]:
+            reserved = getattr(self, f"{name}_reserved_ways")
+            if not 1 <= reserved < ways:
+                raise ValueError(
+                    f"{name} reservation must be in [1, {ways}), got {reserved}"
+                )
+
+    @property
+    def tuples_per_line(self):
+        """Tuples per C-Buffer line (offset counters count modulo this)."""
+        return self.hierarchy.line_bytes // self.tuple_bytes
+
+    def level_binning(self, level):
+        """``bininit`` result for ``level`` ('l1', 'l2', or 'llc')."""
+        sets = self.hierarchy.sets(level)
+        reserved = getattr(self, f"{level}_reserved_ways")
+        return _level_binning(level, self.num_indices, sets, sets, reserved)
+
+    @property
+    def l1(self):
+        """L1 binning parameters."""
+        return self.level_binning("l1")
+
+    @property
+    def l2(self):
+        """L2 binning parameters."""
+        return self.level_binning("l2")
+
+    @property
+    def llc(self):
+        """LLC binning parameters (defines the in-memory bins)."""
+        return self.level_binning("llc")
+
+    @property
+    def memory_bin_spec(self):
+        """In-memory bins mirror the LLC C-Buffers (Section V-E)."""
+        return BinSpec(self.num_indices, self.llc.bin_range)
+
+    def validate_monotone(self):
+        """Check bin ranges shrink down the hierarchy (more buffers below).
+
+        Raises ``ValueError`` when the configured reservations would give a
+        lower level fewer C-Buffers than an upper one, which the eviction
+        scatter logic relies on.
+        """
+        l1, l2, llc = self.l1, self.l2, self.llc
+        if not l1.bin_range >= l2.bin_range >= llc.bin_range:
+            raise ValueError(
+                "bin ranges must be non-increasing down the hierarchy: "
+                f"L1={l1.bin_range} L2={l2.bin_range} LLC={llc.bin_range}"
+            )
+        return self

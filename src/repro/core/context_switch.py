@@ -1,0 +1,66 @@
+"""Context-switch bandwidth-waste model (Section V-E, Figure 13c).
+
+COBRA pins C-Buffers with static way partitioning, but a preempted Binning
+phase lets other processes evict partially filled C-Buffer lines. At the
+LLC that wastes DRAM bandwidth: a line write moves 64 B regardless of how
+many tuples it carries. This model replays a tuple trace, forcing an
+eviction of every LLC C-Buffer each scheduling quantum, and reports the
+worst-case bandwidth waste.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import as_index_array, check_positive
+from repro.core.config import CobraConfig
+from repro.core.machine import CobraMachine
+
+__all__ = ["ContextSwitchResult", "simulate_context_switches"]
+
+
+@dataclass(frozen=True)
+class ContextSwitchResult:
+    """Waste accounting for one quantum setting."""
+
+    quantum_tuples: int
+    switches: int
+    useful_bytes: int
+    wasted_bytes: int
+    lines_written: int
+
+    @property
+    def waste_fraction(self):
+        """Wasted share of all DRAM write bandwidth spent on bins."""
+        total = self.useful_bytes + self.wasted_bytes
+        return self.wasted_bytes / total if total else 0.0
+
+
+def simulate_context_switches(config: CobraConfig, indices, quantum_tuples):
+    """Replay ``indices`` with a forced LLC C-Buffer eviction every quantum.
+
+    ``quantum_tuples`` is the scheduling quantum expressed in tuples
+    processed between preemptions (the experiment driver converts an OS
+    quantum in cycles using the Binning-phase tuple rate).
+    """
+    check_positive("quantum_tuples", quantum_tuples)
+    indices = as_index_array(indices)
+    machine = CobraMachine(config)
+    machine.bininit()
+    switches = 0
+    trace = indices.tolist()
+    for start in range(0, len(trace), quantum_tuples):
+        for index in trace[start : start + quantum_tuples]:
+            machine.binupdate(index, None)
+        if start + quantum_tuples < len(trace):
+            switches += 1
+            machine.evict_llc_partial()
+    machine.binflush()
+    bins = machine.memory_bins
+    return ContextSwitchResult(
+        quantum_tuples=quantum_tuples,
+        switches=switches,
+        useful_bytes=bins.total_tuples * config.tuple_bytes,
+        wasted_bytes=bins.wasted_bytes,
+        lines_written=bins.lines_written,
+    )

@@ -1,0 +1,53 @@
+"""Dynamic instruction-cost model shared by every execution mode.
+
+The analytic core model (DESIGN.md Section 4) counts instructions from
+per-element costs of the kernels' inner loops. The constants below are
+derived from the loop bodies of the GAP-style kernels and chosen to land
+inside the paper's reported envelopes:
+
+* software PB executes up to ~4x the baseline's instructions
+  (Section III-C),
+* COBRA reduces total instructions by 2-5.5x versus PB (Figure 12 top),
+* ``binupdate`` replaces the entire software binning sequence with one
+  store-class instruction (Section V-B).
+"""
+
+from __future__ import annotations
+
+#: Baseline irregular-update loop: stream the edge/entry (1-2 loads),
+#: compute the target address, load-modify-store the element, loop
+#: bookkeeping and branch.
+BASELINE_UPDATE_INSTRS = 8
+
+#: Init pass of PB/COBRA: stream indices, shift to bin ID, increment the
+#: per-bin count (the counts array is tiny and cache-resident).
+INIT_COUNT_INSTRS = 3
+
+#: Software Binning per tuple: bin-ID shift, C-Buffer base + offset loads,
+#: two stores (index, value), occupancy increment, full-check compare +
+#: branch, loop bookkeeping.
+PB_BIN_TUPLE_INSTRS = 16
+
+#: Software C-Buffer drain, per tuple moved: non-temporal store plus
+#: address bookkeeping (amortized over the 64 B bulk copy).
+PB_FLUSH_PER_TUPLE_INSTRS = 2
+
+#: Accumulate per tuple: load (index, value) from the bin stream, apply the
+#: update (load-modify-store), loop bookkeeping.
+ACCUMULATE_TUPLE_INSTRS = 7
+
+#: COBRA Binning per tuple: stream load(s) + one binupdate + loop
+#: bookkeeping. binupdate needs no address-generation port (Section VI).
+COBRA_BIN_TUPLE_INSTRS = 3
+
+#: Per-level bininit plus per-LLC-C-Buffer tag-offset initialization
+#: (Section V-E) — charged once per Binning phase.
+COBRA_SETUP_BASE_INSTRS = 12
+COBRA_SETUP_PER_BUFFER_INSTRS = 1
+
+#: binflush walks every C-Buffer line at each level.
+COBRA_FLUSH_PER_BUFFER_INSTRS = 2
+
+#: Comparison-based sort (the Integer Sort baseline, __gnu_parallel::sort):
+#: per element per merge level — compare, two moves, loop bookkeeping.
+SORT_INSTRS_PER_ELEMENT_PER_LEVEL = 3

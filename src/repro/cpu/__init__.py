@@ -1,0 +1,22 @@
+"""Core model: branch predictors, analytic OoO timing, perf counters."""
+
+from repro.cpu.branch import (
+    BimodalPredictor,
+    BranchSite,
+    GSharePredictor,
+    simulate_sites,
+)
+from repro.cpu.counters import PhaseCounters, RunCounters
+from repro.cpu.timing import CoreParams, PhaseTiming, TimingModel
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchSite",
+    "CoreParams",
+    "GSharePredictor",
+    "PhaseCounters",
+    "PhaseTiming",
+    "RunCounters",
+    "TimingModel",
+    "simulate_sites",
+]

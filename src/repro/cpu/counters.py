@@ -1,0 +1,112 @@
+"""Performance-counter aggregation (the LIKWID analog).
+
+Collects, per phase and per run, the quantities every experiment reports:
+instructions, cycles, branches/mispredicts, per-level service counts, and
+DRAM traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.stats import MemoryTraffic, ServiceCounts
+
+__all__ = ["PhaseCounters", "RunCounters"]
+
+
+@dataclass
+class PhaseCounters:
+    """Everything measured for one phase of one execution."""
+
+    name: str
+    instructions: int = 0
+    branches: int = 0
+    branch_mispredicts: float = 0.0
+    irregular_service: ServiceCounts = field(default_factory=ServiceCounts)
+    streaming_service: ServiceCounts = field(default_factory=ServiceCounts)
+    streaming_bytes: int = 0
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+    cycles: float = 0.0
+
+    @property
+    def ipc(self):
+        """Instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mpki(self):
+        """Branch mispredictions per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.branch_mispredicts / self.instructions
+
+    @property
+    def demand_service(self):
+        """Irregular + streaming service counts combined."""
+        return self.irregular_service.merged(self.streaming_service)
+
+
+@dataclass
+class RunCounters:
+    """Counters for a full execution (ordered list of phases)."""
+
+    workload: str
+    mode: str
+    phases: list = field(default_factory=list)
+
+    def phase(self, name):
+        """Phase counters by name (raises ``KeyError`` if absent)."""
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise KeyError(f"no phase named {name!r} in {self.workload}/{self.mode}")
+
+    def has_phase(self, name):
+        """True when a phase with ``name`` was recorded."""
+        return any(phase.name == name for phase in self.phases)
+
+    @property
+    def cycles(self):
+        """Total cycles across phases."""
+        return sum(phase.cycles for phase in self.phases)
+
+    @property
+    def instructions(self):
+        """Total dynamic instructions across phases."""
+        return sum(phase.instructions for phase in self.phases)
+
+    @property
+    def branch_mispredicts(self):
+        """Total (possibly scaled) branch mispredictions."""
+        return sum(phase.branch_mispredicts for phase in self.phases)
+
+    @property
+    def traffic(self):
+        """Total DRAM traffic across phases."""
+        total = MemoryTraffic()
+        for phase in self.phases:
+            total = total.merged(phase.traffic)
+        return total
+
+    @property
+    def irregular_service(self):
+        """Combined irregular service counts across phases."""
+        total = ServiceCounts()
+        for phase in self.phases:
+            total = total.merged(phase.irregular_service)
+        return total
+
+    @property
+    def demand_service(self):
+        """Combined demand (irregular + streaming) counts across phases."""
+        total = ServiceCounts()
+        for phase in self.phases:
+            total = total.merged(phase.demand_service)
+        return total
+
+    @property
+    def mpki(self):
+        """Branch MPKI over the whole run."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.branch_mispredicts / self.instructions

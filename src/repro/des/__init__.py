@@ -1,0 +1,19 @@
+"""Discrete-event simulation: generic kernel + COBRA eviction-buffer model."""
+
+from repro.des.engine import Queue, Simulator, Timeout
+from repro.des.eviction_model import (
+    EvictionBufferModel,
+    EvictionModelConfig,
+    EvictionModelResult,
+    littles_law_queue_estimate,
+)
+
+__all__ = [
+    "EvictionBufferModel",
+    "EvictionModelConfig",
+    "EvictionModelResult",
+    "Queue",
+    "Simulator",
+    "Timeout",
+    "littles_law_queue_estimate",
+]

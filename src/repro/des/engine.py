@@ -1,0 +1,160 @@
+"""A minimal generator-based discrete-event simulation kernel.
+
+Processes are Python generators that yield *effects*; the kernel resumes
+them when the effect completes:
+
+* ``Timeout(dt)`` — resume after ``dt`` simulated time units,
+* ``queue.put(item)`` — enqueue, blocking while the queue is full,
+* ``queue.get()`` — dequeue, blocking while the queue is empty (the
+  dequeued item is sent back into the generator).
+
+This is the substrate for the COBRA eviction-buffer model (Figure 13a),
+kept deliberately small and fully deterministic: ties in event time resolve
+in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+__all__ = ["Timeout", "Queue", "Simulator"]
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Effect: suspend the yielding process for ``duration`` time units."""
+
+    duration: float
+
+    def __post_init__(self):
+        if self.duration < 0:
+            raise ValueError("timeout duration must be non-negative")
+
+
+class _Put:
+    __slots__ = ("queue", "item")
+
+    def __init__(self, queue, item):
+        self.queue = queue
+        self.item = item
+
+
+class _Get:
+    __slots__ = ("queue",)
+
+    def __init__(self, queue):
+        self.queue = queue
+
+
+class Queue:
+    """A bounded FIFO connecting processes.
+
+    ``capacity=None`` means unbounded. Use via ``yield queue.put(item)`` and
+    ``item = yield queue.get()``.
+    """
+
+    def __init__(self, capacity=None, name="queue"):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be at least 1 (or None)")
+        self.capacity = capacity
+        self.name = name
+        self.items = []
+        self.put_waiters = []  # (process, item)
+        self.get_waiters = []  # process
+        self.max_occupancy = 0
+
+    def put(self, item):
+        """Effect object for enqueuing ``item``."""
+        return _Put(self, item)
+
+    def get(self):
+        """Effect object for dequeuing the oldest item."""
+        return _Get(self)
+
+    @property
+    def is_full(self):
+        """True when at capacity."""
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def __len__(self):
+        return len(self.items)
+
+
+class Simulator:
+    """Event loop: owns simulated time and process scheduling."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._seq = 0
+        self._active = 0
+
+    def process(self, generator):
+        """Register ``generator`` as a process starting at the current time."""
+        self._active += 1
+        self._schedule(0.0, generator, None)
+        return generator
+
+    def _schedule(self, delay, process, value):
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, process, value))
+
+    def _resume(self, process, value):
+        try:
+            effect = process.send(value)
+        except StopIteration:
+            self._active -= 1
+            return
+        self._dispatch(process, effect)
+
+    def _dispatch(self, process, effect):
+        if isinstance(effect, Timeout):
+            self._schedule(effect.duration, process, None)
+        elif isinstance(effect, _Put):
+            queue = effect.queue
+            if queue.is_full:
+                queue.put_waiters.append((process, effect.item))
+            else:
+                self._complete_put(queue, process, effect.item)
+        elif isinstance(effect, _Get):
+            queue = effect.queue
+            if queue.items:
+                item = queue.items.pop(0)
+                self._release_put_waiter(queue)
+                self._schedule(0.0, process, item)
+            else:
+                queue.get_waiters.append(process)
+        else:
+            raise TypeError(f"process yielded unknown effect {effect!r}")
+
+    def _complete_put(self, queue, process, item):
+        if queue.get_waiters:
+            getter = queue.get_waiters.pop(0)
+            self._schedule(0.0, getter, item)
+        else:
+            queue.items.append(item)
+            queue.max_occupancy = max(queue.max_occupancy, len(queue.items))
+        self._schedule(0.0, process, None)
+
+    def _release_put_waiter(self, queue):
+        if queue.put_waiters and not queue.is_full:
+            putter, item = queue.put_waiters.pop(0)
+            self._complete_put(queue, putter, item)
+
+    def run(self, until=None):
+        """Run until no events remain (or simulated time passes ``until``)."""
+        heap = self._heap
+        while heap:
+            time, _seq, process, value = heapq.heappop(heap)
+            if until is not None and time > until:
+                heapq.heappush(heap, (time, _seq, process, value))
+                break
+            self.now = time
+            self._resume(process, value)
+        return self.now
+
+    @property
+    def active_processes(self):
+        """Processes registered and not yet finished."""
+        return self._active

@@ -1,0 +1,5 @@
+"""DRAM substrate: banked row-buffer model behind Table II's 80 ns."""
+
+from repro.dram.model import DramConfig, DramModel, DramStats
+
+__all__ = ["DramConfig", "DramModel", "DramStats"]

@@ -1,0 +1,24 @@
+"""Graph substrate: edge lists, CSR, synthetic generators, CSR builder."""
+
+from repro.graphs.builder import (
+    build_csr,
+    count_degrees,
+    populate_neighbors,
+    prefix_sum,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generators import GENERATORS, mesh2d, rmat, uniform_random
+
+__all__ = [
+    "CSRGraph",
+    "EdgeList",
+    "GENERATORS",
+    "build_csr",
+    "count_degrees",
+    "mesh2d",
+    "populate_neighbors",
+    "prefix_sum",
+    "rmat",
+    "uniform_random",
+]

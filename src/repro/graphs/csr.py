@@ -1,0 +1,111 @@
+"""Compressed Sparse Row (CSR) graph representation.
+
+Mirrors Figure 1 of the paper: an Offsets Array (OA) holding the start of
+each vertex's neighborhood and a Neighbors Array (NA) holding neighbor IDs
+contiguously. The CSR of the reversed edge list acts as the CSC/transpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_index_array
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """A directed graph in CSR form.
+
+    Attributes
+    ----------
+    offsets:
+        int64 array of length ``num_vertices + 1``; vertex ``v``'s neighbors
+        live in ``neighbors[offsets[v]:offsets[v + 1]]``.
+    neighbors:
+        int64 array of length ``num_edges`` holding destination vertex IDs.
+    """
+
+    offsets: np.ndarray
+    neighbors: np.ndarray
+
+    def __post_init__(self):
+        offsets = as_index_array(self.offsets, "offsets")
+        neighbors = as_index_array(self.neighbors, "neighbors")
+        if len(offsets) < 1:
+            raise ValueError("offsets must have at least one entry")
+        if offsets[0] != 0 or offsets[-1] != len(neighbors):
+            raise ValueError("offsets must start at 0 and end at len(neighbors)")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        num_vertices = len(offsets) - 1
+        if len(neighbors) and (
+            neighbors.min() < 0 or neighbors.max() >= num_vertices
+        ):
+            raise ValueError("neighbors contains vertex IDs outside range")
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "neighbors", neighbors)
+
+    @property
+    def num_vertices(self):
+        """Number of vertices."""
+        return len(self.offsets) - 1
+
+    @property
+    def num_edges(self):
+        """Number of directed edges."""
+        return len(self.neighbors)
+
+    def degree(self, vertex):
+        """Out-degree of ``vertex``."""
+        return int(self.offsets[vertex + 1] - self.offsets[vertex])
+
+    def degrees(self):
+        """Out-degrees of all vertices as an int64 array."""
+        return np.diff(self.offsets)
+
+    def neighbors_of(self, vertex):
+        """View of ``vertex``'s neighbor IDs."""
+        return self.neighbors[self.offsets[vertex] : self.offsets[vertex + 1]]
+
+    def edge_sources(self):
+        """Per-edge source IDs (the expansion of the offsets array).
+
+        ``edge_sources()[k]`` is the source of the edge whose destination is
+        ``neighbors[k]``; useful for edge-parallel traversals.
+        """
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), self.degrees()
+        )
+
+    def transpose(self):
+        """CSR of the reversed graph (i.e. the CSC of this graph)."""
+        from repro.graphs.builder import build_csr
+        from repro.graphs.edgelist import EdgeList
+
+        return build_csr(
+            EdgeList(self.neighbors, self.edge_sources(), self.num_vertices)
+        )
+
+    def canonical_sorted(self):
+        """Copy with each vertex's neighbor list sorted ascending.
+
+        PB reorders updates, so Neighbor-Populate under PB produces the same
+        neighbor *sets* in a possibly different order; comparing canonical
+        forms is how tests check semantic equality.
+        """
+        sorted_neighbors = self.neighbors.copy()
+        offsets = self.offsets
+        for v in range(self.num_vertices):
+            lo, hi = offsets[v], offsets[v + 1]
+            sorted_neighbors[lo:hi] = np.sort(sorted_neighbors[lo:hi])
+        return CSRGraph(offsets.copy(), sorted_neighbors)
+
+    def __repr__(self):
+        return (
+            f"CSRGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )

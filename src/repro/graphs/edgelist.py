@@ -1,0 +1,73 @@
+"""Edge-list graph representation.
+
+The edge list is the raw input format for the Edgelist-to-CSR conversion
+kernels that the paper studies (Degree-Counting and Neighbor-Populate), and
+the substrate every synthetic generator produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_index_array, check_positive
+
+__all__ = ["EdgeList"]
+
+
+@dataclass(frozen=True)
+class EdgeList:
+    """An unordered list of directed edges over ``num_vertices`` vertices.
+
+    Attributes
+    ----------
+    src, dst:
+        int64 arrays of equal length holding edge endpoints. Order is
+        arbitrary — irregularity of the downstream kernels comes precisely
+        from this arbitrary ordering.
+    num_vertices:
+        Size of the vertex ID namespace; all endpoints are ``< num_vertices``.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    num_vertices: int
+
+    def __post_init__(self):
+        src = as_index_array(self.src, "src")
+        dst = as_index_array(self.dst, "dst")
+        if len(src) != len(dst):
+            raise ValueError(
+                f"src and dst must have equal length ({len(src)} != {len(dst)})"
+            )
+        check_positive("num_vertices", self.num_vertices)
+        if len(src) and (src.min() < 0 or src.max() >= self.num_vertices):
+            raise ValueError("src contains vertex IDs outside [0, num_vertices)")
+        if len(dst) and (dst.min() < 0 or dst.max() >= self.num_vertices):
+            raise ValueError("dst contains vertex IDs outside [0, num_vertices)")
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dst", dst)
+
+    @property
+    def num_edges(self):
+        """Number of directed edges."""
+        return len(self.src)
+
+    def reversed(self):
+        """Edge list with every edge flipped (used to build the transpose)."""
+        return EdgeList(self.dst.copy(), self.src.copy(), self.num_vertices)
+
+    def shuffled(self, rng):
+        """Edge list with edges in a random order (same edge set)."""
+        perm = rng.permutation(self.num_edges)
+        return EdgeList(self.src[perm], self.dst[perm], self.num_vertices)
+
+    def __len__(self):
+        return self.num_edges
+
+    def __repr__(self):
+        return (
+            f"EdgeList(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )

@@ -1,0 +1,94 @@
+"""Synthetic graph generators standing in for the paper's Table III inputs.
+
+The paper evaluates on TWIT/KRON/WEB (power-law), URND (uniform random),
+and EURO/road-style (bounded-degree) graphs with 10M-100M+ vertices. We
+generate scaled-down graphs with the same *degree-distribution shapes*,
+since the locality phenomena PB/COBRA exploit are driven by the ratio of
+irregular working set to cache capacity and by degree skew, not by absolute
+size (DESIGN.md Section 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive, is_power_of_two, rng_from_seed
+from repro.graphs.edgelist import EdgeList
+
+__all__ = ["rmat", "uniform_random", "mesh2d", "GENERATORS"]
+
+
+def rmat(num_vertices, num_edges, seed=None, a=0.57, b=0.19, c=0.19):
+    """RMAT/Kronecker-style power-law graph (KRON/TWIT/WEB analog).
+
+    Uses the standard recursive-matrix construction with GAP benchmark
+    default partition probabilities (a=0.57, b=c=0.19, d=0.05), producing
+    the heavy skew that makes PHI-style coalescing effective on KRON-like
+    inputs (Section VII-C).
+
+    ``num_vertices`` must be a power of two.
+    """
+    check_positive("num_vertices", num_vertices)
+    check_positive("num_edges", num_edges)
+    if not is_power_of_two(num_vertices):
+        raise ValueError("rmat requires num_vertices to be a power of two")
+    if min(a, b, c) < 0 or a + b + c >= 1.0:
+        raise ValueError("partition probabilities must be >= 0 and sum below 1")
+    rng = rng_from_seed(seed)
+    levels = int(num_vertices).bit_length() - 1
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    # Draw one quadrant choice per (edge, level), vectorized.
+    thresholds = np.array([a, a + b, a + b + c])
+    for _ in range(levels):
+        draws = rng.random(num_edges)
+        quadrant = np.searchsorted(thresholds, draws)
+        src = (src << 1) | (quadrant >> 1)
+        dst = (dst << 1) | (quadrant & 1)
+    perm = rng.permutation(num_vertices)  # shuffle IDs to break locality
+    return EdgeList(perm[src], perm[dst], num_vertices)
+
+
+def uniform_random(num_vertices, num_edges, seed=None):
+    """Uniform-random (Erdős–Rényi-style) graph — the paper's URND analog.
+
+    Uniform degree distributions offer little coalescing opportunity, which
+    is what limits PHI on URND in Figure 14.
+    """
+    check_positive("num_vertices", num_vertices)
+    check_positive("num_edges", num_edges)
+    rng = rng_from_seed(seed)
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    return EdgeList(src, dst, num_vertices)
+
+
+def mesh2d(side, seed=None):
+    """Bounded-degree 2-D mesh with shuffled vertex IDs (EURO/road analog).
+
+    Every vertex connects to its 4 grid neighbors (degree <= 4, like a road
+    network), but vertex IDs are randomly permuted so traversal order does
+    not correlate with grid position — this keeps updates irregular while
+    the *degree* distribution stays flat and bounded.
+    """
+    check_positive("side", side)
+    rng = rng_from_seed(seed)
+    num_vertices = side * side
+    idx = np.arange(num_vertices, dtype=np.int64).reshape(side, side)
+    right_src = idx[:, :-1].ravel()
+    right_dst = idx[:, 1:].ravel()
+    down_src = idx[:-1, :].ravel()
+    down_dst = idx[1:, :].ravel()
+    src = np.concatenate([right_src, right_dst, down_src, down_dst])
+    dst = np.concatenate([right_dst, right_src, down_dst, down_src])
+    perm = rng.permutation(num_vertices)
+    order = rng.permutation(len(src))
+    return EdgeList(perm[src][order], perm[dst][order], num_vertices)
+
+
+#: Name → generator mapping used by the harness input suite.
+GENERATORS = {
+    "rmat": rmat,
+    "uniform_random": uniform_random,
+    "mesh2d": mesh2d,
+}

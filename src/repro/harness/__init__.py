@@ -1,0 +1,33 @@
+"""Experiment harness: machine config, inputs, runner, reports, drivers."""
+
+from repro.harness.machine import DEFAULT_MACHINE, MachineConfig
+from repro.harness.modes import (
+    ALL_MODES,
+    BASELINE,
+    COBRA,
+    COBRA_COMM,
+    COMMUTATIVE_ONLY_MODES,
+    PB_SW,
+    PB_SW_IDEAL,
+    PHI,
+)
+from repro.harness.report import format_series, format_table, geomean, speedup
+from repro.harness.runner import Runner
+
+__all__ = [
+    "ALL_MODES",
+    "BASELINE",
+    "COBRA",
+    "COBRA_COMM",
+    "COMMUTATIVE_ONLY_MODES",
+    "DEFAULT_MACHINE",
+    "MachineConfig",
+    "PB_SW",
+    "PB_SW_IDEAL",
+    "PHI",
+    "Runner",
+    "format_series",
+    "format_table",
+    "geomean",
+    "speedup",
+]

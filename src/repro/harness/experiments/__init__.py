@@ -1,0 +1,34 @@
+"""Per-figure/table experiment drivers (see DESIGN.md Section 3)."""
+
+from repro.harness.experiments import (
+    fig02,
+    fig04,
+    fig05,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    mrc,
+    scaling,
+    table1,
+)
+from repro.harness.experiments.common import ExperimentResult, shared_runner
+
+__all__ = [
+    "ExperimentResult",
+    "fig02",
+    "fig04",
+    "fig05",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "mrc",
+    "scaling",
+    "shared_runner",
+    "table1",
+]

@@ -1,0 +1,48 @@
+"""Shared plumbing for the per-figure experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.counters import RunCounters
+from repro.harness.runner import Runner
+
+__all__ = ["ExperimentResult", "shared_runner", "phase_cycles"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment driver."""
+
+    name: str
+    rows: list = field(default_factory=list)
+    text: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def __str__(self):
+        return self.text
+
+
+_RUNNER = None
+
+
+def shared_runner(**kwargs):
+    """Process-wide runner so experiments reuse memoized runs.
+
+    Passing kwargs creates a fresh, unshared runner (sweeps that change
+    machine parameters must not pollute the shared cache).
+    """
+    global _RUNNER
+    if kwargs:
+        return Runner(**kwargs)
+    if _RUNNER is None:
+        _RUNNER = Runner()
+    return _RUNNER
+
+
+def phase_cycles(counters: RunCounters, name):
+    """Cycles of one phase (0.0 when the phase is absent)."""
+    for phase in counters.phases:
+        if phase.name == name:
+            return phase.cycles
+    return 0.0

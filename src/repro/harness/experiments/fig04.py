@@ -1,0 +1,72 @@
+"""Figure 4: sensitivity of PB's two phases to the number of bins.
+
+(a) Binning prefers few bins (all C-Buffers L1/L2-resident); Accumulate
+prefers many (a bin's update range fits the L1). (b) The same sweep's load
+misses split by servicing level show why: with many bins the C-Buffers
+spill to the LLC.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_positive
+from repro.harness.experiments.common import ExperimentResult, shared_runner
+from repro.harness.inputs import make_workload
+from repro.harness.report import format_table
+from repro.pb.bins import BinSpec
+
+__all__ = ["run", "DEFAULT_BIN_COUNTS"]
+
+DEFAULT_BIN_COUNTS = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def run(
+    runner=None,
+    workload_name="neighbor-populate",
+    input_name="KRON",
+    bin_counts=DEFAULT_BIN_COUNTS,
+    scale=None,
+):
+    """Sweep the bin count; report per-phase cycles and miss breakdown."""
+    runner = runner or shared_runner()
+    kwargs = {} if scale is None else {"scale": scale}
+    workload = make_workload(workload_name, input_name, **kwargs)
+    rows = []
+    for num_bins in bin_counts:
+        check_positive("num_bins", num_bins)
+        spec = BinSpec.from_num_bins(workload.num_indices, num_bins)
+        counters = runner.run_with_spec(workload, spec, include_init=False)
+        binning = counters.phase("binning")
+        accumulate = counters.phase("accumulate")
+        service = binning.irregular_service.merged(
+            accumulate.irregular_service
+        )
+        rows.append(
+            {
+                "num_bins": spec.num_bins,
+                "binning_cycles": binning.cycles,
+                "accumulate_cycles": accumulate.cycles,
+                "total_cycles": binning.cycles + accumulate.cycles,
+                "l2_loads": service.l2,
+                "llc_loads": service.llc,
+                "dram_loads": service.dram,
+            }
+        )
+    text = format_table(
+        ["bins", "binning Mcyc", "accum Mcyc", "L2", "LLC", "DRAM"],
+        [
+            [
+                r["num_bins"],
+                r["binning_cycles"] / 1e6,
+                r["accumulate_cycles"] / 1e6,
+                r["l2_loads"],
+                r["llc_loads"],
+                r["dram_loads"],
+            ]
+            for r in rows
+        ],
+        title=(
+            f"Figure 4: PB bin-count sensitivity "
+            f"({workload_name}/{input_name})"
+        ),
+    )
+    return ExperimentResult(name="fig04", rows=rows, text=text)

@@ -1,0 +1,58 @@
+"""Figure 5: headroom of ideal PB over realizable software PB.
+
+PB-SW-IDEAL runs Binning at its best bin count and Accumulate at *its*
+best bin count — unrealizable in software (one set of in-memory bins),
+but it bounds what architecture support can recover.
+"""
+
+from __future__ import annotations
+
+from repro.harness import modes
+from repro.harness.experiments.common import ExperimentResult, shared_runner
+from repro.harness.inputs import workload_instances
+from repro.harness.report import format_table, geomean
+
+__all__ = ["run"]
+
+
+def run(runner=None, workloads=None, scale=None):
+    """Speedups of PB-SW and PB-SW-IDEAL over baseline, per workload."""
+    runner = runner or shared_runner()
+    rows = []
+    kwargs = {} if scale is None else {"scale": scale}
+    for workload_name, input_name, workload in workload_instances(
+        workloads=workloads, **kwargs
+    ):
+        base = runner.run(workload, modes.BASELINE).cycles
+        pb = runner.run(workload, modes.PB_SW).cycles
+        ideal = runner.run(workload, modes.PB_SW_IDEAL).cycles
+        rows.append(
+            {
+                "workload": workload_name,
+                "input": input_name,
+                "pb_speedup": base / pb,
+                "ideal_speedup": base / ideal,
+                "headroom": pb / ideal,
+            }
+        )
+    means = {
+        "pb": geomean([r["pb_speedup"] for r in rows]),
+        "ideal": geomean([r["ideal_speedup"] for r in rows]),
+        "headroom": geomean([r["headroom"] for r in rows]),
+    }
+    text = format_table(
+        ["workload", "input", "PB-SW", "PB-SW-IDEAL", "headroom"],
+        [
+            [
+                r["workload"],
+                r["input"],
+                r["pb_speedup"],
+                r["ideal_speedup"],
+                r["headroom"],
+            ]
+            for r in rows
+        ]
+        + [["geomean", "", means["pb"], means["ideal"], means["headroom"]]],
+        title="Figure 5: ideal-PB headroom (speedup over baseline)",
+    )
+    return ExperimentResult(name="fig05", rows=rows, text=text, extras=means)

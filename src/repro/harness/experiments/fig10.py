@@ -1,0 +1,73 @@
+"""Figure 10: the headline speedups.
+
+PB-SW, PB-SW-IDEAL, and COBRA over the baseline for every workload/input
+pair. The paper reports mean speedups of 1.81x (PB over baseline), 1.2x
+(IDEAL over PB), 1.45x (COBRA over IDEAL) — 3.16x COBRA over baseline and
+1.74x COBRA over PB.
+"""
+
+from __future__ import annotations
+
+from repro.harness import modes
+from repro.harness.experiments.common import ExperimentResult, shared_runner
+from repro.harness.inputs import workload_instances
+from repro.harness.report import format_table, geomean
+
+__all__ = ["run"]
+
+
+def run(runner=None, workloads=None, scale=None):
+    """Speedups over baseline for PB-SW / PB-SW-IDEAL / COBRA."""
+    runner = runner or shared_runner()
+    rows = []
+    kwargs = {} if scale is None else {"scale": scale}
+    for workload_name, input_name, workload in workload_instances(
+        workloads=workloads, **kwargs
+    ):
+        base = runner.run(workload, modes.BASELINE).cycles
+        pb = runner.run(workload, modes.PB_SW).cycles
+        ideal = runner.run(workload, modes.PB_SW_IDEAL).cycles
+        cobra = runner.run(workload, modes.COBRA).cycles
+        rows.append(
+            {
+                "workload": workload_name,
+                "input": input_name,
+                "pb_speedup": base / pb,
+                "ideal_speedup": base / ideal,
+                "cobra_speedup": base / cobra,
+                "cobra_over_pb": pb / cobra,
+            }
+        )
+    means = {
+        "pb": geomean([r["pb_speedup"] for r in rows]),
+        "ideal": geomean([r["ideal_speedup"] for r in rows]),
+        "cobra": geomean([r["cobra_speedup"] for r in rows]),
+        "cobra_over_pb": geomean([r["cobra_over_pb"] for r in rows]),
+        "max_cobra_over_pb": max(r["cobra_over_pb"] for r in rows),
+    }
+    text = format_table(
+        ["workload", "input", "PB-SW", "PB-IDEAL", "COBRA", "COBRA/PB"],
+        [
+            [
+                r["workload"],
+                r["input"],
+                r["pb_speedup"],
+                r["ideal_speedup"],
+                r["cobra_speedup"],
+                r["cobra_over_pb"],
+            ]
+            for r in rows
+        ]
+        + [
+            [
+                "geomean",
+                "",
+                means["pb"],
+                means["ideal"],
+                means["cobra"],
+                means["cobra_over_pb"],
+            ]
+        ],
+        title="Figure 10: speedup over baseline",
+    )
+    return ExperimentResult(name="fig10", rows=rows, text=text, extras=means)

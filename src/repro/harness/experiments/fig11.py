@@ -1,0 +1,62 @@
+"""Figure 11: per-phase speedups of COBRA over software PB.
+
+The paper reports Binning speedups of 2.2-32x (hardware C-Buffer
+management + no instruction overhead) and smaller Accumulate gains (the
+optimal bin count lets updates run from faster caches).
+"""
+
+from __future__ import annotations
+
+from repro.harness import modes
+from repro.harness.experiments.common import (
+    ExperimentResult,
+    phase_cycles,
+    shared_runner,
+)
+from repro.harness.inputs import workload_instances
+from repro.harness.report import format_table, geomean
+
+__all__ = ["run"]
+
+
+def run(runner=None, workloads=None, scale=None):
+    """Binning/Accumulate speedups of COBRA over PB-SW."""
+    runner = runner or shared_runner()
+    rows = []
+    kwargs = {} if scale is None else {"scale": scale}
+    for workload_name, input_name, workload in workload_instances(
+        workloads=workloads, **kwargs
+    ):
+        pb = runner.run(workload, modes.PB_SW)
+        cobra = runner.run(workload, modes.COBRA)
+        binning = phase_cycles(pb, "binning") / phase_cycles(cobra, "binning")
+        accumulate = phase_cycles(pb, "accumulate") / phase_cycles(
+            cobra, "accumulate"
+        )
+        rows.append(
+            {
+                "workload": workload_name,
+                "input": input_name,
+                "binning_speedup": binning,
+                "accumulate_speedup": accumulate,
+            }
+        )
+    means = {
+        "binning": geomean([r["binning_speedup"] for r in rows]),
+        "accumulate": geomean([r["accumulate_speedup"] for r in rows]),
+    }
+    text = format_table(
+        ["workload", "input", "binning x", "accumulate x"],
+        [
+            [
+                r["workload"],
+                r["input"],
+                r["binning_speedup"],
+                r["accumulate_speedup"],
+            ]
+            for r in rows
+        ]
+        + [["geomean", "", means["binning"], means["accumulate"]]],
+        title="Figure 11: COBRA per-phase speedup over PB-SW",
+    )
+    return ExperimentResult(name="fig11", rows=rows, text=text, extras=means)

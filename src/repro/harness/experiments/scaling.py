@@ -1,0 +1,71 @@
+"""Extension experiment: multicore scalability of baseline / PB / COBRA.
+
+Not a paper figure — the paper evaluates at a fixed 16 cores — but a
+direct consequence of its parallel design: PB and COBRA duplicate bins and
+C-Buffers per thread and therefore scale without coherence traffic, while
+the baseline's shared scatters ping-pong lines between cores. This driver
+produces speedup-vs-cores curves for all three.
+"""
+
+from __future__ import annotations
+
+from repro.harness import modes
+from repro.harness.experiments.common import ExperimentResult, shared_runner
+from repro.harness.inputs import make_workload
+from repro.harness.parallel import ParallelModel
+from repro.harness.report import format_table
+
+__all__ = ["run"]
+
+DEFAULT_CORES = (1, 2, 4, 8, 16)
+
+
+def run(
+    runner=None,
+    workload_name="pagerank",
+    input_name="KRON",
+    core_counts=DEFAULT_CORES,
+    scale=None,
+):
+    """Speedup vs cores for baseline, PB-SW, and COBRA."""
+    runner = runner or shared_runner()
+    kwargs = {} if scale is None else {"scale": scale}
+    workload = make_workload(workload_name, input_name, **kwargs)
+    model = ParallelModel(runner)
+    rows = []
+    for mode in (modes.BASELINE, modes.PB_SW, modes.COBRA):
+        curve = model.scaling_curve(workload, mode, core_counts)
+        base = curve[0].parallel_cycles
+        for estimate in curve:
+            rows.append(
+                {
+                    "mode": mode,
+                    "cores": estimate.num_cores,
+                    "cycles": estimate.parallel_cycles,
+                    "speedup": base / estimate.parallel_cycles,
+                    "efficiency": base
+                    / estimate.parallel_cycles
+                    / estimate.num_cores,
+                    "invalidations_per_update": (
+                        estimate.invalidations_per_update
+                    ),
+                }
+            )
+    text = format_table(
+        ["mode", "cores", "speedup", "efficiency", "inval/update"],
+        [
+            [
+                r["mode"],
+                r["cores"],
+                r["speedup"],
+                r["efficiency"],
+                r["invalidations_per_update"],
+            ]
+            for r in rows
+        ],
+        title=(
+            f"Scalability extension ({workload_name}/{input_name}): "
+            "speedup vs 1 core"
+        ),
+    )
+    return ExperimentResult(name="scaling", rows=rows, text=text)

@@ -1,0 +1,54 @@
+"""Table I: where a PB execution spends its time.
+
+Breaks the PB execution of Neighbor-Populate into Init / Binning /
+Accumulate for a small and a large bin count, showing Binning dominates —
+the motivation for COBRA targeting the Binning phase.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments.common import ExperimentResult, shared_runner
+from repro.harness.inputs import make_workload
+from repro.harness.report import format_table
+from repro.pb.bins import BinSpec
+
+__all__ = ["run"]
+
+
+def run(
+    runner=None,
+    workload_name="neighbor-populate",
+    input_name="KRON",
+    small_bins=64,
+    large_bins=2048,
+    scale=None,
+):
+    """Phase breakdown (% of cycles) at a small and a large bin count."""
+    runner = runner or shared_runner()
+    kwargs = {} if scale is None else {"scale": scale}
+    workload = make_workload(workload_name, input_name, **kwargs)
+    rows = []
+    for label, num_bins in (("small", small_bins), ("large", large_bins)):
+        spec = BinSpec.from_num_bins(workload.num_indices, num_bins)
+        counters = runner.run_with_spec(workload, spec, include_init=True)
+        total = counters.cycles
+        row = {"bins": label, "num_bins": spec.num_bins, "total_cycles": total}
+        for phase in counters.phases:
+            row[f"{phase.name}_pct"] = 100.0 * phase.cycles / total
+        rows.append(row)
+    text = format_table(
+        ["bins", "count", "init %", "binning %", "accumulate %"],
+        [
+            [
+                r["bins"],
+                r["num_bins"],
+                r["init_pct"],
+                r["binning_pct"],
+                r["accumulate_pct"],
+            ]
+            for r in rows
+        ],
+        title=f"Table I: PB execution breakup ({workload_name}/{input_name})",
+        floatfmt="{:.1f}",
+    )
+    return ExperimentResult(name="table1", rows=rows, text=text)

@@ -1,0 +1,72 @@
+"""The simulated machine (scaled Table II) used by every experiment.
+
+Caches are 16x smaller than the paper's so that the scaled-down inputs
+(DESIGN.md Section 4) preserve the working-set-to-cache ratios that drive
+every locality effect: data footprints are ~8x a per-core LLC bank, bin
+C-Buffers overflow the L2 exactly when the paper's would, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cache.config import HierarchyConfig
+from repro.core.config import CobraConfig
+from repro.cpu.timing import CoreParams
+
+__all__ = ["MachineConfig", "DEFAULT_MACHINE"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything the harness needs to cost an execution."""
+
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    core: CoreParams = field(default_factory=CoreParams)
+    #: COBRA eviction FIFO sizes (Figure 13a shows 32 L1→L2 entries hide
+    #: all bursts; 8 suffices between L2 and LLC).
+    l1_evict_queue: int = 32
+    l2_evict_queue: int = 8
+    #: Cycles to dispatch/synchronize one bin's parallel Accumulate task
+    #: (dynamic scheduling across 16 threads). Negligible when bins carry
+    #: thousands of updates; dominant for PINV-style one-update-per-index
+    #: kernels (Section VII-A).
+    dispatch_cycles_per_bin: float = 900.0
+    #: L2 ways the stream prefetcher needs to cover DRAM latency; reserving
+    #: more ways for C-Buffers throttles streaming (Figure 13b).
+    prefetch_ways_needed: int = 2
+    #: Floor on the streaming-bandwidth derating so a fully partitioned L2
+    #: still streams (the prefetcher degrades, it does not stop).
+    stream_derate_floor: float = 0.35
+
+    def cobra_config(self, num_indices, tuple_bytes, llc_reserved=None):
+        """COBRA configuration for a workload on this machine."""
+        return CobraConfig(
+            hierarchy=self.hierarchy,
+            num_indices=num_indices,
+            tuple_bytes=tuple_bytes,
+            **({} if llc_reserved is None else {"llc_reserved_ways": llc_reserved}),
+        )
+
+    def stream_bandwidth_scale(self, reserved_ways):
+        """Streaming-bandwidth factor under way partitioning.
+
+        ``reserved_ways`` is the phase's (l1, l2, llc) reservation tuple or
+        None. Only the L2 matters: the prefetcher needs L2 capacity to keep
+        streams ahead of the core.
+        """
+        if not reserved_ways:
+            return 1.0
+        l2_available = self.hierarchy.l2_ways - reserved_ways[1]
+        if l2_available >= self.prefetch_ways_needed:
+            return 1.0
+        scale = l2_available / self.prefetch_ways_needed
+        return max(self.stream_derate_floor, scale)
+
+    def with_core(self, **overrides):
+        """Copy with core-parameter overrides."""
+        return replace(self, core=self.core.scaled(**overrides))
+
+
+#: The default scaled machine every experiment runs on.
+DEFAULT_MACHINE = MachineConfig()

@@ -1,0 +1,31 @@
+"""Execution-mode identifiers used throughout the harness."""
+
+from __future__ import annotations
+
+__all__ = [
+    "BASELINE",
+    "PB_SW",
+    "PB_SW_IDEAL",
+    "COBRA",
+    "COBRA_COMM",
+    "PHI",
+    "ALL_MODES",
+    "COMMUTATIVE_ONLY_MODES",
+]
+
+#: Direct irregular-update execution (no blocking).
+BASELINE = "baseline"
+#: Software Propagation Blocking at the compromise bin count.
+PB_SW = "pb-sw"
+#: Unrealizable ideal: Binning at its best bin count, Accumulate at its
+#: best bin count (Figure 5's headroom bound).
+PB_SW_IDEAL = "pb-sw-ideal"
+#: Hardware-assisted PB (this paper).
+COBRA = "cobra"
+#: COBRA specialized with LLC update coalescing (commutative only).
+COBRA_COMM = "cobra-comm"
+#: Hierarchical coalescing baseline (commutative only, idealized).
+PHI = "phi"
+
+ALL_MODES = (BASELINE, PB_SW, PB_SW_IDEAL, COBRA, COBRA_COMM, PHI)
+COMMUTATIVE_ONLY_MODES = frozenset({COBRA_COMM, PHI})

@@ -1,0 +1,168 @@
+"""Multicore execution model (16-core Table II machine).
+
+The paper's parallel PB duplicates bins and C-Buffers per thread, so PB
+and COBRA scale by partitioning the update stream with *no* inter-thread
+communication; the baseline's threads instead scatter into shared data
+and pay MESI invalidation traffic on top of a shared DRAM-bandwidth pool.
+This module layers those effects on the single-representative-core runner:
+
+* per-core work = an even slice of the update stream (edge-parallel
+  kernels), with the measured slice-size imbalance applied,
+* DRAM-bandwidth share per core shrinks as cores grow (the default
+  machine's ``stream_bytes_per_cycle`` is the 16-core share),
+* baseline writes to shared data run through :class:`DirectoryMESI` on a
+  round-robin interleaving to measure invalidations per update, each
+  costing a remote transfer.
+
+This is an *extension* of the paper's evaluation (which fixes 16 cores);
+the scalability curves it produces are reported as such in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.cache.coherence import DirectoryMESI
+from repro.harness import modes
+
+__all__ = ["ParallelEstimate", "ParallelModel"]
+
+#: Total cores the default machine's per-core parameters assume.
+BASE_CORES = 16
+
+
+@dataclass(frozen=True)
+class ParallelEstimate:
+    """Modeled parallel execution of one workload/mode."""
+
+    mode: str
+    num_cores: int
+    single_core_cycles: float
+    parallel_cycles: float
+    imbalance: float
+    invalidations_per_update: float
+    coherence_cycles: float
+
+    @property
+    def speedup_vs_one_core(self):
+        """Parallel speedup over the same mode on one core."""
+        return self.single_core_cycles / self.parallel_cycles
+
+    @property
+    def efficiency(self):
+        """Parallel efficiency (speedup / cores)."""
+        return self.speedup_vs_one_core / self.num_cores
+
+
+class ParallelModel:
+    """Estimates multicore behaviour from single-core runs."""
+
+    def __init__(self, runner, coherence_sample=60_000):
+        self.runner = runner
+        self.coherence_sample = coherence_sample
+
+    # ------------------------------------------------------------------ #
+    # Components
+    # ------------------------------------------------------------------ #
+
+    def slice_imbalance(self, workload, num_cores):
+        """Max-over-mean work across even stream slices.
+
+        Edge-parallel loops divide the update stream evenly, so imbalance
+        comes only from rounding; dynamic scheduling in the paper's
+        OpenMP-style loops keeps it near 1.0.
+        """
+        check_positive("num_cores", num_cores)
+        n = workload.num_updates
+        if n == 0 or num_cores == 1:
+            return 1.0
+        per_core = -(-n // num_cores)
+        return per_core * num_cores / n
+
+    def invalidation_rate(self, workload, num_cores, line_elems=16):
+        """Invalidations per update when cores share the data structure.
+
+        Round-robin-interleaves a sample of the update stream across cores
+        and replays the *line-level* writes through the MESI directory
+        (the probability that another core recently wrote the same line is
+        what drives ping-ponging).
+        """
+        if num_cores == 1:
+            return 0.0
+        sample = workload.update_indices[: self.coherence_sample]
+        if len(sample) == 0:
+            return 0.0
+        lines = (np.asarray(sample) // line_elems).tolist()
+        directory = DirectoryMESI(num_cores)
+        for position, line in enumerate(lines):
+            directory.write(position % num_cores, line)
+        return directory.stats.invalidations / len(lines)
+
+    # ------------------------------------------------------------------ #
+    # Estimates
+    # ------------------------------------------------------------------ #
+
+    def estimate(self, workload, mode, num_cores=BASE_CORES):
+        """Parallel cycles for ``workload`` under ``mode`` on ``num_cores``.
+
+        The per-core DRAM-bandwidth share scales inversely with the core
+        count relative to the 16-core default; per-core cache capacities
+        are per-core resources and stay fixed.
+        """
+        check_positive("num_cores", num_cores)
+        from repro.harness.runner import Runner
+
+        machine = self.runner.machine.with_core(
+            stream_bytes_per_cycle=(
+                self.runner.machine.core.stream_bytes_per_cycle
+                * BASE_CORES
+                / num_cores
+            )
+        )
+        scaled_runner = Runner(
+            machine=machine,
+            max_sim_events=self.runner.max_sim_events,
+            model_eviction_stalls=self.runner.model_eviction_stalls,
+            des_sample=self.runner.des_sample,
+        )
+        one_core_total = scaled_runner.run(
+            workload, mode, use_cache=False
+        ).cycles
+
+        imbalance = self.slice_imbalance(workload, num_cores)
+        per_core = one_core_total / num_cores * imbalance
+
+        invalidations_per_update = 0.0
+        coherence_cycles = 0.0
+        if mode == modes.BASELINE and num_cores > 1:
+            invalidations_per_update = self.invalidation_rate(
+                workload, num_cores
+            )
+            transfer = self.runner.machine.core.llc_remote_latency
+            mlp = self.runner.machine.core.mlp_irregular
+            coherence_cycles = (
+                invalidations_per_update
+                * workload.num_updates
+                / num_cores
+                * transfer
+                / mlp
+            )
+        return ParallelEstimate(
+            mode=mode,
+            num_cores=num_cores,
+            single_core_cycles=one_core_total,
+            parallel_cycles=per_core + coherence_cycles,
+            imbalance=imbalance,
+            invalidations_per_update=invalidations_per_update,
+            coherence_cycles=coherence_cycles,
+        )
+
+    def scaling_curve(self, workload, mode, core_counts=(1, 2, 4, 8, 16)):
+        """Estimates across core counts (the scalability extension)."""
+        return [
+            self.estimate(workload, mode, num_cores)
+            for num_cores in core_counts
+        ]

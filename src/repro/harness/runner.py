@@ -1,0 +1,351 @@
+"""The experiment runner: PhaseSpecs → cycles, misses, traffic.
+
+For each phase the runner (1) replays the irregular access segments —
+interleaved with proportional streaming pressure — through the fast cache
+simulator, (2) simulates the unpredictable branch sites through a GShare
+predictor, (3) runs the eviction-buffer DES for COBRA Binning phases, and
+(4) feeds everything to the analytic core timing model. Long phases are
+simulated on a stationary prefix and scaled (``max_sim_events``), which
+keeps full-suite sweeps tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.address import AddressSpace
+from repro.cache.fastsim import FastHierarchy
+from repro.cache.stats import MemoryTraffic, ServiceCounts
+from repro.core import costs
+from repro.core.comm import CobraCommMachine
+from repro.baselines.phi import PhiMachine
+from repro.cpu.branch import GSharePredictor, simulate_sites
+from repro.cpu.counters import PhaseCounters, RunCounters
+from repro.cpu.timing import TimingModel
+from repro.des.eviction_model import EvictionBufferModel, EvictionModelConfig
+from repro.harness import modes
+from repro.harness.machine import DEFAULT_MACHINE
+from repro.pb.planner import plan_bins
+from repro.workloads.base import PhaseSpec
+
+__all__ = ["Runner"]
+
+
+class Runner:
+    """Runs workloads under every execution mode on one machine."""
+
+    def __init__(
+        self,
+        machine=DEFAULT_MACHINE,
+        max_sim_events=400_000,
+        model_eviction_stalls=True,
+        des_sample=30_000,
+        comm_sample=300_000,
+    ):
+        self.machine = machine
+        self.max_sim_events = max_sim_events
+        self.model_eviction_stalls = model_eviction_stalls
+        self.des_sample = des_sample
+        self.comm_sample = comm_sample
+        self.timing = TimingModel(machine.core)
+        self._cache = {}
+
+    # ------------------------------------------------------------------ #
+    # Public entry points
+    # ------------------------------------------------------------------ #
+
+    def plan(self, workload):
+        """The workload's three bin-count operating points."""
+        return plan_bins(
+            workload.num_indices, workload.element_bytes, self.machine.hierarchy
+        )
+
+    def cobra_config(self, workload, llc_reserved=None):
+        """COBRA configuration for ``workload`` on this machine."""
+        return self.machine.cobra_config(
+            workload.num_indices, workload.tuple_bytes, llc_reserved
+        )
+
+    def run(self, workload, mode, use_cache=True):
+        """Execute ``workload`` under ``mode``; returns :class:`RunCounters`.
+
+        Results are memoized per (workload, mode) when the workload carries
+        a ``cache_key`` (set by the input suite).
+        """
+        key = (getattr(workload, "cache_key", None), mode)
+        if use_cache and key[0] is not None and key in self._cache:
+            return self._cache[key]
+        phases, des_config = self._phases_for(workload, mode)
+        counters = RunCounters(workload=workload.name, mode=mode)
+        for phase in phases:
+            counters.phases.append(
+                self._simulate_phase(workload, phase, des_config)
+            )
+        if key[0] is not None:
+            self._cache[key] = counters
+        return counters
+
+    def run_characterization(self, workload):
+        """Irregular-update locality characterization (Figure 2).
+
+        Identical to baseline for every workload except Integer Sort, whose
+        performance baseline is a comparison sort but whose irregular
+        formulation is what Figure 2 characterizes.
+        """
+        key = (getattr(workload, "cache_key", None), "characterization")
+        if key[0] is not None and key in self._cache:
+            return self._cache[key]
+        counters = RunCounters(workload=workload.name, mode="characterization")
+        for phase in workload.characterization_phases():
+            counters.phases.append(self._simulate_phase(workload, phase, None))
+        if key[0] is not None:
+            self._cache[key] = counters
+        return counters
+
+    def run_with_spec(self, workload, spec, include_init=True):
+        """Software PB at an explicit :class:`BinSpec` (bin-count sweeps)."""
+        counters = RunCounters(workload=workload.name, mode=f"pb@{spec.num_bins}")
+        for phase in workload.pb_phases(spec, include_init=include_init):
+            counters.phases.append(self._simulate_phase(workload, phase, None))
+        return counters
+
+    # ------------------------------------------------------------------ #
+    # Phase construction per mode
+    # ------------------------------------------------------------------ #
+
+    def _phases_for(self, workload, mode):
+        plan = self.plan(workload)
+        if mode == modes.BASELINE:
+            return workload.baseline_phases(), None
+        if mode == modes.PB_SW:
+            return workload.pb_phases(plan.compromise), None
+        if mode == modes.PB_SW_IDEAL:
+            binning = workload.pb_phases(
+                plan.binning_best, include_init=False
+            )[0]
+            accumulate = workload._accumulate_phase(plan.accumulate_best)
+            init = workload._init_phase(plan.accumulate_best)
+            return [init, binning, accumulate], None
+        if mode == modes.COBRA:
+            cobra = self.cobra_config(workload)
+            des_config = self._des_config(workload, cobra)
+            return workload.cobra_phases(cobra), des_config
+        if mode in modes.COMMUTATIVE_ONLY_MODES:
+            if not workload.commutative:
+                raise ValueError(
+                    f"{mode} requires commutative updates; "
+                    f"{workload.name} is non-commutative (Section III-B)"
+                )
+            return self._comm_phases(workload, mode), None
+        raise ValueError(f"unknown mode {mode!r}")
+
+    def _des_config(self, workload, cobra):
+        if not self.model_eviction_stalls:
+            return None
+        return EvictionModelConfig(
+            num_indices=workload.num_indices,
+            l1_buffers=cobra.l1.num_buffers,
+            l2_buffers=cobra.l2.num_buffers,
+            llc_buffers=cobra.llc.num_buffers,
+            tuples_per_line=cobra.tuples_per_line,
+            l1_evict_queue=self.machine.l1_evict_queue,
+            l2_evict_queue=self.machine.l2_evict_queue,
+        )
+
+    def _comm_phases(self, workload, mode):
+        """PHI / COBRA-COMM: coalescing machines define Binning output."""
+        plan = self.plan(workload)
+        cobra = self.cobra_config(workload)
+        n = workload.num_updates
+        sample_n = min(n, self.comm_sample)
+        indices = workload.update_indices[:sample_n]
+        values = (
+            np.ones(sample_n)
+            if workload.update_values is None
+            else workload.update_values[:sample_n]
+        )
+        if mode == modes.PHI:
+            machine = PhiMachine(cobra, plan.compromise, workload.reduce_op)
+            accumulate_spec = plan.compromise
+        else:
+            machine = CobraCommMachine(cobra, workload.reduce_op)
+            accumulate_spec = cobra.memory_bin_spec
+        machine.bininit()
+        machine.binupdate_many(indices.tolist(), values.tolist())
+        machine.binflush()
+        scale = n / sample_n
+        coalesce_rate = machine.coalesced / sample_n
+        n_effective = int(round(n * (1.0 - coalesce_rate)))
+        hw_lines = int(round(machine.memory_bins.lines_written * scale))
+
+        init = workload._init_phase(accumulate_spec)
+        binning = PhaseSpec(
+            name="binning",
+            instructions=n * costs.COBRA_BIN_TUPLE_INSTRS,
+            branches=n,
+            branch_sites=workload.extra_branch_sites("binning"),
+            segments=[],
+            streaming_bytes=n * workload.stream_bytes_per_update,
+            hw_write_lines=hw_lines,
+            reserved_ways=(
+                cobra.l1_reserved_ways,
+                cobra.l2_reserved_ways,
+                cobra.llc_reserved_ways,
+            ),
+        )
+        # Accumulate replays the coalesced stream. Its locality equals the
+        # uncoalesced bin-major replay — coalesced updates are duplicates
+        # within a buffer window, i.e. accesses that would have hit L1 —
+        # so we simulate the full replay and discount the coalesced count
+        # from the L1 hits while scaling work to the surviving tuples.
+        accumulate = workload._accumulate_phase(accumulate_spec)
+        accumulate.instructions = n_effective * workload.accum_instr_per_update
+        accumulate.branches = n_effective
+        accumulate.streaming_bytes = n_effective * workload.tuple_bytes
+        accumulate.coalesced_discount = int(round(machine.coalesced * scale))
+        return [init, binning, accumulate]
+
+    # ------------------------------------------------------------------ #
+    # Phase simulation
+    # ------------------------------------------------------------------ #
+
+    def _simulate_phase(self, workload, phase, des_config):
+        machine = self.machine
+        line_bytes = machine.hierarchy.line_bytes
+        irregular = ServiceCounts()
+        streaming = ServiceCounts()
+        dram_writebacks = 0.0
+        total_events = phase.irregular_accesses
+        trace_scale = getattr(phase, "trace_scale", 1.0)
+
+        if phase.segments:
+            lines, writes, sim_events = self._build_trace(phase, line_bytes)
+            scale = (total_events / sim_events if sim_events else 1.0) * trace_scale
+            reserved = phase.reserved_ways or (0, 0, 0)
+            hierarchy = FastHierarchy(
+                machine.hierarchy.with_reserved(*reserved)
+            )
+            stream_lines_total = phase.streaming_bytes // line_bytes
+            stream_rate = (
+                stream_lines_total / total_events if total_events else 0.0
+            )
+            irregular, streaming = self._simulate_interleaved(
+                hierarchy, lines, writes, stream_rate
+            )
+            irregular = _scaled(irregular, scale)
+            streaming = _scaled(streaming, scale)
+            if phase.coalesced_discount:
+                irregular.l1 = max(0, irregular.l1 - phase.coalesced_discount)
+            dram_writebacks = hierarchy.dram_writes * scale
+        else:
+            scale = trace_scale
+
+        mispredicts = simulate_sites(
+            phase.branch_sites, GSharePredictor()
+        )
+
+        stream_scale = machine.stream_bandwidth_scale(phase.reserved_ways)
+        stream_bw_bytes = (
+            phase.streaming_bytes
+            + (phase.nt_write_lines + phase.hw_write_lines) * line_bytes
+        ) / stream_scale
+        timing = self.timing.phase_timing(
+            phase.name,
+            phase.instructions,
+            irregular,
+            stream_bw_bytes,
+            mispredicts,
+            shared_llc=phase.shared_llc,
+        )
+        cycles = timing.total_cycles
+        cycles += phase.num_bins * machine.dispatch_cycles_per_bin
+        if phase.des_trace is not None and des_config is not None:
+            stall_fraction = self._eviction_stall_fraction(
+                phase.des_trace, des_config
+            )
+            cycles *= 1.0 + stall_fraction
+
+        traffic = MemoryTraffic(
+            reads=int(phase.streaming_bytes // line_bytes + irregular.dram),
+            writes=int(
+                dram_writebacks + phase.nt_write_lines + phase.hw_write_lines
+            ),
+            line_bytes=line_bytes,
+        )
+        return PhaseCounters(
+            name=phase.name,
+            instructions=int(phase.instructions),
+            branches=phase.branches,
+            branch_mispredicts=mispredicts,
+            irregular_service=irregular,
+            streaming_service=streaming,
+            streaming_bytes=phase.streaming_bytes,
+            traffic=traffic,
+            cycles=cycles,
+        )
+
+    def _build_trace(self, phase, line_bytes):
+        """Interleave segments element-wise into (lines, writes) arrays."""
+        space = AddressSpace(line_bytes)
+        arrays = []
+        flags = []
+        budget = max(1, self.max_sim_events // len(phase.segments))
+        for segment in phase.segments:
+            region = segment.region
+            if region.name not in space:
+                space.allocate(
+                    region.name, region.element_bytes, region.num_elements
+                )
+            indices = segment.indices[:budget]
+            arrays.append(space[region.name].lines_of(indices))
+            flags.append(bool(segment.write))
+        shortest = min(len(a) for a in arrays)
+        if len(arrays) == 1:
+            lines = arrays[0]
+            writes = np.full(len(lines), flags[0])
+        else:
+            arrays = [a[:shortest] for a in arrays]
+            lines = np.stack(arrays, axis=1).ravel()
+            writes = np.tile(np.asarray(flags, dtype=bool), shortest)
+        # Streaming pressure is injected from a disjoint high region.
+        self._stream_base = space.total_lines + 1
+        return lines.tolist(), writes.tolist(), len(lines)
+
+    def _simulate_interleaved(self, hierarchy, lines, writes, stream_rate):
+        """Drive irregular accesses with streaming lines injected at rate."""
+        irregular = [0, 0, 0, 0, 0]
+        streaming = [0, 0, 0, 0, 0]
+        access = hierarchy.access
+        stream_line = self._stream_base
+        accum = 0.0
+        for line, is_write in zip(lines, writes):
+            irregular[access(line, is_write)] += 1
+            accum += stream_rate
+            while accum >= 1.0:
+                streaming[access(stream_line, False)] += 1
+                stream_line += 1
+                accum -= 1.0
+        return (
+            ServiceCounts(irregular[1], irregular[2], irregular[3], irregular[4]),
+            ServiceCounts(streaming[1], streaming[2], streaming[3], streaming[4]),
+        )
+
+    def _eviction_stall_fraction(self, trace, des_config):
+        key = ("des", id(trace), des_config.l1_evict_queue,
+               des_config.l2_evict_queue, des_config.l1_buffers)
+        if key in self._cache:
+            return self._cache[key]
+        sample = np.asarray(trace[: self.des_sample], dtype=np.int64)
+        result = EvictionBufferModel(des_config).run(sample)
+        self._cache[key] = result.stall_fraction
+        return result.stall_fraction
+
+
+def _scaled(counts: ServiceCounts, scale: float) -> ServiceCounts:
+    """Scale sampled service counts back to the full phase."""
+    return ServiceCounts(
+        int(round(counts.l1 * scale)),
+        int(round(counts.l2 * scale)),
+        int(round(counts.llc * scale)),
+        int(round(counts.dram * scale)),
+    )

@@ -1,0 +1,6 @@
+"""Network-on-chip substrate: the Table II 4x4 mesh and its timing model."""
+
+from repro.noc.model import NocModel, NocParams
+from repro.noc.topology import Mesh2D
+
+__all__ = ["Mesh2D", "NocModel", "NocParams"]

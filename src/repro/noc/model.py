@@ -1,0 +1,111 @@
+"""Analytic NoC latency and bandwidth model.
+
+Turns the mesh topology plus Table II's link parameters (2-cycle hop
+latency, 64 bits/cycle links) into the quantities the core timing model
+consumes: the average remote-LLC-bank access latency (which grounds
+``CoreParams.llc_remote_latency``) and an M/M/1-style contention factor
+for loaded links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_positive
+from repro.noc.topology import Mesh2D
+
+__all__ = ["NocParams", "NocModel"]
+
+
+@dataclass(frozen=True)
+class NocParams:
+    """Link and router parameters (Table II defaults)."""
+
+    hop_cycles: int = 2
+    link_bytes_per_cycle: int = 8  # 64 bits/cycle
+    router_cycles: int = 1  # pipeline stage per router
+
+    def __post_init__(self):
+        check_positive("hop_cycles", self.hop_cycles)
+        check_positive("link_bytes_per_cycle", self.link_bytes_per_cycle)
+
+
+@dataclass
+class NocModel:
+    """Latency/bandwidth estimates over a :class:`Mesh2D`."""
+
+    mesh: Mesh2D = field(default_factory=Mesh2D)
+    params: NocParams = field(default_factory=NocParams)
+
+    def message_latency(self, src, dst, payload_bytes=64):
+        """Unloaded latency of one message (hops + serialization)."""
+        hops = self.mesh.hops(src, dst)
+        serialization = -(-payload_bytes // self.params.link_bytes_per_cycle)
+        return (
+            hops * (self.params.hop_cycles + self.params.router_cycles)
+            + serialization
+        )
+
+    def mean_remote_latency(self, payload_bytes=64):
+        """Average one-way latency to a uniformly random other node."""
+        mean_hops = self.mesh.mean_hops()
+        serialization = -(-payload_bytes // self.params.link_bytes_per_cycle)
+        return mean_hops * (
+            self.params.hop_cycles + self.params.router_cycles
+        ) + serialization
+
+    def remote_llc_latency(self, local_llc_cycles=21, payload_bytes=64):
+        """Average load-to-use latency of a *remote* NUCA bank.
+
+        Local bank access plus the round trip over the mesh (request one
+        way, the line back the other). This is the derivation behind the
+        default ``CoreParams.llc_remote_latency``.
+        """
+        request = self.mean_remote_latency(payload_bytes=8)
+        response = self.mean_remote_latency(payload_bytes=payload_bytes)
+        return local_llc_cycles + request + response
+
+    def link_loads(self, traffic):
+        """Bytes routed over each directed link.
+
+        ``traffic`` maps (src, dst) node pairs to bytes sent; XY routing
+        assigns each flow to its links.
+        """
+        loads = {link: 0.0 for link in self.mesh.all_links()}
+        for (src, dst), volume in traffic.items():
+            if src == dst:
+                continue
+            for link in self.mesh.links_on_route(src, dst):
+                loads[link] += volume
+        return loads
+
+    def contention_factor(self, traffic, cycles):
+        """M/M/1-style slowdown of the most loaded link.
+
+        ``traffic`` as in :meth:`link_loads`; ``cycles`` is the window the
+        traffic is spread over. Returns ``1 / (1 - utilization)`` of the
+        hottest link (capped at 100), the factor by which queueing
+        inflates NoC latency under load.
+        """
+        check_positive("cycles", cycles)
+        loads = self.link_loads(traffic)
+        if not loads:
+            return 1.0
+        peak = max(loads.values())
+        utilization = peak / (cycles * self.params.link_bytes_per_cycle)
+        if utilization >= 0.99:
+            return 100.0
+        return 1.0 / (1.0 - utilization)
+
+    def uniform_traffic(self, bytes_per_node):
+        """All-to-all uniform traffic map (each node sends to every other)."""
+        nodes = self.mesh.num_nodes
+        if nodes < 2:
+            return {}
+        per_pair = bytes_per_node / (nodes - 1)
+        return {
+            (src, dst): per_pair
+            for src in range(nodes)
+            for dst in range(nodes)
+            if src != dst
+        }

@@ -1,0 +1,122 @@
+"""2-D mesh network-on-chip topology (Table II: 4x4 mesh).
+
+The simulated machine connects 16 cores (each with a NUCA LLC bank) by a
+4x4 mesh with 2-cycle hop latency and 64-bit links. This module provides
+the topology math: XY routing, hop distances, and the per-link routing
+load that the analytic contention model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive
+
+__all__ = ["Mesh2D"]
+
+
+@dataclass(frozen=True)
+class Mesh2D:
+    """A width x height mesh with deterministic XY routing."""
+
+    width: int = 4
+    height: int = 4
+
+    def __post_init__(self):
+        check_positive("width", self.width)
+        check_positive("height", self.height)
+
+    @property
+    def num_nodes(self):
+        """Routers (= cores = LLC banks) in the mesh."""
+        return self.width * self.height
+
+    def coordinates(self, node):
+        """(x, y) of ``node`` (row-major numbering)."""
+        self._check_node(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x, y):
+        """Node ID at ``(x, y)``."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise IndexError(f"({x}, {y}) outside the {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def _check_node(self, node):
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(f"node {node} outside [0, {self.num_nodes})")
+
+    def hops(self, src, dst):
+        """Manhattan (XY-routing) hop count between two nodes."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src, dst):
+        """The XY route as a list of nodes, source inclusive.
+
+        X-dimension first, then Y — the standard deadlock-free dimension-
+        ordered routing the analytic load model assumes.
+        """
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        path = [self.node_at(sx, sy)]
+        x, y = sx, sy
+        step = 1 if dx > x else -1
+        while x != dx:
+            x += step
+            path.append(self.node_at(x, y))
+        step = 1 if dy > y else -1
+        while y != dy:
+            y += step
+            path.append(self.node_at(x, y))
+        return path
+
+    def links_on_route(self, src, dst):
+        """Directed links (node, node) the XY route traverses."""
+        path = self.route(src, dst)
+        return list(zip(path, path[1:]))
+
+    def mean_hops(self, from_node=None):
+        """Mean hop count to a uniformly random *other* node.
+
+        With ``from_node=None``, averages over all (src != dst) pairs —
+        the quantity that sets the average remote NUCA bank latency.
+        """
+        nodes = range(self.num_nodes)
+        if from_node is not None:
+            self._check_node(from_node)
+            sources = [from_node]
+        else:
+            sources = nodes
+        total = 0
+        pairs = 0
+        for src in sources:
+            for dst in nodes:
+                if src == dst:
+                    continue
+                total += self.hops(src, dst)
+                pairs += 1
+        return total / pairs if pairs else 0.0
+
+    def bisection_links(self):
+        """Directed links crossing the vertical bisection (bandwidth bound)."""
+        if self.width < 2:
+            return 0
+        return 2 * self.height  # one each way per row
+
+    def all_links(self):
+        """Every directed link in the mesh."""
+        links = []
+        for y in range(self.height):
+            for x in range(self.width):
+                node = self.node_at(x, y)
+                if x + 1 < self.width:
+                    east = self.node_at(x + 1, y)
+                    links.append((node, east))
+                    links.append((east, node))
+                if y + 1 < self.height:
+                    south = self.node_at(x, y + 1)
+                    links.append((node, south))
+                    links.append((south, node))
+        return links

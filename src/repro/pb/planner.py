@@ -1,0 +1,108 @@
+"""Bin-count planning.
+
+Section III-C: the Binning phase wants few bins (all C-Buffers resident in
+a small cache), the Accumulate phase wants many (each bin's updates fit in
+the L1). Software PB must compromise; COBRA decouples the two. The planner
+computes all three operating points for a given machine so the harness can
+run PB-SW (compromise), PB-SW-IDEAL (each phase at its own best point), and
+COBRA (accumulate-optimal bins with hardware Binning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive, next_power_of_two
+from repro.cache.config import HierarchyConfig
+from repro.pb.bins import BinSpec
+
+__all__ = ["BinPlan", "auto_blocker", "plan_bins"]
+
+
+@dataclass(frozen=True)
+class BinPlan:
+    """The three bin-count operating points for one workload/machine pair."""
+
+    binning_best: BinSpec  # few bins: C-Buffers fit in the L1
+    compromise: BinSpec  # what software PB actually picks
+    accumulate_best: BinSpec  # many bins: a bin's data range fits in the L1
+
+    def describe(self):
+        """Human-readable summary for reports."""
+        return (
+            f"binning-best {self.binning_best.num_bins} bins / "
+            f"compromise {self.compromise.num_bins} bins / "
+            f"accumulate-best {self.accumulate_best.num_bins} bins"
+        )
+
+
+def _spec_for_max_bins(num_indices, max_bins):
+    """Largest power-of-two bin count not exceeding ``max_bins`` (min 1)."""
+    max_bins = max(1, max_bins)
+    bins = 1 << (max_bins.bit_length() - 1)  # round down to a power of two
+    bin_range = next_power_of_two(-(-num_indices // bins))
+    return BinSpec(num_indices, bin_range)
+
+
+def plan_bins(
+    num_indices,
+    element_bytes,
+    config: HierarchyConfig = None,
+    cbuffer_headroom=1.0,
+):
+    """Compute the three operating points.
+
+    Parameters
+    ----------
+    num_indices:
+        Size of the irregularly updated namespace.
+    element_bytes:
+        Size of one element of the updated data structure (determines how
+        many indices of state fit in the L1 during Accumulate).
+    config:
+        Machine geometry (defaults to the scaled Table II machine).
+    cbuffer_headroom:
+        Fraction of a cache level usable by C-Buffers during Binning
+        (streaming data needs the rest; 1.0 matches the paper's framing
+        where streams barely pressure the buffers).
+    """
+    check_positive("num_indices", num_indices)
+    check_positive("element_bytes", element_bytes)
+    config = config or HierarchyConfig()
+    line = config.line_bytes
+
+    # Binning-best: every C-Buffer resident in L1.
+    l1_buffers = int(config.l1_bytes * cbuffer_headroom) // line
+    binning_best = _spec_for_max_bins(num_indices, l1_buffers)
+
+    # Compromise: C-Buffers fill the L2 (the paper's "medium" red line in
+    # Figure 4a — small enough to keep Binning off the LLC floor, as large
+    # as that constraint allows to help Accumulate).
+    l2_buffers = int(config.l2_bytes * cbuffer_headroom) // line
+    compromise = _spec_for_max_bins(num_indices, l2_buffers)
+
+    # Accumulate-best: one bin's updated data range fits in the L1.
+    range_elems = max(1, config.l1_bytes // element_bytes)
+    bin_range = 1 << (range_elems.bit_length() - 1)
+    accumulate_best = BinSpec(num_indices, max(1, bin_range))
+
+    # Degenerate small inputs: keep the ordering binning <= compromise <=
+    # accumulate in bin count.
+    if compromise.num_bins < binning_best.num_bins:
+        compromise = binning_best
+    if accumulate_best.num_bins < compromise.num_bins:
+        accumulate_best = compromise
+    return BinPlan(binning_best, compromise, accumulate_best)
+
+
+def auto_blocker(num_indices, element_bytes, config: HierarchyConfig = None):
+    """A :class:`~repro.pb.engine.PropagationBlocker` at the planned
+    compromise bin count — the one-call frontend for users who just want
+    software PB tuned to the machine.
+    """
+    from repro.pb.engine import PropagationBlocker
+
+    plan = plan_bins(num_indices, element_bytes, config)
+    return PropagationBlocker(
+        num_indices, bin_range=plan.compromise.bin_range
+    )

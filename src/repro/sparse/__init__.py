@@ -1,0 +1,21 @@
+"""Sparse linear algebra substrate: COO/CSR matrices and generators."""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr_matrix import CSRMatrix
+from repro.sparse.generators import (
+    MATRIX_GENERATORS,
+    poisson2d,
+    random_permutation,
+    random_sparse,
+    random_symmetric,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "MATRIX_GENERATORS",
+    "poisson2d",
+    "random_permutation",
+    "random_sparse",
+    "random_symmetric",
+]

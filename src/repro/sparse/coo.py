@@ -1,0 +1,88 @@
+"""Coordinate-format (COO) sparse matrices.
+
+COO is the input format for the sparse kernels the paper draws from
+SuiteSparse (Transpose, SymPerm) and the natural "edge list of a matrix";
+it is what the sparse workloads stream through during Binning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_index_array, check_positive
+
+__all__ = ["COOMatrix"]
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """A sparse matrix as parallel (row, col, val) arrays.
+
+    Duplicate coordinates are allowed (they sum on conversion to CSR, as in
+    standard sparse libraries), though the generators never emit them.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    shape: tuple
+
+    def __post_init__(self):
+        rows = as_index_array(self.rows, "rows")
+        cols = as_index_array(self.cols, "cols")
+        vals = np.asarray(self.vals, dtype=np.float64)
+        if vals.ndim != 1:
+            raise ValueError("vals must be one-dimensional")
+        if not (len(rows) == len(cols) == len(vals)):
+            raise ValueError("rows, cols, vals must have equal length")
+        if len(self.shape) != 2:
+            raise ValueError("shape must be (num_rows, num_cols)")
+        num_rows, num_cols = self.shape
+        check_positive("num_rows", num_rows)
+        check_positive("num_cols", num_cols)
+        if len(rows) and (rows.min() < 0 or rows.max() >= num_rows):
+            raise ValueError("row indices out of range")
+        if len(cols) and (cols.min() < 0 or cols.max() >= num_cols):
+            raise ValueError("column indices out of range")
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "vals", vals)
+        object.__setattr__(self, "shape", (int(num_rows), int(num_cols)))
+
+    @property
+    def nnz(self):
+        """Number of stored entries."""
+        return len(self.rows)
+
+    def to_csr(self):
+        """Convert to :class:`repro.sparse.csr_matrix.CSRMatrix`."""
+        from repro.sparse.csr_matrix import CSRMatrix
+
+        return CSRMatrix.from_coo(self)
+
+    def transpose(self):
+        """COO of the transpose (rows and cols swapped)."""
+        return COOMatrix(
+            self.cols.copy(),
+            self.rows.copy(),
+            self.vals.copy(),
+            (self.shape[1], self.shape[0]),
+        )
+
+    def to_dense(self):
+        """Dense ndarray (tests only; O(rows * cols) memory)."""
+        dense = np.zeros(self.shape)
+        np.add.at(dense, (self.rows, self.cols), self.vals)
+        return dense
+
+    def upper_triangular(self):
+        """COO restricted to entries with ``col >= row`` (SymPerm's domain)."""
+        keep = self.cols >= self.rows
+        return COOMatrix(
+            self.rows[keep], self.cols[keep], self.vals[keep], self.shape
+        )
+
+    def __repr__(self):
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,136 @@
+"""Compressed Sparse Row matrices (the SpMV substrate)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_index_array
+
+__all__ = ["CSRMatrix"]
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """A sparse matrix in CSR form.
+
+    Row ``r``'s entries live at ``indptr[r]:indptr[r + 1]`` in ``indices``
+    (column IDs) and ``data`` (values). Column IDs within a row follow
+    insertion order — like the graph CSR, any order is semantically equal.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    num_cols: int
+
+    def __post_init__(self):
+        indptr = as_index_array(self.indptr, "indptr")
+        indices = as_index_array(self.indices, "indices")
+        data = np.asarray(self.data, dtype=np.float64)
+        if indptr[0] != 0 or indptr[-1] != len(indices):
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(indices) != len(data):
+            raise ValueError("indices and data must have equal length")
+        if len(indices) and (indices.min() < 0 or indices.max() >= self.num_cols):
+            raise ValueError("column indices out of range")
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "data", data)
+
+    @classmethod
+    def from_coo(cls, coo):
+        """Build from a :class:`~repro.sparse.coo.COOMatrix`.
+
+        Stable sort by row keeps each row's entries in COO order, matching
+        what a sequential scatter loop produces.
+        """
+        num_rows, num_cols = coo.shape
+        counts = np.bincount(coo.rows, minlength=num_rows)
+        indptr = np.zeros(num_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.argsort(coo.rows, kind="stable")
+        return cls(indptr, coo.cols[order].copy(), coo.vals[order].copy(), num_cols)
+
+    @property
+    def num_rows(self):
+        """Number of rows."""
+        return len(self.indptr) - 1
+
+    @property
+    def shape(self):
+        """(num_rows, num_cols)."""
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def nnz(self):
+        """Number of stored entries."""
+        return len(self.indices)
+
+    def row(self, r):
+        """(column IDs, values) views for row ``r``."""
+        lo, hi = self.indptr[r], self.indptr[r + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def matvec(self, x):
+        """Sparse matrix-vector product ``A @ x`` (reference SpMV)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.num_cols,):
+            raise ValueError(f"x must have shape ({self.num_cols},)")
+        row_ids = np.repeat(np.arange(self.num_rows), np.diff(self.indptr))
+        y = np.zeros(self.num_rows)
+        np.add.at(y, row_ids, self.data * x[self.indices])
+        return y
+
+    def rmatvec(self, x):
+        """Transpose product ``A.T @ x`` — the irregular-update form of SpMV.
+
+        Streaming rows of A while scattering into ``y[col]`` is exactly the
+        irregular-update pattern PB optimizes (the paper's SpMV variant
+        processes the transpose representation).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.num_rows,):
+            raise ValueError(f"x must have shape ({self.num_rows},)")
+        row_ids = np.repeat(np.arange(self.num_rows), np.diff(self.indptr))
+        y = np.zeros(self.num_cols)
+        np.add.at(y, self.indices, self.data * x[row_ids])
+        return y
+
+    def to_coo(self):
+        """Convert back to COO (row-major entry order)."""
+        from repro.sparse.coo import COOMatrix
+
+        row_ids = np.repeat(
+            np.arange(self.num_rows, dtype=np.int64), np.diff(self.indptr)
+        )
+        return COOMatrix(row_ids, self.indices.copy(), self.data.copy(), self.shape)
+
+    def transpose(self):
+        """CSR of the transpose (reference for the Transpose workload)."""
+        return self.to_coo().transpose().to_csr()
+
+    def to_dense(self):
+        """Dense ndarray (tests only)."""
+        return self.to_coo().to_dense()
+
+    def canonical(self):
+        """Copy with each row's entries sorted by column ID.
+
+        Used to compare results of kernels that may emit rows in different
+        within-row orders (e.g. PB-reordered Transpose).
+        """
+        indices = self.indices.copy()
+        data = self.data.copy()
+        for r in range(self.num_rows):
+            lo, hi = self.indptr[r], self.indptr[r + 1]
+            order = np.argsort(indices[lo:hi], kind="stable")
+            indices[lo:hi] = indices[lo:hi][order]
+            data[lo:hi] = data[lo:hi][order]
+        return CSRMatrix(self.indptr.copy(), indices, data, self.num_cols)
+
+    def __repr__(self):
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

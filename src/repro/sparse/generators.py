@@ -1,0 +1,105 @@
+"""Synthetic sparse-matrix generators.
+
+Stand-ins for the paper's Table III matrices ("representative of simulation
+and optimization problems"): a Poisson-stencil matrix with shuffled labels
+(simulation), a random sparse matrix (optimization), and symmetric variants
+for SymPerm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive, rng_from_seed
+from repro.sparse.coo import COOMatrix
+
+__all__ = [
+    "poisson2d",
+    "random_sparse",
+    "random_symmetric",
+    "random_permutation",
+    "MATRIX_GENERATORS",
+]
+
+
+def poisson2d(side, seed=None, shuffle=True):
+    """5-point Poisson stencil on a ``side x side`` grid (HPCG-style).
+
+    With ``shuffle=True`` the row/column labels are randomly permuted so the
+    access pattern of transpose-SpMV is irregular, matching how reordered
+    simulation matrices behave.
+    """
+    check_positive("side", side)
+    n = side * side
+    idx = np.arange(n, dtype=np.int64).reshape(side, side)
+    rows = [idx.ravel()]
+    cols = [idx.ravel()]
+    vals = [np.full(n, 4.0)]
+    for shift_rows, shift_cols in [(idx[:, :-1], idx[:, 1:]), (idx[:-1, :], idx[1:, :])]:
+        a, b = shift_rows.ravel(), shift_cols.ravel()
+        rows += [a, b]
+        cols += [b, a]
+        vals += [np.full(len(a), -1.0), np.full(len(b), -1.0)]
+    rows = np.concatenate(rows)
+    cols = np.concatenate(cols)
+    vals = np.concatenate(vals)
+    if shuffle:
+        rng = rng_from_seed(seed)
+        perm = rng.permutation(n)
+        rows, cols = perm[rows], perm[cols]
+        order = rng.permutation(len(rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+    return COOMatrix(rows, cols, vals, (n, n))
+
+
+def random_sparse(num_rows, num_cols, nnz, seed=None):
+    """Random sparse matrix with ``nnz`` entries at distinct coordinates."""
+    check_positive("num_rows", num_rows)
+    check_positive("num_cols", num_cols)
+    check_positive("nnz", nnz)
+    if nnz > num_rows * num_cols:
+        raise ValueError("nnz exceeds matrix capacity")
+    rng = rng_from_seed(seed)
+    flat = rng.choice(num_rows * num_cols, size=nnz, replace=False)
+    rows = (flat // num_cols).astype(np.int64)
+    cols = (flat % num_cols).astype(np.int64)
+    vals = rng.standard_normal(nnz)
+    return COOMatrix(rows, cols, vals, (num_rows, num_cols))
+
+
+def random_symmetric(n, nnz_upper, seed=None):
+    """Random symmetric matrix given by ``nnz_upper`` upper-triangular entries.
+
+    Returns the full symmetric COO (both triangles plus diagonal), the form
+    SymPerm consumes (it then restricts itself to the upper triangle).
+    """
+    check_positive("n", n)
+    check_positive("nnz_upper", nnz_upper)
+    rng = rng_from_seed(seed)
+    rows = rng.integers(0, n, size=nnz_upper * 2, dtype=np.int64)
+    cols = rng.integers(0, n, size=nnz_upper * 2, dtype=np.int64)
+    lo = np.minimum(rows, cols)
+    hi = np.maximum(rows, cols)
+    coords = np.unique(lo * n + hi)[:nnz_upper]
+    lo, hi = coords // n, coords % n
+    vals = rng.standard_normal(len(coords))
+    off_diag = lo != hi
+    rows = np.concatenate([lo, hi[off_diag]])
+    cols = np.concatenate([hi, lo[off_diag]])
+    vals = np.concatenate([vals, vals[off_diag]])
+    order = rng.permutation(len(rows))
+    return COOMatrix(rows[order], cols[order], vals[order], (n, n))
+
+
+def random_permutation(n, seed=None):
+    """A random permutation vector (input to PINV and SymPerm)."""
+    check_positive("n", n)
+    return rng_from_seed(seed).permutation(n).astype(np.int64)
+
+
+#: Name → generator mapping used by the harness input suite.
+MATRIX_GENERATORS = {
+    "poisson2d": poisson2d,
+    "random_sparse": random_sparse,
+    "random_symmetric": random_symmetric,
+}

@@ -1,0 +1,44 @@
+"""The paper's nine irregular-update kernels plus the workload abstraction."""
+
+from repro.workloads.base import (
+    PHASE_ACCUMULATE,
+    PHASE_BINNING,
+    PHASE_INIT,
+    PHASE_MAIN,
+    PhaseSpec,
+    RegionSpec,
+    Segment,
+    Workload,
+)
+from repro.workloads.degree_count import DegreeCount
+from repro.workloads.intsort import IntegerSort
+from repro.workloads.neighbor_populate import NeighborPopulate
+from repro.workloads.pagerank import Pagerank
+from repro.workloads.pinv import PInv
+from repro.workloads.radii import Radii
+from repro.workloads.spmv import SpMV
+from repro.workloads.symperm import SymPerm
+from repro.workloads.transpose import Transpose
+from repro.workloads.validate import results_equal, verify_workload
+
+__all__ = [
+    "DegreeCount",
+    "IntegerSort",
+    "NeighborPopulate",
+    "PHASE_ACCUMULATE",
+    "PHASE_BINNING",
+    "PHASE_INIT",
+    "PHASE_MAIN",
+    "Pagerank",
+    "PhaseSpec",
+    "PInv",
+    "Radii",
+    "RegionSpec",
+    "Segment",
+    "SpMV",
+    "SymPerm",
+    "Transpose",
+    "Workload",
+    "results_equal",
+    "verify_workload",
+]

@@ -1,0 +1,48 @@
+"""Degree-Counting: the first Edgelist-to-CSR kernel.
+
+Streams the edge list and increments ``degrees[src]`` per edge — a
+commutative irregular update with a 4 B tuple (the index alone; the +1 is
+implicit), the smallest tuple in the paper's workload table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.builder import count_degrees
+from repro.graphs.edgelist import EdgeList
+from repro.pb.engine import PropagationBlocker
+from repro.workloads.base import RegionSpec, Workload
+
+__all__ = ["DegreeCount"]
+
+
+class DegreeCount(Workload):
+    """Count out-degrees of an edge list (commutative add)."""
+
+    name = "degree-count"
+    commutative = True
+    reduce_op = "add"
+    tuple_bytes = 4
+    element_bytes = 4
+    stream_bytes_per_update = 8  # the (src, dst) pair is streamed per edge
+
+    def __init__(self, edges: EdgeList):
+        self.edges = edges
+        self.num_indices = edges.num_vertices
+        self.update_indices = edges.src
+        self.update_values = None
+        self.data_region = RegionSpec(
+            f"{self.name}.degrees", self.element_bytes, self.num_indices
+        )
+
+    def run_reference(self):
+        """Direct degree counting."""
+        return count_degrees(self.edges)
+
+    def run_pb_functional(self, num_bins=256):
+        """Degree counting via PB (bin by src, then accumulate)."""
+        out = np.zeros(self.num_indices, dtype=np.int64)
+        blocker = PropagationBlocker(self.num_indices, num_bins=num_bins)
+        ones = np.ones(self.num_updates, dtype=np.int64)
+        return blocker.execute(self.update_indices, ones, out, op="add")

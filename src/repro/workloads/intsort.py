@@ -1,0 +1,120 @@
+"""Integer Sort.
+
+The performance baseline is a comparison sort (the paper uses
+``__gnu_parallel::sort``, slightly faster than the NAS IS kernel); PB and
+COBRA instead optimize a *counting sort*, whose histogram and placement
+passes are irregular updates over the key range. Placement is
+non-commutative (update order decides where equal keys land), so Integer
+Sort is one of the kernels only COBRA — not PHI/COBRA-COMM — can
+accelerate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util import as_index_array, check_positive
+from repro.core import costs
+from repro.cpu.branch import BranchSite
+from repro.pb.bins import BinSpec, bin_updates
+from repro.workloads._ranks import placement_slots
+from repro.workloads.base import PhaseSpec, RegionSpec, Segment, Workload, site_pc
+
+__all__ = ["IntegerSort"]
+
+
+class IntegerSort(Workload):
+    """Sort integer keys in ``[0, max_key)`` by counting sort under PB."""
+
+    name = "integer-sort"
+    commutative = False
+    tuple_bytes = 4  # the key is the whole tuple
+    element_bytes = 4  # counts array entries
+    stream_bytes_per_update = 4
+    baseline_instr_per_update = 12  # histogram + placement passes
+    accum_instr_per_update = 12
+
+    def __init__(self, keys, max_key):
+        check_positive("max_key", max_key)
+        keys = as_index_array(keys, "keys")
+        if len(keys) and (keys.min() < 0 or keys.max() >= max_key):
+            raise ValueError("keys must lie in [0, max_key)")
+        self.keys = keys
+        self.num_indices = max_key
+        self.update_indices = keys
+        self.update_values = None
+        self.data_region = RegionSpec(
+            f"{self.name}.counts", self.element_bytes, max_key
+        )
+        self.output_region = RegionSpec(
+            f"{self.name}.sorted", 4, max(len(keys), 1)
+        )
+        self._slots = placement_slots(keys, max_key)
+
+    def extra_baseline_segments(self):
+        """Placement stores of the counting-sort loop."""
+        return [Segment(self.output_region, self._slots, True)]
+
+    def extra_accumulate_segments(self, order):
+        """Placement replayed bin-major (stable per key, same slots)."""
+        return [Segment(self.output_region, self._slots[order], True)]
+
+    def baseline_phases(self):
+        """The comparison-sort baseline (``__gnu_parallel::sort`` model).
+
+        A mergesort: ``log2(n)`` streaming passes, heavy compare-branch
+        misprediction, no irregular accesses.
+        """
+        n = max(self.num_updates, 2)
+        levels = max(1, math.ceil(math.log2(n)))
+        rng = np.random.default_rng(0xC0B7A)
+        # Modern merge paths are partially predictable (run detection,
+        # galloping); ~15% of compares mispredict on random keys.
+        compare_sample = rng.random(min(n, 65536)) < 0.15
+        return [
+            PhaseSpec(
+                name="main",
+                instructions=n
+                * levels
+                * costs.SORT_INSTRS_PER_ELEMENT_PER_LEVEL,
+                branches=n * levels,
+                branch_sites=[
+                    BranchSite(
+                        "merge_compare",
+                        site_pc(self.name, "merge_compare"),
+                        compare_sample,
+                        count=n * levels,
+                    )
+                ],
+                segments=[],
+                streaming_bytes=n * 4 * 2 * levels,
+            )
+        ]
+
+    def characterization_phases(self):
+        """Figure 2 characterizes the irregular counting-sort updates."""
+        return Workload.baseline_phases(self)
+
+    def run_reference(self):
+        """Sorted keys (what any correct sort returns)."""
+        return np.sort(self.keys, kind="stable")
+
+    def run_counting_sort(self):
+        """Direct counting sort (the irregular-update formulation)."""
+        out = np.empty_like(self.keys)
+        out[self._slots] = self.keys
+        return out
+
+    def run_pb_functional(self, num_bins=256):
+        """Counting sort with PB-binned keys."""
+        spec = BinSpec.from_num_bins(self.num_indices, num_bins)
+        binned_keys, _, _ = bin_updates(self.keys, None, spec)
+        counts = np.bincount(binned_keys, minlength=self.num_indices)
+        starts = np.zeros(self.num_indices, dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        slots = placement_slots(binned_keys, self.num_indices, starts)
+        out = np.empty_like(self.keys)
+        out[slots] = binned_keys
+        return out

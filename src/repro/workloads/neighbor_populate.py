@@ -1,0 +1,84 @@
+"""Neighbor-Populate: the paper's flagship non-commutative kernel.
+
+Algorithm 1: walk the edge list placing each destination at
+``neighs[offsets[src]++]``. The offsets updates are *not* commutative —
+their order decides where each destination lands — yet any order yields a
+semantically equal CSR (per-vertex neighbor sets are identical), which is
+exactly the unordered parallelism PB needs (Section III-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.builder import count_degrees, prefix_sum
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.pb.bins import BinSpec, bin_updates
+from repro.workloads._ranks import placement_slots
+from repro.workloads.base import RegionSpec, Segment, Workload
+
+__all__ = ["NeighborPopulate"]
+
+
+class NeighborPopulate(Workload):
+    """Populate the neighbors array from an edge list (Algorithm 1/2)."""
+
+    name = "neighbor-populate"
+    commutative = False
+    tuple_bytes = 8  # (4 B src, 4 B dst)
+    element_bytes = 4  # offsets-array entries
+    stream_bytes_per_update = 8
+    baseline_instr_per_update = 10  # two dependent irregular stores per edge
+    accum_instr_per_update = 10
+
+    def __init__(self, edges: EdgeList):
+        self.edges = edges
+        self.num_indices = edges.num_vertices
+        self.update_indices = edges.src
+        self.update_values = edges.dst
+        self.offsets = prefix_sum(count_degrees(edges))
+        self.data_region = RegionSpec(
+            f"{self.name}.offsets", self.element_bytes, self.num_indices
+        )
+        self.neighbors_region = RegionSpec(
+            f"{self.name}.neighbors", 4, max(edges.num_edges, 1)
+        )
+        # Slot of each edge's destination in the neighbors array under the
+        # original stream order.
+        self._slots = placement_slots(
+            edges.src, edges.num_vertices, self.offsets[:-1]
+        )
+
+    def extra_baseline_segments(self):
+        """The neighs[offsets[src]] store of the baseline loop."""
+        return [Segment(self.neighbors_region, self._slots, True)]
+
+    def extra_accumulate_segments(self, order):
+        """Neighbor stores replayed in bin-major order.
+
+        Stable binning keeps same-src edges in stream order, so the slot
+        assignment is unchanged — only the visit order permutes.
+        """
+        return [Segment(self.neighbors_region, self._slots[order], True)]
+
+    def run_reference(self):
+        """Direct Algorithm 1 (via the substrate's stable-sort equivalent)."""
+        neighbors = np.empty(self.edges.num_edges, dtype=np.int64)
+        neighbors[self._slots] = self.edges.dst
+        return CSRGraph(self.offsets, neighbors)
+
+    def run_pb_functional(self, num_bins=256):
+        """Algorithm 2: bin edges by src, then populate bin-by-bin."""
+        spec = BinSpec.from_num_bins(self.num_indices, num_bins)
+        binned_src, binned_dst, _ = bin_updates(
+            self.edges.src, self.edges.dst, spec
+        )
+        cursor = self.offsets[:-1].copy()
+        neighbors = np.empty(self.edges.num_edges, dtype=np.int64)
+        cur = cursor.tolist()
+        for src, dst in zip(binned_src.tolist(), binned_dst.tolist()):
+            slot = cur[src]
+            neighbors[slot] = dst
+            cur[src] = slot + 1
+        return CSRGraph(self.offsets, neighbors)

@@ -1,0 +1,59 @@
+"""PINV (SuiteSparse ``cs_pinv``): invert a permutation.
+
+``inv[perm[i]] = i`` — every target index is written exactly once, so the
+update stream has zero temporal reuse and exactly one update per index.
+That makes PINV the paper's outlier: more bins do *not* help Accumulate
+(per-bin work is too small, so parallel-dispatch overhead dominates —
+Section VII-A), and COBRA's benefit over PB-SW is limited.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_index_array
+from repro.pb.engine import PropagationBlocker
+from repro.workloads.base import RegionSpec, Workload
+
+__all__ = ["PInv"]
+
+
+class PInv(Workload):
+    """Compute the inverse of a permutation vector."""
+
+    name = "pinv"
+    commutative = False
+    tuple_bytes = 16  # (8 B target, 8 B source)
+    element_bytes = 8
+    stream_bytes_per_update = 8
+    baseline_instr_per_update = 6  # bare store loop
+    accum_instr_per_update = 6
+
+    def __init__(self, perm):
+        perm = as_index_array(perm, "perm")
+        n = len(perm)
+        if n == 0:
+            raise ValueError("perm must be non-empty")
+        if not np.array_equal(np.sort(perm), np.arange(n)):
+            raise ValueError("perm must be a permutation of 0..n-1")
+        self.perm = perm
+        self.num_indices = n
+        self.update_indices = perm
+        self.update_values = np.arange(n, dtype=np.int64)
+        self.data_region = RegionSpec(
+            f"{self.name}.inverse", self.element_bytes, n
+        )
+
+    def run_reference(self):
+        """Direct inversion."""
+        inverse = np.empty(self.num_indices, dtype=np.int64)
+        inverse[self.perm] = np.arange(self.num_indices)
+        return inverse
+
+    def run_pb_functional(self, num_bins=256):
+        """Inversion via PB ('store' updates hit distinct targets)."""
+        inverse = np.empty(self.num_indices, dtype=np.int64)
+        blocker = PropagationBlocker(self.num_indices, num_bins=num_bins)
+        return blocker.execute(
+            self.update_indices, self.update_values, inverse, op="store"
+        )

@@ -1,0 +1,91 @@
+"""Radii estimation (Ligra-style multi-source BFS).
+
+Estimates the graph diameter by running 64 BFS traversals at once, each
+source owning one bit of a 64-bit visited mask; an edge propagates the
+source's mask into ``visited[dst]`` with a bitwise OR — commutative, 16 B
+tuples. Representative of graph kernels that touch only a *subset* of
+vertices per iteration: we model one sampled pull iteration with a random
+active frontier (the paper uses iteration sampling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import rng_from_seed
+from repro.cpu.branch import BranchSite
+from repro.graphs.csr import CSRGraph
+from repro.pb.engine import PropagationBlocker
+from repro.workloads.base import RegionSpec, Workload, site_pc
+
+__all__ = ["Radii"]
+
+
+class Radii(Workload):
+    """One sampled iteration of 64-way multi-source BFS (bitmask OR)."""
+
+    name = "radii"
+    commutative = True
+    reduce_op = "or"
+    tuple_bytes = 16  # (4 B dst, 8 B mask, padding)
+    element_bytes = 8  # 64-bit visited masks
+    stream_bytes_per_update = 12
+    baseline_instr_per_update = 10  # load mask, OR, compare-for-change, store
+    accum_instr_per_update = 10
+
+    def __init__(self, graph: CSRGraph, frontier_fraction=0.5, seed=7):
+        if not 0.0 < frontier_fraction <= 1.0:
+            raise ValueError("frontier_fraction must lie in (0, 1]")
+        self.graph = graph
+        self.frontier_fraction = frontier_fraction
+        rng = rng_from_seed(seed)
+        self.num_indices = graph.num_vertices
+        # Current visited masks: a random mid-traversal snapshot.
+        self.visited = rng.integers(
+            0, 2**63, size=self.num_indices, dtype=np.int64
+        )
+        active = rng.random(self.num_indices) < frontier_fraction
+        self._active = active
+        src_per_edge = graph.edge_sources()
+        edge_active = active[src_per_edge]
+        self.update_indices = graph.neighbors[edge_active]
+        self.update_values = self.visited[src_per_edge[edge_active]]
+        self.data_region = RegionSpec(
+            f"{self.name}.visited", self.element_bytes, self.num_indices
+        )
+        # The frontier-membership test per vertex plus neighborhood
+        # boundaries make Radii's control flow unpredictable.
+        self._frontier_outcomes = active
+        active_src = src_per_edge[edge_active]
+        self._boundary = np.diff(active_src, append=-1) != 0
+
+    def extra_branch_sites(self, phase_name):
+        """Frontier membership + boundary checks while streaming."""
+        if phase_name in ("main", "binning"):
+            return [
+                BranchSite(
+                    "frontier_active",
+                    site_pc(self.name, "frontier_active"),
+                    self._frontier_outcomes,
+                ),
+                BranchSite(
+                    "neigh_boundary",
+                    site_pc(self.name, "neigh_boundary"),
+                    self._boundary,
+                ),
+            ]
+        return []
+
+    def run_reference(self):
+        """Direct OR-scatter of frontier masks."""
+        out = self.visited.copy()
+        np.bitwise_or.at(out, self.update_indices, self.update_values)
+        return out
+
+    def run_pb_functional(self, num_bins=256):
+        """OR-scatter via PB."""
+        out = self.visited.copy()
+        blocker = PropagationBlocker(self.num_indices, num_bins=num_bins)
+        return blocker.execute(
+            self.update_indices, self.update_values, out, op="or"
+        )

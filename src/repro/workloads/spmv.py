@@ -1,0 +1,59 @@
+"""SpMV (HPCG-style), in its transpose/scatter formulation.
+
+PB requires streaming reads plus irregular updates, so — as the paper does
+— the kernel processes the transpose representation: streaming the rows of
+``A`` while scattering ``y[col] += val * x[row]``. Commutative float adds
+with 16 B tuples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pb.engine import PropagationBlocker
+from repro.sparse.csr_matrix import CSRMatrix
+from repro.workloads.base import RegionSpec, Workload
+
+__all__ = ["SpMV"]
+
+
+class SpMV(Workload):
+    """Transpose sparse matrix-vector product ``y = A.T @ x``."""
+
+    name = "spmv"
+    commutative = True
+    reduce_op = "add"
+    tuple_bytes = 16  # (4 B col, 8 B product, padding)
+    element_bytes = 8  # double-precision accumulators
+    stream_bytes_per_update = 20  # column index + value + amortized x[row]
+    baseline_instr_per_update = 9  # includes the multiply
+    accum_instr_per_update = 9
+
+    def __init__(self, matrix: CSRMatrix, x=None, seed=11):
+        self.matrix = matrix
+        if x is None:
+            rng = np.random.default_rng(seed)
+            x = rng.standard_normal(matrix.num_rows)
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (matrix.num_rows,):
+            raise ValueError("x must have one entry per matrix row")
+        self.x = x
+        self.num_indices = matrix.num_cols
+        row_ids = np.repeat(
+            np.arange(matrix.num_rows, dtype=np.int64), np.diff(matrix.indptr)
+        )
+        self.update_indices = matrix.indices
+        self.update_values = matrix.data * x[row_ids]
+        self.data_region = RegionSpec(
+            f"{self.name}.y", self.element_bytes, self.num_indices
+        )
+
+    def run_reference(self):
+        """Direct scatter (equals ``matrix.rmatvec(x)``)."""
+        return self.matrix.rmatvec(self.x)
+
+    def run_pb_functional(self, num_bins=256):
+        """Scatter via PB."""
+        y = np.zeros(self.num_indices)
+        blocker = PropagationBlocker(self.num_indices, num_bins=num_bins)
+        return blocker.execute(self.update_indices, self.update_values, y, "add")

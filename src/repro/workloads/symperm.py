@@ -1,0 +1,105 @@
+"""SymPerm (SuiteSparse ``cs_symperm``): symmetric permutation.
+
+Computes the upper triangle of ``P A P.T`` for a symmetric ``A``: each
+upper-triangular entry (i, j, v) maps to (min(pi, pj), max(pi, pj)) and is
+placed at ``out[cursor[lo]++]``. Non-commutative placement, 16 B tuples.
+Only half the streamed entries produce updates (the upper-triangular
+check), which bounds the locality headroom — the reason SymPerm benefits
+least from COBRA (Section VII-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_index_array
+from repro.cpu.branch import BranchSite
+from repro.pb.bins import BinSpec, bin_updates
+from repro.sparse.coo import COOMatrix
+from repro.workloads._ranks import placement_slots
+from repro.workloads.base import RegionSpec, Segment, Workload, site_pc
+
+__all__ = ["SymPerm"]
+
+
+class SymPerm(Workload):
+    """Permute the upper triangle of a symmetric sparse matrix."""
+
+    name = "symperm"
+    commutative = False
+    tuple_bytes = 16  # (4 B lo, 4 B hi, 8 B value)
+    element_bytes = 4  # cursor-array entries
+    baseline_instr_per_update = 14  # permute both coords, min/max, place
+    accum_instr_per_update = 12
+
+    def __init__(self, matrix: COOMatrix, perm):
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("SymPerm needs a square matrix")
+        perm = as_index_array(perm, "perm")
+        if len(perm) != matrix.shape[0]:
+            raise ValueError("perm length must match the matrix dimension")
+        self.matrix = matrix
+        self.perm = perm
+        n = matrix.shape[0]
+        self.num_indices = n
+        upper = matrix.cols >= matrix.rows
+        self._upper_outcomes = upper
+        rows, cols = matrix.rows[upper], matrix.cols[upper]
+        pi, pj = perm[rows], perm[cols]
+        lo = np.minimum(pi, pj)
+        hi = np.maximum(pi, pj)
+        self._hi = hi
+        self._vals = matrix.vals[upper]
+        self.update_indices = lo
+        self.update_values = hi
+        self.data_region = RegionSpec(
+            f"{self.name}.cursors", self.element_bytes, n
+        )
+        self.output_region = RegionSpec(
+            f"{self.name}.out", 16, max(len(lo), 1)
+        )
+        self._slots = placement_slots(lo, n)
+        # Streams the whole symmetric matrix but updates only for the upper
+        # half: double the per-update streaming volume.
+        updates = max(len(lo), 1)
+        self.stream_bytes_per_update = max(
+            1, (matrix.nnz * 16) // updates
+        )
+
+    def extra_branch_sites(self, phase_name):
+        """The upper-triangular coordinate test (paper footnote 3)."""
+        if phase_name in ("main", "binning"):
+            return [
+                BranchSite(
+                    "upper_check",
+                    site_pc(self.name, "upper_check"),
+                    self._upper_outcomes,
+                )
+            ]
+        return []
+
+    def extra_baseline_segments(self):
+        """(hi, value) stores into the permuted output."""
+        return [Segment(self.output_region, self._slots, True)]
+
+    def extra_accumulate_segments(self, order):
+        """Output stores replayed in bin-major order."""
+        return [Segment(self.output_region, self._slots[order], True)]
+
+    def run_reference(self):
+        """Direct symmetric permutation; canonical (row, col, val) order."""
+        lo, hi, vals = self.update_indices, self._hi, self._vals
+        order = np.lexsort((hi, lo))
+        return lo[order], hi[order], vals[order]
+
+    def run_pb_functional(self, num_bins=256):
+        """Symmetric permutation with PB-binned entries."""
+        spec = BinSpec.from_num_bins(self.num_indices, num_bins)
+        entry_ids = np.arange(len(self.update_indices), dtype=np.int64)
+        binned_lo, binned_entry, _ = bin_updates(
+            self.update_indices, entry_ids, spec
+        )
+        hi = self._hi[binned_entry]
+        vals = self._vals[binned_entry]
+        order = np.lexsort((hi, binned_lo))
+        return binned_lo[order], hi[order], vals[order]

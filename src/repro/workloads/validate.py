@@ -1,0 +1,78 @@
+"""Uniform result validation across kernels.
+
+Different kernels need different notions of equality after a PB/COBRA
+reordering: commutative float kernels match within tolerance, placement
+kernels produce semantically-equal-but-permuted structures. This module
+centralizes those rules so tests, examples, and downstream users compare
+results the right way per kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.sparse.csr_matrix import CSRMatrix
+
+__all__ = ["results_equal", "verify_workload"]
+
+
+def _csr_graphs_equal(a: CSRGraph, b: CSRGraph):
+    if not np.array_equal(a.offsets, b.offsets):
+        return False
+    return np.array_equal(
+        a.canonical_sorted().neighbors, b.canonical_sorted().neighbors
+    )
+
+
+def _csr_matrices_equal(a: CSRMatrix, b: CSRMatrix):
+    if a.shape != b.shape or not np.array_equal(a.indptr, b.indptr):
+        return False
+    ca, cb = a.canonical(), b.canonical()
+    return np.array_equal(ca.indices, cb.indices) and np.allclose(
+        ca.data, cb.data
+    )
+
+
+def results_equal(a, b, float_tolerance=1e-9):
+    """Semantic equality of two kernel results of the same type.
+
+    Handles the result types the workloads produce: numpy arrays (exact
+    for integers, within tolerance for floats), CSR graphs/matrices (per-
+    row sets), and tuples of arrays (SymPerm's canonical triples).
+    """
+    if isinstance(a, CSRGraph) and isinstance(b, CSRGraph):
+        return _csr_graphs_equal(a, b)
+    if isinstance(a, CSRMatrix) and isinstance(b, CSRMatrix):
+        return _csr_matrices_equal(a, b)
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(
+            results_equal(x, y, float_tolerance) for x, y in zip(a, b)
+        )
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    if np.issubdtype(a.dtype, np.floating) or np.issubdtype(
+        b.dtype, np.floating
+    ):
+        return bool(np.allclose(a, b, atol=float_tolerance, rtol=1e-7))
+    return bool(np.array_equal(a, b))
+
+
+def verify_workload(workload, num_bins=256, float_tolerance=1e-9):
+    """Check a workload's PB execution against its direct execution.
+
+    Returns True when the PB-reordered result is semantically equal to
+    the reference; raises ``AssertionError`` with a diagnostic otherwise.
+    This is the check every kernel must pass for PB (and COBRA) to be
+    applicable — the Section III-B criterion, executable.
+    """
+    reference = workload.run_reference()
+    blocked = workload.run_pb_functional(num_bins=num_bins)
+    if not results_equal(reference, blocked, float_tolerance):
+        raise AssertionError(
+            f"{workload.name}: PB reordering changed the result "
+            f"(num_bins={num_bins}) — the kernel lacks unordered parallelism"
+        )
+    return True

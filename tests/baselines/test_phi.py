@@ -1,0 +1,70 @@
+"""Tests for the PHI baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PhiMachine
+from repro.core import CobraConfig
+from repro.pb import BinSpec
+
+
+@pytest.fixture
+def config():
+    return CobraConfig(num_indices=1 << 14, tuple_bytes=8)
+
+
+@pytest.fixture
+def memory_spec():
+    return BinSpec.from_num_bins(1 << 14, 64)  # the software compromise
+
+
+class TestPhi:
+    def test_memory_bins_follow_compromise(self, config, memory_spec):
+        machine = PhiMachine(config, memory_spec, "add").bininit()
+        assert machine.memory_bins.num_bins == memory_spec.num_bins
+
+    def test_namespace_mismatch_rejected(self, config):
+        with pytest.raises(ValueError, match="namespace"):
+            PhiMachine(config, BinSpec(64, 16), "add")
+
+    def test_sums_preserved_through_hierarchy(self, config, memory_spec, rng):
+        indices = rng.integers(0, 1 << 14, size=15_000)
+        machine = PhiMachine(config, memory_spec, "add").bininit()
+        machine.binupdate_many(indices.tolist(), [1] * 15_000)
+        machine.binflush()
+        sums = np.zeros(1 << 14, dtype=np.int64)
+        for bin_tuples in machine.memory_bins.bins:
+            for index, value in bin_tuples:
+                sums[index] += value
+        assert np.array_equal(sums, np.bincount(indices, minlength=1 << 14))
+
+    def test_coalesces_at_every_level(self, config, memory_spec, rng):
+        indices = rng.integers(0, 64, size=10_000)  # hot range
+        machine = PhiMachine(config, memory_spec, "add").bininit()
+        machine.binupdate_many(indices.tolist(), [1] * 10_000)
+        machine.binflush()
+        per_level = machine.coalesced_per_level
+        assert per_level["l1"] > 0
+        assert per_level["llc"] >= 0
+        assert machine.coalesced == sum(per_level.values())
+
+    def test_llc_dominates_coalescing_on_moderate_reuse(
+        self, config, memory_spec, rng
+    ):
+        """Section VII-C: PHI coalesces most updates at the LLC (the
+        private-level buffers are small and short-lived)."""
+        indices = rng.integers(0, 1 << 14, size=40_000)
+        machine = PhiMachine(config, memory_spec, "add").bininit()
+        machine.binupdate_many(indices.tolist(), [1] * 40_000)
+        machine.binflush()
+        per_level = machine.coalesced_per_level
+        total = max(machine.coalesced, 1)
+        assert per_level["llc"] / total > 0.5
+
+    def test_traffic_reduced_on_skewed_streams(self, config, memory_spec, rng):
+        skewed = rng.integers(0, 512, size=20_000)
+        machine = PhiMachine(config, memory_spec, "add").bininit()
+        machine.binupdate_many(skewed.tolist(), [1] * 20_000)
+        machine.binflush()
+        uncoalesced_lines = 20_000 // config.tuples_per_line
+        assert machine.memory_bins.lines_written < uncoalesced_lines

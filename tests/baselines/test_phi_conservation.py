@@ -1,0 +1,54 @@
+"""Conservation properties of the coalescing machines (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import PhiMachine
+from repro.core import CobraCommMachine, CobraConfig
+from repro.pb import BinSpec
+
+
+@given(st.lists(st.integers(0, 511), min_size=0, max_size=400))
+@settings(max_examples=40, deadline=None)
+def test_phi_preserves_sums(raw):
+    config = CobraConfig(num_indices=512, tuple_bytes=8)
+    machine = PhiMachine(
+        config, BinSpec.from_num_bins(512, 8), "add"
+    ).bininit()
+    machine.binupdate_many(raw, [1] * len(raw))
+    machine.binflush()
+    sums = np.zeros(512, dtype=np.int64)
+    for bin_tuples in machine.memory_bins.bins:
+        for index, value in bin_tuples:
+            sums[index] += value
+    expected = np.bincount(np.array(raw, dtype=np.int64), minlength=512)
+    assert np.array_equal(sums, expected)
+
+
+@given(st.lists(st.integers(0, 511), min_size=0, max_size=400))
+@settings(max_examples=40, deadline=None)
+def test_comm_tuples_plus_coalesced_equals_stream(raw):
+    config = CobraConfig(num_indices=512, tuple_bytes=8)
+    machine = CobraCommMachine(config, "add").bininit()
+    machine.binupdate_many(raw, [1] * len(raw))
+    machine.binflush()
+    assert machine.memory_bins.total_tuples + machine.coalesced == len(raw)
+
+
+@given(st.lists(st.integers(0, 511), min_size=1, max_size=300))
+@settings(max_examples=40, deadline=None)
+def test_comm_never_exceeds_plain_traffic(raw):
+    from repro.core import CobraMachine
+
+    config = CobraConfig(num_indices=512, tuple_bytes=8)
+    plain = CobraMachine(config).bininit()
+    plain.binupdate_many(raw, [1] * len(raw))
+    plain.binflush()
+    comm = CobraCommMachine(config, "add").bininit()
+    comm.binupdate_many(raw, [1] * len(raw))
+    comm.binflush()
+    assert (
+        comm.memory_bins.lines_written <= plain.memory_bins.lines_written
+    )
+    assert comm.memory_bins.total_tuples <= plain.memory_bins.total_tuples

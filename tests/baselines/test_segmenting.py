@@ -1,0 +1,72 @@
+"""Tests for CSR-Segmenting (graph tiling)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SegmentedGraph
+from repro.graphs import build_csr, rmat
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_csr(rmat(1 << 10, 1 << 13, seed=17))
+
+
+class TestSegmentation:
+    def test_segment_count(self, graph):
+        segmented = SegmentedGraph(graph, segment_range=256)
+        assert segmented.num_segments == graph.num_vertices // 256
+
+    def test_single_segment_when_range_covers_graph(self, graph):
+        segmented = SegmentedGraph(graph, segment_range=graph.num_vertices)
+        assert segmented.num_segments == 1
+
+    def test_edges_partitioned(self, graph):
+        segmented = SegmentedGraph(graph, segment_range=128)
+        assert (
+            sum(s.num_edges for s in segmented.segments) == graph.num_edges
+        )
+
+    def test_sources_within_segment_range(self, graph):
+        segmented = SegmentedGraph(graph, segment_range=128)
+        for segment in segmented.segments:
+            if segment.num_edges:
+                assert segment.srcs.min() >= segment.src_lo
+                assert segment.srcs.max() < segment.src_hi
+
+    def test_destinations_sorted_and_unique(self, graph):
+        segmented = SegmentedGraph(graph, segment_range=128)
+        for segment in segmented.segments:
+            assert np.all(np.diff(segment.dsts) > 0)
+
+    def test_range_validated(self, graph):
+        with pytest.raises(ValueError):
+            SegmentedGraph(graph, segment_range=0)
+
+
+class TestScatterSum:
+    def test_matches_direct_scatter(self, graph, rng):
+        segmented = SegmentedGraph(graph, segment_range=128)
+        values = rng.standard_normal(graph.num_vertices)
+        direct = np.zeros(graph.num_vertices)
+        np.add.at(direct, graph.neighbors, values[graph.edge_sources()])
+        assert np.allclose(segmented.scatter_sum(values), direct)
+
+    def test_segment_range_does_not_change_result(self, graph, rng):
+        values = rng.standard_normal(graph.num_vertices)
+        coarse = SegmentedGraph(graph, 512).scatter_sum(values)
+        fine = SegmentedGraph(graph, 64).scatter_sum(values)
+        assert np.allclose(coarse, fine)
+
+    def test_shape_validated(self, graph):
+        segmented = SegmentedGraph(graph, 128)
+        with pytest.raises(ValueError):
+            segmented.scatter_sum(np.ones(3))
+
+    def test_preprocessing_cost_reported(self, graph):
+        assert SegmentedGraph(graph, 128).preprocessing_edge_passes() == 2
+
+    def test_total_partials_bounded_by_edges(self, graph):
+        segmented = SegmentedGraph(graph, 128)
+        assert segmented.total_partials <= graph.num_edges
+        assert segmented.total_partials >= segmented.num_segments

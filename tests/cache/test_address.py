@@ -1,0 +1,72 @@
+"""Tests for address-space layout."""
+
+import numpy as np
+import pytest
+
+from repro.cache import AddressSpace, Region
+
+
+class TestRegion:
+    def test_num_lines_rounds_up(self):
+        region = Region("r", element_bytes=4, num_elements=17)
+        assert region.num_lines == 2  # 68 bytes -> 2 lines
+
+    def test_line_of(self):
+        region = Region("r", 8, 100, base_line=10)
+        assert region.line_of(0) == 10
+        assert region.line_of(7) == 10
+        assert region.line_of(8) == 11
+
+    def test_line_of_bounds_checked(self):
+        region = Region("r", 8, 10)
+        with pytest.raises(IndexError):
+            region.line_of(10)
+
+    def test_lines_of_vectorized_matches_scalar(self):
+        region = Region("r", 4, 50, base_line=3)
+        indices = np.arange(50)
+        vectorized = region.lines_of(indices)
+        assert all(vectorized[i] == region.line_of(i) for i in range(50))
+
+    def test_large_elements(self):
+        region = Region("r", 128, 4, base_line=0)
+        assert region.line_of(1) == 2
+        assert region.num_lines == 8
+
+    def test_incompatible_element_size_rejected(self):
+        with pytest.raises(ValueError, match="divide"):
+            Region("r", 24, 4)
+
+
+class TestAddressSpace:
+    def test_regions_are_disjoint(self):
+        space = AddressSpace()
+        a = space.allocate("a", 4, 100)
+        b = space.allocate("b", 8, 50)
+        a_last = a.line_of(99)
+        assert b.base_line > a_last
+
+    def test_guard_line_between_regions(self):
+        space = AddressSpace()
+        a = space.allocate("a", 64, 1)
+        b = space.allocate("b", 64, 1)
+        assert b.base_line - (a.base_line + a.num_lines) == 1
+
+    def test_duplicate_names_rejected(self):
+        space = AddressSpace()
+        space.allocate("a", 4, 10)
+        with pytest.raises(ValueError, match="already"):
+            space.allocate("a", 4, 10)
+
+    def test_lookup(self):
+        space = AddressSpace()
+        space.allocate("a", 4, 10)
+        assert "a" in space
+        assert space["a"].name == "a"
+        assert "b" not in space
+
+    def test_total_lines_grows(self):
+        space = AddressSpace()
+        assert space.total_lines == 0
+        space.allocate("a", 64, 5)
+        assert space.total_lines == 6  # 5 lines + guard

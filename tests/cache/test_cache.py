@@ -1,0 +1,105 @@
+"""Tests for a single cache level."""
+
+import pytest
+
+from repro.cache import Cache
+
+
+@pytest.fixture
+def cache():
+    # 4 sets x 4 ways x 64 B lines = 1 KiB, true LRU for predictability.
+    return Cache("L1", 1024, 4, 64, policy="lru")
+
+
+class TestGeometry:
+    def test_sets(self, cache):
+        assert cache.num_sets == 4
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            Cache("L1", 1000, 4, 64)
+
+
+class TestProbeAndFill:
+    def test_miss_then_hit(self, cache):
+        assert not cache.probe(10)
+        cache.fill(10)
+        assert cache.probe(10)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_set_conflict_eviction(self, cache):
+        # Lines 0, 4, 8, ... share set 0; a fifth fill evicts the LRU one.
+        for line in (0, 4, 8, 12):
+            cache.fill(line)
+        evicted = cache.fill(16)
+        assert evicted is not None
+        assert evicted.line == 0
+        assert not cache.contains(0)
+
+    def test_fill_existing_refreshes(self, cache):
+        for line in (0, 4, 8, 12):
+            cache.fill(line)
+        cache.fill(0)  # refresh: line 4 becomes LRU
+        evicted = cache.fill(16)
+        assert evicted.line == 4
+
+    def test_dirty_flag_tracked(self, cache):
+        cache.fill(10, dirty=True)
+        evicted = None
+        for line in (14, 18, 22, 26):
+            evicted = cache.fill(line) or evicted
+        assert evicted.line == 10
+        assert evicted.dirty
+
+    def test_write_probe_dirties(self, cache):
+        cache.fill(10)
+        cache.probe(10, is_write=True)
+        evictions = cache.flush()
+        assert [e.line for e in evictions] == [10]
+
+    def test_invalidate(self, cache):
+        cache.fill(7, dirty=True)
+        eviction = cache.invalidate(7)
+        assert eviction.dirty
+        assert cache.invalidate(7) is None
+
+
+class TestWayReservation:
+    def test_reserved_ways_shrink_capacity(self, cache):
+        cache.reserve_ways(2)
+        for line in (0, 4, 8):
+            cache.fill(line)
+        # Only 2 usable ways now: line 0 must have been displaced.
+        assert not cache.contains(0)
+
+    def test_reservation_evicts_resident_lines(self):
+        cache = Cache("L1", 1024, 4, 64, policy="lru")
+        for line in (0, 4, 8, 12):
+            cache.fill(line, dirty=True)
+        evictions = cache.reserve_ways(3)
+        assert len(evictions) == 3
+        assert all(e.dirty for e in evictions)
+
+    def test_release_reservation(self, cache):
+        cache.reserve_ways(2)
+        cache.reserve_ways(0)
+        assert cache.usable_ways == 4
+
+    def test_full_reservation_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.reserve_ways(4)
+
+
+class TestMaintenance:
+    def test_flush_empties(self, cache):
+        cache.fill(1)
+        cache.fill(2, dirty=True)
+        evictions = cache.flush()
+        assert cache.resident_lines() == []
+        assert [e.line for e in evictions] == [2]
+
+    def test_reset_stats(self, cache):
+        cache.probe(1)
+        cache.reset_stats()
+        assert cache.accesses == 0

@@ -1,0 +1,150 @@
+"""Tests for the directory-based MESI model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.coherence import (
+    MESI_EXCLUSIVE,
+    MESI_INVALID,
+    MESI_MODIFIED,
+    MESI_SHARED,
+    DirectoryMESI,
+)
+
+
+@pytest.fixture
+def directory():
+    return DirectoryMESI(num_cores=4)
+
+
+class TestStateTransitions:
+    def test_cold_read_is_exclusive(self, directory):
+        outcome = directory.read(0, 100)
+        assert outcome.memory_fetch and not outcome.hit
+        assert directory.state_of(0, 100) == MESI_EXCLUSIVE
+
+    def test_cold_write_is_modified(self, directory):
+        directory.write(1, 100)
+        assert directory.state_of(1, 100) == MESI_MODIFIED
+
+    def test_second_reader_shares(self, directory):
+        directory.read(0, 100)
+        outcome = directory.read(1, 100)
+        assert outcome.cache_transfer and not outcome.memory_fetch
+        assert directory.state_of(0, 100) == MESI_SHARED
+        assert directory.state_of(1, 100) == MESI_SHARED
+
+    def test_read_of_modified_forces_writeback(self, directory):
+        directory.write(0, 100)
+        outcome = directory.read(1, 100)
+        assert outcome.writeback and outcome.cache_transfer
+
+    def test_silent_e_to_m_upgrade(self, directory):
+        directory.read(0, 100)  # E
+        outcome = directory.write(0, 100)
+        assert outcome.hit
+        assert outcome.invalidations == 0
+        assert directory.state_of(0, 100) == MESI_MODIFIED
+
+    def test_write_invalidates_sharers(self, directory):
+        for core in (0, 1, 2):
+            directory.read(core, 100)
+        outcome = directory.write(3, 100)
+        assert outcome.invalidations == 3
+        for core in (0, 1, 2):
+            assert directory.state_of(core, 100) == MESI_INVALID
+
+    def test_upgrade_from_shared_counts_as_hit(self, directory):
+        directory.read(0, 100)
+        directory.read(1, 100)
+        outcome = directory.write(0, 100)
+        assert outcome.hit  # data already present, just an upgrade
+        assert outcome.invalidations == 1
+
+    def test_repeated_writes_by_owner_hit(self, directory):
+        directory.write(2, 100)
+        assert directory.write(2, 100).hit
+
+    def test_eviction_of_modified_writes_back(self, directory):
+        directory.write(0, 100)
+        assert directory.evict(0, 100) is True
+        assert directory.state_of(0, 100) == MESI_INVALID
+
+    def test_eviction_of_clean_is_silent(self, directory):
+        directory.read(0, 100)
+        directory.read(1, 100)
+        assert directory.evict(0, 100) is False
+
+    def test_core_bounds_checked(self, directory):
+        with pytest.raises(IndexError):
+            directory.read(4, 0)
+
+
+class TestStats:
+    def test_ping_pong_counts_invalidations(self, directory):
+        for _ in range(10):
+            directory.write(0, 7)
+            directory.write(1, 7)
+        # After the first write, every write invalidates the other core.
+        assert directory.stats.invalidations == 19
+        assert directory.stats.invalidations_per_access == pytest.approx(0.95)
+
+    def test_private_lines_have_no_coherence_traffic(self, directory):
+        # The COBRA property: core-private data (C-Buffers, per-thread
+        # bins) never generates invalidations.
+        for core in range(4):
+            for rep in range(5):
+                directory.write(core, 1000 + core)
+        assert directory.stats.invalidations == 0
+        assert directory.stats.cache_transfers == 0
+
+    def test_tracked_lines(self, directory):
+        directory.read(0, 1)
+        directory.read(0, 2)
+        directory.evict(0, 1)
+        assert directory.tracked_lines == 1
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),  # core
+                st.integers(0, 7),  # line
+                st.sampled_from(["read", "write", "evict"]),
+            ),
+            min_size=0,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_protocol_invariants_hold(self, ops):
+        directory = DirectoryMESI(num_cores=4)
+        for core, line, op in ops:
+            getattr(directory, op)(core, line)
+            directory.check_invariants()
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 7), st.booleans()),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_writer_property(self, ops):
+        """At most one core ever holds a line in M/E."""
+        directory = DirectoryMESI(num_cores=4)
+        for core, line, is_write in ops:
+            if is_write:
+                directory.write(core, line)
+            else:
+                directory.read(core, line)
+            owners = [
+                c
+                for c in range(4)
+                if directory.state_of(c, line)
+                in (MESI_MODIFIED, MESI_EXCLUSIVE)
+            ]
+            assert len(owners) <= 1

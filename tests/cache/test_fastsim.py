@@ -1,0 +1,119 @@
+"""Equivalence of the fast simulator with the reference object model.
+
+The fast simulator exists purely for speed; any behavioural divergence
+from the reference hierarchy is a bug. These tests drive both with the
+same traces — including randomized ones via hypothesis — and require
+bit-identical statistics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import FastHierarchy, HierarchyConfig
+
+SMALL = HierarchyConfig(
+    l1_bytes=512,
+    l1_ways=2,
+    l2_bytes=2048,
+    l2_ways=4,
+    llc_bytes=8192,
+    llc_ways=8,
+)
+
+
+def run_both(config, lines, writes):
+    reference = config.build_reference()
+    fast = FastHierarchy(config)
+    ref_counts = [0, 0, 0, 0, 0]
+    for line, is_write in zip(lines, writes):
+        ref_counts[reference.access(line, is_write)] += 1
+    fast_counts = fast.run_trace(lines, writes)
+    return reference, fast, ref_counts, fast_counts
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        SMALL,
+        HierarchyConfig(),  # default scaled Table II machine
+        HierarchyConfig(prefetch=False),
+        HierarchyConfig(l1_policy="lru", l2_policy="lru", llc_policy="lru"),
+        HierarchyConfig(l1_reserved_ways=7, l2_reserved_ways=1,
+                        llc_reserved_ways=15),
+    ],
+)
+def test_equivalence_random_trace(config):
+    rng = np.random.default_rng(1234)
+    lines = rng.integers(0, 5000, size=20000).tolist()
+    writes = (rng.random(20000) < 0.4).tolist()
+    reference, fast, ref_counts, fast_counts = run_both(config, lines, writes)
+    assert ref_counts[1:] == [
+        fast_counts.l1,
+        fast_counts.l2,
+        fast_counts.llc,
+        fast_counts.dram,
+    ]
+    assert reference.dram_reads == fast.dram_reads
+    assert reference.dram_writes == fast.dram_writes
+    assert reference.dram_prefetch_reads == fast.dram_prefetch_reads
+
+
+def test_equivalence_streaming_trace():
+    lines = list(range(3000)) * 2
+    reference, fast, ref_counts, fast_counts = run_both(
+        SMALL, lines, [False] * len(lines)
+    )
+    assert ref_counts[1:] == [
+        fast_counts.l1,
+        fast_counts.l2,
+        fast_counts.llc,
+        fast_counts.dram,
+    ]
+
+
+@given(
+    lines=st.lists(st.integers(0, 255), min_size=1, max_size=400),
+    write_bits=st.integers(min_value=0),
+)
+@settings(max_examples=60, deadline=None)
+def test_equivalence_property(lines, write_bits):
+    writes = [(write_bits >> i) & 1 == 1 for i in range(len(lines))]
+    reference, fast, ref_counts, fast_counts = run_both(SMALL, lines, writes)
+    assert ref_counts[1:] == [
+        fast_counts.l1,
+        fast_counts.l2,
+        fast_counts.llc,
+        fast_counts.dram,
+    ]
+    assert reference.dram_writes == fast.dram_writes
+
+
+class TestFastSimExtras:
+    def test_run_trace_scalar_write_flag(self):
+        fast = FastHierarchy(SMALL)
+        counts = fast.run_trace([1, 2, 3, 1], True)
+        assert counts.total == 4
+        assert counts.l1 == 1  # the repeated line
+
+    def test_contains(self):
+        fast = FastHierarchy(SMALL)
+        fast.access(7)
+        assert fast.contains(0, 7)
+        assert fast.contains(2, 7)
+        assert not fast.contains(0, 8)
+
+    def test_reset_stats_preserves_contents(self):
+        fast = FastHierarchy(SMALL)
+        fast.access(7)
+        fast.reset_stats()
+        assert fast.dram_reads == 0
+        assert fast.access(7) == 1  # still resident
+
+    def test_bypass_accounting(self):
+        fast = FastHierarchy(SMALL)
+        fast.write_through_dram(4)
+        fast.read_through_dram(2)
+        assert fast.dram_writes == 4
+        assert fast.dram_reads == 2

@@ -1,0 +1,113 @@
+"""Tests for the three-level cache hierarchy."""
+
+import pytest
+
+from repro.cache import (
+    LEVEL_DRAM,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_LLC,
+    Cache,
+    CacheHierarchy,
+)
+
+
+@pytest.fixture
+def hierarchy():
+    return CacheHierarchy(
+        Cache("L1", 512, 2, 64, "lru"),
+        Cache("L2", 2048, 4, 64, "lru"),
+        Cache("LLC", 8192, 8, 64, "lru"),
+        prefetcher=None,
+    )
+
+
+class TestDemandPath:
+    def test_cold_miss_goes_to_dram(self, hierarchy):
+        assert hierarchy.access(100) == LEVEL_DRAM
+        assert hierarchy.dram_reads == 1
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.access(100)
+        assert hierarchy.access(100) == LEVEL_L1
+
+    def test_l1_eviction_leaves_l2_copy(self, hierarchy):
+        # L1 has 4 sets x 2 ways; lines 0,4,8 conflict in set 0.
+        for line in (0, 4, 8):
+            hierarchy.access(line)
+        assert hierarchy.access(0) == LEVEL_L2
+
+    def test_llc_hit_after_l2_eviction(self, hierarchy):
+        # Fill enough conflicting lines to push one out of L2 but not LLC.
+        lines = [0, 8, 16, 24, 32, 40]  # same L2 set (8 sets in L2)
+        for line in lines:
+            hierarchy.access(line)
+        level = hierarchy.access(lines[0])
+        assert level in (LEVEL_L2, LEVEL_LLC)
+
+    def test_mixed_line_sizes_rejected(self):
+        with pytest.raises(ValueError, match="line size"):
+            CacheHierarchy(
+                Cache("L1", 512, 2, 64),
+                Cache("L2", 2048, 4, 32),
+                Cache("LLC", 8192, 8, 64),
+            )
+
+
+class TestWritebacks:
+    def test_dirty_line_reaches_dram_on_flush(self, hierarchy):
+        hierarchy.access(5, is_write=True)
+        hierarchy.flush_all()
+        assert hierarchy.dram_writes == 1
+
+    def test_clean_lines_produce_no_dram_writes(self, hierarchy):
+        for line in range(50):
+            hierarchy.access(line)
+        hierarchy.flush_all()
+        assert hierarchy.dram_writes == 0
+
+    def test_write_allocate(self, hierarchy):
+        assert hierarchy.access(9, is_write=True) == LEVEL_DRAM
+        assert hierarchy.access(9) == LEVEL_L1
+
+
+class TestBypassAccounting:
+    def test_write_through_dram(self, hierarchy):
+        hierarchy.write_through_dram(10)
+        assert hierarchy.dram_writes == 10
+
+    def test_read_through_dram(self, hierarchy):
+        hierarchy.read_through_dram(3)
+        assert hierarchy.dram_reads == 3
+
+
+class TestReserveWays:
+    def test_reservation_restricts_l1(self, hierarchy):
+        hierarchy.reserve_ways(l1_ways=1)
+        # One usable way: two conflicting lines now thrash.
+        hierarchy.access(0)
+        hierarchy.access(4)
+        assert hierarchy.access(0) != LEVEL_L1
+
+    def test_reset_stats(self, hierarchy):
+        hierarchy.access(1)
+        hierarchy.reset_stats()
+        assert hierarchy.dram_reads == 0
+        assert hierarchy.l1.accesses == 0
+
+
+class TestPrefetcher:
+    def test_stream_prefetch_fills_l2(self):
+        from repro.cache import StreamPrefetcher
+
+        hierarchy = CacheHierarchy(
+            Cache("L1", 512, 2, 64, "lru"),
+            Cache("L2", 4096, 4, 64, "lru"),
+            Cache("LLC", 8192, 8, 64, "lru"),
+            prefetcher=StreamPrefetcher(degree=4, threshold=2),
+        )
+        for line in range(3):
+            hierarchy.access(line)
+        # After confidence builds, the next lines should be L2-resident.
+        assert hierarchy.access(3) in (LEVEL_L1, LEVEL_L2)
+        assert hierarchy.dram_prefetch_reads > 0

@@ -1,0 +1,56 @@
+"""Tests for miss-ratio curves."""
+
+import numpy as np
+import pytest
+
+from repro.cache.mrc import miss_ratio_curve, working_set_lines
+
+
+@pytest.fixture(scope="module")
+def random_stream(rng):
+    return rng.integers(0, 8000, size=40_000).tolist()
+
+
+class TestMissRatioCurve:
+    def test_monotone_in_cache_size(self, random_stream):
+        rows = miss_ratio_curve(random_stream, sizes_kb=(32, 128, 512))
+        ratios = [row["miss_ratio"] for row in rows]
+        assert ratios[0] >= ratios[1] >= ratios[2]
+
+    def test_oversized_cache_captures_working_set(self, random_stream):
+        (row,) = miss_ratio_curve(random_stream, sizes_kb=(1024,))
+        # 8000 lines = 500 KB fits a 1 MB LLC: only compulsory misses.
+        assert row["dram_accesses"] <= working_set_lines(random_stream) * 1.05
+
+    def test_tiny_cache_misses_heavily(self, random_stream):
+        (row,) = miss_ratio_curve(random_stream, sizes_kb=(16,))
+        assert row["miss_ratio"] > 0.8
+
+    def test_streaming_never_benefits(self):
+        stream = list(range(20_000))
+        rows = miss_ratio_curve(stream, sizes_kb=(32, 512), is_write=False)
+        # Pure streaming is all compulsory misses at any size.
+        assert all(row["miss_ratio"] > 0.95 for row in rows)
+
+    def test_small_range_stream_hits_upstream(self):
+        rng = np.random.default_rng(4)
+        stream = rng.integers(0, 64, size=10_000).tolist()
+        rows = miss_ratio_curve(stream, sizes_kb=(64,))
+        # 64 lines live in L1/L2; the LLC barely sees lookups, and the
+        # few it does are compulsory.
+        assert rows[0]["dram_accesses"] <= 64
+
+    def test_max_events_cap(self, random_stream):
+        rows = miss_ratio_curve(
+            random_stream, sizes_kb=(64,), max_events=1_000
+        )
+        assert rows[0]["dram_accesses"] <= 1_000
+
+    def test_invalid_size_rejected(self, random_stream):
+        with pytest.raises(ValueError):
+            miss_ratio_curve(random_stream, sizes_kb=(0,))
+
+
+class TestWorkingSet:
+    def test_counts_distinct_lines(self):
+        assert working_set_lines([1, 1, 2, 5, 2]) == 3

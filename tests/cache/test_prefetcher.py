@@ -1,0 +1,59 @@
+"""Tests for the stream prefetcher."""
+
+from repro.cache import StreamPrefetcher
+
+
+class TestDetection:
+    def test_no_prefetch_before_threshold(self):
+        pf = StreamPrefetcher(threshold=2)
+        assert pf.observe(10) == []
+        assert pf.observe(11) == []  # confidence 1 < threshold
+
+    def test_prefetch_after_threshold(self):
+        pf = StreamPrefetcher(degree=4, threshold=2)
+        pf.observe(10)
+        pf.observe(11)
+        assert pf.observe(12) == [13, 14, 15, 16]
+
+    def test_continued_stream_keeps_prefetching(self):
+        pf = StreamPrefetcher(degree=2, threshold=2)
+        for line in range(10, 14):
+            pf.observe(line)
+        assert pf.observe(14) == [15, 16]
+
+    def test_random_accesses_never_prefetch(self):
+        pf = StreamPrefetcher()
+        for line in (5, 100, 3, 77, 12, 9):
+            assert pf.observe(line) == []
+
+    def test_interleaved_streams_both_tracked(self):
+        pf = StreamPrefetcher(degree=1, threshold=2)
+        issued = []
+        for a, b in zip(range(0, 6), range(1000, 1006)):
+            issued += pf.observe(a)
+            issued += pf.observe(b)
+        assert any(i < 100 for i in issued)
+        assert any(i >= 1000 for i in issued)
+
+
+class TestCapacity:
+    def test_stream_table_bounded(self):
+        pf = StreamPrefetcher(num_streams=2, threshold=2)
+        pf.observe(0)
+        pf.observe(100)
+        pf.observe(200)  # displaces the oldest stream (0)
+        assert pf.observe(1) == []  # stream forgotten, restarts
+
+    def test_issued_counter(self):
+        pf = StreamPrefetcher(degree=3, threshold=1)
+        pf.observe(0)
+        pf.observe(1)
+        assert pf.issued == 3
+
+    def test_reset(self):
+        pf = StreamPrefetcher(threshold=1)
+        pf.observe(0)
+        pf.observe(1)
+        pf.reset()
+        assert pf.issued == 0
+        assert pf.observe(2) == []

@@ -1,0 +1,101 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.cache import DRRIP, LRU, BitPLRU, make_policy
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        lru = LRU(num_sets=1, num_ways=4)
+        for way in range(4):
+            lru.on_fill(0, way)
+        lru.on_hit(0, 0)
+        assert lru.victim(0, 0, 4) == 1
+
+    def test_victim_respects_way_range(self):
+        lru = LRU(num_sets=1, num_ways=4)
+        for way in range(4):
+            lru.on_fill(0, way)
+        # Way 0 is oldest, but the range excludes it.
+        assert lru.victim(0, 1, 4) == 1
+
+    def test_sets_are_independent(self):
+        lru = LRU(num_sets=2, num_ways=2)
+        lru.on_fill(0, 0)
+        lru.on_fill(0, 1)
+        lru.on_fill(1, 1)
+        lru.on_fill(1, 0)
+        assert lru.victim(0, 0, 2) == 0
+        assert lru.victim(1, 0, 2) == 1
+
+
+class TestBitPLRU:
+    def test_victim_is_first_clear_bit(self):
+        plru = BitPLRU(num_sets=1, num_ways=4)
+        plru.on_fill(0, 0)
+        plru.on_fill(0, 2)
+        assert plru.victim(0, 0, 4) == 1
+
+    def test_saturation_resets_other_bits(self):
+        plru = BitPLRU(num_sets=1, num_ways=2)
+        plru.on_fill(0, 0)
+        plru.on_fill(0, 1)  # would saturate: resets, keeps way 1
+        assert plru.victim(0, 0, 2) == 0
+
+    def test_hit_range_restricted(self):
+        plru = BitPLRU(num_sets=1, num_ways=8)
+        for way in range(3):
+            plru.on_fill_range(0, way, 0, 4)
+        assert plru.victim(0, 0, 4) == 3
+
+    def test_recently_touched_not_victim(self):
+        plru = BitPLRU(num_sets=1, num_ways=4)
+        for way in range(3):
+            plru.on_fill(0, way)
+        plru.on_hit(0, 1)
+        assert plru.victim(0, 0, 4) == 3
+
+
+class TestDRRIP:
+    def test_hit_promotes_to_zero(self):
+        drrip = DRRIP(num_sets=64, num_ways=4)
+        drrip.on_fill(0, 1)
+        drrip.on_hit(0, 1)
+        assert drrip._rrpv[0 * 4 + 1] == 0
+
+    def test_victim_prefers_distant_rrpv(self):
+        drrip = DRRIP(num_sets=64, num_ways=4)
+        for way in range(4):
+            drrip.on_fill(0, way)
+        drrip.on_hit(0, 2)
+        victim = drrip.victim(0, 0, 4)
+        assert victim != 2
+
+    def test_victim_always_in_range(self):
+        drrip = DRRIP(num_sets=64, num_ways=8)
+        for way in range(8):
+            drrip.on_fill(3, way)
+            drrip.on_hit(3, way)
+        assert 2 <= drrip.victim(3, 2, 6) < 6
+
+    def test_leader_sets_disjoint(self):
+        drrip = DRRIP(num_sets=256, num_ways=16)
+        assert not (drrip._srrip_leaders & drrip._brrip_leaders)
+
+    def test_psel_moves_with_leader_fills(self):
+        drrip = DRRIP(num_sets=256, num_ways=4)
+        start = drrip._psel
+        leader = next(iter(drrip._srrip_leaders))
+        drrip.on_fill(leader, 0)
+        assert drrip._psel == start + 1
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("lru", LRU), ("plru", BitPLRU), ("drrip", DRRIP)])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 4, 4), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown replacement"):
+            make_policy("fifo", 4, 4)

@@ -1,0 +1,68 @@
+"""Edge-case tests for replacement policies under partitioned ranges."""
+
+import pytest
+
+from repro.cache import DRRIP, BitPLRU, Cache
+
+
+class TestDrripAging:
+    def test_aging_terminates_and_picks_a_way(self):
+        drrip = DRRIP(num_sets=64, num_ways=4)
+        for way in range(4):
+            drrip.on_fill(0, way)
+            drrip.on_hit(0, way)  # all RRPVs at 0: forces aging loop
+        victim = drrip.victim(0, 0, 4)
+        assert 0 <= victim < 4
+
+    def test_restricted_range_never_escapes(self):
+        drrip = DRRIP(num_sets=64, num_ways=8)
+        for way in range(8):
+            drrip.on_fill(2, way)
+        for _ in range(20):
+            assert 3 <= drrip.victim(2, 3, 6) < 6
+
+    def test_brrip_occasionally_inserts_long(self):
+        drrip = DRRIP(num_sets=256, num_ways=4)
+        leader = next(iter(drrip._brrip_leaders))
+        rrpvs = set()
+        for i in range(64):
+            drrip.on_fill(leader, i % 4)
+            rrpvs.add(drrip._rrpv[leader * 4 + i % 4])
+        assert rrpvs == {2, 3}  # mostly distant (3), 1-in-32 long (2)
+
+
+class TestPlruPartitioned:
+    def test_touch_range_saturation_resets_only_range(self):
+        plru = BitPLRU(num_sets=1, num_ways=8)
+        plru.on_fill_range(0, 7, 0, 8)  # way outside a later partition
+        for way in range(4):
+            plru.on_fill_range(0, way, 0, 4)
+        # The [0,4) range saturated and reset; way 3 was the last touch.
+        assert plru.victim(0, 0, 4) in (0, 1, 2)
+
+
+class TestCacheWritebackOnReservation:
+    def test_dirty_lines_in_reserved_ways_reported(self):
+        cache = Cache("L1", 1024, 4, 64, policy="lru")
+        # Fill all four ways of set 0, two dirty.
+        for i, dirty in enumerate((False, True, False, True)):
+            cache.fill(i * 4, dirty=dirty)
+        evictions = cache.reserve_ways(3)
+        dirty_count = sum(1 for e in evictions if e.dirty)
+        assert len(evictions) == 3
+        assert dirty_count >= 1
+
+    def test_reservation_is_idempotent(self):
+        cache = Cache("L1", 1024, 4, 64)
+        cache.reserve_ways(2)
+        assert cache.reserve_ways(2) == []  # nothing newly displaced
+        assert cache.usable_ways == 2
+
+    def test_growing_reservation_displaces_more(self):
+        cache = Cache("L1", 1024, 4, 64, policy="lru")
+        for i in range(4):
+            cache.fill(i * 4)
+        first = cache.reserve_ways(1)
+        second = cache.reserve_ways(3)
+        assert len(first) == 1
+        assert len(second) == 2

@@ -1,0 +1,86 @@
+"""Tests for statistics containers and hierarchy configuration."""
+
+import pytest
+
+from repro.cache import (
+    LEVEL_DRAM,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_LLC,
+    HierarchyConfig,
+    MemoryTraffic,
+    ServiceCounts,
+)
+
+
+class TestServiceCounts:
+    def test_record(self):
+        counts = ServiceCounts()
+        for level in (LEVEL_L1, LEVEL_L1, LEVEL_L2, LEVEL_LLC, LEVEL_DRAM):
+            counts.record(level)
+        assert (counts.l1, counts.l2, counts.llc, counts.dram) == (2, 1, 1, 1)
+        assert counts.total == 5
+
+    def test_record_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ServiceCounts().record(9)
+
+    def test_llc_miss_rate(self):
+        counts = ServiceCounts(l1=10, l2=5, llc=3, dram=7)
+        assert counts.llc_miss_rate == pytest.approx(0.7)
+
+    def test_miss_rates_of_empty_counts(self):
+        counts = ServiceCounts()
+        assert counts.llc_miss_rate == 0.0
+        assert counts.l1_miss_rate == 0.0
+
+    def test_l1_miss_rate(self):
+        counts = ServiceCounts(l1=6, l2=2, llc=1, dram=1)
+        assert counts.l1_miss_rate == pytest.approx(0.4)
+
+    def test_merged(self):
+        merged = ServiceCounts(1, 2, 3, 4).merged(ServiceCounts(4, 3, 2, 1))
+        assert merged.as_dict() == {"l1": 5, "l2": 5, "llc": 5, "dram": 5}
+
+
+class TestMemoryTraffic:
+    def test_totals(self):
+        traffic = MemoryTraffic(reads=3, writes=2, prefetch_reads=1)
+        assert traffic.total_lines == 6
+        assert traffic.total_bytes == 6 * 64
+
+    def test_merged(self):
+        merged = MemoryTraffic(1, 2).merged(MemoryTraffic(3, 4))
+        assert merged.reads == 4
+        assert merged.writes == 6
+
+    def test_merge_rejects_line_size_mismatch(self):
+        with pytest.raises(ValueError):
+            MemoryTraffic(line_bytes=64).merged(MemoryTraffic(line_bytes=32))
+
+
+class TestHierarchyConfig:
+    def test_default_geometry(self):
+        config = HierarchyConfig()
+        assert config.sets("l1") == 4
+        assert config.sets("l2") == 32
+        assert config.sets("llc") == 128
+        assert config.lines("llc") == 2048
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            HierarchyConfig(l1_bytes=1000)
+
+    def test_reserved_ways_validated(self):
+        with pytest.raises(ValueError, match="reserved"):
+            HierarchyConfig(l1_reserved_ways=8)
+
+    def test_with_reserved(self):
+        config = HierarchyConfig().with_reserved(l1=7, l2=1, llc=15)
+        assert config.l1_reserved_ways == 7
+        assert config.llc_reserved_ways == 15
+
+    def test_build_reference_applies_reservation(self):
+        config = HierarchyConfig(l1_reserved_ways=4)
+        hierarchy = config.build_reference()
+        assert hierarchy.l1.usable_ways == 4

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import EdgeList, build_csr, rmat, uniform_random
+
+
+@pytest.fixture(scope="session")
+def small_edges():
+    """A small power-law edge list (4k vertices, 32k edges)."""
+    return rmat(1 << 12, 1 << 15, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_csr(small_edges):
+    """CSR of :func:`small_edges`."""
+    return build_csr(small_edges)
+
+
+@pytest.fixture(scope="session")
+def uniform_edges():
+    """A small uniform-random edge list."""
+    return uniform_random(1 << 12, 1 << 15, seed=43)
+
+
+@pytest.fixture
+def tiny_edges():
+    """A hand-checkable edge list."""
+    return EdgeList(
+        np.array([0, 2, 1, 2, 0, 3]),
+        np.array([1, 3, 0, 0, 2, 3]),
+        num_vertices=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Session RNG for tests that need arbitrary-but-stable data."""
+    return np.random.default_rng(0xC0FFEE)

@@ -1,0 +1,97 @@
+"""Tests for the Figure 9 sequential bin layout."""
+
+import numpy as np
+import pytest
+
+from repro.core import CobraConfig, CobraMachine
+from repro.core.binlayout import SequentialBins
+from repro.pb import bin_counts as compute_bin_counts
+from repro.pb import bin_updates
+
+
+class TestSequentialBins:
+    def test_offsets_are_prefix_sums(self):
+        bins = SequentialBins(np.array([2, 0, 3]))
+        assert np.array_equal(bins.offsets, [0, 2, 2, 5])
+        assert bins.num_bins == 3
+
+    def test_write_advances_cursor(self):
+        bins = SequentialBins(np.array([4, 4]))
+        bins.write_line(0, [(0, "a"), (1, "b")])
+        assert bins.cursors[0] == 2
+        assert bins.remaining(0) == 2
+        indices, values = bins.bin_contents(0)
+        assert indices.tolist() == [0, 1]
+        assert list(values) == ["a", "b"]
+
+    def test_overflow_detected(self):
+        bins = SequentialBins(np.array([1]))
+        with pytest.raises(OverflowError, match="overflows"):
+            bins.write_line(0, [(0, None), (1, None)])
+
+    def test_line_accounting(self):
+        bins = SequentialBins(np.array([10]), tuple_bytes=8, line_bytes=64)
+        bins.write_line(0, [(i, None) for i in range(8)])  # exactly one line
+        bins.write_line(0, [(8, None), (9, None)])  # partial
+        assert bins.full_lines == 1
+        assert bins.partial_lines == 1
+        assert bins.wasted_bytes == 64 - 16
+
+    def test_completeness(self):
+        bins = SequentialBins(np.array([1, 2]))
+        assert not bins.is_complete()
+        bins.write_line(0, [(0, None)])
+        bins.write_line(1, [(1, None), (2, None)])
+        assert bins.is_complete()
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialBins(np.array([1, -1]))
+
+    def test_empty_write_is_noop(self):
+        bins = SequentialBins(np.array([1]))
+        bins.write_line(0, [])
+        assert bins.total_tuples == 0
+
+
+class TestCobraWithSequentialLayout:
+    def test_end_to_end_matches_software_binning(self, rng):
+        """The full Figure 9 path: Init counts -> tag cursors -> layout
+        identical (as per-bin multisets) to software PB's bin arrays."""
+        config = CobraConfig(num_indices=1 << 12, tuple_bytes=8)
+        spec = config.memory_bin_spec
+        indices = rng.integers(0, 1 << 12, size=10_000)
+        values = np.arange(10_000)
+        counts = compute_bin_counts(indices, spec)
+
+        machine = CobraMachine(config).bininit(bin_counts=counts)
+        machine.binupdate_many(indices.tolist(), values.tolist())
+        machine.binflush()
+
+        assert machine.memory_bins.is_complete()
+        sw_idx, sw_val, sw_off = bin_updates(indices, values, spec)
+        for b in range(spec.num_bins):
+            hw_idx, hw_val = machine.memory_bins.bin_contents(b)
+            software = sorted(
+                zip(
+                    sw_idx[sw_off[b] : sw_off[b + 1]].tolist(),
+                    sw_val[sw_off[b] : sw_off[b + 1]].tolist(),
+                )
+            )
+            assert sorted(zip(hw_idx.tolist(), list(hw_val))) == software
+
+    def test_wrong_count_length_rejected(self):
+        config = CobraConfig(num_indices=1 << 12, tuple_bytes=8)
+        with pytest.raises(ValueError, match="one entry per LLC"):
+            CobraMachine(config).bininit(bin_counts=np.array([1, 2, 3]))
+
+    def test_undersized_counts_overflow(self, rng):
+        config = CobraConfig(num_indices=1 << 12, tuple_bytes=8)
+        spec = config.memory_bin_spec
+        indices = rng.integers(0, 1 << 12, size=5_000)
+        counts = compute_bin_counts(indices, spec)
+        counts[int(spec.bins_of(indices[:1])[0])] = 0  # sabotage one bin
+        machine = CobraMachine(config).bininit(bin_counts=counts)
+        with pytest.raises(OverflowError):
+            machine.binupdate_many(indices.tolist())
+            machine.binflush()

@@ -1,0 +1,86 @@
+"""Tests for hardware C-Buffer lines and arrays."""
+
+import pytest
+
+from repro.core import CBufferArray, CBufferLine
+
+
+class TestCBufferLine:
+    def test_counter_bits_match_capacity(self):
+        assert CBufferLine(8).counter_bits == 3
+        assert CBufferLine(16).counter_bits == 4
+        assert CBufferLine(4).counter_bits == 2
+
+    def test_insert_returns_none_until_full(self):
+        line = CBufferLine(4)
+        assert line.insert(1, "a") is None
+        assert line.insert(2, "b") is None
+        assert line.insert(3, "c") is None
+        assert line.occupancy == 3
+
+    def test_fill_returns_tuples_and_wraps_counter(self):
+        line = CBufferLine(2)
+        line.insert(1, "a")
+        full = line.insert(2, "b")
+        assert full == [(1, "a"), (2, "b")]
+        assert line.offset == 0  # wrapped
+        assert line.is_empty
+
+    def test_reusable_after_fill(self):
+        line = CBufferLine(2)
+        line.insert(1, None)
+        line.insert(2, None)
+        assert line.insert(3, None) is None
+        assert line.occupancy == 1
+
+    def test_drain_partial(self):
+        line = CBufferLine(8)
+        line.insert(5, "x")
+        assert line.drain() == [(5, "x")]
+        assert line.is_empty
+        assert line.offset == 0
+
+
+class TestCBufferArray:
+    def test_buffer_id_is_shift(self):
+        array = CBufferArray(num_buffers=4, bin_range=16, tuples_per_line=8)
+        assert array.buffer_id(0) == 0
+        assert array.buffer_id(15) == 0
+        assert array.buffer_id(16) == 1
+        assert array.buffer_id(63) == 3
+
+    def test_insert_until_eviction(self):
+        array = CBufferArray(4, 16, tuples_per_line=2)
+        assert array.insert(0, "a") is None
+        buffer_id, tuples = array.insert(1, "b")
+        assert buffer_id == 0
+        assert tuples == [(0, "a"), (1, "b")]
+        assert array.evictions == 1
+
+    def test_buffers_are_independent(self):
+        array = CBufferArray(4, 16, tuples_per_line=2)
+        array.insert(0, None)
+        array.insert(16, None)
+        assert array.occupancy == 2
+        assert array.insert(17, None) is not None  # buffer 1 fills
+
+    def test_drain_all_in_id_order(self):
+        array = CBufferArray(4, 16, tuples_per_line=8)
+        array.insert(40, None)
+        array.insert(1, None)
+        drained = array.drain_all()
+        assert [buffer_id for buffer_id, _ in drained] == [0, 2]
+        assert array.occupancy == 0
+
+    def test_occupancies(self):
+        array = CBufferArray(4, 16, tuples_per_line=8)
+        array.insert(0, None)
+        array.insert(0, None)
+        array.insert(33, None)
+        assert array.occupancies() == {0: 2, 2: 1}
+
+    def test_insert_counter(self):
+        array = CBufferArray(4, 16, tuples_per_line=8)
+        for i in range(5):
+            array.insert(i, None)
+        assert array.inserts == 5

@@ -1,0 +1,79 @@
+"""Tests for COBRA-COMM (LLC coalescing)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CobraCommMachine, CobraConfig, CobraMachine
+
+
+@pytest.fixture
+def config():
+    return CobraConfig(num_indices=1 << 14, tuple_bytes=8)
+
+
+class TestCoalescing:
+    def test_add_reduction_preserves_sums(self, config, rng):
+        indices = rng.integers(0, 1 << 14, size=20_000)
+        machine = CobraCommMachine(config, "add").bininit()
+        machine.binupdate_many(indices.tolist(), [1] * 20_000)
+        machine.binflush()
+        sums = np.zeros(1 << 14, dtype=np.int64)
+        for bin_tuples in machine.memory_bins.bins:
+            for index, value in bin_tuples:
+                sums[index] += value
+        expected = np.bincount(indices, minlength=1 << 14)
+        assert np.array_equal(sums, expected)
+
+    def test_coalesced_counts_tuples_saved(self, config, rng):
+        indices = rng.integers(0, 1 << 14, size=20_000)
+        machine = CobraCommMachine(config, "add").bininit()
+        machine.binupdate_many(indices.tolist(), [1] * 20_000)
+        machine.binflush()
+        assert (
+            machine.memory_bins.total_tuples + machine.coalesced == 20_000
+        )
+
+    def test_skew_increases_coalescing(self, config, rng):
+        uniform = rng.integers(0, 1 << 14, size=10_000)
+        skewed = rng.integers(0, 64, size=10_000)  # hot range
+        results = []
+        for indices in (uniform, skewed):
+            machine = CobraCommMachine(config, "add").bininit()
+            machine.binupdate_many(indices.tolist(), [1] * 10_000)
+            machine.binflush()
+            results.append(machine.coalesced)
+        assert results[1] > results[0]
+
+    def test_or_reduction(self, config):
+        machine = CobraCommMachine(config, "or").bininit()
+        machine.binupdate(5, 1)
+        machine.binupdate(5, 4)
+        machine.binflush()
+        (bin_tuples,) = [b for b in machine.memory_bins.bins if b]
+        assert bin_tuples == [(5, 5)]
+
+    def test_traffic_reduced_vs_plain_cobra(self, config, rng):
+        indices = rng.integers(0, 256, size=20_000)  # heavy reuse
+        plain = CobraMachine(config).bininit()
+        plain.binupdate_many(indices.tolist(), [1] * 20_000)
+        plain.binflush()
+        comm = CobraCommMachine(config, "add").bininit()
+        comm.binupdate_many(indices.tolist(), [1] * 20_000)
+        comm.binflush()
+        assert (
+            comm.memory_bins.lines_written < plain.memory_bins.lines_written
+        )
+
+
+class TestNonCommutativeHazard:
+    def test_coalescing_breaks_store_semantics(self, config):
+        """The Section III-B hazard: merging reordered non-commutative
+        updates loses information (here: update multiplicity)."""
+        machine = CobraCommMachine(config, lambda old, new: new).bininit()
+        machine.binupdate(7, "first")
+        machine.binupdate(7, "second")
+        machine.binflush()
+        (bin_tuples,) = [b for b in machine.memory_bins.bins if b]
+        # Two updates collapsed into one: a placement kernel would skip an
+        # output slot — exactly why PHI/COBRA-COMM are inapplicable.
+        assert len(bin_tuples) == 1

@@ -1,0 +1,69 @@
+"""Tests for the COBRA configuration (bininit derivation)."""
+
+import pytest
+
+from repro.cache import HierarchyConfig
+from repro.core import CobraConfig
+
+
+class TestDefaults:
+    def test_default_reservations(self):
+        config = CobraConfig(num_indices=1 << 16, tuple_bytes=8)
+        assert config.l1_reserved_ways == 7  # all but one
+        assert config.l2_reserved_ways == 1  # prefetcher keeps the rest
+        assert config.llc_reserved_ways == 15
+
+    def test_tuples_per_line(self):
+        assert CobraConfig(num_indices=64, tuple_bytes=8).tuples_per_line == 8
+        assert CobraConfig(num_indices=64, tuple_bytes=16).tuples_per_line == 4
+
+    def test_tuple_must_divide_line(self):
+        with pytest.raises(ValueError, match="divide"):
+            CobraConfig(num_indices=64, tuple_bytes=24)
+
+    def test_reservation_bounds_checked(self):
+        with pytest.raises(ValueError, match="reservation"):
+            CobraConfig(num_indices=64, tuple_bytes=8, l2_reserved_ways=8)
+
+
+class TestLevelBinning:
+    def test_hierarchy_of_buffer_counts(self):
+        config = CobraConfig(num_indices=1 << 18, tuple_bytes=8)
+        assert config.l1.num_buffers <= config.l2.num_buffers
+        assert config.l2.num_buffers <= config.llc.num_buffers
+
+    def test_bin_ranges_shrink_downward(self):
+        config = CobraConfig(num_indices=1 << 18, tuple_bytes=8)
+        assert config.l1.bin_range >= config.l2.bin_range >= config.llc.bin_range
+
+    def test_ranges_are_powers_of_two(self):
+        config = CobraConfig(num_indices=100_000, tuple_bytes=8)
+        for level in (config.l1, config.l2, config.llc):
+            assert level.bin_range & (level.bin_range - 1) == 0
+
+    def test_buffers_fit_reserved_capacity(self):
+        hierarchy = HierarchyConfig()
+        config = CobraConfig(
+            hierarchy=hierarchy, num_indices=1 << 18, tuple_bytes=8
+        )
+        for name in ("l1", "l2", "llc"):
+            binning = config.level_binning(name)
+            capacity = binning.reserved_ways * hierarchy.sets(name)
+            assert binning.num_buffers <= capacity
+
+    def test_ways_used_may_undershoot_reserved(self):
+        # Power-of-two rounding can leave reserved ways unused; bininit
+        # reports ways_used so software can reclaim them (Section V-A).
+        config = CobraConfig(num_indices=1 << 14, tuple_bytes=8)
+        assert config.l1.ways_used <= config.l1.reserved_ways
+
+    def test_memory_bins_mirror_llc(self):
+        config = CobraConfig(num_indices=1 << 18, tuple_bytes=8)
+        assert config.memory_bin_spec.num_bins == config.llc.num_buffers
+
+    def test_validate_monotone_passes_defaults(self):
+        CobraConfig(num_indices=1 << 18, tuple_bytes=8).validate_monotone()
+
+    def test_shift_matches_range(self):
+        config = CobraConfig(num_indices=1 << 18, tuple_bytes=8)
+        assert 1 << config.llc.shift == config.llc.bin_range

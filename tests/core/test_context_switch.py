@@ -1,0 +1,46 @@
+"""Tests for the context-switch bandwidth-waste model (Figure 13c)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CobraConfig, simulate_context_switches
+
+
+@pytest.fixture
+def config():
+    return CobraConfig(num_indices=1 << 14, tuple_bytes=8)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return np.random.default_rng(3).integers(0, 1 << 14, size=40_000)
+
+
+class TestContextSwitches:
+    def test_no_tuples_lost(self, config, trace):
+        result = simulate_context_switches(config, trace, 5_000)
+        assert result.useful_bytes == len(trace) * 8
+
+    def test_switch_count(self, config, trace):
+        result = simulate_context_switches(config, trace, 10_000)
+        assert result.switches == 3  # 40k tuples, a switch every 10k
+
+    def test_larger_quantum_wastes_less(self, config, trace):
+        frequent = simulate_context_switches(config, trace, 2_000)
+        rare = simulate_context_switches(config, trace, 20_000)
+        assert rare.waste_fraction < frequent.waste_fraction
+
+    def test_quantum_beyond_trace_means_no_switches(self, config, trace):
+        result = simulate_context_switches(config, trace, len(trace) + 1)
+        assert result.switches == 0
+        # Only binflush residue remains as waste.
+        flush_only = result.waste_fraction
+        assert flush_only < 0.5
+
+    def test_waste_fraction_bounded(self, config, trace):
+        result = simulate_context_switches(config, trace, 1_000)
+        assert 0.0 <= result.waste_fraction < 1.0
+
+    def test_quantum_validated(self, config, trace):
+        with pytest.raises(ValueError):
+            simulate_context_switches(config, trace, 0)

@@ -1,0 +1,112 @@
+"""Tests for the COBRA functional machine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CobraConfig, CobraMachine
+from repro.pb import bin_updates
+
+
+@pytest.fixture
+def machine():
+    return CobraMachine(
+        CobraConfig(num_indices=1 << 14, tuple_bytes=8)
+    ).bininit()
+
+
+class TestISA:
+    def test_binupdate_before_bininit_rejected(self):
+        machine = CobraMachine(CobraConfig(num_indices=64, tuple_bytes=8))
+        with pytest.raises(RuntimeError, match="bininit"):
+            machine.binupdate(0, None)
+
+    def test_binflush_before_bininit_rejected(self):
+        machine = CobraMachine(CobraConfig(num_indices=64, tuple_bytes=8))
+        with pytest.raises(RuntimeError, match="bininit"):
+            machine.binflush()
+
+    def test_index_bounds_checked(self, machine):
+        with pytest.raises(IndexError):
+            machine.binupdate(1 << 14, None)
+
+    def test_all_tuples_reach_memory_after_flush(self, machine, rng):
+        indices = rng.integers(0, 1 << 14, size=5000)
+        machine.binupdate_many(indices.tolist())
+        machine.binflush()
+        assert machine.memory_bins.total_tuples == 5000
+        assert machine.buffered_tuples == 0
+
+    def test_tuples_buffered_before_flush(self, machine):
+        machine.binupdate(3, "v")
+        assert machine.buffered_tuples == 1
+        assert machine.memory_bins.total_tuples == 0
+
+
+class TestFunctionalEquivalence:
+    def test_bins_match_software_pb(self, machine, rng):
+        """Each memory bin holds exactly its software-PB bin's updates."""
+        indices = rng.integers(0, 1 << 14, size=20_000)
+        values = np.arange(20_000)
+        machine.binupdate_many(indices.tolist(), values.tolist())
+        machine.binflush()
+        spec = machine.config.memory_bin_spec
+        sw_indices, sw_values, offsets = bin_updates(indices, values, spec)
+        for b in range(spec.num_bins):
+            software = sorted(
+                zip(
+                    sw_indices[offsets[b] : offsets[b + 1]].tolist(),
+                    sw_values[offsets[b] : offsets[b + 1]].tolist(),
+                )
+            )
+            hardware = sorted(machine.bin_contents(b))
+            assert software == hardware
+
+    @given(st.lists(st.integers(0, 1023), min_size=0, max_size=400))
+    @settings(max_examples=30, deadline=None)
+    def test_no_tuple_lost_or_duplicated(self, raw):
+        machine = CobraMachine(
+            CobraConfig(num_indices=1024, tuple_bytes=8)
+        ).bininit()
+        machine.binupdate_many(raw)
+        machine.binflush()
+        recovered = sorted(
+            index
+            for bin_tuples in machine.memory_bins.bins
+            for index, _value in bin_tuples
+        )
+        assert recovered == sorted(raw)
+
+    def test_bin_ranges_respected(self, machine, rng):
+        indices = rng.integers(0, 1 << 14, size=8000)
+        machine.binupdate_many(indices.tolist())
+        machine.binflush()
+        shift = machine.config.llc.shift
+        for bin_id, bin_tuples in enumerate(machine.memory_bins.bins):
+            assert all(index >> shift == bin_id for index, _ in bin_tuples)
+
+
+class TestStats:
+    def test_eviction_counts_consistent(self, machine, rng):
+        indices = rng.integers(0, 1 << 14, size=30_000)
+        machine.binupdate_many(indices.tolist())
+        machine.binflush()
+        per_line = machine.config.tuples_per_line
+        # Each eviction moved exactly one full line of tuples.
+        assert machine.stats.l1_evictions <= 30_000 // per_line
+        assert machine.stats.llc_evictions == machine.memory_bins.full_lines
+
+    def test_partial_lines_counted_on_flush(self, machine):
+        machine.binupdate(0, None)  # a single tuple: one partial line
+        machine.binflush()
+        assert machine.memory_bins.partial_lines == 1
+        assert machine.memory_bins.wasted_bytes == 64 - 8
+
+    def test_context_switch_eviction(self, machine, rng):
+        indices = rng.integers(0, 1 << 14, size=5000)
+        machine.binupdate_many(indices.tolist())
+        evicted = machine.evict_llc_partial()
+        assert evicted >= 0
+        machine.binflush()
+        assert machine.memory_bins.total_tuples == 5000

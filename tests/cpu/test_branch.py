@@ -1,0 +1,103 @@
+"""Tests for branch predictor models."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import BimodalPredictor, BranchSite, GSharePredictor, simulate_sites
+
+
+class TestBimodal:
+    def test_learns_always_taken(self):
+        predictor = BimodalPredictor()
+        mispredicts = predictor.simulate(0x400, [True] * 100)
+        assert mispredicts <= 1  # initialized weakly taken
+
+    def test_learns_never_taken(self):
+        predictor = BimodalPredictor()
+        mispredicts = predictor.simulate(0x400, [False] * 100)
+        assert mispredicts <= 2
+
+    def test_alternating_pattern_defeats_bimodal(self):
+        predictor = BimodalPredictor()
+        outcomes = [True, False] * 200
+        mispredicts = predictor.simulate(0x400, outcomes)
+        assert mispredicts > len(outcomes) * 0.4
+
+    def test_invalid_table_size_rejected(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(table_size=1000)
+
+    def test_predict_and_update_agrees_with_simulate(self):
+        a = BimodalPredictor()
+        b = BimodalPredictor()
+        outcomes = [True, True, False, True, False, False] * 10
+        stepwise = sum(
+            0 if a.predict_and_update(0x40, taken) else 1 for taken in outcomes
+        )
+        assert stepwise == b.simulate(0x40, outcomes)
+
+
+class TestGShare:
+    def test_learns_periodic_pattern(self):
+        # Period-4 pattern fits in 12 bits of history: near-zero misses
+        # after warmup.
+        predictor = GSharePredictor()
+        outcomes = ([True, False, False, False] * 300)
+        mispredicts = predictor.simulate(0x400, outcomes)
+        assert mispredicts < len(outcomes) * 0.1
+
+    def test_random_pattern_mispredicts_heavily(self, rng):
+        predictor = GSharePredictor()
+        outcomes = (rng.random(4000) < 0.5).tolist()
+        mispredicts = predictor.simulate(0x400, outcomes)
+        assert mispredicts > 1000
+
+    def test_biased_random_rate_tracks_bias(self, rng):
+        predictor = GSharePredictor()
+        outcomes = (rng.random(8000) < 0.1).tolist()
+        rate = predictor.simulate(0x400, outcomes) / 8000
+        assert 0.03 < rate < 0.25
+
+    def test_history_must_fit_table(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(table_size=256, history_bits=10)
+
+    def test_predict_and_update_agrees_with_simulate(self):
+        a = GSharePredictor()
+        b = GSharePredictor()
+        outcomes = [True, False, True, True, False] * 20
+        stepwise = sum(
+            0 if a.predict_and_update(0x40, taken) else 1 for taken in outcomes
+        )
+        assert stepwise == b.simulate(0x40, outcomes)
+
+
+class TestBranchSite:
+    def test_count_defaults_to_length(self):
+        site = BranchSite("s", 1, np.array([True, False]))
+        assert site.count == 2
+
+    def test_count_below_sample_rejected(self):
+        with pytest.raises(ValueError):
+            BranchSite("s", 1, np.array([True, False]), count=1)
+
+
+class TestSimulateSites:
+    def test_scales_sampled_outcomes(self):
+        outcomes = np.array([True] * 100)
+        site = BranchSite("always", 7, outcomes, count=10_000)
+        total = simulate_sites([site])
+        assert total < 10_000 * 0.05  # near-perfect prediction, scaled
+
+    def test_empty_sites(self):
+        assert simulate_sites([]) == 0.0
+
+    def test_empty_outcomes_skipped(self):
+        site = BranchSite("empty", 3, np.array([], dtype=bool))
+        assert simulate_sites([site]) == 0.0
+
+    def test_multiple_sites_accumulate(self, rng):
+        a = BranchSite("a", 1, rng.random(1000) < 0.5)
+        b = BranchSite("b", 2, rng.random(1000) < 0.5)
+        both = simulate_sites([a, b])
+        assert both > simulate_sites([BranchSite("a", 1, a.outcomes)]) * 1.5

@@ -1,0 +1,84 @@
+"""Tests for performance-counter aggregation."""
+
+import pytest
+
+from repro.cache import MemoryTraffic, ServiceCounts
+from repro.cpu import PhaseCounters, RunCounters
+
+
+@pytest.fixture
+def run():
+    counters = RunCounters(workload="w", mode="m")
+    counters.phases.append(
+        PhaseCounters(
+            name="binning",
+            instructions=1000,
+            branches=100,
+            branch_mispredicts=10.0,
+            irregular_service=ServiceCounts(l1=50, dram=5),
+            traffic=MemoryTraffic(reads=20, writes=4),
+            cycles=500.0,
+        )
+    )
+    counters.phases.append(
+        PhaseCounters(
+            name="accumulate",
+            instructions=3000,
+            branch_mispredicts=2.0,
+            irregular_service=ServiceCounts(l1=200),
+            traffic=MemoryTraffic(reads=10),
+            cycles=1500.0,
+        )
+    )
+    return counters
+
+
+class TestPhaseCounters:
+    def test_ipc(self):
+        phase = PhaseCounters(name="p", instructions=100, cycles=50.0)
+        assert phase.ipc == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert PhaseCounters(name="p").ipc == 0.0
+
+    def test_mpki(self):
+        phase = PhaseCounters(
+            name="p", instructions=2000, branch_mispredicts=4.0
+        )
+        assert phase.mpki == 2.0
+
+    def test_demand_service_combines_streams(self):
+        phase = PhaseCounters(
+            name="p",
+            irregular_service=ServiceCounts(l1=5),
+            streaming_service=ServiceCounts(dram=3),
+        )
+        assert phase.demand_service.total == 8
+
+
+class TestRunCounters:
+    def test_totals(self, run):
+        assert run.cycles == 2000.0
+        assert run.instructions == 4000
+        assert run.branch_mispredicts == 12.0
+
+    def test_phase_lookup(self, run):
+        assert run.phase("binning").instructions == 1000
+        with pytest.raises(KeyError):
+            run.phase("missing")
+
+    def test_has_phase(self, run):
+        assert run.has_phase("accumulate")
+        assert not run.has_phase("init")
+
+    def test_traffic_aggregation(self, run):
+        assert run.traffic.reads == 30
+        assert run.traffic.writes == 4
+
+    def test_irregular_service_aggregation(self, run):
+        total = run.irregular_service
+        assert total.l1 == 250
+        assert total.dram == 5
+
+    def test_run_mpki(self, run):
+        assert run.mpki == pytest.approx(1000 * 12.0 / 4000)

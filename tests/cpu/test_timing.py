@@ -1,0 +1,80 @@
+"""Tests for the analytic core timing model."""
+
+import pytest
+
+from repro.cache import ServiceCounts
+from repro.cpu import CoreParams, TimingModel
+
+
+@pytest.fixture
+def model():
+    return TimingModel(CoreParams())
+
+
+class TestPhaseTiming:
+    def test_pure_compute(self, model):
+        timing = model.phase_timing("t", 4000, ServiceCounts(), 0, 0)
+        assert timing.total_cycles == pytest.approx(1000)
+
+    def test_l1_hits_are_free_of_stall(self, model):
+        timing = model.phase_timing(
+            "t", 0, ServiceCounts(l1=10_000), 0, 0
+        )
+        assert timing.irregular_cycles == 0
+
+    def test_dram_misses_dominate(self, model):
+        params = model.params
+        timing = model.phase_timing(
+            "t", 0, ServiceCounts(dram=1000), 0, 0
+        )
+        expected = 1000 * params.dram_latency / params.mlp_irregular
+        assert timing.irregular_cycles == pytest.approx(expected)
+
+    def test_streaming_overlaps_compute(self, model):
+        compute_only = model.phase_timing("t", 8000, ServiceCounts(), 0, 0)
+        with_stream = model.phase_timing(
+            "t", 8000, ServiceCounts(), 800, 0
+        )
+        # Streaming smaller than compute: fully hidden.
+        assert with_stream.total_cycles == compute_only.total_cycles
+
+    def test_streaming_bound_when_larger(self, model):
+        timing = model.phase_timing("t", 100, ServiceCounts(), 80_000, 0)
+        assert timing.total_cycles == pytest.approx(
+            80_000 / model.params.stream_bytes_per_cycle
+        )
+
+    def test_branch_penalty_additive(self, model):
+        base = model.phase_timing("t", 4000, ServiceCounts(), 0, 0)
+        with_branches = model.phase_timing("t", 4000, ServiceCounts(), 0, 100)
+        delta = with_branches.total_cycles - base.total_cycles
+        assert delta == pytest.approx(100 * model.params.branch_penalty)
+
+    def test_latency_ordering(self, model):
+        l2 = model.phase_timing("t", 0, ServiceCounts(l2=100), 0, 0)
+        llc = model.phase_timing("t", 0, ServiceCounts(llc=100), 0, 0)
+        dram = model.phase_timing("t", 0, ServiceCounts(dram=100), 0, 0)
+        assert l2.irregular_cycles < llc.irregular_cycles < dram.irregular_cycles
+
+
+class TestCoreParams:
+    def test_scaled_overrides(self):
+        params = CoreParams().scaled(mlp_irregular=2.0)
+        assert params.mlp_irregular == 2.0
+        assert params.issue_width == CoreParams().issue_width
+
+    def test_dram_latency_matches_80ns(self):
+        params = CoreParams()
+        assert params.dram_latency == pytest.approx(
+            80e-9 * params.frequency_ghz * 1e9, rel=0.01
+        )
+
+    def test_ipc_helper(self, model):
+        timing = model.phase_timing("t", 4000, ServiceCounts(), 0, 0)
+        assert model.ipc(4000, timing) == pytest.approx(4.0)
+
+    def test_seconds(self, model):
+        timing = model.phase_timing("t", 2_660_000, ServiceCounts(), 0, 0)
+        assert timing.seconds(2.66) == pytest.approx(
+            timing.total_cycles / 2.66e9
+        )

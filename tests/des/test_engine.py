@@ -1,0 +1,174 @@
+"""Tests for the DES kernel."""
+
+import pytest
+
+from repro.des import Queue, Simulator, Timeout
+
+
+class TestTimeout:
+    def test_advances_time(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield Timeout(5)
+            log.append(sim.now)
+            yield Timeout(2.5)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [5.0, 7.5]
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1)
+
+    def test_processes_interleave_by_time(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name, delay):
+            yield Timeout(delay)
+            log.append(name)
+
+        sim.process(proc("slow", 10))
+        sim.process(proc("fast", 1))
+        sim.run()
+        assert log == ["fast", "slow"]
+
+
+class TestQueue:
+    def test_put_then_get(self):
+        sim = Simulator()
+        queue = Queue()
+        got = []
+
+        def producer():
+            yield queue.put("a")
+            yield queue.put("b")
+
+        def consumer():
+            got.append((yield queue.get()))
+            got.append((yield queue.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        queue = Queue()
+        times = []
+
+        def consumer():
+            yield queue.get()
+            times.append(sim.now)
+
+        def producer():
+            yield Timeout(7)
+            yield queue.put("x")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert times == [7.0]
+
+    def test_put_blocks_when_full(self):
+        sim = Simulator()
+        queue = Queue(capacity=1)
+        times = []
+
+        def producer():
+            yield queue.put("a")
+            yield queue.put("b")  # blocks until consumer drains
+            times.append(sim.now)
+
+        def consumer():
+            yield Timeout(9)
+            yield queue.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert times == [9.0]
+
+    def test_fifo_order_preserved(self):
+        sim = Simulator()
+        queue = Queue(capacity=3)
+        got = []
+
+        def producer():
+            for item in range(6):
+                yield queue.put(item)
+
+        def consumer():
+            for _ in range(6):
+                got.append((yield queue.get()))
+                yield Timeout(1)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == list(range(6))
+
+    def test_max_occupancy_tracked(self):
+        sim = Simulator()
+        queue = Queue(capacity=4)
+
+        def producer():
+            for item in range(3):
+                yield queue.put(item)
+
+        sim.process(producer())
+        sim.run()
+        assert queue.max_occupancy == 3
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Queue(capacity=0)
+
+
+class TestSimulator:
+    def test_run_returns_final_time(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(42)
+
+        sim.process(proc())
+        assert sim.run() == 42.0
+
+    def test_run_until_bound(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            for _ in range(10):
+                yield Timeout(1)
+                log.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=3)
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_unknown_effect_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        sim.process(proc())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_blocked_getter_does_not_hang(self):
+        sim = Simulator()
+        queue = Queue()
+
+        def consumer():
+            yield queue.get()  # never satisfied
+
+        sim.process(consumer())
+        assert sim.run() == 0.0  # heap drains, run returns

@@ -1,0 +1,99 @@
+"""Tests for the COBRA eviction-buffer DES model."""
+
+import numpy as np
+import pytest
+
+from repro.des import (
+    EvictionBufferModel,
+    EvictionModelConfig,
+    littles_law_queue_estimate,
+)
+
+
+def config(**overrides):
+    defaults = dict(
+        num_indices=4096,
+        l1_buffers=16,
+        l2_buffers=64,
+        llc_buffers=512,
+        tuples_per_line=8,
+    )
+    defaults.update(overrides)
+    return EvictionModelConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return np.random.default_rng(5).integers(0, 4096, size=20_000)
+
+
+class TestConfig:
+    def test_bin_range_ceil(self):
+        cfg = config()
+        assert cfg.bin_range(cfg.l1_buffers) == 256
+
+    def test_buffer_monotonicity_enforced(self):
+        with pytest.raises(ValueError, match="grow"):
+            config(l1_buffers=128, l2_buffers=64)
+
+    def test_positive_fields_enforced(self):
+        with pytest.raises(ValueError):
+            config(l1_evict_queue=0)
+
+
+class TestModel:
+    def test_all_tuples_accounted(self, trace):
+        result = EvictionBufferModel(config()).run(trace)
+        assert result.tuples == len(trace)
+        # Every full line at L1 carried tuples_per_line tuples.
+        assert result.evictions["l1"] <= len(trace) // 8
+
+    def test_trace_index_bound_checked(self):
+        with pytest.raises(ValueError, match="beyond"):
+            EvictionBufferModel(config()).run(np.array([4096]))
+
+    def test_larger_queue_reduces_stalls(self, trace):
+        tiny = EvictionBufferModel(config(l1_evict_queue=1)).run(trace)
+        large = EvictionBufferModel(config(l1_evict_queue=32)).run(trace)
+        assert large.stall_fraction <= tiny.stall_fraction
+
+    def test_32_entry_queue_hides_evictions(self, trace):
+        result = EvictionBufferModel(config(l1_evict_queue=32)).run(trace)
+        assert result.stall_fraction < 0.01
+
+    def test_slow_engine_forces_stalls(self, trace):
+        # An engine slower than the core must back up the FIFO.
+        cfg = config(
+            l1_evict_queue=1,
+            core_cycles_per_tuple=1.0,
+            engine_cycles_per_tuple=4.0,
+        )
+        result = EvictionBufferModel(cfg).run(trace)
+        assert result.stall_fraction > 0.2
+
+    def test_evictions_cascade_down(self, trace):
+        result = EvictionBufferModel(config()).run(trace)
+        assert result.evictions["l1"] > 0
+        assert result.evictions["l2"] > 0
+        assert result.evictions["llc"] > 0
+        # Tuples only move downward, so line counts shrink slightly due to
+        # residuals left buffered at each level.
+        assert result.evictions["l2"] <= result.evictions["l1"]
+
+    def test_empty_trace(self):
+        result = EvictionBufferModel(config()).run(np.array([], dtype=np.int64))
+        assert result.total_cycles == 0
+        assert result.stall_fraction == 0.0
+
+    def test_max_occupancy_within_capacity(self, trace):
+        cfg = config(l1_evict_queue=4)
+        result = EvictionBufferModel(cfg).run(trace)
+        assert result.max_queue_occupancy["l1_evict"] <= 4
+
+
+class TestLittlesLaw:
+    def test_estimate_below_des_requirement(self):
+        # The paper's point: steady-state Little's-law underestimates what
+        # bursts require, but is in the right order of magnitude.
+        estimate = littles_law_queue_estimate(config())
+        assert 0 < estimate < 4

@@ -1,0 +1,83 @@
+"""Tests for the banked DRAM row-buffer model."""
+
+import numpy as np
+import pytest
+
+from repro.dram import DramConfig, DramModel
+
+
+@pytest.fixture
+def model():
+    return DramModel()
+
+
+class TestConfig:
+    def test_default_latencies_bracket_table_ii(self):
+        config = DramConfig()
+        # Table II's 80 ns ≈ 213 cycles sits at the row-miss path.
+        assert 190 <= config.row_miss_latency <= 230
+        assert config.row_hit_latency < config.row_miss_latency
+
+    def test_lines_per_row(self):
+        assert DramConfig().lines_per_row == 128
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            DramConfig(row_bytes=100)
+        with pytest.raises(ValueError):
+            DramConfig(num_banks=0)
+
+
+class TestRowBuffer:
+    def test_first_access_misses(self, model):
+        assert model.access(0) == model.config.row_miss_latency
+
+    def test_same_row_hits(self, model):
+        model.access(0)
+        assert model.access(1) == model.config.row_hit_latency
+
+    def test_row_conflict_in_same_bank(self, model):
+        lines_per_row = model.config.lines_per_row
+        banks = model.config.num_banks
+        model.access(0)  # row 0, bank 0
+        conflicting = lines_per_row * banks  # row `banks`, also bank 0
+        assert model.access(conflicting) == model.config.row_miss_latency
+        assert model.access(0) == model.config.row_miss_latency  # reopened
+
+    def test_different_banks_independent(self, model):
+        lines_per_row = model.config.lines_per_row
+        model.access(0)  # bank 0
+        model.access(lines_per_row)  # row 1 -> bank 1
+        assert model.access(1) == model.config.row_hit_latency
+
+    def test_reset_closes_rows(self, model):
+        model.access(0)
+        model.reset()
+        assert model.access(0) == model.config.row_miss_latency
+
+
+class TestStreams:
+    def test_sequential_stream_mostly_hits(self, model):
+        stats = model.run(range(20_000))
+        # One miss per row opened.
+        assert stats.row_hit_rate > 0.99
+        assert stats.average_latency < model.config.row_hit_latency * 1.05
+
+    def test_random_stream_mostly_misses(self, model, rng):
+        lines = rng.integers(0, 1 << 22, size=20_000).tolist()
+        stats = model.run(lines)
+        assert stats.row_hit_rate < 0.05
+        assert stats.average_latency > model.config.row_miss_latency * 0.95
+
+    def test_bin_major_stream_between_extremes(self, model, rng):
+        # Bin-major replay: sequential-ish within each bin's data range.
+        raw = np.sort(rng.integers(0, 1 << 14, size=20_000))
+        stats = model.run(raw.tolist())
+        assert stats.row_hit_rate > 0.9
+
+    def test_stats_accumulate(self, model):
+        stats = model.run([0, 1, 2])
+        assert stats.accesses == 3
+        assert stats.total_cycles == (
+            model.config.row_miss_latency + 2 * model.config.row_hit_latency
+        )

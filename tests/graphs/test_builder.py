@@ -1,0 +1,73 @@
+"""Tests for Edgelist-to-CSR conversion (the reference kernels)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    EdgeList,
+    build_csr,
+    count_degrees,
+    populate_neighbors,
+    prefix_sum,
+)
+
+
+class TestCountDegrees:
+    def test_tiny(self, tiny_edges):
+        assert np.array_equal(count_degrees(tiny_edges), [2, 1, 2, 1])
+
+    def test_counts_sum_to_edges(self, small_edges):
+        assert count_degrees(small_edges).sum() == small_edges.num_edges
+
+    def test_isolated_vertices_counted_as_zero(self):
+        edges = EdgeList([0], [1], 5)
+        degrees = count_degrees(edges)
+        assert np.array_equal(degrees, [1, 0, 0, 0, 0])
+
+
+class TestPrefixSum:
+    def test_exclusive(self):
+        assert np.array_equal(prefix_sum(np.array([2, 0, 3])), [0, 2, 2, 5])
+
+    def test_empty(self):
+        assert np.array_equal(prefix_sum(np.array([], dtype=np.int64)), [0])
+
+
+class TestPopulateNeighbors:
+    def test_matches_vectorized_build(self, small_edges):
+        degrees = count_degrees(small_edges)
+        offsets = prefix_sum(degrees)
+        sequential = populate_neighbors(small_edges, offsets)
+        vectorized = build_csr(small_edges).neighbors
+        assert np.array_equal(sequential, vectorized)
+
+    def test_preserves_edge_order_within_source(self):
+        edges = EdgeList([1, 0, 1, 1], [5, 9, 7, 6], 10)
+        csr = build_csr(edges)
+        # Vertex 1's destinations must appear in edge-list order.
+        assert np.array_equal(csr.neighbors_of(1), [5, 7, 6])
+
+
+class TestBuildCSR:
+    def test_round_trips_edges(self, small_edges):
+        csr = build_csr(small_edges)
+        rebuilt = sorted(zip(csr.edge_sources(), csr.neighbors))
+        original = sorted(zip(small_edges.src, small_edges.dst))
+        assert rebuilt == original
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            min_size=0,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_edge_multiset_preserved(self, pairs):
+        src = np.array([p[0] for p in pairs], dtype=np.int64)
+        dst = np.array([p[1] for p in pairs], dtype=np.int64)
+        edges = EdgeList(src, dst, 16)
+        csr = build_csr(edges)
+        assert csr.num_edges == len(pairs)
+        assert sorted(zip(csr.edge_sources(), csr.neighbors)) == sorted(pairs)

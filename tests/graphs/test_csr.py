@@ -1,0 +1,80 @@
+"""Tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import CSRGraph, build_csr
+
+
+@pytest.fixture
+def tiny_csr():
+    # Vertex 0 -> {1, 2}, vertex 1 -> {0}, vertex 2 -> {}, vertex 3 -> {3}
+    return CSRGraph(np.array([0, 2, 3, 3, 4]), np.array([1, 2, 0, 3]))
+
+
+class TestConstruction:
+    def test_counts(self, tiny_csr):
+        assert tiny_csr.num_vertices == 4
+        assert tiny_csr.num_edges == 4
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            CSRGraph(np.array([1, 2]), np.array([0, 0]))
+
+    def test_offsets_must_end_at_num_edges(self):
+        with pytest.raises(ValueError, match="end at len"):
+            CSRGraph(np.array([0, 3]), np.array([0]))
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 0, 0]))
+
+    def test_neighbor_ids_validated(self):
+        with pytest.raises(ValueError, match="outside range"):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+
+class TestAccessors:
+    def test_degree(self, tiny_csr):
+        assert tiny_csr.degree(0) == 2
+        assert tiny_csr.degree(2) == 0
+
+    def test_degrees_matches_offsets(self, tiny_csr):
+        assert np.array_equal(tiny_csr.degrees(), [2, 1, 0, 1])
+
+    def test_neighbors_of(self, tiny_csr):
+        assert np.array_equal(tiny_csr.neighbors_of(0), [1, 2])
+        assert len(tiny_csr.neighbors_of(2)) == 0
+
+    def test_edge_sources_expands_offsets(self, tiny_csr):
+        assert np.array_equal(tiny_csr.edge_sources(), [0, 0, 1, 3])
+
+
+class TestTranspose:
+    def test_transpose_reverses_edges(self, tiny_csr):
+        t = tiny_csr.transpose()
+        # Edge 0->1 becomes 1->0, etc.
+        assert np.array_equal(t.degrees(), [1, 1, 1, 1])
+        assert t.neighbors_of(1)[0] == 0
+
+    def test_double_transpose_is_identity(self, small_csr):
+        double = small_csr.transpose().transpose()
+        assert np.array_equal(
+            double.canonical_sorted().neighbors,
+            small_csr.canonical_sorted().neighbors,
+        )
+        assert np.array_equal(double.offsets, small_csr.offsets)
+
+    def test_transpose_preserves_edge_count(self, small_csr):
+        assert small_csr.transpose().num_edges == small_csr.num_edges
+
+
+class TestCanonicalSorted:
+    def test_sorts_each_neighborhood(self):
+        csr = CSRGraph(np.array([0, 3, 3, 3]), np.array([2, 0, 1]))
+        assert np.array_equal(csr.canonical_sorted().neighbors, [0, 1, 2])
+
+    def test_idempotent(self, small_csr):
+        once = small_csr.canonical_sorted()
+        twice = once.canonical_sorted()
+        assert np.array_equal(once.neighbors, twice.neighbors)

@@ -1,0 +1,63 @@
+"""Tests for the edge-list representation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import EdgeList
+
+
+class TestConstruction:
+    def test_basic(self, tiny_edges):
+        assert tiny_edges.num_edges == 6
+        assert tiny_edges.num_vertices == 4
+        assert len(tiny_edges) == 6
+
+    def test_arrays_coerced_to_int64(self):
+        edges = EdgeList([0, 1], [1, 0], 2)
+        assert edges.src.dtype == np.int64
+        assert edges.dst.dtype == np.int64
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            EdgeList([0, 1], [1], 2)
+
+    def test_out_of_range_src_rejected(self):
+        with pytest.raises(ValueError, match="src"):
+            EdgeList([0, 5], [1, 1], 2)
+
+    def test_out_of_range_dst_rejected(self):
+        with pytest.raises(ValueError, match="dst"):
+            EdgeList([0, 1], [1, -1], 2)
+
+    def test_non_positive_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeList([], [], 0)
+
+    def test_empty_edge_list_allowed(self):
+        edges = EdgeList([], [], 3)
+        assert edges.num_edges == 0
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            EdgeList([[0, 1]], [[1, 0]], 2)
+
+
+class TestTransforms:
+    def test_reversed_swaps_endpoints(self, tiny_edges):
+        rev = tiny_edges.reversed()
+        assert np.array_equal(rev.src, tiny_edges.dst)
+        assert np.array_equal(rev.dst, tiny_edges.src)
+
+    def test_reversed_is_a_copy(self, tiny_edges):
+        rev = tiny_edges.reversed()
+        rev.src[0] = 3
+        assert tiny_edges.dst[0] == 1
+
+    def test_shuffled_preserves_edge_multiset(self, tiny_edges, rng):
+        shuffled = tiny_edges.shuffled(rng)
+        original = sorted(zip(tiny_edges.src, tiny_edges.dst))
+        after = sorted(zip(shuffled.src, shuffled.dst))
+        assert original == after
+
+    def test_repr_mentions_sizes(self, tiny_edges):
+        assert "num_edges=6" in repr(tiny_edges)

@@ -1,0 +1,78 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import GENERATORS, mesh2d, rmat, uniform_random
+
+
+class TestRmat:
+    def test_shape(self):
+        edges = rmat(1 << 10, 5000, seed=1)
+        assert edges.num_vertices == 1024
+        assert edges.num_edges == 5000
+
+    def test_requires_power_of_two_vertices(self):
+        with pytest.raises(ValueError, match="power of two"):
+            rmat(1000, 100, seed=1)
+
+    def test_deterministic_with_seed(self):
+        a = rmat(256, 1000, seed=7)
+        b = rmat(256, 1000, seed=7)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dst, b.dst)
+
+    def test_seeds_differ(self):
+        a = rmat(256, 1000, seed=7)
+        b = rmat(256, 1000, seed=8)
+        assert not np.array_equal(a.src, b.src)
+
+    def test_power_law_skew(self):
+        # RMAT with GAP parameters produces a heavy-tailed out-degree
+        # distribution: the max degree far exceeds the mean.
+        edges = rmat(1 << 12, 1 << 15, seed=3)
+        degrees = np.bincount(edges.src, minlength=edges.num_vertices)
+        assert degrees.max() > 20 * degrees.mean()
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            rmat(256, 100, seed=1, a=0.6, b=0.3, c=0.3)
+
+
+class TestUniformRandom:
+    def test_shape(self):
+        edges = uniform_random(1000, 5000, seed=2)
+        assert edges.num_vertices == 1000
+        assert edges.num_edges == 5000
+
+    def test_no_skew(self):
+        edges = uniform_random(1 << 12, 1 << 15, seed=2)
+        degrees = np.bincount(edges.src, minlength=edges.num_vertices)
+        assert degrees.max() < 5 * max(degrees.mean(), 1)
+
+    def test_deterministic_with_seed(self):
+        a = uniform_random(100, 200, seed=5)
+        b = uniform_random(100, 200, seed=5)
+        assert np.array_equal(a.src, b.src)
+
+
+class TestMesh2d:
+    def test_bounded_degree(self):
+        edges = mesh2d(20, seed=4)
+        degrees = np.bincount(edges.src, minlength=edges.num_vertices)
+        assert degrees.max() <= 4
+
+    def test_edge_count(self):
+        # side*(side-1) horizontal + vertical pairs, both directions.
+        side = 10
+        edges = mesh2d(side, seed=4)
+        assert edges.num_edges == 4 * side * (side - 1)
+
+    def test_symmetric(self):
+        edges = mesh2d(6, seed=4)
+        pairs = set(zip(edges.src.tolist(), edges.dst.tolist()))
+        assert all((d, s) in pairs for s, d in pairs)
+
+
+def test_registry_contains_all_generators():
+    assert set(GENERATORS) == {"rmat", "uniform_random", "mesh2d"}

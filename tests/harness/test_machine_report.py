@@ -1,0 +1,76 @@
+"""Tests for the machine config and report formatting."""
+
+import pytest
+
+from repro.harness import DEFAULT_MACHINE, MachineConfig, format_series, format_table, geomean, speedup
+
+
+class TestMachineConfig:
+    def test_default_matches_design(self):
+        machine = DEFAULT_MACHINE
+        assert machine.hierarchy.l1_bytes == 2 * 1024
+        assert machine.hierarchy.llc_bytes == 128 * 1024
+        assert machine.core.issue_width == 4
+
+    def test_cobra_config_threads_hierarchy(self):
+        cobra = DEFAULT_MACHINE.cobra_config(1 << 16, 8)
+        assert cobra.hierarchy is DEFAULT_MACHINE.hierarchy
+        assert cobra.num_indices == 1 << 16
+
+    def test_cobra_config_llc_override(self):
+        cobra = DEFAULT_MACHINE.cobra_config(1 << 16, 8, llc_reserved=4)
+        assert cobra.llc_reserved_ways == 4
+
+    def test_stream_scale_full_without_reservation(self):
+        assert DEFAULT_MACHINE.stream_bandwidth_scale(None) == 1.0
+
+    def test_stream_scale_full_with_one_l2_way_reserved(self):
+        # The default COBRA reservation (1 L2 way) leaves enough for the
+        # prefetcher.
+        assert DEFAULT_MACHINE.stream_bandwidth_scale((7, 1, 15)) == 1.0
+
+    def test_stream_scale_derates_when_l2_starved(self):
+        scale = DEFAULT_MACHINE.stream_bandwidth_scale((7, 7, 15))
+        assert scale < 1.0
+        assert scale >= DEFAULT_MACHINE.stream_derate_floor
+
+    def test_with_core(self):
+        machine = DEFAULT_MACHINE.with_core(mlp_irregular=2.0)
+        assert machine.core.mlp_irregular == 2.0
+        assert DEFAULT_MACHINE.core.mlp_irregular != 2.0
+
+
+class TestReport:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geomean_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_geomean_skips_nonpositive(self):
+        assert geomean([4.0, 0.0, -1.0]) == pytest.approx(4.0)
+
+    def test_speedup(self):
+        assert speedup(100, 50) == 2.0
+        assert speedup(100, 0) == float("inf")
+
+    def test_format_table_aligns(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["longer", 22.25]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.50" in text
+        assert "22.25" in text
+        # All data lines share the header width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_format_series(self):
+        text = format_series("S", [1, 2], [0.5, 0.25], "x", "y")
+        assert "0.500" in text
+        assert text.startswith("S")

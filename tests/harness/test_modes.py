@@ -1,0 +1,25 @@
+"""Tests for mode constants and their use across the harness."""
+
+from repro.harness import modes
+
+
+class TestModeConstants:
+    def test_all_modes_distinct(self):
+        assert len(set(modes.ALL_MODES)) == len(modes.ALL_MODES)
+
+    def test_commutative_only_subset(self):
+        assert modes.COMMUTATIVE_ONLY_MODES < set(modes.ALL_MODES)
+        assert modes.COMMUTATIVE_ONLY_MODES == {modes.PHI, modes.COBRA_COMM}
+
+    def test_baseline_not_commutative_restricted(self):
+        assert modes.BASELINE not in modes.COMMUTATIVE_ONLY_MODES
+        assert modes.COBRA not in modes.COMMUTATIVE_ONLY_MODES
+
+    def test_mode_strings_are_stable_identifiers(self):
+        # Cache keys and report rows depend on these exact strings.
+        assert modes.BASELINE == "baseline"
+        assert modes.PB_SW == "pb-sw"
+        assert modes.PB_SW_IDEAL == "pb-sw-ideal"
+        assert modes.COBRA == "cobra"
+        assert modes.COBRA_COMM == "cobra-comm"
+        assert modes.PHI == "phi"

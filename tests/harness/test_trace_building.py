@@ -1,0 +1,139 @@
+"""Tests for the runner's trace construction and phase simulation."""
+
+import numpy as np
+import pytest
+
+from repro.harness import Runner
+from repro.workloads.base import PhaseSpec, RegionSpec, Segment
+
+
+@pytest.fixture
+def runner():
+    return Runner(max_sim_events=10_000)
+
+
+def make_phase(**overrides):
+    region = RegionSpec("data", 4, 1024)
+    defaults = dict(
+        name="main",
+        instructions=1000,
+        segments=[Segment(region, np.arange(100), True)],
+        streaming_bytes=0,
+    )
+    defaults.update(overrides)
+    return PhaseSpec(**defaults)
+
+
+class TestBuildTrace:
+    def test_single_segment(self, runner):
+        phase = make_phase()
+        lines, writes, events = runner._build_trace(phase, 64)
+        assert events == 100
+        assert all(writes)
+        # 4-byte elements: 16 consecutive indices share a line.
+        assert lines[0] == lines[15]
+        assert lines[16] == lines[0] + 1
+
+    def test_two_segments_interleave_elementwise(self, runner):
+        a = RegionSpec("a", 64, 64)
+        b = RegionSpec("b", 64, 64)
+        phase = make_phase(
+            segments=[
+                Segment(a, np.array([0, 1, 2]), True),
+                Segment(b, np.array([3, 4, 5]), False),
+            ]
+        )
+        lines, writes, events = runner._build_trace(phase, 64)
+        assert events == 6
+        assert writes == [True, False] * 3
+        # a[0], b[3], a[1], b[4], ...
+        base_a = lines[0]
+        base_b = lines[1]
+        assert lines[2] == base_a + 1
+        assert lines[3] == base_b + 1
+
+    def test_sampling_budget_split_across_segments(self):
+        runner = Runner(max_sim_events=10)
+        region = RegionSpec("r", 64, 1000)
+        phase = make_phase(
+            segments=[
+                Segment(region, np.arange(100), True),
+                Segment(region, np.arange(100), True),
+            ]
+        )
+        _lines, _writes, events = runner._build_trace(phase, 64)
+        assert events == 10  # 5 per segment, interleaved
+
+    def test_disjoint_regions_never_alias(self, runner):
+        a = RegionSpec("a", 4, 512)
+        b = RegionSpec("b", 4, 512)
+        phase = make_phase(
+            segments=[
+                Segment(a, np.arange(512), True),
+                Segment(b, np.arange(512), True),
+            ]
+        )
+        lines, _writes, _events = runner._build_trace(phase, 64)
+        a_lines = set(lines[0::2])
+        b_lines = set(lines[1::2])
+        assert not (a_lines & b_lines)
+
+
+class TestSimulatePhase:
+    def test_phase_with_no_segments_has_no_irregular_traffic(self, runner):
+        phase = make_phase(segments=[], streaming_bytes=64_000)
+        counters = runner._simulate_phase(None, phase, None)
+        assert counters.irregular_service.total == 0
+        assert counters.traffic.reads == 1000
+
+    def test_sampling_scales_counts(self):
+        capped = Runner(max_sim_events=1_000)
+        region = RegionSpec("big", 4, 1 << 18)
+        rng = np.random.default_rng(0)
+        indices = rng.integers(0, 1 << 18, size=50_000)
+        phase = make_phase(segments=[Segment(region, indices, True)])
+        counters = capped._simulate_phase(None, phase, None)
+        total = counters.irregular_service.total
+        assert total == pytest.approx(50_000, rel=0.02)
+
+    def test_nt_writes_counted_in_traffic(self, runner):
+        phase = make_phase(nt_write_lines=123)
+        counters = runner._simulate_phase(None, phase, None)
+        assert counters.traffic.writes >= 123
+
+    def test_dispatch_overhead_charged_per_bin(self, runner):
+        without = runner._simulate_phase(None, make_phase(), None)
+        with_bins = runner._simulate_phase(
+            None, make_phase(num_bins=1000), None
+        )
+        delta = with_bins.cycles - without.cycles
+        expected = 1000 * runner.machine.dispatch_cycles_per_bin
+        assert delta == pytest.approx(expected, rel=0.01)
+
+    def test_l2_starved_reservation_slows_streaming(self, runner):
+        fast = runner._simulate_phase(
+            None, make_phase(segments=[], streaming_bytes=1 << 22), None
+        )
+        slow = runner._simulate_phase(
+            None,
+            make_phase(
+                segments=[],
+                streaming_bytes=1 << 22,
+                reserved_ways=(7, 7, 15),
+            ),
+            None,
+        )
+        assert slow.cycles > fast.cycles
+
+    def test_shared_llc_phase_charged_remote_latency(self):
+        runner = Runner(max_sim_events=50_000)
+        region = RegionSpec("seg", 4, 1 << 15)  # fits the LLC
+        rng = np.random.default_rng(1)
+        indices = rng.integers(0, 1 << 15, size=30_000)
+        local = make_phase(segments=[Segment(region, indices, False)])
+        remote = make_phase(
+            segments=[Segment(region, indices, False)], shared_llc=True
+        )
+        local_counters = runner._simulate_phase(None, local, None)
+        remote_counters = runner._simulate_phase(None, remote, None)
+        assert remote_counters.cycles > local_counters.cycles

@@ -1,0 +1,77 @@
+"""Tests for the analytic NoC model."""
+
+import pytest
+
+from repro.cpu import CoreParams
+from repro.noc import Mesh2D, NocModel, NocParams
+
+
+@pytest.fixture
+def model():
+    return NocModel()
+
+
+class TestLatency:
+    def test_zero_hop_message_is_serialization_only(self, model):
+        assert model.message_latency(3, 3, payload_bytes=64) == 8
+
+    def test_latency_grows_with_distance(self, model):
+        near = model.message_latency(0, 1)
+        far = model.message_latency(0, 15)
+        assert far > near
+
+    def test_mean_remote_latency_between_extremes(self, model):
+        lo = model.message_latency(0, 1)
+        hi = model.message_latency(0, 15)
+        assert lo <= model.mean_remote_latency() <= hi
+
+    def test_remote_llc_latency_grounds_core_params(self, model):
+        """The default CoreParams.llc_remote_latency comes from this model:
+        local bank + mesh round trip lands in the mid-40s."""
+        remote = model.remote_llc_latency(local_llc_cycles=21)
+        assert 38 < remote < 55
+        assert abs(remote - CoreParams().llc_remote_latency) < 10
+
+
+class TestLoad:
+    def test_link_loads_follow_xy_routes(self, model):
+        loads = model.link_loads({(0, 2): 100.0})
+        assert loads[(0, 1)] == 100.0
+        assert loads[(1, 2)] == 100.0
+        assert loads[(1, 0)] == 0.0
+
+    def test_self_traffic_ignored(self, model):
+        loads = model.link_loads({(5, 5): 1000.0})
+        assert all(v == 0.0 for v in loads.values())
+
+    def test_contention_grows_with_load(self, model):
+        light = model.contention_factor({(0, 3): 1000.0}, cycles=10_000)
+        heavy = model.contention_factor({(0, 3): 60_000.0}, cycles=10_000)
+        assert 1.0 <= light < heavy
+
+    def test_contention_capped_at_saturation(self, model):
+        factor = model.contention_factor({(0, 3): 10**9}, cycles=100)
+        assert factor == 100.0
+
+    def test_uniform_traffic_covers_all_pairs(self, model):
+        traffic = model.uniform_traffic(1500.0)
+        assert len(traffic) == 16 * 15
+        assert sum(traffic.values()) == pytest.approx(16 * 1500.0)
+
+    def test_uniform_traffic_loads_center_links_most(self, model):
+        loads = model.link_loads(model.uniform_traffic(1000.0))
+        mesh = Mesh2D()
+        center_link = (mesh.node_at(1, 1), mesh.node_at(2, 1))
+        edge_link = (mesh.node_at(0, 0), mesh.node_at(0, 1))
+        assert loads[center_link] > loads[edge_link]
+
+
+class TestParams:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            NocParams(hop_cycles=0)
+
+    def test_small_payload_serializes_faster(self, model):
+        req = model.message_latency(0, 15, payload_bytes=8)
+        line = model.message_latency(0, 15, payload_bytes=64)
+        assert line - req == 7

@@ -1,0 +1,81 @@
+"""Tests for the mesh topology."""
+
+import pytest
+
+from repro.noc import Mesh2D
+
+
+@pytest.fixture
+def mesh():
+    return Mesh2D(4, 4)
+
+
+class TestGeometry:
+    def test_num_nodes(self, mesh):
+        assert mesh.num_nodes == 16
+
+    def test_coordinates_round_trip(self, mesh):
+        for node in range(16):
+            x, y = mesh.coordinates(node)
+            assert mesh.node_at(x, y) == node
+
+    def test_bad_node_rejected(self, mesh):
+        with pytest.raises(IndexError):
+            mesh.coordinates(16)
+        with pytest.raises(IndexError):
+            mesh.node_at(4, 0)
+
+
+class TestRouting:
+    def test_hops_is_manhattan(self, mesh):
+        assert mesh.hops(0, 15) == 6  # (0,0) -> (3,3)
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 3) == 3
+
+    def test_hops_symmetric(self, mesh):
+        for src in range(16):
+            for dst in range(16):
+                assert mesh.hops(src, dst) == mesh.hops(dst, src)
+
+    def test_route_goes_x_first(self, mesh):
+        path = mesh.route(0, 5)  # (0,0) -> (1,1)
+        assert path == [0, 1, 5]
+
+    def test_route_length_matches_hops(self, mesh):
+        for src in (0, 7, 15):
+            for dst in range(16):
+                assert len(mesh.route(src, dst)) == mesh.hops(src, dst) + 1
+
+    def test_route_steps_are_adjacent(self, mesh):
+        for a, b in mesh.links_on_route(0, 15):
+            ax, ay = mesh.coordinates(a)
+            bx, by = mesh.coordinates(b)
+            assert abs(ax - bx) + abs(ay - by) == 1
+
+
+class TestAggregates:
+    def test_mean_hops_4x4(self, mesh):
+        # Mean Manhattan distance on a 4x4 mesh over distinct pairs.
+        expected = sum(
+            mesh.hops(s, d) for s in range(16) for d in range(16) if s != d
+        ) / (16 * 15)
+        assert mesh.mean_hops() == pytest.approx(expected)
+        assert 2.5 < mesh.mean_hops() < 3.0
+
+    def test_mean_hops_from_corner_exceeds_center(self, mesh):
+        corner = mesh.mean_hops(from_node=0)
+        center = mesh.mean_hops(from_node=5)
+        assert corner > center
+
+    def test_bisection(self, mesh):
+        assert mesh.bisection_links() == 8
+
+    def test_all_links_count(self, mesh):
+        # 2 * (width-1) * height horizontal + 2 * width * (height-1) vertical.
+        assert len(mesh.all_links()) == 2 * 3 * 4 + 2 * 4 * 3
+
+    def test_single_node_mesh(self):
+        tiny = Mesh2D(1, 1)
+        assert tiny.mean_hops() == 0.0
+        assert tiny.all_links() == []
+        assert tiny.bisection_links() == 0

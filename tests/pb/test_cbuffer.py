@@ -1,0 +1,71 @@
+"""Tests for the software coalescing-buffer model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pb import BinSpec, CBufferModel
+
+
+@pytest.fixture
+def model():
+    return CBufferModel(BinSpec(256, 64), tuple_bytes=8)
+
+
+class TestGeometry:
+    def test_tuples_per_line(self, model):
+        assert model.tuples_per_line == 8
+
+    def test_footprint(self, model):
+        assert model.num_buffers == 4
+        assert model.footprint_bytes == 4 * 64
+
+    def test_tuple_must_divide_line(self):
+        with pytest.raises(ValueError, match="divide"):
+            CBufferModel(BinSpec(256, 64), tuple_bytes=24)
+
+    def test_small_tuples_pack_more(self):
+        model = CBufferModel(BinSpec(256, 64), tuple_bytes=4)
+        assert model.tuples_per_line == 16
+
+
+class TestOccupancyTracking:
+    def test_occupancy_counts_per_bin(self, model):
+        indices = np.array([0, 1, 2, 70, 3])
+        occupancy = model.occupancy_before(indices)
+        assert np.array_equal(occupancy, [0, 1, 2, 0, 3])
+
+    def test_occupancy_wraps_at_line(self, model):
+        indices = np.zeros(10, dtype=np.int64)
+        occupancy = model.occupancy_before(indices)
+        assert np.array_equal(occupancy, [0, 1, 2, 3, 4, 5, 6, 7, 0, 1])
+
+    def test_full_events_every_eighth(self, model):
+        indices = np.zeros(17, dtype=np.int64)
+        full = model.full_events(indices)
+        assert np.flatnonzero(full).tolist() == [7, 15]
+
+    @given(st.lists(st.integers(0, 255), min_size=0, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_full_event_count_matches_floor(self, raw):
+        indices = np.array(raw, dtype=np.int64)
+        model = CBufferModel(BinSpec(256, 64), tuple_bytes=8)
+        full = model.full_events(indices)
+        per_bin = np.bincount(indices // 64, minlength=4)
+        assert full.sum() == np.sum(per_bin // 8)
+
+
+class TestTransferCounts:
+    def test_full_and_partial_lines(self, model):
+        # Bin 0 gets 9 tuples (1 full + 1 partial), bin 1 gets 8 (1 full).
+        indices = np.array([0] * 9 + [64] * 8)
+        full, partial = model.transfer_counts(indices)
+        assert full == 2
+        assert partial == 1
+
+    def test_empty_stream(self, model):
+        assert model.transfer_counts(np.array([], dtype=np.int64)) == (0, 0)
+
+    def test_bin_write_lines(self, model):
+        assert model.bin_write_lines(9) == 2  # 72 bytes -> 2 lines

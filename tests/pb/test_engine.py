@@ -1,0 +1,127 @@
+"""Tests for the PB executor: reordering must preserve semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pb import PropagationBlocker, apply_updates_direct
+
+
+class TestDirectApply:
+    def test_add(self):
+        out = np.zeros(4)
+        apply_updates_direct([1, 1, 3], [1.0, 2.0, 5.0], out, "add")
+        assert np.array_equal(out, [0, 3, 0, 5])
+
+    def test_add_accumulates_duplicates(self):
+        out = np.zeros(2)
+        apply_updates_direct([0] * 5, np.ones(5), out, "add")
+        assert out[0] == 5
+
+    def test_or(self):
+        out = np.zeros(2, dtype=np.int64)
+        apply_updates_direct([0, 0, 1], np.array([1, 4, 2]), out, "or")
+        assert out.tolist() == [5, 2]
+
+    def test_min(self):
+        out = np.full(2, 100)
+        apply_updates_direct([0, 0], np.array([7, 3]), out, "min")
+        assert out[0] == 3
+
+    def test_store_last_writer_wins(self):
+        out = np.zeros(2, dtype=np.int64)
+        apply_updates_direct([1, 1], np.array([5, 9]), out, "store")
+        assert out[1] == 9
+
+    def test_callable_op(self):
+        log = []
+        apply_updates_direct(
+            [2, 0], np.array([10, 20]), None, lambda out, i, v: log.append((i, v))
+        )
+        assert log == [(2, 10), (0, 20)]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            apply_updates_direct([0], [1.0], np.zeros(1), "xor")
+
+
+class TestPropagationBlocker:
+    def test_num_bins_default(self):
+        blocker = PropagationBlocker(1 << 16)
+        assert blocker.num_bins == 256
+
+    def test_explicit_bin_range(self):
+        blocker = PropagationBlocker(1 << 10, bin_range=64)
+        assert blocker.num_bins == 16
+
+    def test_both_parameters_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            PropagationBlocker(100, num_bins=4, bin_range=32)
+
+    def test_add_matches_direct(self, rng):
+        n = 1 << 12
+        indices = rng.integers(0, n, size=5000)
+        values = rng.standard_normal(5000)
+        direct = apply_updates_direct(indices, values, np.zeros(n), "add")
+        blocked = PropagationBlocker(n, num_bins=16).execute(
+            indices, values, np.zeros(n), "add"
+        )
+        assert np.allclose(direct, blocked)
+
+    def test_or_matches_direct(self, rng):
+        n = 512
+        indices = rng.integers(0, n, size=2000)
+        values = rng.integers(0, 2**30, size=2000)
+        direct = apply_updates_direct(
+            indices, values, np.zeros(n, dtype=np.int64), "or"
+        )
+        blocked = PropagationBlocker(n, num_bins=8).execute(
+            indices, values, np.zeros(n, dtype=np.int64), "or"
+        )
+        assert np.array_equal(direct, blocked)
+
+    def test_store_matches_direct(self, rng):
+        # Stable binning preserves per-index order, so last-writer-wins
+        # survives the reordering.
+        n = 256
+        indices = rng.integers(0, n, size=1000)
+        values = np.arange(1000)
+        direct = apply_updates_direct(
+            indices, values, np.zeros(n, dtype=np.int64), "store"
+        )
+        blocked = PropagationBlocker(n, num_bins=8).execute(
+            indices, values, np.zeros(n, dtype=np.int64), "store"
+        )
+        assert np.array_equal(direct, blocked)
+
+    def test_callable_sees_bin_major_order(self):
+        blocker = PropagationBlocker(64, bin_range=16)
+        visited = []
+        blocker.execute(
+            np.array([50, 1, 20, 2]),
+            np.arange(4),
+            None,
+            lambda out, i, v: visited.append(i),
+        )
+        assert visited == [1, 2, 20, 50]
+
+    def test_accumulate_order_is_stable_by_bin(self):
+        blocker = PropagationBlocker(64, bin_range=16)
+        indices = np.array([50, 1, 20, 2, 51])
+        order = blocker.accumulate_order(indices)
+        assert indices[order].tolist() == [1, 2, 20, 50, 51]
+
+    @given(
+        st.lists(st.integers(0, 127), min_size=1, max_size=300),
+        st.sampled_from([1, 4, 16, 128]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_commutative_add_invariant(self, raw, num_bins):
+        indices = np.array(raw, dtype=np.int64)
+        values = np.arange(len(raw), dtype=np.float64)
+        direct = apply_updates_direct(indices, values, np.zeros(128), "add")
+        blocked = PropagationBlocker(128, num_bins=num_bins).execute(
+            indices, values, np.zeros(128), "add"
+        )
+        assert np.allclose(direct, blocked)

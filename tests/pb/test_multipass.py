@@ -1,0 +1,87 @@
+"""Tests for multi-pass radix partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pb import BinSpec, bin_updates
+from repro.pb.multipass import MultiPassPartitioner
+
+
+class TestConfiguration:
+    def test_bits_split_evenly(self):
+        partitioner = MultiPassPartitioner(1 << 16, num_bins=256, passes=2)
+        assert partitioner.bits_per_pass == [4, 4]
+        assert partitioner.pass_bin_counts() == [16, 16]
+
+    def test_odd_bits_front_loaded(self):
+        partitioner = MultiPassPartitioner(1 << 16, num_bins=512, passes=2)
+        assert partitioner.bits_per_pass == [5, 4]
+
+    def test_single_pass_degenerates(self):
+        partitioner = MultiPassPartitioner(1 << 16, num_bins=64, passes=1)
+        assert partitioner.bits_per_pass == [6]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPassPartitioner(1 << 16, num_bins=100)  # not a power of 2
+        with pytest.raises(ValueError):
+            MultiPassPartitioner(1 << 16, num_bins=64, passes=0)
+
+    def test_max_live_buffers_far_below_total(self):
+        partitioner = MultiPassPartitioner(1 << 20, num_bins=4096, passes=2)
+        assert partitioner.max_live_buffers() == 64
+        assert partitioner.max_live_buffers() ** 2 == 4096
+
+
+class TestEquivalence:
+    def test_matches_single_pass_binning(self, rng):
+        n = 1 << 14
+        indices = rng.integers(0, n, size=20_000)
+        values = np.arange(20_000)
+        partitioner = MultiPassPartitioner(n, num_bins=256, passes=2)
+        multi_idx, multi_val, multi_off = partitioner.partition(indices, values)
+        single_idx, single_val, single_off = bin_updates(
+            indices, values, partitioner.spec
+        )
+        assert np.array_equal(multi_idx, single_idx)
+        assert np.array_equal(multi_val, single_val)
+        assert np.array_equal(multi_off, single_off)
+
+    def test_three_passes_equivalent(self, rng):
+        n = 1 << 12
+        indices = rng.integers(0, n, size=5_000)
+        partitioner = MultiPassPartitioner(n, num_bins=512, passes=3)
+        multi_idx, _vals, _off = partitioner.partition(indices)
+        single_idx, _sv, _so = bin_updates(indices, None, partitioner.spec)
+        assert np.array_equal(multi_idx, single_idx)
+
+    @given(
+        st.lists(st.integers(0, 1023), min_size=0, max_size=300),
+        st.sampled_from([2, 3]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_property(self, raw, passes):
+        indices = np.array(raw, dtype=np.int64)
+        partitioner = MultiPassPartitioner(1024, num_bins=64, passes=passes)
+        multi_idx, _v, multi_off = partitioner.partition(indices)
+        single_idx, _sv, single_off = bin_updates(
+            indices, None, partitioner.spec
+        )
+        assert np.array_equal(multi_idx, single_idx)
+        assert np.array_equal(multi_off, single_off)
+
+
+class TestCostModel:
+    def test_tuple_moves_scale_with_passes(self):
+        two = MultiPassPartitioner(1 << 16, 256, passes=2)
+        three = MultiPassPartitioner(1 << 16, 4096, passes=3)
+        assert two.tuple_moves(1000) == 2000
+        assert three.tuple_moves(1000) == 3000
+
+    def test_empty_stream(self):
+        partitioner = MultiPassPartitioner(1 << 10, 16, passes=2)
+        idx, vals, offsets = partitioner.partition(np.array([], dtype=np.int64))
+        assert len(idx) == 0
+        assert offsets[-1] == 0

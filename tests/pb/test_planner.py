@@ -1,0 +1,82 @@
+"""Tests for the bin-count planner."""
+
+import pytest
+
+from repro.cache import HierarchyConfig
+from repro.pb import plan_bins
+
+
+class TestPlanBins:
+    def test_ordering_invariant(self):
+        plan = plan_bins(1 << 18, 4)
+        assert (
+            plan.binning_best.num_bins
+            <= plan.compromise.num_bins
+            <= plan.accumulate_best.num_bins
+        )
+
+    def test_binning_best_fits_l1(self):
+        config = HierarchyConfig()
+        plan = plan_bins(1 << 18, 4, config)
+        assert plan.binning_best.num_bins * 64 <= config.l1_bytes
+
+    def test_compromise_fits_l2(self):
+        config = HierarchyConfig()
+        plan = plan_bins(1 << 18, 4, config)
+        assert plan.compromise.num_bins * 64 <= config.l2_bytes
+
+    def test_accumulate_best_range_fits_l1(self):
+        config = HierarchyConfig()
+        plan = plan_bins(1 << 18, 4, config)
+        assert plan.accumulate_best.bin_range * 4 <= config.l1_bytes
+
+    def test_larger_elements_need_more_bins(self):
+        four = plan_bins(1 << 18, 4).accumulate_best.num_bins
+        eight = plan_bins(1 << 18, 8).accumulate_best.num_bins
+        assert eight >= four * 2
+
+    def test_small_input_degenerates_gracefully(self):
+        plan = plan_bins(100, 4)
+        assert plan.binning_best.num_bins >= 1
+        assert (
+            plan.binning_best.num_bins
+            <= plan.compromise.num_bins
+            <= plan.accumulate_best.num_bins
+        )
+
+    def test_headroom_shrinks_buffer_budget(self):
+        full = plan_bins(1 << 18, 4, cbuffer_headroom=1.0)
+        half = plan_bins(1 << 18, 4, cbuffer_headroom=0.5)
+        assert half.compromise.num_bins <= full.compromise.num_bins
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            plan_bins(0, 4)
+        with pytest.raises(ValueError):
+            plan_bins(100, 0)
+
+    def test_describe_mentions_counts(self):
+        plan = plan_bins(1 << 18, 4)
+        text = plan.describe()
+        assert str(plan.compromise.num_bins) in text
+
+
+class TestAutoBlocker:
+    def test_uses_compromise_bins(self):
+        from repro.pb import auto_blocker, plan_bins
+
+        blocker = auto_blocker(1 << 18, 4)
+        assert blocker.num_bins == plan_bins(1 << 18, 4).compromise.num_bins
+
+    def test_executes_correctly(self, rng):
+        import numpy as np
+
+        from repro.pb import auto_blocker
+
+        n = 1 << 12
+        indices = rng.integers(0, n, size=3000)
+        values = rng.standard_normal(3000)
+        direct = np.zeros(n)
+        np.add.at(direct, indices, values)
+        blocked = auto_blocker(n, 8).execute(indices, values, np.zeros(n))
+        assert np.allclose(direct, blocked)

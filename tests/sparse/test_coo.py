@@ -1,0 +1,67 @@
+"""Tests for COO sparse matrices."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix
+
+
+@pytest.fixture
+def tiny_coo():
+    return COOMatrix(
+        rows=np.array([0, 1, 2, 0]),
+        cols=np.array([1, 2, 0, 2]),
+        vals=np.array([1.0, 2.0, 3.0, 4.0]),
+        shape=(3, 3),
+    )
+
+
+class TestConstruction:
+    def test_nnz(self, tiny_coo):
+        assert tiny_coo.nnz == 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            COOMatrix([0], [1, 2], [1.0], (3, 3))
+
+    def test_row_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="row"):
+            COOMatrix([5], [0], [1.0], (3, 3))
+
+    def test_col_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="column"):
+            COOMatrix([0], [9], [1.0], (3, 3))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            COOMatrix([0], [0], [1.0], (3,))
+
+
+class TestOperations:
+    def test_to_dense(self, tiny_coo):
+        dense = tiny_coo.to_dense()
+        assert dense[0, 1] == 1.0
+        assert dense[0, 2] == 4.0
+        assert dense[2, 0] == 3.0
+
+    def test_to_dense_sums_duplicates(self):
+        coo = COOMatrix([0, 0], [0, 0], [1.0, 2.0], (1, 1))
+        assert coo.to_dense()[0, 0] == 3.0
+
+    def test_transpose(self, tiny_coo):
+        t = tiny_coo.transpose()
+        assert np.array_equal(t.to_dense(), tiny_coo.to_dense().T)
+
+    def test_transpose_swaps_shape(self):
+        coo = COOMatrix([0], [1], [1.0], (2, 5))
+        assert coo.transpose().shape == (5, 2)
+
+    def test_upper_triangular(self, tiny_coo):
+        upper = tiny_coo.upper_triangular()
+        assert np.all(upper.cols >= upper.rows)
+        assert upper.nnz == 3  # drops the (2, 0) entry
+
+    def test_to_csr_round_trip(self, tiny_coo):
+        assert np.array_equal(
+            tiny_coo.to_csr().to_dense(), tiny_coo.to_dense()
+        )

@@ -1,0 +1,96 @@
+"""Tests for CSR sparse matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import COOMatrix, CSRMatrix, random_sparse
+
+
+@pytest.fixture
+def tiny():
+    # [[0 1 0], [0 0 2], [3 0 0]]
+    return CSRMatrix(
+        indptr=np.array([0, 1, 2, 3]),
+        indices=np.array([1, 2, 0]),
+        data=np.array([1.0, 2.0, 3.0]),
+        num_cols=3,
+    )
+
+
+class TestConstruction:
+    def test_shape(self, tiny):
+        assert tiny.shape == (3, 3)
+        assert tiny.nnz == 3
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRMatrix(np.array([1, 2]), np.array([0, 0]), np.ones(2), 3)
+
+    def test_column_range_checked(self):
+        with pytest.raises(ValueError, match="column"):
+            CSRMatrix(np.array([0, 1]), np.array([7]), np.ones(1), 3)
+
+    def test_row_access(self, tiny):
+        cols, vals = tiny.row(1)
+        assert np.array_equal(cols, [2])
+        assert np.array_equal(vals, [2.0])
+
+
+class TestProducts:
+    def test_matvec(self, tiny):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(tiny.matvec(x), tiny.to_dense() @ x)
+
+    def test_rmatvec(self, tiny):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(tiny.rmatvec(x), tiny.to_dense().T @ x)
+
+    def test_matvec_shape_checked(self, tiny):
+        with pytest.raises(ValueError):
+            tiny.matvec(np.ones(5))
+
+    def test_products_agree_on_random_matrix(self, rng):
+        matrix = random_sparse(40, 30, 200, seed=9).to_csr()
+        x = rng.standard_normal(30)
+        y = rng.standard_normal(40)
+        assert np.allclose(matrix.matvec(x), matrix.to_dense() @ x)
+        assert np.allclose(matrix.rmatvec(y), matrix.to_dense().T @ y)
+
+
+class TestTranspose:
+    def test_dense_agreement(self):
+        matrix = random_sparse(25, 35, 150, seed=10).to_csr()
+        assert np.allclose(matrix.transpose().to_dense(), matrix.to_dense().T)
+
+    def test_double_transpose(self):
+        matrix = random_sparse(20, 20, 80, seed=11).to_csr()
+        assert np.allclose(
+            matrix.transpose().transpose().to_dense(), matrix.to_dense()
+        )
+
+
+class TestFromCoo:
+    def test_row_order_is_stable(self):
+        # Duplicate rows keep COO entry order within the row.
+        coo = COOMatrix([1, 0, 1], [5, 2, 3], [1.0, 2.0, 3.0], (2, 6))
+        csr = CSRMatrix.from_coo(coo)
+        cols, vals = csr.row(1)
+        assert np.array_equal(cols, [5, 3])
+        assert np.array_equal(vals, [1.0, 3.0])
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_any_size(self, nnz):
+        if nnz == 0:
+            return
+        coo = random_sparse(8, 8, min(nnz, 64), seed=nnz)
+        csr = coo.to_csr()
+        assert np.allclose(csr.to_dense(), coo.to_dense())
+
+    def test_canonical_sorts_columns(self):
+        coo = COOMatrix([0, 0], [3, 1], [1.0, 2.0], (1, 4))
+        canonical = CSRMatrix.from_coo(coo).canonical()
+        assert np.array_equal(canonical.indices, [1, 3])
+        assert np.array_equal(canonical.data, [2.0, 1.0])

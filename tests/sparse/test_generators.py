@@ -1,0 +1,70 @@
+"""Tests for sparse-matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    poisson2d,
+    random_permutation,
+    random_sparse,
+    random_symmetric,
+)
+
+
+class TestPoisson2d:
+    def test_shape_and_nnz(self):
+        coo = poisson2d(8, seed=1)
+        assert coo.shape == (64, 64)
+        # 5-point stencil: n diagonal + 2 per interior adjacency.
+        assert coo.nnz == 64 + 2 * (2 * 8 * 7)
+
+    def test_symmetric(self):
+        dense = poisson2d(6, seed=2).to_dense()
+        assert np.allclose(dense, dense.T)
+
+    def test_diagonally_dominant(self):
+        dense = poisson2d(5, seed=3).to_dense()
+        off_diag = np.abs(dense).sum(axis=1) - np.abs(np.diag(dense))
+        assert np.all(np.diag(dense) >= off_diag)
+
+    def test_unshuffled_is_deterministic_structure(self):
+        a = poisson2d(4, shuffle=False)
+        b = poisson2d(4, shuffle=False)
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_shuffle_is_a_relabeling(self):
+        plain = poisson2d(5, shuffle=False).to_dense()
+        shuffled = poisson2d(5, seed=4, shuffle=True).to_dense()
+        assert np.allclose(sorted(plain.sum(axis=1)), sorted(shuffled.sum(axis=1)))
+
+
+class TestRandomSparse:
+    def test_distinct_coordinates(self):
+        coo = random_sparse(20, 20, 100, seed=5)
+        coords = set(zip(coo.rows.tolist(), coo.cols.tolist()))
+        assert len(coords) == 100
+
+    def test_nnz_capacity_checked(self):
+        with pytest.raises(ValueError, match="capacity"):
+            random_sparse(2, 2, 5, seed=1)
+
+
+class TestRandomSymmetric:
+    def test_symmetric(self):
+        dense = random_symmetric(30, 60, seed=6).to_dense()
+        assert np.allclose(dense, dense.T)
+
+    def test_upper_count(self):
+        coo = random_symmetric(50, 40, seed=7)
+        assert coo.upper_triangular().nnz == 40
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self):
+        perm = random_permutation(100, seed=8)
+        assert np.array_equal(np.sort(perm), np.arange(100))
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            random_permutation(50, seed=9), random_permutation(50, seed=9)
+        )

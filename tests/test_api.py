@@ -1,0 +1,51 @@
+"""Public-API surface tests: exports resolve and the package is coherent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro.baselines",
+    "repro.cache",
+    "repro.core",
+    "repro.cpu",
+    "repro.des",
+    "repro.dram",
+    "repro.graphs",
+    "repro.harness",
+    "repro.harness.experiments",
+    "repro.noc",
+    "repro.pb",
+    "repro.sparse",
+    "repro.workloads",
+]
+
+
+def test_version():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert package.__all__, package_name
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_has_no_duplicates(package_name):
+    package = importlib.import_module(package_name)
+    assert len(set(package.__all__)) == len(package.__all__)
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_items_documented(package_name):
+    package = importlib.import_module(package_name)
+    assert package.__doc__
+    for name in package.__all__:
+        item = getattr(package, name)
+        if callable(item) or isinstance(item, type):
+            assert item.__doc__, f"{package_name}.{name} lacks a docstring"

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_run_accepts_scale(self):
+        args = build_parser().parse_args(["run", "fig04", "--scale", "15"])
+        assert args.scale == 15
+        assert args.experiments == ["fig04"]
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def collect(self, argv):
+        lines = []
+        code = main(argv, print_fn=lines.append)
+        return code, "\n".join(str(line) for line in lines)
+
+    def test_list_mentions_every_experiment(self):
+        code, output = self.collect(["list"])
+        assert code == 0
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_machine_describes_hierarchy(self):
+        code, output = self.collect(["machine"])
+        assert code == 0
+        assert "L1D" in output and "LLC" in output and "DRAM" in output
+
+    def test_inputs_prints_suite(self):
+        code, output = self.collect(["inputs"])
+        assert code == 0
+        assert "KRON" in output and "POIS" in output
+
+    def test_run_single_experiment(self):
+        code, output = self.collect(["run", "table1", "--scale", "14"])
+        assert code == 0
+        assert "Table I" in output
+
+    def test_run_multiple_experiments(self):
+        code, output = self.collect(
+            ["run", "fig13c", "fig04", "--scale", "14"]
+        )
+        assert code == 0
+        assert "Figure 13c" in output
+        assert "Figure 4" in output
+
+
+def test_registry_matches_design_doc():
+    # Every evaluation artifact of the paper has a CLI entry.
+    expected = {
+        "fig02", "fig04", "fig05", "fig10", "fig11", "fig12",
+        "fig13a", "fig13b", "fig13c", "fig14", "fig15", "table1",
+        "scaling", "mrc",
+    }
+    assert set(EXPERIMENTS) == expected

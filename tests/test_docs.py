@@ -1,0 +1,80 @@
+"""Documentation consistency checks.
+
+The three documents promise specific artifacts; these tests keep them
+honest as the code evolves.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+@pytest.fixture(scope="module")
+def design():
+    return (ROOT / "DESIGN.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def experiments_md():
+    return (ROOT / "EXPERIMENTS.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def readme():
+    return (ROOT / "README.md").read_text()
+
+
+class TestDesignDoc:
+    def test_confirms_paper_identity(self, design):
+        assert "correct paper" in design
+        assert "HPCA 2022" in design
+
+    def test_every_inventory_package_exists(self, design):
+        for match in re.findall(r"`repro\.[a-z_.]+`", design):
+            module = match.strip("`")
+            __import__(module)
+
+    def test_benchmark_files_referenced_exist(self, design):
+        for match in re.findall(r"benchmarks/test_[a-z0-9_]+\.py", design):
+            assert (ROOT / match).exists(), match
+
+
+class TestExperimentsDoc:
+    def test_covers_every_paper_figure(self, experiments_md):
+        for figure in ("Fig. 2", "Fig. 4a", "Fig. 4b", "Fig. 5", "Table I",
+                       "Fig. 10", "Fig. 11", "Fig. 12", "Fig. 13a",
+                       "Fig. 13b", "Fig. 13c", "Fig. 14", "Fig. 15",
+                       "Table II", "Table III"):
+            assert figure in experiments_md, figure
+
+    def test_extension_benches_exist(self, experiments_md):
+        for name in re.findall(r"`(ablation_[a-z_]+|scaling)`", experiments_md):
+            assert (ROOT / "benchmarks" / f"test_{name}.py").exists() or (
+                ROOT / "benchmarks" / f"test_{name}_extension.py"
+            ).exists(), name
+
+    def test_deviations_section_present(self, experiments_md):
+        assert "deviations" in experiments_md.lower()
+
+
+class TestReadme:
+    def test_quickstart_commands_are_valid(self, readme):
+        assert "pytest tests/" in readme
+        assert "pytest benchmarks/ --benchmark-only" in readme
+        assert "python -m repro" in readme
+
+    def test_examples_listed_exist(self, readme):
+        for name in ("quickstart", "graph_pipeline", "sparse_suite",
+                     "tune_binning", "multicore_scaling"):
+            assert name in readme
+            assert (ROOT / "examples" / f"{name}.py").exists()
+
+    def test_architecture_section_matches_tree(self, readme):
+        for package in ("core/", "pb/", "cache/", "cpu/", "des/", "graphs/",
+                        "sparse/", "workloads/", "baselines/", "noc/",
+                        "harness/"):
+            assert package in readme
+            assert (ROOT / "src" / "repro" / package.rstrip("/")).is_dir()

@@ -1,0 +1,118 @@
+"""Coverage for smaller code paths across packages."""
+
+import numpy as np
+import pytest
+
+from repro.cache import ServiceCounts
+from repro.core import CobraCommMachine, CobraConfig
+from repro.cpu import CoreParams, TimingModel
+from repro.des import Queue, Simulator, Timeout
+from repro.harness.experiments.common import phase_cycles, shared_runner
+from repro.cpu.counters import PhaseCounters, RunCounters
+
+
+class TestTimingSharedLlc:
+    def test_remote_latency_applied(self):
+        model = TimingModel(CoreParams())
+        counts = ServiceCounts(llc=1000)
+        local = model.phase_timing("t", 0, counts, 0, 0)
+        remote = model.phase_timing("t", 0, counts, 0, 0, shared_llc=True)
+        ratio = remote.irregular_cycles / local.irregular_cycles
+        params = CoreParams()
+        assert ratio == pytest.approx(
+            params.llc_remote_latency / params.llc_latency
+        )
+
+    def test_shared_llc_leaves_other_levels_alone(self):
+        model = TimingModel(CoreParams())
+        counts = ServiceCounts(l2=500, dram=10)
+        local = model.phase_timing("t", 0, counts, 0, 0)
+        remote = model.phase_timing("t", 0, counts, 0, 0, shared_llc=True)
+        assert local.irregular_cycles == remote.irregular_cycles
+
+
+class TestReduceOps:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [("add", 3, 4, 7), ("or", 1, 4, 5), ("min", 3, 4, 3), ("max", 3, 4, 4)],
+    )
+    def test_named_reductions(self, op, a, b, expected):
+        config = CobraConfig(num_indices=64, tuple_bytes=8)
+        machine = CobraCommMachine(config, op).bininit()
+        machine.binupdate(0, a)
+        machine.binupdate(0, b)
+        machine.binflush()
+        (bin_tuples,) = [bin_ for bin_ in machine.memory_bins.bins if bin_]
+        assert bin_tuples == [(0, expected)]
+
+    def test_unknown_named_op_rejected(self):
+        config = CobraConfig(num_indices=64, tuple_bytes=8)
+        with pytest.raises(KeyError):
+            CobraCommMachine(config, "xor").bininit()
+
+
+class TestDesQueueDiscipline:
+    def test_multiple_getters_served_fifo(self):
+        sim = Simulator()
+        queue = Queue()
+        served = []
+
+        def consumer(name):
+            item = yield queue.get()
+            served.append((name, item))
+
+        def producer():
+            yield Timeout(1)
+            yield queue.put("x")
+            yield queue.put("y")
+
+        sim.process(consumer("first"))
+        sim.process(consumer("second"))
+        sim.process(producer())
+        sim.run()
+        assert served == [("first", "x"), ("second", "y")]
+
+    def test_multiple_blocked_putters_release_in_order(self):
+        sim = Simulator()
+        queue = Queue(capacity=1)
+        completed = []
+
+        def putter(name):
+            yield queue.put(name)
+            completed.append(name)
+
+        def drainer():
+            for _ in range(3):
+                yield Timeout(10)
+                yield queue.get()
+
+        for name in ("a", "b", "c"):
+            sim.process(putter(name))
+        sim.process(drainer())
+        sim.run()
+        assert completed == ["a", "b", "c"]
+
+
+class TestExperimentCommon:
+    def test_shared_runner_is_singleton(self):
+        assert shared_runner() is shared_runner()
+
+    def test_kwargs_make_fresh_runner(self):
+        fresh = shared_runner(max_sim_events=123)
+        assert fresh is not shared_runner()
+        assert fresh.max_sim_events == 123
+
+    def test_phase_cycles_missing_phase(self):
+        counters = RunCounters(workload="w", mode="m")
+        counters.phases.append(PhaseCounters(name="main", cycles=5.0))
+        assert phase_cycles(counters, "main") == 5.0
+        assert phase_cycles(counters, "absent") == 0.0
+
+
+class TestWorkloadReprs:
+    def test_repr_mentions_commutativity(self):
+        from repro.graphs import EdgeList
+        from repro.workloads import DegreeCount
+
+        workload = DegreeCount(EdgeList([0], [1], 4))
+        assert "commutative=True" in repr(workload)

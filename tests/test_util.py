@@ -1,0 +1,80 @@
+"""Tests for the shared helpers in repro._util."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_index_array,
+    check_positive,
+    check_power_of_two,
+    is_power_of_two,
+    next_power_of_two,
+    rng_from_seed,
+)
+
+
+class TestRng:
+    def test_seed_reproducible(self):
+        a = rng_from_seed(5).integers(0, 100, 10)
+        b = rng_from_seed(5).integers(0, 100, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert rng_from_seed(rng) is rng
+
+    def test_none_allowed(self):
+        assert rng_from_seed(None) is not None
+
+
+class TestCheckPositive:
+    def test_accepts_positive_ints(self):
+        assert check_positive("x", 5) == 5
+        assert check_positive("x", np.int64(3)) == 3
+
+    def test_rejects_zero_and_negative(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match="x must be positive"):
+                check_positive("x", bad)
+
+    def test_rejects_non_ints(self):
+        with pytest.raises(TypeError):
+            check_positive("x", 1.5)
+        with pytest.raises(TypeError):
+            check_positive("x", True)  # bools are not sizes
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("value,expected", [
+        (1, True), (2, True), (1024, True), (3, False), (0, False), (-4, False),
+    ])
+    def test_is_power_of_two(self, value, expected):
+        assert is_power_of_two(value) is expected
+
+    def test_check_power_of_two(self):
+        assert check_power_of_two("x", 64) == 64
+        with pytest.raises(ValueError, match="power of two"):
+            check_power_of_two("x", 100)
+
+    @pytest.mark.parametrize("value,expected", [
+        (1, 1), (2, 2), (3, 4), (5, 8), (1023, 1024), (1024, 1024),
+    ])
+    def test_next_power_of_two(self, value, expected):
+        assert next_power_of_two(value) == expected
+
+    def test_next_power_of_two_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestAsIndexArray:
+    def test_coerces_lists(self):
+        arr = as_index_array([1, 2, 3])
+        assert arr.dtype == np.int64
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            as_index_array([[1], [2]])
+
+    def test_empty_ok(self):
+        assert len(as_index_array([])) == 0

@@ -1,0 +1,120 @@
+"""Tests for the workload phase builders."""
+
+import numpy as np
+import pytest
+
+from repro.core import costs
+from repro.core.config import CobraConfig
+from repro.pb import BinSpec
+from repro.workloads import DegreeCount, NeighborPopulate
+from repro.graphs import rmat
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return DegreeCount(rmat(1 << 12, 1 << 15, seed=9))
+
+
+@pytest.fixture(scope="module")
+def spec(workload):
+    return BinSpec.from_num_bins(workload.num_indices, 64)
+
+
+class TestBaselinePhases:
+    def test_single_main_phase(self, workload):
+        (phase,) = workload.baseline_phases()
+        assert phase.name == "main"
+        assert phase.instructions == workload.num_updates * 8
+
+    def test_segments_cover_updates(self, workload):
+        (phase,) = workload.baseline_phases()
+        assert phase.irregular_accesses == workload.num_updates
+
+    def test_streaming_volume(self, workload):
+        (phase,) = workload.baseline_phases()
+        assert phase.streaming_bytes == workload.num_updates * 8
+
+
+class TestPBPhases:
+    def test_three_phases_in_order(self, workload, spec):
+        names = [p.name for p in workload.pb_phases(spec)]
+        assert names == ["init", "binning", "accumulate"]
+
+    def test_init_optional(self, workload, spec):
+        names = [p.name for p in workload.pb_phases(spec, include_init=False)]
+        assert names == ["binning", "accumulate"]
+
+    def test_binning_has_cbuffer_full_site(self, workload, spec):
+        binning = workload.pb_phases(spec)[1]
+        sites = {site.name for site in binning.branch_sites}
+        assert "cbuffer_full" in sites
+
+    def test_binning_nt_writes_cover_stream(self, workload, spec):
+        binning = workload.pb_phases(spec)[1]
+        tuples_per_line = 64 // workload.tuple_bytes
+        min_lines = workload.num_updates // tuples_per_line
+        assert binning.nt_write_lines >= min_lines
+
+    def test_accumulate_replays_bin_major(self, workload, spec):
+        accumulate = workload.pb_phases(spec)[2]
+        indices = accumulate.segments[0].indices
+        bins = spec.bins_of(indices)
+        assert np.all(np.diff(bins) >= 0)
+
+    def test_accumulate_records_bin_count(self, workload, spec):
+        accumulate = workload.pb_phases(spec)[2]
+        assert accumulate.num_bins == spec.num_bins
+
+    def test_pb_instruction_overhead_in_paper_band(self, workload, spec):
+        """Section III-C: PB executes up to ~4x the baseline instructions."""
+        base = sum(p.instructions for p in workload.baseline_phases())
+        pb = sum(p.instructions for p in workload.pb_phases(spec))
+        assert 2.0 < pb / base < 4.5
+
+
+class TestCobraPhases:
+    def test_cobra_binning_has_no_cache_segments(self, workload):
+        cobra = CobraConfig(
+            num_indices=workload.num_indices, tuple_bytes=workload.tuple_bytes
+        )
+        binning = workload.cobra_phases(cobra)[1]
+        assert binning.segments == []
+        assert binning.des_trace is not None
+        assert binning.reserved_ways is not None
+
+    def test_cobra_hw_lines_cover_all_tuples(self, workload):
+        cobra = CobraConfig(
+            num_indices=workload.num_indices, tuple_bytes=workload.tuple_bytes
+        )
+        binning = workload.cobra_phases(cobra)[1]
+        per_line = cobra.tuples_per_line
+        assert binning.hw_write_lines >= workload.num_updates // per_line
+
+    def test_cobra_instruction_reduction_in_paper_band(self, workload, spec):
+        """Figure 12 top: COBRA executes 2-5.5x fewer instructions."""
+        cobra = CobraConfig(
+            num_indices=workload.num_indices, tuple_bytes=workload.tuple_bytes
+        )
+        pb = sum(p.instructions for p in workload.pb_phases(spec))
+        hw = sum(p.instructions for p in workload.cobra_phases(cobra))
+        assert 1.8 < pb / hw < 5.5
+
+    def test_mismatched_config_rejected(self, workload):
+        cobra = CobraConfig(num_indices=64, tuple_bytes=workload.tuple_bytes)
+        with pytest.raises(ValueError, match="namespace"):
+            workload.cobra_phases(cobra)
+
+    def test_mismatched_tuple_size_rejected(self, workload):
+        cobra = CobraConfig(
+            num_indices=workload.num_indices, tuple_bytes=16
+        )
+        with pytest.raises(ValueError, match="tuple"):
+            workload.cobra_phases(cobra)
+
+
+class TestMultiSegmentPhases:
+    def test_neighbor_populate_has_two_streams(self):
+        workload = NeighborPopulate(rmat(1 << 10, 1 << 13, seed=3))
+        (phase,) = workload.baseline_phases()
+        assert len(phase.segments) == 2
+        assert phase.irregular_accesses == 2 * workload.num_updates

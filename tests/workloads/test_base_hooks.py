@@ -1,0 +1,78 @@
+"""Tests for Workload base hooks and defaults."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import rmat
+from repro.workloads import DegreeCount, Workload
+from repro.workloads.base import PhaseSpec, RegionSpec, Segment
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return DegreeCount(rmat(1 << 10, 1 << 13, seed=33))
+
+
+class TestDefaults:
+    def test_base_hooks_are_empty(self, workload):
+        assert workload.extra_baseline_segments() == []
+        assert workload.extra_accumulate_segments(np.arange(3)) == []
+        assert workload.extra_branch_sites("main") == []
+
+    def test_reference_hooks_abstract(self):
+        class Bare(Workload):
+            pass
+
+        bare = Bare()
+        with pytest.raises(NotImplementedError):
+            bare.run_reference()
+        with pytest.raises(NotImplementedError):
+            bare.run_pb_functional()
+
+    def test_characterization_defaults_to_baseline(self, workload):
+        baseline = workload.baseline_phases()
+        character = workload.characterization_phases()
+        assert len(baseline) == len(character)
+        assert baseline[0].instructions == character[0].instructions
+
+
+class TestPhaseSpec:
+    def test_irregular_accesses_sums_segments(self):
+        region = RegionSpec("r", 4, 100)
+        phase = PhaseSpec(
+            name="p",
+            instructions=0,
+            segments=[
+                Segment(region, np.arange(10)),
+                Segment(region, np.arange(7)),
+            ],
+        )
+        assert phase.irregular_accesses == 17
+
+    def test_defaults(self):
+        phase = PhaseSpec(name="p", instructions=5)
+        assert phase.segments == []
+        assert phase.trace_scale == 1.0
+        assert phase.coalesced_discount == 0
+        assert not phase.shared_llc
+        assert phase.des_trace is None
+
+    def test_segment_coerces_indices(self):
+        region = RegionSpec("r", 4, 100)
+        segment = Segment(region, [1, 2, 3])
+        assert segment.indices.dtype == np.int64
+
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            RegionSpec("r", 0, 10)
+        with pytest.raises(ValueError):
+            RegionSpec("r", 4, 0)
+
+
+class TestSitePc:
+    def test_stable_within_run(self):
+        from repro.workloads.base import site_pc
+
+        assert site_pc("w", "s") == site_pc("w", "s")
+        assert site_pc("w", "s") != site_pc("w", "t")
+        assert 0 <= site_pc("w", "s") <= 0xFFFF_FFFF

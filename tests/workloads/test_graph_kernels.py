@@ -1,0 +1,127 @@
+"""Functional tests for the graph workloads.
+
+The central claim tested here is Section III-B's: PB's reordering (and any
+per-bin order) preserves kernel semantics — exactly for commutative
+kernels, up to semantic equality for non-commutative ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_csr, rmat
+from repro.workloads import DegreeCount, NeighborPopulate, Pagerank, Radii
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return rmat(1 << 11, 1 << 14, seed=21)
+
+
+@pytest.fixture(scope="module")
+def graph(edges):
+    return build_csr(edges)
+
+
+class TestDegreeCount:
+    def test_pb_matches_reference(self, edges):
+        workload = DegreeCount(edges)
+        assert np.array_equal(
+            workload.run_reference(), workload.run_pb_functional(num_bins=32)
+        )
+
+    def test_reference_sums_to_edges(self, edges):
+        workload = DegreeCount(edges)
+        assert workload.run_reference().sum() == edges.num_edges
+
+    def test_metadata(self, edges):
+        workload = DegreeCount(edges)
+        assert workload.commutative
+        assert workload.tuple_bytes == 4
+        assert workload.num_updates == edges.num_edges
+
+
+class TestNeighborPopulate:
+    def test_pb_produces_identical_csr(self, edges):
+        # Stable FIFO bins preserve per-source order, so the PB result is
+        # bit-identical, not just semantically equal.
+        workload = NeighborPopulate(edges)
+        reference = workload.run_reference()
+        pb = workload.run_pb_functional(num_bins=64)
+        assert np.array_equal(reference.neighbors, pb.neighbors)
+
+    def test_reference_matches_substrate(self, edges, graph):
+        workload = NeighborPopulate(edges)
+        assert np.array_equal(workload.run_reference().neighbors, graph.neighbors)
+
+    def test_non_commutative_flag(self, edges):
+        assert not NeighborPopulate(edges).commutative
+
+    def test_slots_are_a_permutation(self, edges):
+        workload = NeighborPopulate(edges)
+        assert np.array_equal(
+            np.sort(workload._slots), np.arange(edges.num_edges)
+        )
+
+    def test_accumulate_segment_slots_match_order(self, edges):
+        workload = NeighborPopulate(edges)
+        order = np.arange(edges.num_edges)[::-1].copy()
+        (segment,) = workload.extra_accumulate_segments(order)
+        assert np.array_equal(segment.indices, workload._slots[order])
+
+
+class TestPagerank:
+    def test_pb_matches_reference(self, graph):
+        workload = Pagerank(graph)
+        assert np.allclose(
+            workload.run_reference(), workload.run_pb_functional(num_bins=32)
+        )
+
+    def test_scores_sum_near_one(self, graph):
+        # One iteration over a graph with dangling vertices loses a bit of
+        # mass; the total stays in (0, 1].
+        total = Pagerank(graph).run_reference().sum()
+        assert 0.3 < total <= 1.0 + 1e-9
+
+    def test_damping_validated(self, graph):
+        with pytest.raises(ValueError):
+            Pagerank(graph, damping=1.5)
+
+    def test_convergence(self, graph):
+        scores, iterations = Pagerank(graph).run_to_convergence(tol=1e-6)
+        assert 1 < iterations <= 100
+        # Converged scores are a fixed point (one more iteration moves
+        # them less than the tolerance).
+        assert scores.min() > 0
+
+    def test_boundary_branch_site_present(self, graph):
+        workload = Pagerank(graph)
+        sites = workload.extra_branch_sites("binning")
+        assert sites and sites[0].name == "neigh_boundary"
+        assert len(sites[0].outcomes) == workload.num_updates
+
+
+class TestRadii:
+    def test_pb_matches_reference(self, graph):
+        workload = Radii(graph, seed=5)
+        assert np.array_equal(
+            workload.run_reference(), workload.run_pb_functional(num_bins=32)
+        )
+
+    def test_or_only_sets_bits(self, graph):
+        workload = Radii(graph, seed=5)
+        result = workload.run_reference()
+        # OR can only add bits on top of the previous visited state.
+        assert np.all((workload.visited & ~result) == 0)
+
+    def test_frontier_fraction_scales_updates(self, graph):
+        small = Radii(graph, frontier_fraction=0.2, seed=5).num_updates
+        large = Radii(graph, frontier_fraction=0.9, seed=5).num_updates
+        assert small < large
+
+    def test_frontier_fraction_validated(self, graph):
+        with pytest.raises(ValueError):
+            Radii(graph, frontier_fraction=0.0)
+
+    def test_two_branch_sites_when_streaming(self, graph):
+        sites = Radii(graph, seed=5).extra_branch_sites("main")
+        assert {s.name for s in sites} == {"frontier_active", "neigh_boundary"}

@@ -1,0 +1,43 @@
+"""Multi-iteration Pagerank under PB (the Figure 15 execution mode)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_csr, rmat
+from repro.workloads import Pagerank
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Pagerank(build_csr(rmat(1 << 11, 1 << 14, seed=88)))
+
+
+class TestConvergence:
+    def test_pb_converges_to_same_fixed_point(self, workload):
+        direct, direct_iters = workload.run_to_convergence(tol=1e-8)
+        blocked, pb_iters = workload.run_to_convergence(
+            tol=1e-8, use_pb=True, num_bins=64
+        )
+        assert np.allclose(direct, blocked)
+        assert direct_iters == pb_iters  # identical trajectory
+
+    def test_bin_count_does_not_change_result(self, workload):
+        few, _ = workload.run_to_convergence(tol=1e-8, use_pb=True, num_bins=4)
+        many, _ = workload.run_to_convergence(
+            tol=1e-8, use_pb=True, num_bins=1024
+        )
+        assert np.allclose(few, many)
+
+    def test_scores_form_a_distribution_up_to_dangling_mass(self, workload):
+        scores, _ = workload.run_to_convergence(tol=1e-8)
+        assert scores.min() > 0
+        assert 0.3 < scores.sum() <= 1.0 + 1e-9
+
+    def test_max_iters_respected(self, workload):
+        _, iterations = workload.run_to_convergence(tol=0.0, max_iters=3)
+        assert iterations == 3
+
+    def test_tighter_tolerance_needs_more_iterations(self, workload):
+        _, loose = workload.run_to_convergence(tol=1e-3)
+        _, tight = workload.run_to_convergence(tol=1e-9)
+        assert tight > loose

@@ -1,0 +1,56 @@
+"""Tests for the group-rank helpers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads._ranks import group_ranks, placement_slots
+
+
+class TestGroupRanks:
+    def test_appearance_order(self):
+        keys = np.array([2, 0, 2, 2, 0])
+        assert np.array_equal(group_ranks(keys, 3), [0, 0, 1, 2, 1])
+
+    def test_single_group(self):
+        keys = np.zeros(5, dtype=np.int64)
+        assert np.array_equal(group_ranks(keys, 1), np.arange(5))
+
+    def test_empty(self):
+        assert len(group_ranks(np.array([], dtype=np.int64), 4)) == 0
+
+
+class TestPlacementSlots:
+    def test_contiguous_packing(self):
+        keys = np.array([1, 0, 1, 2])
+        # Group starts: 0 -> 0, 1 -> 1, 2 -> 3.
+        assert np.array_equal(placement_slots(keys, 3), [1, 0, 2, 3])
+
+    def test_explicit_group_starts(self):
+        keys = np.array([0, 0, 1])
+        starts = np.array([10, 20])
+        assert np.array_equal(
+            placement_slots(keys, 2, starts), [10, 11, 20]
+        )
+
+    def test_slots_are_a_permutation(self, rng):
+        keys = rng.integers(0, 50, size=500)
+        slots = placement_slots(keys, 50)
+        assert np.array_equal(np.sort(slots), np.arange(500))
+
+    def test_slots_sort_keys(self, rng):
+        keys = rng.integers(0, 50, size=500)
+        slots = placement_slots(keys, 50)
+        out = np.empty(500, dtype=np.int64)
+        out[slots] = keys
+        assert np.array_equal(out, np.sort(keys, kind="stable"))
+
+    @given(st.lists(st.integers(0, 9), min_size=0, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_stability_property(self, raw):
+        keys = np.array(raw, dtype=np.int64)
+        slots = placement_slots(keys, 10)
+        # Equal keys keep their relative order (stability).
+        for key in set(raw):
+            positions = slots[keys == key]
+            assert np.all(np.diff(positions) > 0)

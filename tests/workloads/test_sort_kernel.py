@@ -1,0 +1,63 @@
+"""Functional tests for Integer Sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import IntegerSort
+
+
+@pytest.fixture(scope="module")
+def keys(rng):
+    return rng.integers(0, 1 << 10, size=20_000, dtype=np.int64)
+
+
+class TestCorrectness:
+    def test_counting_sort_sorts(self, keys):
+        workload = IntegerSort(keys, 1 << 10)
+        assert np.array_equal(workload.run_counting_sort(), np.sort(keys))
+
+    def test_pb_sort_sorts(self, keys):
+        workload = IntegerSort(keys, 1 << 10)
+        assert np.array_equal(
+            workload.run_pb_functional(num_bins=16), np.sort(keys)
+        )
+
+    def test_reference_is_sorted(self, keys):
+        workload = IntegerSort(keys, 1 << 10)
+        reference = workload.run_reference()
+        assert np.all(np.diff(reference) >= 0)
+
+    @given(st.lists(st.integers(0, 63), min_size=0, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_pb_sort_property(self, raw):
+        if not raw:
+            return
+        keys = np.array(raw, dtype=np.int64)
+        workload = IntegerSort(keys, 64)
+        assert np.array_equal(
+            workload.run_pb_functional(num_bins=8), np.sort(keys)
+        )
+
+    def test_key_range_validated(self):
+        with pytest.raises(ValueError, match="max_key"):
+            IntegerSort(np.array([5]), 5)
+
+
+class TestPhases:
+    def test_baseline_is_comparison_sort(self, keys):
+        workload = IntegerSort(keys, 1 << 10)
+        (phase,) = workload.baseline_phases()
+        assert phase.segments == []  # mergesort streams, no scatters
+        assert phase.branch_sites[0].name == "merge_compare"
+        # n log n instruction scaling.
+        assert phase.instructions > workload.num_updates * 10
+
+    def test_characterization_uses_irregular_formulation(self, keys):
+        workload = IntegerSort(keys, 1 << 10)
+        (phase,) = workload.characterization_phases()
+        assert phase.irregular_accesses == 2 * workload.num_updates
+
+    def test_non_commutative(self, keys):
+        assert not IntegerSort(keys, 1 << 10).commutative

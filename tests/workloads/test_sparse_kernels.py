@@ -1,0 +1,135 @@
+"""Functional tests for the sparse linear algebra workloads."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    poisson2d,
+    random_permutation,
+    random_sparse,
+    random_symmetric,
+)
+from repro.workloads import PInv, SpMV, SymPerm, Transpose
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_sparse(300, 300, 3000, seed=31).to_csr()
+
+
+class TestSpMV:
+    def test_pb_matches_reference(self, matrix):
+        workload = SpMV(matrix, seed=1)
+        assert np.allclose(
+            workload.run_reference(), workload.run_pb_functional(num_bins=16)
+        )
+
+    def test_reference_is_transpose_product(self, matrix):
+        workload = SpMV(matrix, seed=1)
+        assert np.allclose(
+            workload.run_reference(), matrix.to_dense().T @ workload.x
+        )
+
+    def test_poisson_input(self):
+        matrix = poisson2d(20, seed=2).to_csr()
+        workload = SpMV(matrix, seed=3)
+        assert np.allclose(
+            workload.run_reference(), workload.run_pb_functional(num_bins=8)
+        )
+
+    def test_x_shape_validated(self, matrix):
+        with pytest.raises(ValueError):
+            SpMV(matrix, x=np.ones(5))
+
+    def test_commutative(self, matrix):
+        assert SpMV(matrix, seed=1).commutative
+
+
+class TestPInv:
+    def test_pb_matches_reference(self):
+        perm = random_permutation(4096, seed=4)
+        workload = PInv(perm)
+        assert np.array_equal(
+            workload.run_reference(), workload.run_pb_functional(num_bins=16)
+        )
+
+    def test_inverse_property(self):
+        perm = random_permutation(1000, seed=5)
+        inverse = PInv(perm).run_reference()
+        assert np.array_equal(perm[inverse], np.arange(1000))
+        assert np.array_equal(inverse[perm], np.arange(1000))
+
+    def test_one_update_per_index(self):
+        perm = random_permutation(256, seed=6)
+        workload = PInv(perm)
+        assert workload.num_updates == workload.num_indices
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ValueError, match="permutation"):
+            PInv(np.array([0, 0, 2]))
+
+
+class TestTranspose:
+    def test_pb_matches_reference(self, matrix):
+        workload = Transpose(matrix)
+        reference = workload.run_reference().canonical()
+        pb = workload.run_pb_functional(num_bins=16).canonical()
+        assert np.array_equal(reference.indptr, pb.indptr)
+        assert np.array_equal(reference.indices, pb.indices)
+        assert np.allclose(reference.data, pb.data)
+
+    def test_reference_is_the_transpose(self, matrix):
+        workload = Transpose(matrix)
+        assert np.allclose(
+            workload.run_reference().to_dense(), matrix.to_dense().T
+        )
+
+    def test_non_commutative(self, matrix):
+        assert not Transpose(matrix).commutative
+
+    def test_updates_are_nnz(self, matrix):
+        assert Transpose(matrix).num_updates == matrix.nnz
+
+
+class TestSymPerm:
+    @pytest.fixture(scope="class")
+    def inputs(self):
+        sym = random_symmetric(200, 800, seed=7)
+        perm = random_permutation(200, seed=8)
+        return sym, perm
+
+    def test_pb_matches_reference(self, inputs):
+        sym, perm = inputs
+        workload = SymPerm(sym, perm)
+        for ref, pb in zip(
+            workload.run_reference(), workload.run_pb_functional(num_bins=8)
+        ):
+            assert np.allclose(ref, pb)
+
+    def test_result_is_upper_triangular(self, inputs):
+        sym, perm = inputs
+        lo, hi, _vals = SymPerm(sym, perm).run_reference()
+        assert np.all(hi >= lo)
+
+    def test_permutation_preserves_values(self, inputs):
+        sym, perm = inputs
+        _lo, _hi, vals = SymPerm(sym, perm).run_reference()
+        expected = sym.upper_triangular().vals
+        assert np.allclose(np.sort(vals), np.sort(expected))
+
+    def test_streams_more_than_it_updates(self, inputs):
+        # SymPerm reads the whole symmetric matrix but updates only the
+        # upper triangle — the limited-headroom effect of Section VII-A.
+        sym, perm = inputs
+        workload = SymPerm(sym, perm)
+        assert workload.stream_bytes_per_update > 16
+
+    def test_upper_check_branch_site(self, inputs):
+        sym, perm = inputs
+        sites = SymPerm(sym, perm).extra_branch_sites("main")
+        assert sites[0].name == "upper_check"
+
+    def test_shape_validation(self, inputs):
+        sym, _ = inputs
+        with pytest.raises(ValueError, match="perm length"):
+            SymPerm(sym, np.arange(5))

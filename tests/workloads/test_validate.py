@@ -1,0 +1,92 @@
+"""Tests for the uniform result-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import CSRGraph, rmat
+from repro.sparse import poisson2d, random_permutation, random_symmetric
+from repro.workloads import (
+    DegreeCount,
+    IntegerSort,
+    NeighborPopulate,
+    Pagerank,
+    PInv,
+    Radii,
+    SpMV,
+    SymPerm,
+    Transpose,
+)
+from repro.workloads.validate import results_equal, verify_workload
+
+
+class TestResultsEqual:
+    def test_integer_arrays_exact(self):
+        assert results_equal(np.array([1, 2]), np.array([1, 2]))
+        assert not results_equal(np.array([1, 2]), np.array([1, 3]))
+
+    def test_float_arrays_tolerant(self):
+        a = np.array([1.0, 2.0])
+        assert results_equal(a, a + 1e-12)
+        assert not results_equal(a, a + 1e-3)
+
+    def test_shape_mismatch(self):
+        assert not results_equal(np.zeros(3), np.zeros(4))
+
+    def test_csr_graphs_by_neighbor_sets(self):
+        a = CSRGraph(np.array([0, 2, 2]), np.array([1, 0]))
+        b = CSRGraph(np.array([0, 2, 2]), np.array([0, 1]))  # permuted row
+        assert results_equal(a, b)
+
+    def test_csr_graphs_differ(self):
+        a = CSRGraph(np.array([0, 2, 2]), np.array([1, 0]))
+        c = CSRGraph(np.array([0, 2, 2]), np.array([1, 1]))
+        assert not results_equal(a, c)
+
+    def test_csr_matrices_by_row_sets(self):
+        base = poisson2d(6, seed=1).to_csr()
+        assert results_equal(base, base.canonical())
+
+    def test_tuples_recurse(self):
+        a = (np.array([1]), np.array([2.0]))
+        b = (np.array([1]), np.array([2.0 + 1e-12]))
+        assert results_equal(a, b)
+        assert not results_equal(a, (np.array([1]),))
+
+
+class TestVerifyWorkload:
+    @pytest.fixture(scope="class")
+    def edges(self):
+        return rmat(1 << 11, 1 << 14, seed=55)
+
+    @pytest.fixture(scope="class")
+    def graph(self, edges):
+        from repro.graphs import build_csr
+
+        return build_csr(edges)
+
+    def test_every_kernel_verifies(self, edges, graph, rng):
+        matrix = poisson2d(48, seed=3).to_csr()
+        n = matrix.num_rows
+        workloads = [
+            DegreeCount(edges),
+            NeighborPopulate(edges),
+            Pagerank(graph),
+            Radii(graph, seed=4),
+            IntegerSort(rng.integers(0, 512, size=4000), 512),
+            SpMV(matrix, seed=5),
+            PInv(random_permutation(n, seed=6)),
+            Transpose(matrix),
+            SymPerm(random_symmetric(n, n, seed=7), random_permutation(n, seed=8)),
+        ]
+        for workload in workloads:
+            assert verify_workload(workload, num_bins=32)
+
+    def test_failure_is_diagnosed(self, edges):
+        class Broken(DegreeCount):
+            def run_pb_functional(self, num_bins=256):
+                result = super().run_pb_functional(num_bins)
+                result[0] += 1  # corrupt
+                return result
+
+        with pytest.raises(AssertionError, match="unordered parallelism"):
+            verify_workload(Broken(edges))
