@@ -13,14 +13,23 @@ import pathlib
 import pytest
 
 from repro.harness.experiments.common import shared_runner
+from repro.harness.resultcache import ResultCache
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
 def runner():
-    """Session-wide runner shared by all figure benchmarks."""
-    return shared_runner()
+    """Session-wide runner shared by all figure benchmarks.
+
+    Carries the persistent result cache (``benchmarks/results/.cache/``) so
+    a re-run — or a resumed, previously killed session — skips completed
+    simulations entirely.
+    """
+    instance = shared_runner()
+    if instance.result_cache is None:
+        instance.result_cache = ResultCache()
+    return instance
 
 
 @pytest.fixture(scope="session")

@@ -1,6 +1,7 @@
 """Cache hierarchy simulator (the Pin-based simulator analog)."""
 
 from repro.cache.address import AddressSpace, Region
+from repro.cache.batchsim import BatchHierarchy
 from repro.cache.cache import Cache, Eviction
 from repro.cache.coherence import (
     AccessOutcome,
@@ -25,6 +26,7 @@ from repro.cache.stats import MemoryTraffic, ServiceCounts
 __all__ = [
     "AccessOutcome",
     "AddressSpace",
+    "BatchHierarchy",
     "BitPLRU",
     "Cache",
     "CoherenceStats",

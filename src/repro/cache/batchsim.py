@@ -1,0 +1,347 @@
+"""Batched trace simulation engine.
+
+:class:`FastHierarchy` replays a trace one access at a time, walking all
+three levels per access. This module instead simulates a whole line-trace
+as NumPy arrays with a *level-decomposed, set-partitioned* sweep, in the
+spirit of propagation blocking itself (and of the cache-aware restructuring
+in GraphIt/Cagra and PCPM): process one cache level at a time over the whole
+trace, and within a level partition the event stream by set so each
+partition runs a tight specialized kernel over contiguous state.
+
+The decomposition is exact because level state only flows *downward*:
+
+* The L1 outcome of every access depends only on the access stream, so the
+  L1 is simulated first over the full trace.
+* The L2 sees the L1 demand misses plus the L1's dirty evictions; both are
+  emitted with a global sequence key while the L1 runs, merged with one
+  ``argsort``, and replayed.
+* The LLC likewise consumes the L2 misses and dirty evictions; its own
+  dirty victims are DRAM writebacks.
+
+Within one level, distinct sets share no replacement state, so the event
+stream is partitioned per set (NumPy group-by) and each set replays through
+a specialized LRU or PLRU kernel that mirrors :class:`FastHierarchy`'s
+policy logic exactly — equivalence on identical ``ServiceCounts`` is
+asserted by the test suite against both ``FastHierarchy`` and the reference
+``CacheHierarchy``.
+
+Configurations the decomposition cannot express fall back to the scalar
+engine (the runner checks :meth:`BatchHierarchy.supports`):
+
+* DRRIP: set-dueling couples sets through the global PSEL counter, so
+  per-set replay would reorder leader updates;
+* an enabled prefetcher: prefetch fills into the L2 are gated on LLC
+  residency *at the time of the access*, creating an upward dependency;
+* reserved ways: way partitioning is phase-scoped and rare (COBRA binning
+  phases carry no cache-visible trace), so it stays on the scalar path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.cache.config import HierarchyConfig
+from repro.cache.stats import ServiceCounts
+
+__all__ = ["BatchHierarchy"]
+
+_LRU, _PLRU = 0, 1
+_POLICY_CODES = {"lru": _LRU, "plru": _PLRU}
+
+#: Sub-event slots per access in the global sequence key: the demand event
+#: takes slot 0 and every eviction fires one slot after its cause, so an
+#: L1 victim lands at slot 1 and the victim of *that* fill at slot 2.
+_SEQ_STRIDE = 4
+
+
+def _lru_replay(state, cap, ev_line, ev_dirty, ev_seq, evict_seq, evict_line):
+    """Replay one set's events under LRU; returns per-event hit flags.
+
+    ``state`` is an :class:`OrderedDict` mapping resident lines (LRU first)
+    to their dirty flag; every operation is a C-level dict primitive.
+    Victim choice by least-recent touch matches FastHierarchy's stamp-based
+    LRU exactly (every hit and fill touches).
+    """
+    resident = state
+    hits = []
+    append = hits.append
+    move_to_end = resident.move_to_end
+    popitem = resident.popitem
+    for pos, line in enumerate(ev_line):
+        if line in resident:
+            move_to_end(line)
+            if ev_dirty[pos]:
+                resident[line] = True
+            append(True)
+        else:
+            resident[line] = ev_dirty[pos]
+            if len(resident) > cap:
+                victim, victim_dirty = popitem(last=False)
+                if victim_dirty:
+                    evict_seq.append(ev_seq[pos] + 1)
+                    evict_line.append(victim)
+            append(False)
+    return hits
+
+
+def _plru_replay(state, cap, ev_line, ev_dirty, ev_seq, evict_seq, evict_line):
+    """Replay one set's events under bit-PLRU; returns per-event hit flags.
+
+    ``state`` is ``[table, way_line, mru, count, occupied, dirty]`` — a
+    line→way dict, its way→line inverse, and the MRU/dirty bits packed into
+    ints: the same scheme FastHierarchy keeps in its flat arrays, replicated
+    bit for bit (reset-on-saturation, first clear-MRU-bit victim, first
+    free way on cold fills).
+    """
+    table, way_line = state[0], state[1]
+    mru, count, occupied, dirty = state[2], state[3], state[4], state[5]
+    full_mask = (1 << cap) - 1
+    hits = []
+    append = hits.append
+    lookup = table.get
+    for pos, line in enumerate(ev_line):
+        way = lookup(line)
+        if way is not None:
+            append(True)
+            bit = 1 << way
+            if not mru & bit:
+                count += 1
+                if count >= cap:
+                    mru, count = bit, 1
+                else:
+                    mru |= bit
+            if ev_dirty[pos]:
+                dirty |= bit
+            continue
+        append(False)
+        if occupied < cap:
+            way = way_line.index(None)
+            occupied += 1
+        else:
+            inverted = ~mru & full_mask
+            way = (inverted & -inverted).bit_length() - 1 if inverted else 0
+            old = way_line[way]
+            del table[old]
+            if dirty & (1 << way):
+                evict_seq.append(ev_seq[pos] + 1)
+                evict_line.append(old)
+        table[line] = way
+        way_line[way] = line
+        bit = 1 << way
+        if ev_dirty[pos]:
+            dirty |= bit
+        else:
+            dirty &= ~bit
+        if not mru & bit:
+            count += 1
+            if count >= cap:
+                mru, count = bit, 1
+            else:
+                mru |= bit
+    state[2], state[3], state[4], state[5] = mru, count, occupied, dirty
+    return hits
+
+
+class BatchHierarchy:
+    """Batched three-level simulator, equivalent to :class:`FastHierarchy`.
+
+    Only constructible for configurations :meth:`supports` accepts. State
+    persists across :meth:`simulate` calls exactly as FastHierarchy's does
+    across :meth:`~FastHierarchy.access` calls.
+    """
+
+    def __init__(self, config: HierarchyConfig):
+        if not self.supports(config):
+            raise ValueError(
+                "BatchHierarchy cannot express this configuration "
+                "(DRRIP, prefetching, or reserved ways); use FastHierarchy"
+            )
+        self.config = config
+        self._sets = []
+        self._caps = []
+        self._pol = []
+        self._state = [{}, {}, {}]  # per level: set index -> kernel state
+        for name in ("l1", "l2", "llc"):
+            self._sets.append(config.sets(name))
+            self._caps.append(getattr(config, f"{name}_ways"))
+            self._pol.append(_POLICY_CODES[getattr(config, f"{name}_policy")])
+        self.hits = [0, 0, 0]
+        self.misses = [0, 0, 0]
+        self.dram_reads = 0
+        self.dram_writes = 0
+        self.dram_prefetch_reads = 0  # no prefetcher on the batched path
+        self.prefetcher = None
+
+    @staticmethod
+    def supports(config: HierarchyConfig) -> bool:
+        """True when the batched decomposition is exact for ``config``."""
+        return (
+            not config.prefetch
+            and config.l1_policy in _POLICY_CODES
+            and config.l2_policy in _POLICY_CODES
+            and config.llc_policy in _POLICY_CODES
+            and config.l1_reserved_ways == 0
+            and config.l2_reserved_ways == 0
+            and config.llc_reserved_ways == 0
+        )
+
+    # ------------------------------------------------------------------ #
+    # Level replay
+    # ------------------------------------------------------------------ #
+
+    def _replay_level(self, level, seq, line, dirty):
+        """Replay one level's merged event stream, partitioned per set.
+
+        ``dirty`` flags events that dirty the touched line (demand writes at
+        the L1; dirty-victim fills at deeper levels). Returns ``(hit,
+        evict_seq, evict_line)``: per-event hit flags and the level's dirty
+        evictions tagged with their sequence keys.
+        """
+        count = line.size
+        hit = np.empty(count, dtype=bool)
+        evict_seq, evict_line = [], []
+        if not count:
+            return hit, evict_seq, evict_line
+        sets = self._sets[level]
+        cap = self._caps[level]
+        policy = self._pol[level]
+        kernel = _lru_replay if policy == _LRU else _plru_replay
+        states = self._state[level]
+        set_idx = line % sets
+        order = np.argsort(set_idx, kind="stable")
+        sorted_sets = set_idx[order]
+        starts = np.flatnonzero(np.diff(sorted_sets)) + 1
+        for group in np.split(order, starts):
+            set_id = int(set_idx[group[0]])
+            state = states.get(set_id)
+            if state is None:
+                if policy == _LRU:
+                    state = OrderedDict()
+                else:
+                    state = [{}, [None] * cap, 0, 0, 0, 0]
+                states[set_id] = state
+            hit[group] = kernel(
+                state,
+                cap,
+                line[group].tolist(),
+                dirty[group].tolist(),
+                seq[group].tolist(),
+                evict_seq,
+                evict_line,
+            )
+        return hit, evict_seq, evict_line
+
+    @staticmethod
+    def _merge(demand_seq, demand_line, evict_seq, evict_line):
+        """Merge demand and eviction streams into one seq-ordered stream."""
+        ev_seq = np.asarray(evict_seq, dtype=np.int64)
+        ev_line = np.asarray(evict_line, dtype=np.int64)
+        seq = np.concatenate([demand_seq, ev_seq])
+        line = np.concatenate([demand_line, ev_line])
+        kind = np.concatenate(
+            [
+                np.zeros(demand_seq.size, dtype=np.uint8),
+                np.ones(ev_seq.size, dtype=np.uint8),
+            ]
+        )
+        order = np.argsort(seq, kind="stable")
+        return seq[order], line[order], kind[order]
+
+    # ------------------------------------------------------------------ #
+    # Demand path
+    # ------------------------------------------------------------------ #
+
+    def simulate(self, lines, writes=None):
+        """Simulate a whole trace; returns the per-access servicing levels.
+
+        ``lines`` is an int array of line numbers; ``writes`` a parallel
+        boolean array (or a single bool / None applied to every access).
+        The returned int8 array holds 1 (L1) .. 4 (DRAM) per access, and
+        the hit/miss/DRAM counters are updated, mirroring what repeated
+        :meth:`FastHierarchy.access` calls would produce.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        n = lines.size
+        if writes is None or isinstance(writes, bool):
+            writes = np.full(n, bool(writes))
+        else:
+            writes = np.ascontiguousarray(writes, dtype=bool)
+        served = np.full(n, 1, dtype=np.int8)
+        if not n:
+            return served
+
+        # L1: every access, in order; a demand write dirties the line.
+        seq = np.arange(n, dtype=np.int64) * _SEQ_STRIDE
+        l1_hit, ev_seq, ev_line = self._replay_level(0, seq, lines, writes)
+        l1_miss = np.flatnonzero(~l1_hit)
+        self.hits[0] += int(l1_hit.sum())
+        self.misses[0] += int(l1_miss.size)
+        served[l1_miss] = 2
+
+        # L2: demand lookups for L1 misses, merged with L1 dirty evictions.
+        # A dirty victim cascading down fills dirty; demand fills are clean.
+        seq2, line2, kind2 = self._merge(
+            seq[l1_miss], lines[l1_miss], ev_seq, ev_line
+        )
+        l2_hit, ev_seq, ev_line = self._replay_level(
+            1, seq2, line2, kind2 != 0
+        )
+        demand2 = kind2 == 0
+        l2_miss = demand2 & ~l2_hit
+        self.hits[1] += int((demand2 & l2_hit).sum())
+        self.misses[1] += int(l2_miss.sum())
+        served[seq2[l2_miss] // _SEQ_STRIDE] = 3
+
+        # LLC: demand lookups for L2 misses, merged with L2 dirty evictions.
+        seq3, line3, kind3 = self._merge(
+            seq2[l2_miss], line2[l2_miss], ev_seq, ev_line
+        )
+        llc_hit, _dram_seq, dram_line = self._replay_level(
+            2, seq3, line3, kind3 != 0
+        )
+        demand3 = kind3 == 0
+        llc_miss = demand3 & ~llc_hit
+        self.hits[2] += int((demand3 & llc_hit).sum())
+        misses3 = int(llc_miss.sum())
+        self.misses[2] += misses3
+        self.dram_reads += misses3
+        self.dram_writes += len(dram_line)
+        served[seq3[llc_miss] // _SEQ_STRIDE] = 4
+        return served
+
+    def run_trace(self, lines, writes=None):
+        """Simulate a whole trace; returns :class:`ServiceCounts`."""
+        counts = np.bincount(self.simulate(lines, writes), minlength=5)
+        return ServiceCounts(
+            int(counts[1]), int(counts[2]), int(counts[3]), int(counts[4])
+        )
+
+    # ------------------------------------------------------------------ #
+    # Maintenance (FastHierarchy API parity)
+    # ------------------------------------------------------------------ #
+
+    def contains(self, level, line):
+        """True when ``line`` is resident at ``level`` (0-indexed)."""
+        state = self._state[level].get(int(line) % self._sets[level])
+        if state is None:
+            return False
+        resident = state if self._pol[level] == _LRU else state[0]
+        return line in resident
+
+    def reset_stats(self):
+        """Zero hit/miss and DRAM counters (contents unchanged)."""
+        self.hits = [0, 0, 0]
+        self.misses = [0, 0, 0]
+        self.dram_reads = 0
+        self.dram_writes = 0
+        self.dram_prefetch_reads = 0
+
+    def write_through_dram(self, num_lines):
+        """Account non-temporal full-line writes (bypass the caches)."""
+        self.dram_writes += num_lines
+
+    def read_through_dram(self, num_lines):
+        """Account streaming reads served straight from DRAM."""
+        self.dram_reads += num_lines

@@ -6,9 +6,14 @@ Usage::
     python -m repro inputs                    # the scaled Table III
     python -m repro run fig10 --scale 16      # one experiment
     python -m repro run fig13a fig13b fig13c  # several
+    python -m repro run fig10 --jobs 4        # parallel sweep executor
+    python -m repro run fig10 --no-cache      # skip the persistent cache
     python -m repro machine                   # the simulated machine
 
-Experiments print the same rows/series the paper's figures plot.
+Experiments print the same rows/series the paper's figures plot. Results
+persist under ``benchmarks/results/.cache/`` (disable with ``--no-cache``),
+so re-running a figure suite or resuming a killed sweep skips completed
+simulations.
 """
 
 from __future__ import annotations
@@ -80,6 +85,23 @@ def build_parser():
         default=None,
         help="log2 of the input namespace (default: the full-scale suite)",
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "fan independent (workload, mode) points across this many "
+            "worker processes (default: serial)"
+        ),
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "disable the persistent result cache under "
+            "benchmarks/results/.cache/ (simulate everything fresh)"
+        ),
+    )
     return parser
 
 
@@ -149,9 +171,24 @@ def main(argv=None, print_fn=print):
     if args.command == "machine":
         _cmd_machine(print_fn)
         return 0
+    import inspect
+
+    from repro.harness.experiments.common import shared_runner
+    from repro.harness.resultcache import ResultCache
+
+    runner = shared_runner()
+    if not args.no_cache and runner.result_cache is None:
+        runner.result_cache = ResultCache()
     for name in args.experiments:
         run_fn, _description = EXPERIMENTS[name]
-        kwargs = {} if args.scale is None else {"scale": args.scale}
+        accepted = inspect.signature(run_fn).parameters
+        kwargs = {}
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        if "runner" in accepted:
+            kwargs["runner"] = runner
+        if args.jobs is not None and "jobs" in accepted:
+            kwargs["jobs"] = args.jobs
         result = run_fn(**kwargs)
         print_fn(result.text)
         print_fn("")

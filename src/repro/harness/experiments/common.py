@@ -7,7 +7,12 @@ from dataclasses import dataclass, field
 from repro.cpu.counters import RunCounters
 from repro.harness.runner import Runner
 
-__all__ = ["ExperimentResult", "shared_runner", "phase_cycles"]
+__all__ = [
+    "ExperimentResult",
+    "shared_runner",
+    "phase_cycles",
+    "prefetch_runs",
+]
 
 
 @dataclass
@@ -46,3 +51,16 @@ def phase_cycles(counters: RunCounters, name):
         if phase.name == name:
             return phase.cycles
     return 0.0
+
+
+def prefetch_runs(runner, points, jobs=None):
+    """Warm the runner's memo for ``(workload, mode)`` points in parallel.
+
+    Experiment drivers keep their readable serial loops; calling this first
+    with ``jobs`` > 1 computes every independent point through the
+    process-pool executor, so the subsequent serial loop is all memo hits.
+    A no-op when ``jobs`` is ``None``/``<= 1``.
+    """
+    if jobs is None or jobs <= 1:
+        return
+    runner.run_many(points, jobs=jobs)

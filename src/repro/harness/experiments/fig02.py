@@ -8,21 +8,30 @@ chart with the cache simulator in baseline mode.
 
 from __future__ import annotations
 
-from repro.harness.experiments.common import ExperimentResult, shared_runner
+from repro.harness import modes
+from repro.harness.experiments.common import (
+    ExperimentResult,
+    prefetch_runs,
+    shared_runner,
+)
 from repro.harness.inputs import workload_instances
 from repro.harness.report import format_table
 
 __all__ = ["run"]
 
 
-def run(runner=None, workloads=None, scale=None):
+def run(runner=None, workloads=None, scale=None, jobs=None):
     """LLC miss rate of the irregular update stream, per workload/input."""
     runner = runner or shared_runner()
     rows = []
     kwargs = {} if scale is None else {"scale": scale}
-    for workload_name, input_name, workload in workload_instances(
-        workloads=workloads, **kwargs
-    ):
+    instances = list(workload_instances(workloads=workloads, **kwargs))
+    prefetch_runs(
+        runner,
+        [(w, modes.CHARACTERIZATION) for _, _, w in instances],
+        jobs=jobs,
+    )
+    for workload_name, input_name, workload in instances:
         counters = runner.run_characterization(workload)
         service = counters.irregular_service
         rows.append(

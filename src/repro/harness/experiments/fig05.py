@@ -8,21 +8,31 @@ but it bounds what architecture support can recover.
 from __future__ import annotations
 
 from repro.harness import modes
-from repro.harness.experiments.common import ExperimentResult, shared_runner
+from repro.harness.experiments.common import (
+    ExperimentResult,
+    prefetch_runs,
+    shared_runner,
+)
 from repro.harness.inputs import workload_instances
 from repro.harness.report import format_table, geomean
 
 __all__ = ["run"]
 
+_MODES = (modes.BASELINE, modes.PB_SW, modes.PB_SW_IDEAL)
 
-def run(runner=None, workloads=None, scale=None):
+
+def run(runner=None, workloads=None, scale=None, jobs=None):
     """Speedups of PB-SW and PB-SW-IDEAL over baseline, per workload."""
     runner = runner or shared_runner()
     rows = []
     kwargs = {} if scale is None else {"scale": scale}
-    for workload_name, input_name, workload in workload_instances(
-        workloads=workloads, **kwargs
-    ):
+    instances = list(workload_instances(workloads=workloads, **kwargs))
+    prefetch_runs(
+        runner,
+        [(w, mode) for _, _, w in instances for mode in _MODES],
+        jobs=jobs,
+    )
+    for workload_name, input_name, workload in instances:
         base = runner.run(workload, modes.BASELINE).cycles
         pb = runner.run(workload, modes.PB_SW).cycles
         ideal = runner.run(workload, modes.PB_SW_IDEAL).cycles

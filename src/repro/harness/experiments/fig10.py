@@ -9,21 +9,31 @@ pair. The paper reports mean speedups of 1.81x (PB over baseline), 1.2x
 from __future__ import annotations
 
 from repro.harness import modes
-from repro.harness.experiments.common import ExperimentResult, shared_runner
+from repro.harness.experiments.common import (
+    ExperimentResult,
+    prefetch_runs,
+    shared_runner,
+)
 from repro.harness.inputs import workload_instances
 from repro.harness.report import format_table, geomean
 
 __all__ = ["run"]
 
+_MODES = (modes.BASELINE, modes.PB_SW, modes.PB_SW_IDEAL, modes.COBRA)
 
-def run(runner=None, workloads=None, scale=None):
+
+def run(runner=None, workloads=None, scale=None, jobs=None):
     """Speedups over baseline for PB-SW / PB-SW-IDEAL / COBRA."""
     runner = runner or shared_runner()
     rows = []
     kwargs = {} if scale is None else {"scale": scale}
-    for workload_name, input_name, workload in workload_instances(
-        workloads=workloads, **kwargs
-    ):
+    instances = list(workload_instances(workloads=workloads, **kwargs))
+    prefetch_runs(
+        runner,
+        [(w, mode) for _, _, w in instances for mode in _MODES],
+        jobs=jobs,
+    )
+    for workload_name, input_name, workload in instances:
         base = runner.run(workload, modes.BASELINE).cycles
         pb = runner.run(workload, modes.PB_SW).cycles
         ideal = runner.run(workload, modes.PB_SW_IDEAL).cycles

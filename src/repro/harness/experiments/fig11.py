@@ -11,6 +11,7 @@ from repro.harness import modes
 from repro.harness.experiments.common import (
     ExperimentResult,
     phase_cycles,
+    prefetch_runs,
     shared_runner,
 )
 from repro.harness.inputs import workload_instances
@@ -19,14 +20,22 @@ from repro.harness.report import format_table, geomean
 __all__ = ["run"]
 
 
-def run(runner=None, workloads=None, scale=None):
+def run(runner=None, workloads=None, scale=None, jobs=None):
     """Binning/Accumulate speedups of COBRA over PB-SW."""
     runner = runner or shared_runner()
     rows = []
     kwargs = {} if scale is None else {"scale": scale}
-    for workload_name, input_name, workload in workload_instances(
-        workloads=workloads, **kwargs
-    ):
+    instances = list(workload_instances(workloads=workloads, **kwargs))
+    prefetch_runs(
+        runner,
+        [
+            (w, mode)
+            for _, _, w in instances
+            for mode in (modes.PB_SW, modes.COBRA)
+        ],
+        jobs=jobs,
+    )
+    for workload_name, input_name, workload in instances:
         pb = runner.run(workload, modes.PB_SW)
         cobra = runner.run(workload, modes.COBRA)
         binning = phase_cycles(pb, "binning") / phase_cycles(cobra, "binning")

@@ -10,13 +10,26 @@ result, Section III-B) — COBRA is the only viable hardware optimization.
 from __future__ import annotations
 
 from repro.harness import modes
-from repro.harness.experiments.common import ExperimentResult, shared_runner
+from repro.harness.experiments.common import (
+    ExperimentResult,
+    prefetch_runs,
+    shared_runner,
+)
 from repro.harness.inputs import WORKLOAD_INPUTS, make_workload
 from repro.harness.report import format_table
 
 __all__ = ["run"]
 
 _SYSTEMS = (modes.PB_SW, modes.PHI, modes.COBRA, modes.COBRA_COMM)
+
+
+def _applicable_modes(workload):
+    """Baseline plus each system the workload's semantics admit."""
+    return [modes.BASELINE] + [
+        system
+        for system in _SYSTEMS
+        if workload.commutative or system not in modes.COMMUTATIVE_ONLY_MODES
+    ]
 
 
 def _blocked_phase_metrics(counters):
@@ -44,13 +57,24 @@ def run(
     workload_names=("degree-count", "neighbor-populate"),
     input_names=None,
     scale=None,
+    jobs=None,
 ):
     """Traffic and L1-miss reductions vs baseline for the four systems."""
     runner = runner or shared_runner()
+    kwargs = {} if scale is None else {"scale": scale}
+    instances = [
+        make_workload(workload_name, input_name, **kwargs)
+        for workload_name in workload_names
+        for input_name in input_names or WORKLOAD_INPUTS[workload_name]
+    ]
+    prefetch_runs(
+        runner,
+        [(w, mode) for w in instances for mode in _applicable_modes(w)],
+        jobs=jobs,
+    )
     rows = []
     for workload_name in workload_names:
         for input_name in input_names or WORKLOAD_INPUTS[workload_name]:
-            kwargs = {} if scale is None else {"scale": scale}
             workload = make_workload(workload_name, input_name, **kwargs)
             base_traffic, base_l1 = _blocked_phase_metrics(
                 runner.run(workload, modes.BASELINE)

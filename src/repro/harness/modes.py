@@ -9,6 +9,7 @@ __all__ = [
     "COBRA",
     "COBRA_COMM",
     "PHI",
+    "CHARACTERIZATION",
     "ALL_MODES",
     "COMMUTATIVE_ONLY_MODES",
 ]
@@ -26,6 +27,9 @@ COBRA = "cobra"
 COBRA_COMM = "cobra-comm"
 #: Hierarchical coalescing baseline (commutative only, idealized).
 PHI = "phi"
+#: Irregular-update locality characterization (Figure 2); not a real
+#: execution mode, but addressable as one so sweeps can mix it in.
+CHARACTERIZATION = "characterization"
 
 ALL_MODES = (BASELINE, PB_SW, PB_SW_IDEAL, COBRA, COBRA_COMM, PHI)
 COMMUTATIVE_ONLY_MODES = frozenset({COBRA_COMM, PHI})

@@ -20,15 +20,15 @@ the scalability curves it produces are reported as such in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro._util import check_positive
-from repro.cache.coherence import DirectoryMESI
 from repro.harness import modes
 
-__all__ = ["ParallelEstimate", "ParallelModel"]
+__all__ = ["ParallelEstimate", "ParallelModel", "run_sweep"]
 
 #: Total cores the default machine's per-core parameters assume.
 BASE_CORES = 16
@@ -86,20 +86,32 @@ class ParallelModel:
         """Invalidations per update when cores share the data structure.
 
         Round-robin-interleaves a sample of the update stream across cores
-        and replays the *line-level* writes through the MESI directory
-        (the probability that another core recently wrote the same line is
-        what drives ping-ponging).
+        and counts the *line-level* write conflicts a MESI directory would
+        see (the probability that another core recently wrote the same line
+        is what drives ping-ponging). Because every access is a write, at
+        most one core holds a line at any time, so replaying the stream
+        through :class:`DirectoryMESI` reduces to a closed form — a write
+        invalidates iff the line's previous write came from a different
+        core, i.e. the gap between occurrences is not a multiple of the
+        core count — evaluated here fully vectorized (equivalence with the
+        scalar directory replay is test-asserted).
         """
         if num_cores == 1:
             return 0.0
-        sample = workload.update_indices[: self.coherence_sample]
-        if len(sample) == 0:
+        sample = np.asarray(workload.update_indices[: self.coherence_sample])
+        if sample.size == 0:
             return 0.0
-        lines = (np.asarray(sample) // line_elems).tolist()
-        directory = DirectoryMESI(num_cores)
-        for position, line in enumerate(lines):
-            directory.write(position % num_cores, line)
-        return directory.stats.invalidations / len(lines)
+        lines = sample // line_elems
+        # Stable sort by line groups successive writes to the same line;
+        # positions within a group are consecutive occurrences.
+        order = np.lexsort((np.arange(lines.size), lines))
+        sorted_lines = lines[order]
+        same_line = sorted_lines[1:] == sorted_lines[:-1]
+        gaps = order[1:] - order[:-1]
+        invalidations = int(
+            np.count_nonzero(same_line & (gaps % num_cores != 0))
+        )
+        return invalidations / lines.size
 
     # ------------------------------------------------------------------ #
     # Estimates
@@ -127,6 +139,8 @@ class ParallelModel:
             max_sim_events=self.runner.max_sim_events,
             model_eviction_stalls=self.runner.model_eviction_stalls,
             des_sample=self.runner.des_sample,
+            engine=self.runner.engine,
+            result_cache=self.runner.result_cache,
         )
         one_core_total = scaled_runner.run(
             workload, mode, use_cache=False
@@ -166,3 +180,79 @@ class ParallelModel:
             self.estimate(workload, mode, num_cores)
             for num_cores in core_counts
         ]
+
+
+# ---------------------------------------------------------------------- #
+# Process-pool sweep executor
+# ---------------------------------------------------------------------- #
+
+
+def _sweep_worker(spec, chunk):
+    """Run one chunk of ``(cache_key, mode)`` points in a worker process.
+
+    Module-level so it pickles; the runner is rebuilt from its spawn spec
+    and workloads from their cache keys (shipping the array-heavy workload
+    objects across the process boundary would dwarf the simulation cost).
+    """
+    from repro.harness.inputs import make_workload
+    from repro.harness.runner import Runner
+
+    runner = Runner.from_spec(spec)
+    results = []
+    for cache_key, mode, use_cache in chunk:
+        workload_name, input_name, scale = cache_key.split(":")
+        workload = make_workload(workload_name, input_name, int(scale))
+        results.append(runner.run(workload, mode, use_cache=use_cache))
+    return results
+
+
+def run_sweep(runner, points, jobs, use_cache=True):
+    """Fan independent ``(workload, mode)`` points across processes.
+
+    Points are split round-robin into ``~4×jobs`` chunks (amortizing
+    per-process input construction while keeping the pool load-balanced
+    when per-point cost varies) and results are restored to input order,
+    so the output is indistinguishable from the serial path. Every point's
+    workload must carry a ``cache_key``. Completed results are folded back
+    into ``runner``'s in-memory memo; with a persistent cache attached the
+    workers write through to disk themselves.
+    """
+    check_positive("jobs", jobs)
+    points = list(points)
+    tasks = []
+    for workload, mode in points:
+        cache_key = getattr(workload, "cache_key", None)
+        if cache_key is None:
+            raise ValueError(
+                f"workload {workload.name!r} has no cache_key; the sweep "
+                "executor rebuilds workloads from keys in worker processes"
+            )
+        tasks.append((cache_key, mode, use_cache))
+    jobs = min(jobs, len(points))
+    if jobs <= 1:
+        return [
+            runner.run(workload, mode, use_cache=use_cache)
+            for workload, mode in points
+        ]
+    num_chunks = min(len(tasks), jobs * 4)
+    chunks = [[] for _ in range(num_chunks)]
+    chunk_indices = [[] for _ in range(num_chunks)]
+    for index, task in enumerate(tasks):
+        chunks[index % num_chunks].append(task)
+        chunk_indices[index % num_chunks].append(index)
+    spec = runner.spawn_spec()
+    results = [None] * len(points)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            (pool.submit(_sweep_worker, spec, chunk), indices)
+            for chunk, indices in zip(chunks, chunk_indices)
+            if chunk
+        ]
+        for future, indices in futures:
+            for index, counters in zip(indices, future.result()):
+                results[index] = counters
+    for (workload, mode), counters in zip(points, results):
+        runner._store(
+            (workload.cache_key, mode), counters, persist=False
+        )
+    return results

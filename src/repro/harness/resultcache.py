@@ -1,0 +1,186 @@
+"""Persistent on-disk cache for :class:`Runner` results.
+
+A :class:`Runner`'s in-memory memo dies with the instance, so every figure
+suite re-simulates identical (machine, workload, mode) points. This module
+promotes that memo to a content-addressed JSON store (default:
+``benchmarks/results/.cache/``): the key is a SHA-256 digest over the full
+machine configuration, the runner's simulation parameters, the workload's
+``cache_key``, and the mode — any change to any of them changes the digest,
+so stale entries can never be returned, and ``clear()`` is only ever a
+space optimization.
+
+Entries serialize :class:`RunCounters` to JSON. Ints are exact and Python's
+float repr round-trips, so a warm read reconstructs counters bit-identical
+to the original run (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.cache.stats import MemoryTraffic, ServiceCounts
+from repro.cpu.counters import PhaseCounters, RunCounters
+
+__all__ = [
+    "ResultCache",
+    "default_cache_dir",
+    "run_digest",
+    "counters_to_dict",
+    "counters_from_dict",
+]
+
+#: Bumped whenever the serialized layout or simulation semantics change in a
+#: way that should invalidate previously stored results.
+FORMAT_VERSION = 1
+
+
+def default_cache_dir():
+    """Cache directory: ``$REPRO_RESULT_CACHE`` or the in-repo default."""
+    env = os.environ.get("REPRO_RESULT_CACHE")
+    if env:
+        return Path(env)
+    repo_root = Path(__file__).resolve().parents[3]
+    return repo_root / "benchmarks" / "results" / ".cache"
+
+
+def run_digest(machine, runner_params, cache_key, mode):
+    """Content hash identifying one simulation result.
+
+    ``machine`` is a :class:`MachineConfig`; ``runner_params`` the runner's
+    simulation-affecting knobs; ``cache_key`` the workload's identity string
+    (``name:input:scale``); ``mode`` the execution mode. The engine choice is
+    deliberately *not* part of the key: the batched and scalar engines are
+    equivalence-tested to produce identical counters, so either may serve a
+    result computed by the other.
+    """
+    payload = {
+        "version": FORMAT_VERSION,
+        "machine": dataclasses.asdict(machine),
+        "runner": dict(sorted(runner_params.items())),
+        "workload": cache_key,
+        "mode": mode,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def counters_to_dict(counters):
+    """Serialize :class:`RunCounters` to a JSON-safe dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "workload": counters.workload,
+        "mode": counters.mode,
+        "phases": [
+            {
+                "name": p.name,
+                "instructions": int(p.instructions),
+                "branches": int(p.branches),
+                "branch_mispredicts": float(p.branch_mispredicts),
+                "irregular_service": _service_to_list(p.irregular_service),
+                "streaming_service": _service_to_list(p.streaming_service),
+                "streaming_bytes": int(p.streaming_bytes),
+                "traffic": [
+                    int(p.traffic.reads),
+                    int(p.traffic.writes),
+                    int(p.traffic.prefetch_reads),
+                    int(p.traffic.line_bytes),
+                ],
+                "cycles": float(p.cycles),
+            }
+            for p in counters.phases
+        ],
+    }
+
+
+def counters_from_dict(payload):
+    """Rebuild :class:`RunCounters` from :func:`counters_to_dict` output."""
+    if payload["version"] != FORMAT_VERSION:
+        raise ValueError(f"cache format {payload['version']} != {FORMAT_VERSION}")
+    counters = RunCounters(workload=payload["workload"], mode=payload["mode"])
+    for p in payload["phases"]:
+        reads, writes, prefetch_reads, line_bytes = p["traffic"]
+        counters.phases.append(
+            PhaseCounters(
+                name=p["name"],
+                instructions=p["instructions"],
+                branches=p["branches"],
+                branch_mispredicts=p["branch_mispredicts"],
+                irregular_service=ServiceCounts(*p["irregular_service"]),
+                streaming_service=ServiceCounts(*p["streaming_service"]),
+                streaming_bytes=p["streaming_bytes"],
+                traffic=MemoryTraffic(
+                    reads=reads,
+                    writes=writes,
+                    prefetch_reads=prefetch_reads,
+                    line_bytes=line_bytes,
+                ),
+                cycles=p["cycles"],
+            )
+        )
+    return counters
+
+
+def _service_to_list(service):
+    return [
+        int(service.l1),
+        int(service.l2),
+        int(service.llc),
+        int(service.dram),
+    ]
+
+
+class ResultCache:
+    """Digest-addressed JSON store of :class:`RunCounters`.
+
+    Writes are atomic (tmp file + :func:`os.replace`), so a killed sweep
+    never leaves a truncated entry; unreadable or corrupt files simply count
+    as misses and are overwritten by the next store.
+    """
+
+    def __init__(self, directory=None):
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest):
+        return self.directory / f"{digest}.json"
+
+    def get(self, digest):
+        """Cached :class:`RunCounters` for ``digest``, or ``None``."""
+        try:
+            payload = json.loads(self._path(digest).read_text("utf-8"))
+            counters = counters_from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return counters
+
+    def put(self, digest, counters):
+        """Store ``counters`` under ``digest`` (atomic, last writer wins)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(digest)
+        tmp = path.with_name(f"{digest}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(counters_to_dict(counters)), "utf-8")
+        os.replace(tmp, path)
+
+    def clear(self):
+        """Delete every stored entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self):
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cache.address import AddressSpace
+from repro.cache.batchsim import BatchHierarchy
 from repro.cache.fastsim import FastHierarchy
 from repro.cache.stats import MemoryTraffic, ServiceCounts
 from repro.core import costs
@@ -25,14 +26,30 @@ from repro.cpu.timing import TimingModel
 from repro.des.eviction_model import EvictionBufferModel, EvictionModelConfig
 from repro.harness import modes
 from repro.harness.machine import DEFAULT_MACHINE
+from repro.harness.resultcache import run_digest
 from repro.pb.planner import plan_bins
 from repro.workloads.base import PhaseSpec
 
 __all__ = ["Runner"]
 
+_ENGINES = ("auto", "fast", "batch")
+
 
 class Runner:
-    """Runs workloads under every execution mode on one machine."""
+    """Runs workloads under every execution mode on one machine.
+
+    ``engine`` selects the trace simulator: ``"auto"`` (default) uses the
+    batched :class:`BatchHierarchy` whenever the phase's effective cache
+    configuration supports it and the scalar :class:`FastHierarchy`
+    otherwise; ``"fast"`` forces the scalar engine; ``"batch"`` requires
+    the machine's hierarchy to be batchable (phases that reserve ways still
+    fall back to the scalar engine, since way reservations are outside the
+    batched decomposition).
+
+    ``result_cache`` (a :class:`~repro.harness.resultcache.ResultCache`)
+    adds a persistent, on-disk layer under the per-instance memo so repeated
+    figure suites and resumed sweeps skip completed simulations.
+    """
 
     def __init__(
         self,
@@ -41,12 +58,23 @@ class Runner:
         model_eviction_stalls=True,
         des_sample=30_000,
         comm_sample=300_000,
+        engine="auto",
+        result_cache=None,
     ):
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        if engine == "batch" and not BatchHierarchy.supports(machine.hierarchy):
+            raise ValueError(
+                "engine='batch' but the machine's hierarchy needs the scalar "
+                "engine (DRRIP, prefetching, or reserved ways); use 'auto'"
+            )
         self.machine = machine
         self.max_sim_events = max_sim_events
         self.model_eviction_stalls = model_eviction_stalls
         self.des_sample = des_sample
         self.comm_sample = comm_sample
+        self.engine = engine
+        self.result_cache = result_cache
         self.timing = TimingModel(machine.core)
         self._cache = {}
 
@@ -70,37 +98,126 @@ class Runner:
         """Execute ``workload`` under ``mode``; returns :class:`RunCounters`.
 
         Results are memoized per (workload, mode) when the workload carries
-        a ``cache_key`` (set by the input suite).
+        a ``cache_key`` (set by the input suite), and read from / stored to
+        the persistent ``result_cache`` when one is attached. Pass
+        ``use_cache=False`` to force a fresh simulation (it is still
+        memoized for later callers, but never read from or written to disk).
         """
+        if mode == modes.CHARACTERIZATION:
+            return self.run_characterization(workload, use_cache=use_cache)
         key = (getattr(workload, "cache_key", None), mode)
-        if use_cache and key[0] is not None and key in self._cache:
-            return self._cache[key]
+        if use_cache and key[0] is not None:
+            cached = self._cached(key)
+            if cached is not None:
+                return cached
         phases, des_config = self._phases_for(workload, mode)
         counters = RunCounters(workload=workload.name, mode=mode)
         for phase in phases:
             counters.phases.append(
                 self._simulate_phase(workload, phase, des_config)
             )
-        if key[0] is not None:
-            self._cache[key] = counters
+        self._store(key, counters, persist=use_cache)
         return counters
 
-    def run_characterization(self, workload):
+    def run_characterization(self, workload, use_cache=True):
         """Irregular-update locality characterization (Figure 2).
 
         Identical to baseline for every workload except Integer Sort, whose
         performance baseline is a comparison sort but whose irregular
         formulation is what Figure 2 characterizes.
         """
-        key = (getattr(workload, "cache_key", None), "characterization")
-        if key[0] is not None and key in self._cache:
-            return self._cache[key]
-        counters = RunCounters(workload=workload.name, mode="characterization")
+        key = (getattr(workload, "cache_key", None), modes.CHARACTERIZATION)
+        if use_cache and key[0] is not None:
+            cached = self._cached(key)
+            if cached is not None:
+                return cached
+        counters = RunCounters(
+            workload=workload.name, mode=modes.CHARACTERIZATION
+        )
         for phase in workload.characterization_phases():
             counters.phases.append(self._simulate_phase(workload, phase, None))
-        if key[0] is not None:
-            self._cache[key] = counters
+        self._store(key, counters, persist=use_cache)
         return counters
+
+    def run_many(self, points, jobs=None, use_cache=True):
+        """Run ``(workload, mode)`` points, optionally across processes.
+
+        Returns the :class:`RunCounters` list in input order. With ``jobs``
+        > 1 the points are fanned out through the process-pool sweep
+        executor (see :func:`repro.harness.parallel.run_sweep`); results are
+        identical to the serial path — every point is an independent
+        simulation and the executor restores submission order.
+        """
+        points = list(points)
+        if jobs is not None and jobs > 1 and len(points) > 1:
+            from repro.harness.parallel import run_sweep
+
+            return run_sweep(self, points, jobs=jobs, use_cache=use_cache)
+        return [
+            self.run(workload, mode, use_cache=use_cache)
+            for workload, mode in points
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Memo + persistent cache plumbing
+    # ------------------------------------------------------------------ #
+
+    def _digest(self, cache_key, mode):
+        params = {
+            "max_sim_events": self.max_sim_events,
+            "model_eviction_stalls": self.model_eviction_stalls,
+            "des_sample": self.des_sample,
+            "comm_sample": self.comm_sample,
+        }
+        return run_digest(self.machine, params, cache_key, mode)
+
+    def _cached(self, key):
+        """Memoized or persisted result for ``key``, or ``None``."""
+        if key[0] is None:
+            return None
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        if self.result_cache is not None:
+            stored = self.result_cache.get(self._digest(*key))
+            if stored is not None:
+                self._cache[key] = stored
+                return stored
+        return None
+
+    def _store(self, key, counters, persist):
+        if key[0] is None:
+            return
+        self._cache[key] = counters
+        if persist and self.result_cache is not None:
+            self.result_cache.put(self._digest(*key), counters)
+
+    def spawn_spec(self):
+        """Picklable constructor kwargs for rebuilding this runner in a
+        worker process (the in-memory memo does not travel)."""
+        return {
+            "machine": self.machine,
+            "max_sim_events": self.max_sim_events,
+            "model_eviction_stalls": self.model_eviction_stalls,
+            "des_sample": self.des_sample,
+            "comm_sample": self.comm_sample,
+            "engine": self.engine,
+            "cache_dir": (
+                str(self.result_cache.directory)
+                if self.result_cache is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_spec(cls, spec):
+        """Rebuild a runner from :meth:`spawn_spec` output."""
+        from repro.harness.resultcache import ResultCache
+
+        spec = dict(spec)
+        cache_dir = spec.pop("cache_dir", None)
+        result_cache = ResultCache(cache_dir) if cache_dir else None
+        return cls(result_cache=result_cache, **spec)
 
     def run_with_spec(self, workload, spec, include_init=True):
         """Software PB at an explicit :class:`BinSpec` (bin-count sweeps)."""
@@ -222,15 +339,12 @@ class Runner:
             lines, writes, sim_events = self._build_trace(phase, line_bytes)
             scale = (total_events / sim_events if sim_events else 1.0) * trace_scale
             reserved = phase.reserved_ways or (0, 0, 0)
-            hierarchy = FastHierarchy(
+            hierarchy = self._make_hierarchy(
                 machine.hierarchy.with_reserved(*reserved)
             )
             stream_lines_total = phase.streaming_bytes // line_bytes
-            stream_rate = (
-                stream_lines_total / total_events if total_events else 0.0
-            )
             irregular, streaming = self._simulate_interleaved(
-                hierarchy, lines, writes, stream_rate
+                hierarchy, lines, writes, stream_lines_total, total_events
             )
             irregular = _scaled(irregular, scale)
             streaming = _scaled(streaming, scale)
@@ -284,6 +398,13 @@ class Runner:
             cycles=cycles,
         )
 
+    def _make_hierarchy(self, config):
+        """Engine dispatch: batched when the config is expressible, else
+        scalar (equivalence between the two is test-asserted)."""
+        if self.engine != "fast" and BatchHierarchy.supports(config):
+            return BatchHierarchy(config)
+        return FastHierarchy(config)
+
     def _build_trace(self, phase, line_bytes):
         """Interleave segments element-wise into (lines, writes) arrays."""
         space = AddressSpace(line_bytes)
@@ -309,25 +430,69 @@ class Runner:
             writes = np.tile(np.asarray(flags, dtype=bool), shortest)
         # Streaming pressure is injected from a disjoint high region.
         self._stream_base = space.total_lines + 1
-        return lines.tolist(), writes.tolist(), len(lines)
+        return np.ascontiguousarray(lines, dtype=np.int64), writes, len(lines)
 
-    def _simulate_interleaved(self, hierarchy, lines, writes, stream_rate):
-        """Drive irregular accesses with streaming lines injected at rate."""
-        irregular = [0, 0, 0, 0, 0]
-        streaming = [0, 0, 0, 0, 0]
-        access = hierarchy.access
-        stream_line = self._stream_base
-        accum = 0.0
-        for line, is_write in zip(lines, writes):
-            irregular[access(line, is_write)] += 1
-            accum += stream_rate
-            while accum >= 1.0:
-                streaming[access(stream_line, False)] += 1
-                stream_line += 1
-                accum -= 1.0
+    def _interleaved_trace(self, lines, writes, stream_lines, total_events):
+        """Merge irregular accesses with uniformly injected stream lines.
+
+        Injection is integer-exact: after irregular access ``k`` (0-based)
+        the cumulative number of injected stream lines is
+        ``((k + 1) * stream_lines) // total_events`` — deterministic and
+        identical for the scalar and batched engines, where a float
+        accumulator would drift with evaluation order.
+        """
+        n = lines.size
+        if stream_lines <= 0 or total_events <= 0 or n == 0:
+            return lines, writes, np.zeros(n, dtype=bool)
+        idx = np.arange(n, dtype=np.int64)
+        pos = idx + idx * stream_lines // total_events
+        total = n + int(n * stream_lines // total_events)
+        merged_lines = np.empty(total, dtype=np.int64)
+        merged_writes = np.zeros(total, dtype=bool)
+        is_stream = np.ones(total, dtype=bool)
+        is_stream[pos] = False
+        merged_lines[pos] = lines
+        merged_writes[pos] = writes
+        merged_lines[is_stream] = self._stream_base + np.arange(
+            total - n, dtype=np.int64
+        )
+        return merged_lines, merged_writes, is_stream
+
+    def _simulate_interleaved(
+        self, hierarchy, lines, writes, stream_lines, total_events
+    ):
+        """Replay the merged trace; split counts into irregular/streaming."""
+        merged_lines, merged_writes, is_stream = self._interleaved_trace(
+            lines, writes, stream_lines, total_events
+        )
+        if isinstance(hierarchy, BatchHierarchy):
+            served = hierarchy.simulate(merged_lines, merged_writes)
+            irregular = np.bincount(served[~is_stream], minlength=5)
+            streaming = np.bincount(served[is_stream], minlength=5)
+        else:
+            irregular = [0, 0, 0, 0, 0]
+            streaming = [0, 0, 0, 0, 0]
+            access = hierarchy.access
+            for line, is_write, stream in zip(
+                merged_lines.tolist(),
+                merged_writes.tolist(),
+                is_stream.tolist(),
+            ):
+                bucket = streaming if stream else irregular
+                bucket[access(line, is_write)] += 1
         return (
-            ServiceCounts(irregular[1], irregular[2], irregular[3], irregular[4]),
-            ServiceCounts(streaming[1], streaming[2], streaming[3], streaming[4]),
+            ServiceCounts(
+                int(irregular[1]),
+                int(irregular[2]),
+                int(irregular[3]),
+                int(irregular[4]),
+            ),
+            ServiceCounts(
+                int(streaming[1]),
+                int(streaming[2]),
+                int(streaming[3]),
+                int(streaming[4]),
+            ),
         )
 
     def _eviction_stall_fraction(self, trace, des_config):

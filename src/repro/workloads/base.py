@@ -14,6 +14,7 @@ The harness runner turns PhaseSpecs into cycles, misses, and traffic.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,8 +46,14 @@ PHASE_ACCUMULATE = "accumulate"
 
 
 def site_pc(workload_name, site_name):
-    """Stable pseudo-PC for a branch site (keyed by workload and site)."""
-    return abs(hash((workload_name, site_name))) & 0xFFFF_FFFF
+    """Stable pseudo-PC for a branch site (keyed by workload and site).
+
+    Uses CRC-32 rather than ``hash()``: the built-in hash is salted per
+    process (``PYTHONHASHSEED``), which would make pseudo-PCs — and thus
+    GShare aliasing and misprediction counts — differ across runs and
+    across the sweep executor's worker processes.
+    """
+    return zlib.crc32(f"{workload_name}:{site_name}".encode("utf-8"))
 
 
 @dataclass(frozen=True)

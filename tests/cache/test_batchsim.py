@@ -1,0 +1,186 @@
+"""Equivalence of the batched trace engine with the scalar simulators.
+
+:class:`BatchHierarchy` exists purely for speed; any behavioural divergence
+from :class:`FastHierarchy` (itself equivalence-tested against the reference
+object model) is a bug. These tests drive all three with the same traces —
+random, streaming, adversarially small geometries, and hypothesis-generated
+— and require bit-identical statistics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import BatchHierarchy, FastHierarchy, HierarchyConfig
+
+TINY = HierarchyConfig(
+    l1_bytes=512,
+    l1_ways=2,
+    l2_bytes=2048,
+    l2_ways=4,
+    llc_bytes=8192,
+    llc_ways=8,
+    llc_policy="plru",
+    prefetch=False,
+)
+
+BATCHABLE = {
+    "tiny-plru": TINY,
+    "tiny-lru": HierarchyConfig(
+        l1_bytes=512,
+        l1_ways=2,
+        l2_bytes=2048,
+        l2_ways=4,
+        llc_bytes=8192,
+        llc_ways=8,
+        l1_policy="lru",
+        l2_policy="lru",
+        llc_policy="lru",
+        prefetch=False,
+    ),
+    "mixed-policies": HierarchyConfig(
+        l1_policy="lru",
+        l2_policy="plru",
+        llc_policy="lru",
+        prefetch=False,
+    ),
+    "default-geometry": HierarchyConfig(prefetch=False, llc_policy="plru"),
+}
+
+
+def assert_equivalent(config, lines, writes):
+    fast = FastHierarchy(config)
+    batch = BatchHierarchy(config)
+    fast_counts = fast.run_trace(list(lines), list(writes))
+    batch_counts = batch.run_trace(
+        np.asarray(lines, dtype=np.int64), np.asarray(writes, dtype=bool)
+    )
+    assert batch_counts == fast_counts
+    assert batch.hits == fast.hits
+    assert batch.misses == fast.misses
+    assert batch.dram_reads == fast.dram_reads
+    assert batch.dram_writes == fast.dram_writes
+    return fast, batch
+
+
+@pytest.mark.parametrize("name", sorted(BATCHABLE))
+def test_equivalence_random_trace(name):
+    config = BATCHABLE[name]
+    rng = np.random.default_rng(1234)
+    lines = rng.integers(0, 5000, size=20_000)
+    writes = rng.random(20_000) < 0.4
+    assert_equivalent(config, lines, writes)
+
+
+@pytest.mark.parametrize("name", sorted(BATCHABLE))
+def test_equivalence_against_reference(name):
+    """Three-way check: batch == fast == reference object model."""
+    config = BATCHABLE[name]
+    rng = np.random.default_rng(99)
+    lines = rng.integers(0, 600, size=4_000)
+    writes = rng.random(4_000) < 0.5
+    reference = config.build_reference()
+    ref_counts = [0, 0, 0, 0, 0]
+    for line, is_write in zip(lines.tolist(), writes.tolist()):
+        ref_counts[reference.access(line, is_write)] += 1
+    _fast, batch = assert_equivalent(config, lines, writes)
+    batch_counts = BatchHierarchy(config).run_trace(lines, writes)
+    assert ref_counts[1:] == [
+        batch_counts.l1,
+        batch_counts.l2,
+        batch_counts.llc,
+        batch_counts.dram,
+    ]
+    assert reference.dram_writes == batch.dram_writes
+
+
+def test_equivalence_streaming_trace():
+    lines = np.asarray(list(range(3000)) * 2)
+    assert_equivalent(TINY, lines, np.zeros(lines.size, dtype=bool))
+
+
+def test_stateful_across_chunks():
+    """Repeated ``run_trace`` calls carry cache contents over, exactly as
+    repeated ``access`` calls do on the scalar engine."""
+    rng = np.random.default_rng(5)
+    fast = FastHierarchy(TINY)
+    batch = BatchHierarchy(TINY)
+    for _ in range(4):
+        lines = rng.integers(0, 2000, size=5_000)
+        writes = rng.random(5_000) < 0.5
+        a = fast.run_trace(lines.tolist(), writes.tolist())
+        b = batch.run_trace(lines, writes)
+        assert a == b
+    assert batch.dram_writes == fast.dram_writes
+
+
+@given(
+    lines=st.lists(st.integers(0, 255), min_size=1, max_size=400),
+    write_bits=st.integers(min_value=0),
+)
+@settings(max_examples=60, deadline=None)
+def test_equivalence_property(lines, write_bits):
+    writes = [(write_bits >> i) & 1 == 1 for i in range(len(lines))]
+    assert_equivalent(TINY, lines, writes)
+
+
+class TestCapabilities:
+    def test_supports_batchable(self):
+        for config in BATCHABLE.values():
+            assert BatchHierarchy.supports(config)
+
+    def test_rejects_drrip(self):
+        assert not BatchHierarchy.supports(
+            HierarchyConfig(prefetch=False)  # default LLC policy is DRRIP
+        )
+
+    def test_rejects_prefetch(self):
+        assert not BatchHierarchy.supports(
+            HierarchyConfig(llc_policy="plru", prefetch=True)
+        )
+
+    def test_rejects_reserved_ways(self):
+        assert not BatchHierarchy.supports(
+            HierarchyConfig(
+                llc_policy="plru", prefetch=False, llc_reserved_ways=4
+            )
+        )
+
+    def test_constructor_raises_on_unsupported(self):
+        with pytest.raises(ValueError, match="cannot express"):
+            BatchHierarchy(HierarchyConfig())
+
+
+class TestBatchSimExtras:
+    def test_run_trace_scalar_write_flag(self):
+        batch = BatchHierarchy(TINY)
+        counts = batch.run_trace(np.asarray([1, 2, 3, 1]), True)
+        assert counts.total == 4
+        assert counts.l1 == 1  # the repeated line
+
+    def test_contains(self):
+        batch = BatchHierarchy(TINY)
+        batch.run_trace(np.asarray([7]))
+        assert batch.contains(0, 7)
+        assert batch.contains(2, 7)
+        assert not batch.contains(0, 8)
+
+    def test_reset_stats_preserves_contents(self):
+        batch = BatchHierarchy(TINY)
+        batch.run_trace(np.asarray([7]))
+        batch.reset_stats()
+        assert batch.dram_reads == 0
+        assert batch.run_trace(np.asarray([7])).l1 == 1  # still resident
+
+    def test_bypass_accounting(self):
+        batch = BatchHierarchy(TINY)
+        batch.write_through_dram(4)
+        batch.read_through_dram(2)
+        assert batch.dram_writes == 4
+        assert batch.dram_reads == 2
+
+    def test_empty_trace(self):
+        batch = BatchHierarchy(TINY)
+        counts = batch.run_trace(np.asarray([], dtype=np.int64))
+        assert counts.total == 0

@@ -1,0 +1,137 @@
+"""Tests for the persistent on-disk result cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.harness import Runner
+from repro.harness.inputs import make_workload
+from repro.harness.machine import DEFAULT_MACHINE
+from repro.harness.modes import BASELINE, CHARACTERIZATION, PB_SW
+from repro.harness.resultcache import (
+    ResultCache,
+    counters_from_dict,
+    counters_to_dict,
+    run_digest,
+)
+
+SCALE = 13
+
+
+@pytest.fixture()
+def workload():
+    return make_workload("degree-count", "KRON", scale=SCALE)
+
+
+def fresh_runner(tmp_path):
+    return Runner(max_sim_events=20_000, result_cache=ResultCache(tmp_path))
+
+
+class TestWarmRuns:
+    def test_second_run_is_bit_identical(self, tmp_path, workload):
+        """A brand-new runner (cold memo) must reproduce the exact counters
+        from disk — every int and float equal, via dataclass equality."""
+        first = fresh_runner(tmp_path).run(workload, BASELINE)
+        warm_runner = fresh_runner(tmp_path)
+        second = warm_runner.run(workload, BASELINE)
+        assert second == first
+        assert warm_runner.result_cache.hits == 1
+        assert warm_runner.result_cache.misses == 0
+
+    def test_characterization_cached_too(self, tmp_path, workload):
+        first = fresh_runner(tmp_path).run_characterization(workload)
+        second = fresh_runner(tmp_path).run_characterization(workload)
+        assert second == first
+        assert second.mode == CHARACTERIZATION
+
+    def test_use_cache_false_skips_disk(self, tmp_path, workload):
+        runner = fresh_runner(tmp_path)
+        runner.run(workload, BASELINE, use_cache=False)
+        assert len(runner.result_cache) == 0
+
+    def test_roundtrip_preserves_every_field(self, tmp_path, workload):
+        counters = fresh_runner(tmp_path).run(workload, PB_SW)
+        rebuilt = counters_from_dict(
+            json.loads(json.dumps(counters_to_dict(counters)))
+        )
+        for original, restored in zip(counters.phases, rebuilt.phases):
+            for field in dataclasses.fields(original):
+                assert getattr(original, field.name) == getattr(
+                    restored, field.name
+                ), field.name
+
+
+class TestCacheStore:
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, workload):
+        runner = fresh_runner(tmp_path)
+        runner.run(workload, BASELINE)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("{ truncated", "utf-8")
+        assert fresh_runner(tmp_path).run(workload, BASELINE) is not None
+
+    def test_clear_removes_entries(self, tmp_path, workload):
+        runner = fresh_runner(tmp_path)
+        runner.run(workload, BASELINE)
+        assert len(runner.result_cache) == 1
+        assert runner.result_cache.clear() == 1
+        assert len(runner.result_cache) == 0
+
+    def test_version_mismatch_is_a_miss(self, tmp_path, workload):
+        runner = fresh_runner(tmp_path)
+        runner.run(workload, BASELINE)
+        (entry,) = tmp_path.glob("*.json")
+        payload = json.loads(entry.read_text("utf-8"))
+        payload["version"] = -1
+        entry.write_text(json.dumps(payload), "utf-8")
+        cache = ResultCache(tmp_path)
+        assert cache.get(entry.stem) is None
+
+
+class TestDigest:
+    PARAMS = {"max_sim_events": 20_000}
+
+    def digest(self, **overrides):
+        kwargs = {
+            "machine": DEFAULT_MACHINE,
+            "runner_params": self.PARAMS,
+            "cache_key": "degree-count:KRON:13",
+            "mode": BASELINE,
+        }
+        kwargs.update(overrides)
+        return run_digest(**kwargs)
+
+    def test_digest_is_stable(self):
+        assert self.digest() == self.digest()
+
+    def test_mode_changes_digest(self):
+        assert self.digest() != self.digest(mode=PB_SW)
+
+    def test_workload_changes_digest(self):
+        assert self.digest() != self.digest(cache_key="pagerank:KRON:13")
+
+    def test_runner_params_change_digest(self):
+        assert self.digest() != self.digest(
+            runner_params={"max_sim_events": 10_000}
+        )
+
+    def test_machine_changes_digest(self):
+        import dataclasses as dc
+
+        hierarchy = dc.replace(DEFAULT_MACHINE.hierarchy, llc_ways=8)
+        machine = dc.replace(DEFAULT_MACHINE, hierarchy=hierarchy)
+        assert self.digest() != self.digest(machine=machine)
+
+    def test_runner_digests_differ_across_machines(self, tmp_path, workload):
+        """Two runners with different sim budgets must not share entries."""
+        cache = ResultCache(tmp_path)
+        a = Runner(max_sim_events=20_000, result_cache=cache)
+        b = Runner(max_sim_events=10_000, result_cache=cache)
+        a.run(workload, BASELINE)
+        b.run(workload, BASELINE)
+        assert len(cache) == 2

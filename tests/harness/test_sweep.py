@@ -1,0 +1,138 @@
+"""Tests for the parallel sweep executor and engine selection."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cache.coherence import DirectoryMESI
+from repro.harness import Runner
+from repro.harness.inputs import make_workload
+from repro.harness.machine import DEFAULT_MACHINE
+from repro.harness.modes import BASELINE, CHARACTERIZATION, COBRA, PB_SW
+from repro.harness.parallel import ParallelModel, run_sweep
+
+SCALE = 13
+
+BATCHABLE_MACHINE = dataclasses.replace(
+    DEFAULT_MACHINE,
+    hierarchy=dataclasses.replace(
+        DEFAULT_MACHINE.hierarchy, prefetch=False, llc_policy="plru"
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    graph = make_workload("degree-count", "KRON", scale=SCALE)
+    sort = make_workload("integer-sort", "U16", scale=SCALE)
+    return [
+        (graph, BASELINE),
+        (graph, PB_SW),
+        (graph, CHARACTERIZATION),
+        (sort, BASELINE),
+        (sort, COBRA),
+    ]
+
+
+class TestRunMany:
+    def test_serial_matches_parallel(self, points):
+        """The process-pool path must return the exact serial results, in
+        input order (workers rebuild workloads from cache keys)."""
+        serial = Runner(max_sim_events=20_000).run_many(points)
+        parallel = Runner(max_sim_events=20_000).run_many(points, jobs=2)
+        assert len(parallel) == len(points)
+        for expected, actual in zip(serial, parallel):
+            assert actual == expected
+
+    def test_results_fold_back_into_memo(self, points):
+        runner = Runner(max_sim_events=20_000)
+        results = runner.run_many(points[:2], jobs=2)
+        # A subsequent serial run must be a memo hit (identical object).
+        assert runner.run(*points[0]) is results[0]
+        assert runner.run(*points[1]) is results[1]
+
+    def test_jobs_one_is_serial(self, points):
+        runner = Runner(max_sim_events=20_000)
+        results = runner.run_many(points[:2], jobs=1)
+        assert [r.mode for r in results] == [points[0][1], points[1][1]]
+
+    def test_sweep_requires_cache_keys(self):
+        runner = Runner(max_sim_events=20_000)
+        workload = make_workload("degree-count", "KRON", scale=SCALE)
+
+        class Anonymous:
+            name = "anon"
+
+            def __getattr__(self, item):
+                if item == "cache_key":
+                    raise AttributeError(item)
+                return getattr(workload, item)
+
+        with pytest.raises(ValueError, match="cache_key"):
+            run_sweep(runner, [(Anonymous(), BASELINE)], jobs=2)
+
+    def test_spawn_spec_roundtrip(self):
+        runner = Runner(
+            machine=BATCHABLE_MACHINE, max_sim_events=12_345, engine="batch"
+        )
+        clone = Runner.from_spec(runner.spawn_spec())
+        assert clone.machine == runner.machine
+        assert clone.max_sim_events == 12_345
+        assert clone.engine == "batch"
+        assert clone.result_cache is None
+
+
+class TestEngineSelection:
+    def test_engines_agree_end_to_end(self):
+        """Full-pipeline equivalence: the batched and scalar engines must
+        produce identical phase counters on a batchable machine."""
+        workload = make_workload("degree-count", "KRON", scale=SCALE)
+        fast = Runner(
+            machine=BATCHABLE_MACHINE, max_sim_events=20_000, engine="fast"
+        )
+        batch = Runner(
+            machine=BATCHABLE_MACHINE, max_sim_events=20_000, engine="batch"
+        )
+        for mode in (BASELINE, PB_SW, COBRA):
+            assert batch.run(workload, mode) == fast.run(workload, mode)
+
+    def test_batch_engine_rejects_unbatchable_machine(self):
+        with pytest.raises(ValueError, match="batch"):
+            Runner(engine="batch")  # default machine: prefetch + DRRIP
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            Runner(engine="warp")
+
+    def test_auto_on_default_machine_uses_scalar(self):
+        from repro.cache.fastsim import FastHierarchy
+
+        runner = Runner()
+        hierarchy = runner._make_hierarchy(runner.machine.hierarchy)
+        assert isinstance(hierarchy, FastHierarchy)
+
+    def test_auto_on_batchable_machine_uses_batch(self):
+        from repro.cache.batchsim import BatchHierarchy
+
+        runner = Runner(machine=BATCHABLE_MACHINE)
+        hierarchy = runner._make_hierarchy(runner.machine.hierarchy)
+        assert isinstance(hierarchy, BatchHierarchy)
+
+
+class TestInvalidationRate:
+    def test_closed_form_matches_directory_replay(self):
+        """The vectorized invalidation count must equal feeding the MESI
+        directory the same round-robin write stream."""
+        rng = np.random.default_rng(42)
+        indices = rng.integers(0, 4096, size=20_000)
+        workload = type(
+            "W", (), {"update_indices": indices, "num_updates": indices.size}
+        )()
+        model = ParallelModel(Runner(), coherence_sample=20_000)
+        for num_cores in (2, 4, 16):
+            rate = model.invalidation_rate(workload, num_cores)
+            directory = DirectoryMESI(num_cores)
+            for position, line in enumerate((indices // 16).tolist()):
+                directory.write(position % num_cores, line)
+            assert rate == directory.stats.invalidations / indices.size

@@ -45,7 +45,7 @@ class TestBuildTrace:
         )
         lines, writes, events = runner._build_trace(phase, 64)
         assert events == 6
-        assert writes == [True, False] * 3
+        assert writes.tolist() == [True, False] * 3
         # a[0], b[3], a[1], b[4], ...
         base_a = lines[0]
         base_b = lines[1]

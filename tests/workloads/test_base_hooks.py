@@ -76,3 +76,13 @@ class TestSitePc:
         assert site_pc("w", "s") == site_pc("w", "s")
         assert site_pc("w", "s") != site_pc("w", "t")
         assert 0 <= site_pc("w", "s") <= 0xFFFF_FFFF
+
+    def test_pinned_values_across_processes(self):
+        """CRC-32 pseudo-PCs are process-independent (unlike ``hash()``,
+        whose per-process salt broke run-to-run determinism and the
+        process-pool sweep executor). Pinned so a regression is loud."""
+        from repro.workloads.base import site_pc
+
+        assert site_pc("w", "s") == 1113217336
+        assert site_pc("degree-count", "bin-full") == 208757016
+        assert site_pc("pagerank", "neighbor-loop") == 1270923835
