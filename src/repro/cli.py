@@ -8,6 +8,9 @@ Usage::
     python -m repro run fig13a fig13b fig13c  # several
     python -m repro run fig10 --jobs 4        # parallel sweep executor
     python -m repro run fig10 --no-cache      # skip the persistent cache
+    python -m repro run fig10 --jobs 4 --timeout 600 --retries 2 \
+        --telemetry run.jsonl                 # fault-tolerant + observable
+    python -m repro report --telemetry run.jsonl  # summarize a run log
     python -m repro machine                   # the simulated machine
 
 Experiments print the same rows/series the paper's figures plot. Results
@@ -102,6 +105,51 @@ def build_parser():
             "benchmarks/results/.cache/ (simulate everything fresh)"
         ),
     )
+    run_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-point wall-clock budget in seconds for parallel sweeps; "
+            "hung workers are killed and their points retried "
+            "(enables the fault-tolerant executor)"
+        ),
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help=(
+            "retries per sweep point after a crash/timeout/error "
+            "(enables the fault-tolerant executor; default 2 when "
+            "--timeout is given)"
+        ),
+    )
+    run_parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append a JSONL run-event log (sweep/point lifecycle, cache "
+            "hits, engine choices, per-phase wall-clock) to PATH"
+        ),
+    )
+
+    report_parser = commands.add_parser(
+        "report", help="summarize a telemetry JSONL file"
+    )
+    report_parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        required=True,
+        help="telemetry file written by `repro run --telemetry PATH`",
+    )
+    report_parser.add_argument(
+        "--slowest",
+        type=int,
+        default=10,
+        help="number of slowest points to list (default 10)",
+    )
     return parser
 
 
@@ -159,6 +207,18 @@ def _cmd_machine(print_fn):
     )
 
 
+def _cmd_report(print_fn, path, slowest):
+    from repro.harness.telemetry import format_summary, summarize
+
+    try:
+        summary = summarize(path, slowest=slowest)
+    except OSError as exc:
+        print_fn(f"cannot read telemetry file: {exc}")
+        return 1
+    print_fn(format_summary(summary))
+    return 0
+
+
 def main(argv=None, print_fn=print):
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -171,14 +231,27 @@ def main(argv=None, print_fn=print):
     if args.command == "machine":
         _cmd_machine(print_fn)
         return 0
+    if args.command == "report":
+        return _cmd_report(print_fn, args.telemetry, args.slowest)
     import inspect
 
     from repro.harness.experiments.common import shared_runner
+    from repro.harness.faults import FaultPolicy
     from repro.harness.resultcache import ResultCache
+    from repro.harness.telemetry import JsonlTelemetry
 
     runner = shared_runner()
     if not args.no_cache and runner.result_cache is None:
         runner.result_cache = ResultCache()
+    if args.telemetry:
+        runner.telemetry = JsonlTelemetry(args.telemetry)
+        if runner.result_cache is not None:
+            runner.result_cache.telemetry = runner.telemetry
+    if args.timeout is not None or args.retries is not None:
+        runner.fault_policy = FaultPolicy(
+            timeout=args.timeout,
+            retries=2 if args.retries is None else args.retries,
+        )
     for name in args.experiments:
         run_fn, _description = EXPERIMENTS[name]
         accepted = inspect.signature(run_fn).parameters

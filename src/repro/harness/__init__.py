@@ -11,8 +11,16 @@ from repro.harness.modes import (
     PB_SW_IDEAL,
     PHI,
 )
+from repro.harness.faults import (
+    FaultInjector,
+    FaultPolicy,
+    PointFailure,
+    SweepOutcome,
+    run_sweep_resilient,
+)
 from repro.harness.report import format_series, format_table, geomean, speedup
 from repro.harness.runner import Runner
+from repro.harness.telemetry import NULL_TELEMETRY, JsonlTelemetry, Telemetry
 
 __all__ = [
     "ALL_MODES",
@@ -21,13 +29,21 @@ __all__ = [
     "COBRA_COMM",
     "COMMUTATIVE_ONLY_MODES",
     "DEFAULT_MACHINE",
+    "FaultInjector",
+    "FaultPolicy",
+    "JsonlTelemetry",
     "MachineConfig",
+    "NULL_TELEMETRY",
     "PB_SW",
     "PB_SW_IDEAL",
     "PHI",
+    "PointFailure",
     "Runner",
+    "SweepOutcome",
+    "Telemetry",
     "format_series",
     "format_table",
     "geomean",
     "speedup",
+    "run_sweep_resilient",
 ]

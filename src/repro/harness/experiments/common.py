@@ -53,14 +53,24 @@ def phase_cycles(counters: RunCounters, name):
     return 0.0
 
 
-def prefetch_runs(runner, points, jobs=None):
+def prefetch_runs(runner, points, jobs=None, label=None):
     """Warm the runner's memo for ``(workload, mode)`` points in parallel.
 
     Experiment drivers keep their readable serial loops; calling this first
     with ``jobs`` > 1 computes every independent point through the
     process-pool executor, so the subsequent serial loop is all memo hits.
     A no-op when ``jobs`` is ``None``/``<= 1``.
+
+    ``label`` tags the sweep in the telemetry log with the experiment it
+    warms, so ``repro report`` can attribute wall-clock per figure. With a
+    fault policy on the runner, a crashed/hung point merely falls back to
+    the driver's serial loop instead of aborting the figure.
     """
     if jobs is None or jobs <= 1:
         return
+    points = list(points)
+    if label is not None and runner.telemetry.enabled:
+        runner.telemetry.emit(
+            "experiment_prefetch", experiment=label, points=len(points)
+        )
     runner.run_many(points, jobs=jobs)

@@ -30,6 +30,7 @@ def run(runner=None, workloads=None, scale=None, jobs=None):
         runner,
         [(w, modes.CHARACTERIZATION) for _, _, w in instances],
         jobs=jobs,
+        label="fig02",
     )
     for workload_name, input_name, workload in instances:
         counters = runner.run_characterization(workload)

@@ -31,6 +31,7 @@ def run(runner=None, workloads=None, scale=None, jobs=None):
         runner,
         [(w, mode) for _, _, w in instances for mode in _MODES],
         jobs=jobs,
+        label="fig05",
     )
     for workload_name, input_name, workload in instances:
         base = runner.run(workload, modes.BASELINE).cycles

@@ -34,6 +34,7 @@ def run(runner=None, workloads=None, scale=None, jobs=None):
             for mode in (modes.PB_SW, modes.COBRA)
         ],
         jobs=jobs,
+        label="fig11",
     )
     for workload_name, input_name, workload in instances:
         pb = runner.run(workload, modes.PB_SW)

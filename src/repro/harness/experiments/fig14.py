@@ -71,6 +71,7 @@ def run(
         runner,
         [(w, mode) for w in instances for mode in _applicable_modes(w)],
         jobs=jobs,
+        label="fig14",
     )
     rows = []
     for workload_name in workload_names:

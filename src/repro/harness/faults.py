@@ -1,0 +1,579 @@
+"""Fault-tolerant sweep execution: timeouts, retries, crash isolation.
+
+The plain process-pool executor (:func:`repro.harness.parallel.run_sweep`)
+is fast but brittle: one crashed worker raises ``BrokenProcessPool`` and
+aborts the whole sweep, and a hung worker stalls it forever. For multi-hour
+figure suites that is the wrong trade — partition-centric runtimes treat a
+lost binning partition as recoverable, and so does this layer:
+
+* every (workload, mode) point is dispatched individually with a bounded
+  number of retries and exponential backoff between attempts,
+* a per-point wall-clock **timeout** detects hung workers; the pool is torn
+  down and rebuilt, and only the lost points are requeued,
+* a **crashed** worker (``BrokenProcessPool``) likewise triggers a pool
+  rebuild; in-flight points that were collateral damage are requeued
+  without a retry penalty (the points whose futures surfaced the breakage
+  are charged one attempt — the executor cannot tell which of them died),
+* after ``max_pool_rebuilds`` rebuilds the executor stops trusting process
+  pools and drains the remaining points **serially in-process** (no
+  timeout enforcement there — a genuinely wedged simulation would also
+  wedge the serial path, which is the best pure Python can do).
+
+The sweep therefore *always returns*: :class:`SweepOutcome` carries every
+completable point's counters (bit-identical to a serial run — each point
+is an independent simulation) plus a structured :class:`PointFailure` list
+for the rest, instead of raising.
+
+Deterministic fault injection (tests, chaos drills) is driven by a
+:class:`FaultInjector` — or the ``REPRO_FAULT_INJECT`` environment
+variable — which kills (``SIGKILL``) or stalls chosen points *inside the
+worker process*, optionally only on their first attempt (``state_dir``
+markers make "crash once, then succeed" reproducible across the rebuilt
+pools). Injection never fires in-process, so the serial fallback and
+``jobs=1`` paths cannot take down the caller.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro._util import check_positive
+from repro.harness.telemetry import NULL_TELEMETRY
+
+__all__ = [
+    "FaultPolicy",
+    "FaultInjector",
+    "PointFailure",
+    "SweepOutcome",
+    "run_sweep_resilient",
+]
+
+#: Poll interval of the dispatch loop (seconds).
+_TICK = 0.05
+
+#: Exit signal used by the kill injector (mirrors an OOM-killed worker).
+_KILL_SIGNAL = signal.SIGKILL if hasattr(signal, "SIGKILL") else signal.SIGTERM
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Knobs of the fault-tolerant executor.
+
+    ``timeout``
+        Per-point wall-clock budget in seconds (None disables hang
+        detection). Measured from dispatch; because at most ``jobs``
+        points are in flight, a dispatched point is running immediately.
+    ``retries``
+        Extra attempts after the first (total attempts = ``retries + 1``).
+    ``backoff``
+        Base delay before a retry; attempt ``k`` waits ``backoff * 2**(k-1)``.
+    ``max_pool_rebuilds``
+        Pool rebuilds tolerated before falling back to in-process serial
+        execution of the remaining points.
+    """
+
+    timeout: float | None = None
+    retries: int = 2
+    backoff: float = 0.25
+    max_pool_rebuilds: int = 3
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministically kill or stall chosen sweep points in workers.
+
+    ``kill`` and ``stall`` hold ``"<cache_key>|<mode>"`` tokens. With a
+    ``state_dir``, each fault fires exactly once per directory (atomic
+    ``O_EXCL`` marker files shared by every worker process), so a killed
+    point's retry succeeds; without one, the fault fires on every attempt.
+    """
+
+    kill: frozenset = frozenset()
+    stall: frozenset = frozenset()
+    stall_seconds: float = 3600.0
+    state_dir: str = ""
+
+    @staticmethod
+    def token(cache_key, mode):
+        """The injection token addressing one sweep point."""
+        return f"{cache_key}|{mode}"
+
+    @classmethod
+    def from_env(cls, environ=None):
+        """Build from ``REPRO_FAULT_INJECT``, or None when unset.
+
+        Format: semicolon-separated directives, e.g.
+        ``kill=pagerank:KRON:13|baseline;stall=spmv:POIS:13|cobra;``
+        ``stall_seconds=60;state=/tmp/faults``. ``kill``/``stall`` take
+        comma-separated tokens.
+        """
+        environ = os.environ if environ is None else environ
+        raw = environ.get("REPRO_FAULT_INJECT", "").strip()
+        if not raw:
+            return None
+        kill, stall = set(), set()
+        stall_seconds = 3600.0
+        state_dir = ""
+        for directive in raw.split(";"):
+            directive = directive.strip()
+            if not directive:
+                continue
+            name, _, value = directive.partition("=")
+            name = name.strip()
+            if name == "kill":
+                kill.update(t for t in value.split(",") if t)
+            elif name == "stall":
+                stall.update(t for t in value.split(",") if t)
+            elif name == "stall_seconds":
+                stall_seconds = float(value)
+            elif name == "state":
+                state_dir = value.strip()
+            else:
+                raise ValueError(
+                    f"unknown REPRO_FAULT_INJECT directive {name!r}"
+                )
+        return cls(
+            kill=frozenset(kill),
+            stall=frozenset(stall),
+            stall_seconds=stall_seconds,
+            state_dir=state_dir,
+        )
+
+    def _arm(self, kind, token):
+        """True when this fault should fire (once per state_dir marker)."""
+        if not self.state_dir:
+            return True
+        safe = "".join(c if c.isalnum() else "_" for c in token)
+        directory = Path(self.state_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(
+                directory / f"{kind}-{safe}", os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def maybe_inject(self, cache_key, mode):
+        """Called inside the worker before simulating a point."""
+        token = self.token(cache_key, mode)
+        if token in self.kill and self._arm("kill", token):
+            os.kill(os.getpid(), _KILL_SIGNAL)
+        if token in self.stall and self._arm("stall", token):
+            time.sleep(self.stall_seconds)
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One sweep point that exhausted its attempts."""
+
+    index: int
+    point: str
+    mode: str
+    reason: str
+    attempts: int
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a fault-tolerant sweep produced.
+
+    ``results`` is in input order with ``None`` at failed points;
+    ``failures`` explains each ``None``.
+    """
+
+    results: list
+    failures: list = field(default_factory=list)
+
+    @property
+    def completed(self):
+        """Number of points that produced counters."""
+        return sum(result is not None for result in self.results)
+
+    @property
+    def ok(self):
+        """True when every point completed."""
+        return not self.failures
+
+
+def _point_worker(spec, task, injector):
+    """Simulate one (cache_key, mode) point in a worker process."""
+    from repro.harness.inputs import make_workload
+    from repro.harness.runner import Runner
+
+    cache_key, mode, use_cache = task
+    if injector is not None:
+        injector.maybe_inject(cache_key, mode)
+    runner = Runner.from_spec(spec)
+    workload_name, input_name, scale = cache_key.split(":")
+    workload = make_workload(workload_name, input_name, int(scale))
+    return runner.run(workload, mode, use_cache=use_cache)
+
+
+def _terminate_pool(pool):
+    """Hard-stop a (possibly hung) process pool without waiting."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def run_sweep_resilient(
+    runner,
+    points,
+    jobs,
+    use_cache=True,
+    policy=None,
+    telemetry=None,
+    injector=None,
+):
+    """Run a sweep that survives crashed and hung workers.
+
+    Like :func:`repro.harness.parallel.run_sweep` but never raises for a
+    point's failure: returns a :class:`SweepOutcome` whose ``results`` are
+    in input order (``None`` where a point failed) with completed results
+    folded back into ``runner``'s in-memory memo. ``injector`` defaults to
+    :meth:`FaultInjector.from_env` so tests and chaos drills can steer the
+    recovery paths without touching call sites.
+    """
+    check_positive("jobs", jobs)
+    policy = policy or FaultPolicy()
+    if telemetry is None:
+        telemetry = getattr(runner, "telemetry", NULL_TELEMETRY)
+    if injector is None:
+        injector = FaultInjector.from_env()
+    points = list(points)
+    tasks = []
+    for workload, mode in points:
+        cache_key = getattr(workload, "cache_key", None)
+        if cache_key is None:
+            raise ValueError(
+                f"workload {workload.name!r} has no cache_key; the sweep "
+                "executor rebuilds workloads from keys in worker processes"
+            )
+        tasks.append((cache_key, mode, use_cache))
+    results = [None] * len(points)
+    failures = []
+    started = time.monotonic()
+    telemetry.emit(
+        "sweep_started",
+        points=len(points),
+        jobs=jobs,
+        timeout=policy.timeout,
+        retries=policy.retries,
+        executor="resilient",
+    )
+    jobs = min(jobs, len(points))
+    if jobs <= 1:
+        pending = deque((index, 1) for index in range(len(points)))
+    else:
+        pending = _pooled_phase(
+            runner, points, tasks, results, failures, jobs, policy,
+            telemetry, injector,
+        )
+    _serial_phase(
+        runner, points, tasks, results, failures, pending, policy, telemetry
+    )
+    for (cache_key, mode, _), counters in zip(tasks, results):
+        if counters is not None:
+            runner._store((cache_key, mode), counters, persist=False)
+    telemetry.emit(
+        "sweep_completed",
+        completed=sum(r is not None for r in results),
+        failed=len(failures),
+        seconds=time.monotonic() - started,
+    )
+    return SweepOutcome(results=results, failures=failures)
+
+
+def _pooled_phase(
+    runner, points, tasks, results, failures, jobs, policy, telemetry,
+    injector,
+):
+    """Process-pool dispatch loop; returns points left for the serial phase.
+
+    A crashed worker breaks the whole pool, and ``concurrent.futures``
+    cannot say which in-flight point the dead worker was running — every
+    lost future raises ``BrokenProcessPool``. Charging them all a retry
+    would let one poisoned point starve its innocent pool-mates, so lost
+    points instead go on **probation**: each re-runs *solo* in the fresh
+    pool, where a second crash implicates exactly that point (and costs it
+    an attempt), while a success exonerates it at the price of one
+    serialized run. Hung points need no probation — the per-future timeout
+    already names them — so only their innocent pool-mates are requeued
+    unpenalized after the teardown.
+    """
+    spec = runner.spawn_spec()
+    # Queue entries: (index, attempt, earliest dispatch time). ``probation``
+    # points are dispatched solo; ``pending`` points fill the whole pool.
+    pending = deque((index, 1, 0.0) for index in range(len(tasks)))
+    probation = deque()
+    inflight = {}
+    probing = False  # the single in-flight future is a probation run
+    rebuilds = 0
+    pool = ProcessPoolExecutor(max_workers=jobs)
+
+    def retry_or_fail(index, attempt, reason, queue):
+        cache_key, mode, _ = tasks[index]
+        if attempt <= policy.retries:
+            delay = policy.backoff * (2 ** (attempt - 1))
+            queue.append((index, attempt + 1, time.monotonic() + delay))
+            telemetry.emit(
+                "point_retried",
+                point=cache_key,
+                mode=mode,
+                attempt=attempt,
+                reason=reason,
+                delay=delay,
+            )
+        else:
+            failures.append(
+                PointFailure(
+                    index=index,
+                    point=cache_key,
+                    mode=mode,
+                    reason=reason,
+                    attempts=attempt,
+                )
+            )
+            telemetry.emit(
+                "point_failed",
+                point=cache_key,
+                mode=mode,
+                attempts=attempt,
+                reason=reason,
+            )
+
+    def requeue_unpenalized(index, attempt, reason, queue):
+        """Reschedule an innocent casualty without spending a retry."""
+        cache_key, mode, _ = tasks[index]
+        queue.append((index, attempt, 0.0))
+        telemetry.emit(
+            "point_retried",
+            point=cache_key,
+            mode=mode,
+            attempt=attempt,
+            reason=reason,
+            delay=0.0,
+        )
+
+    def submit(entry, solo):
+        nonlocal probing
+        index, attempt, _ = entry
+        try:
+            future = pool.submit(_point_worker, spec, tasks[index], injector)
+        except BrokenExecutor:
+            return False
+        inflight[future] = (index, attempt, time.monotonic())
+        probing = solo
+        cache_key, mode, _ = tasks[index]
+        telemetry.emit(
+            "point_scheduled",
+            point=cache_key,
+            mode=mode,
+            attempt=attempt,
+            probation=solo,
+        )
+        return True
+
+    try:
+        while pending or probation or inflight:
+            now = time.monotonic()
+            broken = False
+            if probation:
+                # Probation runs are solo: wait out the pool, then dispatch
+                # exactly one suspect.
+                if not inflight:
+                    index, attempt, ready_at = probation.popleft()
+                    if ready_at > now:
+                        probation.appendleft((index, attempt, ready_at))
+                        time.sleep(_TICK)
+                    elif not submit((index, attempt, ready_at), solo=True):
+                        probation.appendleft((index, attempt, 0.0))
+                        broken = True
+            elif not probing:
+                deferred = []
+                while pending and len(inflight) < jobs and not broken:
+                    entry = pending.popleft()
+                    if entry[2] > now:
+                        deferred.append(entry)
+                    elif not submit(entry, solo=False):
+                        pending.appendleft((entry[0], entry[1], 0.0))
+                        broken = True
+                pending.extend(deferred)
+            if not inflight and not broken:
+                time.sleep(_TICK)  # every queued point is in backoff
+                continue
+            done = set()
+            if inflight:
+                done, _ = wait(
+                    set(inflight), timeout=_TICK, return_when=FIRST_COMPLETED
+                )
+            now = time.monotonic()
+            was_probe = probing
+            for future in done:
+                index, attempt, dispatched = inflight.pop(future)
+                cache_key, mode, _ = tasks[index]
+                try:
+                    counters = future.result()
+                except BrokenExecutor:
+                    broken = True
+                    if was_probe:
+                        # Solo run: the crash is unambiguously this point's.
+                        retry_or_fail(
+                            index, attempt, "worker crashed", probation
+                        )
+                    else:
+                        # Collateral suspects re-run solo, unpenalized.
+                        requeue_unpenalized(
+                            index,
+                            attempt,
+                            "pool lost (crashed peer); probation re-run",
+                            probation,
+                        )
+                except Exception as exc:
+                    retry_or_fail(
+                        index,
+                        attempt,
+                        f"{type(exc).__name__}: {exc}",
+                        probation if was_probe else pending,
+                    )
+                else:
+                    results[index] = counters
+                    telemetry.emit(
+                        "point_completed",
+                        point=cache_key,
+                        mode=mode,
+                        attempt=attempt,
+                        seconds=now - dispatched,
+                    )
+            if not inflight:
+                probing = False
+            hung = []
+            if policy.timeout is not None:
+                hung = [
+                    future
+                    for future, (_, _, dispatched) in inflight.items()
+                    if now - dispatched > policy.timeout
+                ]
+            if not (broken or hung):
+                continue
+            # The pool is compromised. Hung points are individually
+            # identified by their timeout, so they are charged an attempt
+            # directly; the other in-flight points are innocent — crashes
+            # send them to probation, teardowns for a hang requeue them.
+            for future in hung:
+                index, attempt, _ = inflight.pop(future)
+                retry_or_fail(
+                    index,
+                    attempt,
+                    f"timeout after {policy.timeout:.1f}s",
+                    probation if probing else pending,
+                )
+            lost = len(inflight)
+            for index, attempt, _ in inflight.values():
+                if broken:
+                    requeue_unpenalized(
+                        index,
+                        attempt,
+                        "pool lost (crashed peer); probation re-run",
+                        probation,
+                    )
+                else:
+                    requeue_unpenalized(
+                        index, attempt, "pool torn down (hung peer)", pending
+                    )
+            inflight.clear()
+            probing = False
+            _terminate_pool(pool)
+            rebuilds += 1
+            telemetry.emit(
+                "pool_rebuilt",
+                rebuilds=rebuilds,
+                lost_points=lost,
+                hung=len(hung),
+                crashed=broken,
+            )
+            if rebuilds > policy.max_pool_rebuilds:
+                remaining = list(probation) + list(pending)
+                telemetry.emit("serial_fallback", remaining=len(remaining))
+                return deque(
+                    (index, attempt) for index, attempt, _ in remaining
+                )
+            pool = ProcessPoolExecutor(max_workers=jobs)
+    finally:
+        _terminate_pool(pool)
+    return deque()
+
+
+def _serial_phase(
+    runner, points, tasks, results, failures, pending, policy, telemetry
+):
+    """In-process drain of points the pooled phase gave up on.
+
+    No timeout is enforceable here; fault injection never fires in-process,
+    so this path cannot take down the caller short of a genuine bug in the
+    simulation itself (which the serial executor would hit identically).
+    """
+    for index, attempt in pending:
+        cache_key, mode, use_cache = tasks[index]
+        workload, _ = points[index]
+        while True:
+            dispatched = time.monotonic()
+            telemetry.emit(
+                "point_scheduled", point=cache_key, mode=mode, attempt=attempt
+            )
+            try:
+                results[index] = runner.run(workload, mode, use_cache=use_cache)
+            except Exception as exc:
+                reason = f"{type(exc).__name__}: {exc}"
+                if attempt <= policy.retries:
+                    telemetry.emit(
+                        "point_retried",
+                        point=cache_key,
+                        mode=mode,
+                        attempt=attempt,
+                        reason=reason,
+                        delay=0.0,
+                    )
+                    attempt += 1
+                    continue
+                failures.append(
+                    PointFailure(
+                        index=index,
+                        point=cache_key,
+                        mode=mode,
+                        reason=reason,
+                        attempts=attempt,
+                    )
+                )
+                telemetry.emit(
+                    "point_failed",
+                    point=cache_key,
+                    mode=mode,
+                    attempts=attempt,
+                    reason=reason,
+                )
+            else:
+                telemetry.emit(
+                    "point_completed",
+                    point=cache_key,
+                    mode=mode,
+                    attempt=attempt,
+                    seconds=time.monotonic() - dispatched,
+                )
+            break

@@ -20,6 +20,7 @@ the scalability curves it produces are reported as such in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -27,6 +28,7 @@ import numpy as np
 
 from repro._util import check_positive
 from repro.harness import modes
+from repro.harness.telemetry import NULL_TELEMETRY
 
 __all__ = ["ParallelEstimate", "ParallelModel", "run_sweep"]
 
@@ -216,8 +218,15 @@ def run_sweep(runner, points, jobs, use_cache=True):
     workload must carry a ``cache_key``. Completed results are folded back
     into ``runner``'s in-memory memo; with a persistent cache attached the
     workers write through to disk themselves.
+
+    This is the *fast-path* executor: one crashed or hung worker aborts the
+    sweep (``BrokenProcessPool`` / a stall). For sweeps that must survive
+    worker loss, use :func:`repro.harness.faults.run_sweep_resilient` or
+    attach a :class:`~repro.harness.faults.FaultPolicy` to the runner.
     """
     check_positive("jobs", jobs)
+    telemetry = getattr(runner, "telemetry", NULL_TELEMETRY)
+    started = time.monotonic()
     points = list(points)
     tasks = []
     for workload, mode in points:
@@ -240,6 +249,9 @@ def run_sweep(runner, points, jobs, use_cache=True):
     for index, task in enumerate(tasks):
         chunks[index % num_chunks].append(task)
         chunk_indices[index % num_chunks].append(index)
+    telemetry.emit(
+        "sweep_started", points=len(points), jobs=jobs, executor="pool"
+    )
     spec = runner.spawn_spec()
     results = [None] * len(points)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -255,4 +267,10 @@ def run_sweep(runner, points, jobs, use_cache=True):
         runner._store(
             (workload.cache_key, mode), counters, persist=False
         )
+    telemetry.emit(
+        "sweep_completed",
+        completed=len(results),
+        failed=0,
+        seconds=time.monotonic() - started,
+    )
     return results

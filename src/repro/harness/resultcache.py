@@ -22,8 +22,11 @@ import json
 import os
 from pathlib import Path
 
+import numpy as np
+
 from repro.cache.stats import MemoryTraffic, ServiceCounts
 from repro.cpu.counters import PhaseCounters, RunCounters
+from repro.harness.telemetry import NULL_TELEMETRY
 
 __all__ = [
     "ResultCache",
@@ -38,13 +41,69 @@ __all__ = [
 FORMAT_VERSION = 1
 
 
-def default_cache_dir():
-    """Cache directory: ``$REPRO_RESULT_CACHE`` or the in-repo default."""
+def _is_repo_checkout(root):
+    """True when ``root`` looks like this repository's working tree.
+
+    The in-repo cache default is only valid when the package actually runs
+    from a checkout; a pip-installed copy resolves its "repo root" into
+    ``site-packages``' parent, and silently dropping cache entries there is
+    exactly the kind of bug this guard exists for.
+    """
+    return (root / "pyproject.toml").is_file() and (root / "src" / "repro").is_dir()
+
+
+def _user_cache_dir():
+    """Per-user cache directory (XDG on Linux, ``~/.cache`` fallback)."""
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "results"
+
+
+def default_cache_dir(package_file=None):
+    """Cache directory: ``$REPRO_RESULT_CACHE``, the in-repo default, or —
+    when the package is installed outside a checkout — a per-user cache dir.
+
+    ``package_file`` is this module's path (overridable for tests).
+    """
     env = os.environ.get("REPRO_RESULT_CACHE")
     if env:
         return Path(env)
-    repo_root = Path(__file__).resolve().parents[3]
-    return repo_root / "benchmarks" / "results" / ".cache"
+    source = Path(package_file if package_file else __file__).resolve()
+    try:
+        repo_root = source.parents[3]
+    except IndexError:
+        return _user_cache_dir()
+    if _is_repo_checkout(repo_root):
+        return repo_root / "benchmarks" / "results" / ".cache"
+    return _user_cache_dir()
+
+
+def _digest_default(value):
+    """Strict JSON fallback for digest payloads.
+
+    Only types with a process-independent canonical form are allowed.
+    ``default=repr`` was the original fallback and silently hashed reprs
+    like ``<object at 0x7f...>`` — unique per process, so the digest never
+    matched again and the cache permanently missed. Unknown types now fail
+    loudly at digest time instead.
+    """
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, Path):
+        return str(value)
+    raise TypeError(
+        f"run_digest payload contains non-canonical type "
+        f"{type(value).__name__}: {value!r}; digests must not depend on "
+        f"object reprs (memory addresses vary per process)"
+    )
 
 
 def run_digest(machine, runner_params, cache_key, mode):
@@ -55,7 +114,9 @@ def run_digest(machine, runner_params, cache_key, mode):
     (``name:input:scale``); ``mode`` the execution mode. The engine choice is
     deliberately *not* part of the key: the batched and scalar engines are
     equivalence-tested to produce identical counters, so either may serve a
-    result computed by the other.
+    result computed by the other. Serialization is strict — see
+    :func:`_digest_default` — so a digest computed today matches the same
+    configuration in any other process, ever.
     """
     payload = {
         "version": FORMAT_VERSION,
@@ -64,7 +125,7 @@ def run_digest(machine, runner_params, cache_key, mode):
         "workload": cache_key,
         "mode": mode,
     }
-    blob = json.dumps(payload, sort_keys=True, default=repr)
+    blob = json.dumps(payload, sort_keys=True, default=_digest_default)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -138,13 +199,18 @@ class ResultCache:
 
     Writes are atomic (tmp file + :func:`os.replace`), so a killed sweep
     never leaves a truncated entry; unreadable or corrupt files simply count
-    as misses and are overwritten by the next store.
+    as misses and are overwritten by the next store. Writes are best-effort:
+    a failed store (disk full, read-only mount) cleans up its tmp file,
+    counts in ``write_errors``/telemetry, and never aborts the simulation
+    that produced the counters.
     """
 
-    def __init__(self, directory=None):
+    def __init__(self, directory=None, telemetry=None):
         self.directory = Path(directory) if directory else default_cache_dir()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.hits = 0
         self.misses = 0
+        self.write_errors = 0
 
     def _path(self, digest):
         return self.directory / f"{digest}.json"
@@ -156,26 +222,54 @@ class ResultCache:
             counters = counters_from_dict(payload)
         except (OSError, ValueError, KeyError, TypeError, IndexError):
             self.misses += 1
+            self.telemetry.emit("cache_miss", digest=digest)
             return None
         self.hits += 1
+        self.telemetry.emit("cache_hit", digest=digest)
         return counters
 
     def put(self, digest, counters):
-        """Store ``counters`` under ``digest`` (atomic, last writer wins)."""
-        self.directory.mkdir(parents=True, exist_ok=True)
+        """Store ``counters`` under ``digest`` (atomic, last writer wins).
+
+        Returns True on success. A tmp file never outlives a failed write
+        — ``clear()``/``__len__`` ignore strays regardless, but leaking one
+        per failed store would still fill the directory on a sick disk.
+        """
         path = self._path(digest)
         tmp = path.with_name(f"{digest}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(counters_to_dict(counters)), "utf-8")
-        os.replace(tmp, path)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(counters_to_dict(counters)), "utf-8")
+            os.replace(tmp, path)
+        except OSError as exc:
+            self.write_errors += 1
+            self.telemetry.emit(
+                "cache_write_error", digest=digest, error=str(exc)
+            )
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        return True
 
     def clear(self):
-        """Delete every stored entry; returns the number removed."""
+        """Delete every stored entry; returns the number removed.
+
+        Stray ``*.tmp`` files from interrupted writers are swept too but do
+        not count toward the removed-entry total.
+        """
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.json"):
                 try:
                     path.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for path in self.directory.glob("*.tmp"):
+                try:
+                    path.unlink()
                 except OSError:
                     pass
         return removed

@@ -11,6 +11,8 @@ keeps full-suite sweeps tractable in pure Python.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.cache.address import AddressSpace
@@ -27,6 +29,7 @@ from repro.des.eviction_model import EvictionBufferModel, EvictionModelConfig
 from repro.harness import modes
 from repro.harness.machine import DEFAULT_MACHINE
 from repro.harness.resultcache import run_digest
+from repro.harness.telemetry import NULL_TELEMETRY
 from repro.pb.planner import plan_bins
 from repro.workloads.base import PhaseSpec
 
@@ -49,6 +52,13 @@ class Runner:
     ``result_cache`` (a :class:`~repro.harness.resultcache.ResultCache`)
     adds a persistent, on-disk layer under the per-instance memo so repeated
     figure suites and resumed sweeps skip completed simulations.
+
+    ``telemetry`` (a :class:`~repro.harness.telemetry.Telemetry`) records
+    engine selections, per-phase simulation wall-clock, and — propagated to
+    the attached ``result_cache`` — cache hits/misses; the default is the
+    zero-overhead no-op sink. ``fault_policy`` (a
+    :class:`~repro.harness.faults.FaultPolicy`) makes :meth:`run_many`
+    route parallel sweeps through the fault-tolerant executor.
     """
 
     def __init__(
@@ -60,6 +70,8 @@ class Runner:
         comm_sample=300_000,
         engine="auto",
         result_cache=None,
+        telemetry=None,
+        fault_policy=None,
     ):
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
@@ -75,6 +87,10 @@ class Runner:
         self.comm_sample = comm_sample
         self.engine = engine
         self.result_cache = result_cache
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.fault_policy = fault_policy
+        if telemetry is not None and result_cache is not None:
+            result_cache.telemetry = self.telemetry
         self.timing = TimingModel(machine.core)
         self._cache = {}
 
@@ -147,9 +163,33 @@ class Runner:
         executor (see :func:`repro.harness.parallel.run_sweep`); results are
         identical to the serial path — every point is an independent
         simulation and the executor restores submission order.
+
+        With a ``fault_policy`` attached the fan-out goes through the
+        fault-tolerant executor instead: crashed or hung workers cost only
+        the lost points, and any point the pool could not complete is
+        recomputed serially in-process here, preserving this method's
+        list-of-counters contract (a point that fails even in-process
+        raises, exactly as the serial path would).
         """
         points = list(points)
         if jobs is not None and jobs > 1 and len(points) > 1:
+            if self.fault_policy is not None:
+                from repro.harness.faults import run_sweep_resilient
+
+                outcome = run_sweep_resilient(
+                    self,
+                    points,
+                    jobs=jobs,
+                    use_cache=use_cache,
+                    policy=self.fault_policy,
+                )
+                results = list(outcome.results)
+                for failure in outcome.failures:
+                    workload, mode = points[failure.index]
+                    results[failure.index] = self.run(
+                        workload, mode, use_cache=use_cache
+                    )
+                return results
             from repro.harness.parallel import run_sweep
 
             return run_sweep(self, points, jobs=jobs, use_cache=use_cache)
@@ -207,17 +247,25 @@ class Runner:
                 if self.result_cache is not None
                 else None
             ),
+            "telemetry_path": (
+                str(self.telemetry.path)
+                if getattr(self.telemetry, "path", None) is not None
+                else None
+            ),
         }
 
     @classmethod
     def from_spec(cls, spec):
         """Rebuild a runner from :meth:`spawn_spec` output."""
         from repro.harness.resultcache import ResultCache
+        from repro.harness.telemetry import JsonlTelemetry
 
         spec = dict(spec)
         cache_dir = spec.pop("cache_dir", None)
+        telemetry_path = spec.pop("telemetry_path", None)
+        telemetry = JsonlTelemetry(telemetry_path) if telemetry_path else None
         result_cache = ResultCache(cache_dir) if cache_dir else None
-        return cls(result_cache=result_cache, **spec)
+        return cls(result_cache=result_cache, telemetry=telemetry, **spec)
 
     def run_with_spec(self, workload, spec, include_init=True):
         """Software PB at an explicit :class:`BinSpec` (bin-count sweeps)."""
@@ -327,6 +375,7 @@ class Runner:
     # ------------------------------------------------------------------ #
 
     def _simulate_phase(self, workload, phase, des_config):
+        wall_start = time.perf_counter() if self.telemetry.enabled else 0.0
         machine = self.machine
         line_bytes = machine.hierarchy.line_bytes
         irregular = ServiceCounts()
@@ -386,6 +435,13 @@ class Runner:
             ),
             line_bytes=line_bytes,
         )
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "phase_timed",
+                phase=phase.name,
+                workload=workload.name,
+                seconds=time.perf_counter() - wall_start,
+            )
         return PhaseCounters(
             name=phase.name,
             instructions=int(phase.instructions),
@@ -402,7 +458,11 @@ class Runner:
         """Engine dispatch: batched when the config is expressible, else
         scalar (equivalence between the two is test-asserted)."""
         if self.engine != "fast" and BatchHierarchy.supports(config):
+            if self.telemetry.enabled:
+                self.telemetry.emit("engine_selected", engine="batch")
             return BatchHierarchy(config)
+        if self.telemetry.enabled:
+            self.telemetry.emit("engine_selected", engine="fast")
         return FastHierarchy(config)
 
     def _build_trace(self, phase, line_bytes):

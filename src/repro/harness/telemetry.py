@@ -1,0 +1,289 @@
+"""Structured run telemetry: a JSONL event log for sweeps and runs.
+
+Every layer of the harness (``Runner``, the sweep executors, the persistent
+:class:`ResultCache`) reports what it does through a :class:`Telemetry`
+object: one JSON object per line with an ``event`` name, a wall-clock
+timestamp, and event-specific fields. The default is the process-wide
+:data:`NULL_TELEMETRY` no-op whose ``enabled`` flag lets hot paths skip
+even the timestamp call, so instrumentation costs nothing unless a sink is
+attached.
+
+:class:`JsonlTelemetry` appends to a file with a single ``os.write`` per
+event on an ``O_APPEND`` descriptor, so concurrent sweep workers can share
+one log without interleaving partial lines. The object pickles by path —
+shipping it to a worker process reopens the same file.
+
+Event vocabulary (see EXPERIMENTS.md for the full schema):
+
+``sweep_started`` / ``sweep_completed``
+    One sweep through the (fault-tolerant) executor.
+``point_scheduled`` / ``point_completed`` / ``point_retried`` /
+``point_failed``
+    Lifecycle of one (workload, mode) point, with attempt counts,
+    wall-clock seconds, and failure reasons.
+``pool_rebuilt`` / ``serial_fallback``
+    Crash-isolation actions of the fault-tolerant executor.
+``cache_hit`` / ``cache_miss`` / ``cache_write_error``
+    Persistent result-cache activity (digest-level).
+``engine_selected``
+    Which trace engine simulated a phase.
+``phase_timed``
+    Wall-clock seconds spent simulating one phase.
+
+:func:`summarize` folds a telemetry file back into the aggregate view the
+``repro report`` subcommand prints: slowest points, retry/failure counts,
+and the cache hit rate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.harness.report import format_table
+
+__all__ = [
+    "Telemetry",
+    "JsonlTelemetry",
+    "NULL_TELEMETRY",
+    "read_events",
+    "summarize",
+    "format_summary",
+]
+
+
+class Telemetry:
+    """No-op telemetry sink; the interface every layer codes against.
+
+    ``enabled`` is ``False`` so callers can guard expensive field
+    computation (``time.perf_counter`` pairs, digest formatting) behind a
+    single attribute check.
+    """
+
+    enabled = False
+
+    def emit(self, event, **fields):
+        """Record one event (ignored)."""
+
+    def close(self):
+        """Release any underlying resources (nothing to do)."""
+
+
+#: Shared no-op sink; the default everywhere a telemetry argument is None.
+NULL_TELEMETRY = Telemetry()
+
+
+class JsonlTelemetry(Telemetry):
+    """Append-only JSONL sink shared safely across processes."""
+
+    enabled = True
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fd = None
+
+    def _descriptor(self):
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+            )
+        return self._fd
+
+    def emit(self, event, **fields):
+        """Append one event as a single atomic line write."""
+        record = {"event": event, "ts": time.time(), "pid": os.getpid()}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        os.write(self._descriptor(), line.encode("utf-8"))
+
+    def close(self):
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    # The descriptor does not travel across processes; reopen by path.
+    def __getstate__(self):
+        return {"path": str(self.path)}
+
+    def __setstate__(self, state):
+        self.path = Path(state["path"])
+        self._fd = None
+
+
+# ---------------------------------------------------------------------- #
+# Reading + summarizing
+# ---------------------------------------------------------------------- #
+
+
+def read_events(path):
+    """Parse a telemetry JSONL file; skips lines that fail to parse.
+
+    A crashed worker can leave one torn final line; everything readable is
+    still summarized.
+    """
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "event" in record:
+                events.append(record)
+    return events
+
+
+def summarize(path, slowest=10):
+    """Aggregate a telemetry file into the ``repro report`` view."""
+    events = read_events(path)
+    completed = []
+    retries = {}
+    failures = []
+    hits = misses = write_errors = 0
+    phase_seconds = {}
+    engines = {}
+    sweeps = 0
+    for record in events:
+        event = record["event"]
+        if event == "sweep_started":
+            sweeps += 1
+        elif event == "point_completed":
+            completed.append(record)
+        elif event == "point_retried":
+            key = (record.get("point"), record.get("mode"))
+            retries[key] = retries.get(key, 0) + 1
+        elif event == "point_failed":
+            failures.append(record)
+        elif event == "cache_hit":
+            hits += 1
+        elif event == "cache_miss":
+            misses += 1
+        elif event == "cache_write_error":
+            write_errors += 1
+        elif event == "phase_timed":
+            name = record.get("phase", "?")
+            phase_seconds[name] = phase_seconds.get(name, 0.0) + float(
+                record.get("seconds", 0.0)
+            )
+        elif event == "engine_selected":
+            name = record.get("engine", "?")
+            engines[name] = engines.get(name, 0) + 1
+    completed.sort(key=lambda r: -float(r.get("seconds", 0.0)))
+    lookups = hits + misses
+    return {
+        "events": len(events),
+        "sweeps": sweeps,
+        "completed": len(completed),
+        "failed": len(failures),
+        "retried_points": len(retries),
+        "total_retries": sum(retries.values()),
+        "slowest": [
+            {
+                "point": r.get("point"),
+                "mode": r.get("mode"),
+                "seconds": float(r.get("seconds", 0.0)),
+                "attempt": r.get("attempt", 1),
+            }
+            for r in completed[:slowest]
+        ],
+        "failures": [
+            {
+                "point": r.get("point"),
+                "mode": r.get("mode"),
+                "reason": r.get("reason"),
+                "attempts": r.get("attempts"),
+            }
+            for r in failures
+        ],
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "write_errors": write_errors,
+            "hit_rate": (hits / lookups) if lookups else None,
+        },
+        "phase_seconds": dict(
+            sorted(phase_seconds.items(), key=lambda kv: -kv[1])
+        ),
+        "engines": engines,
+    }
+
+
+def format_summary(summary):
+    """Render :func:`summarize` output as the report's plain text."""
+    lines = [
+        "Telemetry summary",
+        f"  events    {summary['events']}",
+        f"  sweeps    {summary['sweeps']}",
+        f"  completed {summary['completed']}"
+        f"  failed {summary['failed']}"
+        f"  retries {summary['total_retries']}"
+        f" (over {summary['retried_points']} points)",
+    ]
+    cache = summary["cache"]
+    if cache["hits"] or cache["misses"] or cache["write_errors"]:
+        rate = cache["hit_rate"]
+        rate_text = "n/a" if rate is None else f"{rate:.1%}"
+        lines.append(
+            f"  cache     {cache['hits']} hits / {cache['misses']} misses "
+            f"(hit rate {rate_text}, write errors {cache['write_errors']})"
+        )
+    if summary["engines"]:
+        parts = ", ".join(
+            f"{name}={count}" for name, count in sorted(summary["engines"].items())
+        )
+        lines.append(f"  engines   {parts}")
+    if summary["slowest"]:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["point", "mode", "attempt", "seconds"],
+                [
+                    [
+                        str(r["point"]),
+                        str(r["mode"]),
+                        int(r["attempt"] or 1),
+                        r["seconds"],
+                    ]
+                    for r in summary["slowest"]
+                ],
+                title="Slowest points",
+                floatfmt="{:.3f}",
+            )
+        )
+    if summary["failures"]:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["point", "mode", "attempts", "reason"],
+                [
+                    [
+                        str(r["point"]),
+                        str(r["mode"]),
+                        str(r["attempts"]),
+                        str(r["reason"]),
+                    ]
+                    for r in summary["failures"]
+                ],
+                title="Failed points",
+            )
+        )
+    if summary["phase_seconds"]:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["phase", "seconds"],
+                [
+                    [name, seconds]
+                    for name, seconds in summary["phase_seconds"].items()
+                ],
+                title="Simulation wall-clock by phase",
+                floatfmt="{:.3f}",
+            )
+        )
+    return "\n".join(lines)

@@ -27,6 +27,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_run_accepts_fault_and_telemetry_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run", "fig04", "--timeout", "600", "--retries", "3",
+                "--telemetry", "run.jsonl",
+            ]
+        )
+        assert args.timeout == 600.0
+        assert args.retries == 3
+        assert args.telemetry == "run.jsonl"
+
+    def test_report_requires_telemetry(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_report_accepts_telemetry_path(self):
+        args = build_parser().parse_args(
+            ["report", "--telemetry", "run.jsonl", "--slowest", "3"]
+        )
+        assert args.command == "report"
+        assert args.telemetry == "run.jsonl"
+        assert args.slowest == 3
+
 
 class TestCommands:
     def collect(self, argv):
@@ -62,6 +85,55 @@ class TestCommands:
         assert code == 0
         assert "Figure 13c" in output
         assert "Figure 4" in output
+
+    def test_run_writes_telemetry_and_report_summarizes_it(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.harness.experiments import common
+
+        monkeypatch.setattr(common, "_RUNNER", None)
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "cache"))
+        telemetry = tmp_path / "run.jsonl"
+        code, _ = self.collect(
+            ["run", "table1", "--scale", "14", "--telemetry", str(telemetry)]
+        )
+        monkeypatch.setattr(common, "_RUNNER", None)
+        assert code == 0
+        assert telemetry.is_file()
+        from repro.harness.telemetry import read_events
+
+        assert any(
+            e["event"] == "phase_timed" for e in read_events(telemetry)
+        )
+        code, output = self.collect(["report", "--telemetry", str(telemetry)])
+        assert code == 0
+        assert "Telemetry summary" in output
+        assert "Simulation wall-clock by phase" in output
+
+    def test_report_on_missing_file_fails_cleanly(self, tmp_path):
+        code, output = self.collect(
+            ["report", "--telemetry", str(tmp_path / "absent.jsonl")]
+        )
+        assert code == 1
+        assert "cannot read telemetry file" in output
+
+    def test_fault_flags_install_policy(self, tmp_path, monkeypatch):
+        from repro.harness.experiments import common
+
+        monkeypatch.setattr(common, "_RUNNER", None)
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "cache"))
+        code, output = self.collect(
+            [
+                "run", "table1", "--scale", "14",
+                "--timeout", "600", "--retries", "1",
+            ]
+        )
+        assert code == 0
+        runner = common._RUNNER
+        assert runner.fault_policy is not None
+        assert runner.fault_policy.timeout == 600.0
+        assert runner.fault_policy.retries == 1
+        monkeypatch.setattr(common, "_RUNNER", None)
 
 
 def test_registry_matches_design_doc():
