@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""CI smoke test for checkpointed, resumable sweeps.
+
+Scenario (all through the real CLI, in subprocesses):
+
+1. Start ``repro run fig02 --checkpoint-dir`` with a fault injector
+   stalling one point, so the sweep cannot finish on its own.
+2. Once a few points are journaled, deliver SIGTERM and assert the
+   graceful-shutdown path: exit code 130, status ``interrupted``, a
+   valid journal holding only the finished points.
+3. ``repro resume <run-id>`` and assert it exits 0, re-executes *only*
+   the unfinished points (checked via telemetry), and completes the
+   journal.
+4. Run the same sweep uninterrupted in a clean environment and assert
+   the two journals hold bit-identical counters for every point.
+
+Exits 0 on success, 1 with a diagnostic on any violated assertion.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SCALE = 13
+JOBS = 2
+# Stall a mid-suite fig02 point so the first run can never finish alone.
+STALL_TOKEN = f"neighbor-populate:WEB:{SCALE}|characterization"
+POLL_SECONDS = 0.1
+STARTUP_DEADLINE = 180.0
+
+
+def fail(message):
+    print(f"interruption-smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def base_env(cache_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_RESULT_CACHE"] = str(cache_dir)
+    env.pop("REPRO_FAULT_INJECT", None)
+    env.pop("REPRO_CHECKPOINT_DIR", None)
+    return env
+
+
+def run_cli(argv, env, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+def read_journal(runs_root):
+    """{(point, mode): counters-dict} from the single run under root."""
+    journals = sorted(Path(runs_root).glob("*/journal.jsonl"))
+    if len(journals) != 1:
+        fail(f"expected one journal under {runs_root}, found {journals}")
+    entries = {}
+    for line in journals[0].read_text().splitlines():
+        entry = json.loads(line)
+        entries[(entry["point"], entry["mode"])] = entry["counters"]
+    return entries
+
+
+def read_status(runs_root):
+    (status_path,) = Path(runs_root).glob("*/status.json")
+    return json.loads(status_path.read_text())["status"]
+
+
+def telemetry_events(path, name):
+    events = []
+    for line in Path(path).read_text().splitlines():
+        event = json.loads(line)
+        if event.get("event") == name:
+            events.append(event)
+    return events
+
+
+def main():
+    work = Path(tempfile.mkdtemp(prefix="interruption-smoke-"))
+    runs_root = work / "runs"
+    fresh_root = work / "runs-fresh"
+    faults_state = work / "fault-state"
+    telemetry_resume = work / "resume.jsonl"
+
+    # --- 1. interrupted run: stall one point, SIGTERM mid-flight -------
+    env = base_env(work / "cache-a")
+    env["REPRO_FAULT_INJECT"] = (
+        f"stall={STALL_TOKEN};stall_seconds=600;state={faults_state}"
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "run", "fig02",
+            "--scale", str(SCALE), "--jobs", str(JOBS),
+            "--checkpoint-dir", str(runs_root),
+        ],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + STARTUP_DEADLINE
+    journal = []
+    while time.monotonic() < deadline:
+        journals = list(runs_root.glob("*/journal.jsonl"))
+        if journals:
+            journal = journals[0].read_text().splitlines()
+            if len(journal) >= 3:
+                break
+        if proc.poll() is not None:
+            fail(
+                "sweep exited before the interrupt "
+                f"(code {proc.returncode}):\n{proc.communicate()[1]}"
+            )
+        time.sleep(POLL_SECONDS)
+    else:
+        proc.kill()
+        fail("no journal progress before the startup deadline")
+
+    proc.send_signal(signal.SIGTERM)
+    stdout, stderr = proc.communicate(timeout=120)
+    if proc.returncode != 130:
+        fail(
+            f"interrupted sweep exited {proc.returncode}, wanted 130\n"
+            f"stdout:\n{stdout}\nstderr:\n{stderr}"
+        )
+    if read_status(runs_root) != "interrupted":
+        fail(f"status after SIGTERM is {read_status(runs_root)!r}")
+    partial = read_journal(runs_root)
+    if not partial or len(partial) >= 23:
+        fail(f"unexpected partial journal size {len(partial)}")
+    print(f"interrupt OK: exit 130, {len(partial)}/23 points journaled")
+
+    # --- 2. resume finishes only the pending points --------------------
+    (run_dir,) = runs_root.glob("*/journal.jsonl")
+    run_id = run_dir.parent.name
+    # The stall marker is already armed in faults_state, so the injector
+    # (still in the environment) must not re-fire on resume.
+    result = run_cli(
+        [
+            "resume", run_id, "--checkpoint-dir", str(runs_root),
+            "--no-cache", "--telemetry", str(telemetry_resume),
+        ],
+        env,
+        timeout=600,
+    )
+    if result.returncode != 0:
+        fail(
+            f"resume exited {result.returncode}\n"
+            f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+        )
+    if read_status(runs_root) != "completed":
+        fail(f"status after resume is {read_status(runs_root)!r}")
+    resumed = read_journal(runs_root)
+    if len(resumed) != 23:
+        fail(f"resumed journal holds {len(resumed)}/23 points")
+    restored = telemetry_events(telemetry_resume, "sweep_started")
+    if not restored or restored[0].get("restored") != len(partial):
+        fail(f"resume restored {restored}; wanted restored={len(partial)}")
+    rerun = {
+        event["point"]
+        for event in telemetry_events(telemetry_resume, "point_completed")
+    }
+    already_done = {point for point, _ in partial}
+    if rerun & already_done:
+        fail(f"resume re-executed journaled points: {rerun & already_done}")
+    if len(rerun) != 23 - len(partial):
+        fail(
+            f"resume executed {len(rerun)} points, "
+            f"wanted {23 - len(partial)}"
+        )
+    print(f"resume OK: exit 0, re-ran only {len(rerun)} pending points")
+
+    # --- 3. uninterrupted reference run, then bit-identity --------------
+    result = run_cli(
+        [
+            "run", "fig02", "--scale", str(SCALE), "--jobs", str(JOBS),
+            "--checkpoint-dir", str(fresh_root),
+        ],
+        base_env(work / "cache-b"),
+        timeout=600,
+    )
+    if result.returncode != 0:
+        fail(
+            f"reference sweep exited {result.returncode}\n"
+            f"stderr:\n{result.stderr}"
+        )
+    reference = read_journal(fresh_root)
+    if set(reference) != set(resumed):
+        fail("reference and resumed runs cover different points")
+    for key in sorted(reference):
+        if reference[key] != resumed[key]:
+            fail(f"counters diverge for {key}")
+    print(f"bit-identity OK: all {len(reference)} counters match")
+    print("interruption-smoke PASSED")
+
+
+if __name__ == "__main__":
+    main()

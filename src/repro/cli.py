@@ -10,13 +10,19 @@ Usage::
     python -m repro run fig10 --no-cache      # skip the persistent cache
     python -m repro run fig10 --jobs 4 --timeout 600 --retries 2 \
         --telemetry run.jsonl                 # fault-tolerant + observable
+    python -m repro run fig10 --jobs 4 --checkpoint-dir  # journal progress
+    python -m repro runs                      # list checkpointed runs
+    python -m repro resume 1f2e3d4c5b6a       # finish an interrupted run
     python -m repro report --telemetry run.jsonl  # summarize a run log
     python -m repro machine                   # the simulated machine
 
 Experiments print the same rows/series the paper's figures plot. Results
 persist under ``benchmarks/results/.cache/`` (disable with ``--no-cache``),
 so re-running a figure suite or resuming a killed sweep skips completed
-simulations.
+simulations. With ``--checkpoint-dir``, sweeps additionally journal every
+completed point under a run directory; SIGINT/SIGTERM drain in-flight work
+and exit cleanly (code 130) with a ``repro resume`` hint instead of a stack
+trace.
 """
 
 from __future__ import annotations
@@ -134,6 +140,89 @@ def build_parser():
             "hits, engine choices, per-phase wall-clock) to PATH"
         ),
     )
+    run_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        nargs="?",
+        const=True,
+        default=None,
+        help=(
+            "journal sweep progress under DIR (bare flag: the default run "
+            "root, benchmarks/results/.runs/ or $REPRO_CHECKPOINT_DIR); "
+            "interrupted sweeps exit cleanly and can be finished with "
+            "`repro resume <run-id>`"
+        ),
+    )
+    run_parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "flag a parallel-sweep worker as stalled when its point emits "
+            "no heartbeat for this long (enables the fault-tolerant "
+            "executor; catches wedged workers well before --timeout)"
+        ),
+    )
+
+    runs_parser = commands.add_parser(
+        "runs", help="list checkpointed sweep runs"
+    )
+    runs_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="run root to list (default: the default run root)",
+    )
+
+    resume_parser = commands.add_parser(
+        "resume", help="finish an interrupted checkpointed sweep"
+    )
+    resume_parser.add_argument(
+        "run_id", help="run id shown by `repro runs` / the interrupt message"
+    )
+    resume_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="run root holding the run (default: the default run root)",
+    )
+    resume_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the remaining points (default: serial)",
+    )
+    resume_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache while resuming",
+    )
+    resume_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point wall-clock budget in seconds",
+    )
+    resume_parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="retries per point after a crash/timeout/error",
+    )
+    resume_parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="stall threshold for silent workers (seconds)",
+    )
+    resume_parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="append a JSONL run-event log to PATH",
+    )
 
     report_parser = commands.add_parser(
         "report", help="summarize a telemetry JSONL file"
@@ -219,6 +308,104 @@ def _cmd_report(print_fn, path, slowest):
     return 0
 
 
+def _checkpoint_root(value):
+    """Resolve a ``--checkpoint-dir`` value (bare flag => default root)."""
+    from repro.harness.checkpoint import default_checkpoint_dir
+
+    if value is None or value is True:
+        return default_checkpoint_dir()
+    return value
+
+
+def _cmd_runs(print_fn, checkpoint_dir):
+    from repro.harness.checkpoint import format_runs, list_runs
+
+    print_fn(format_runs(list_runs(_checkpoint_root(checkpoint_dir))))
+    return 0
+
+
+def _configure_runner(args):
+    """Shared ``run``/``resume`` runner wiring (cache, telemetry, policy)."""
+    from repro.harness.experiments.common import shared_runner
+    from repro.harness.faults import FaultPolicy
+    from repro.harness.resultcache import ResultCache
+    from repro.harness.telemetry import JsonlTelemetry
+
+    runner = shared_runner()
+    if not args.no_cache and runner.result_cache is None:
+        runner.result_cache = ResultCache()
+    if args.telemetry:
+        runner.telemetry = JsonlTelemetry(args.telemetry)
+        if runner.result_cache is not None:
+            runner.result_cache.telemetry = runner.telemetry
+    if (
+        args.timeout is not None
+        or args.retries is not None
+        or args.heartbeat_timeout is not None
+    ):
+        runner.fault_policy = FaultPolicy(
+            timeout=args.timeout,
+            retries=2 if args.retries is None else args.retries,
+            heartbeat_timeout=args.heartbeat_timeout,
+        )
+    return runner
+
+
+def _cmd_resume(print_fn, args):
+    from repro.harness.checkpoint import SweepCheckpoint
+    from repro.harness.faults import run_sweep_resilient
+
+    runner = _configure_runner(args)
+    root = _checkpoint_root(args.checkpoint_dir)
+    try:
+        checkpoint = SweepCheckpoint.load(
+            root, args.run_id, telemetry=runner.telemetry
+        )
+    except FileNotFoundError as exc:
+        print_fn(str(exc))
+        print_fn("known runs:")
+        return _cmd_runs(print_fn, args.checkpoint_dir) or 1
+    try:
+        checkpoint.verify(runner)
+    except ValueError as exc:
+        print_fn(str(exc))
+        return 1
+    points = checkpoint.points()
+    outcome = run_sweep_resilient(
+        runner,
+        points,
+        jobs=args.jobs if args.jobs is not None else 1,
+        policy=runner.fault_policy,
+        checkpoint=checkpoint,
+        handle_signals=True,
+    )
+    label = checkpoint.label or checkpoint.run_id
+    if outcome.interrupted:
+        done = sum(1 for r in outcome.results if r is not None)
+        print_fn(
+            f"run {checkpoint.run_id} ({label}) interrupted again: "
+            f"{done}/{len(points)} points journaled; "
+            f"resume with `repro resume {checkpoint.run_id}`"
+        )
+        return 130
+    if outcome.failures:
+        for failure in outcome.failures:
+            print_fn(
+                f"  failed: {failure.point} ({failure.mode}) — "
+                f"{failure.reason}"
+            )
+        print_fn(
+            f"run {checkpoint.run_id} ({label}): "
+            f"{len(outcome.failures)} point(s) failed"
+        )
+        return 1
+    print_fn(
+        f"run {checkpoint.run_id} ({label}) completed: "
+        f"{len(points)}/{len(points)} points"
+    )
+    return 0
+
+
 def main(argv=None, print_fn=print):
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -233,25 +420,20 @@ def main(argv=None, print_fn=print):
         return 0
     if args.command == "report":
         return _cmd_report(print_fn, args.telemetry, args.slowest)
+    if args.command == "runs":
+        return _cmd_runs(print_fn, args.checkpoint_dir)
+    if args.command == "resume":
+        return _cmd_resume(print_fn, args)
     import inspect
 
-    from repro.harness.experiments.common import shared_runner
-    from repro.harness.faults import FaultPolicy
-    from repro.harness.resultcache import ResultCache
-    from repro.harness.telemetry import JsonlTelemetry
+    from repro.harness.faults import SweepInterrupted
 
-    runner = shared_runner()
-    if not args.no_cache and runner.result_cache is None:
-        runner.result_cache = ResultCache()
-    if args.telemetry:
-        runner.telemetry = JsonlTelemetry(args.telemetry)
-        if runner.result_cache is not None:
-            runner.result_cache.telemetry = runner.telemetry
-    if args.timeout is not None or args.retries is not None:
-        runner.fault_policy = FaultPolicy(
-            timeout=args.timeout,
-            retries=2 if args.retries is None else args.retries,
-        )
+    runner = _configure_runner(args)
+    checkpoint_dir = (
+        _checkpoint_root(args.checkpoint_dir)
+        if args.checkpoint_dir is not None
+        else None
+    )
     for name in args.experiments:
         run_fn, _description = EXPERIMENTS[name]
         accepted = inspect.signature(run_fn).parameters
@@ -262,7 +444,14 @@ def main(argv=None, print_fn=print):
             kwargs["runner"] = runner
         if args.jobs is not None and "jobs" in accepted:
             kwargs["jobs"] = args.jobs
-        result = run_fn(**kwargs)
+        if checkpoint_dir is not None and "checkpoint_dir" in accepted:
+            kwargs["checkpoint_dir"] = checkpoint_dir
+        try:
+            result = run_fn(**kwargs)
+        except SweepInterrupted as exc:
+            runner.telemetry.close()
+            print_fn(str(exc))
+            return 130
         print_fn(result.text)
         print_fn("")
     return 0

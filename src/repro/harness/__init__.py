@@ -11,10 +11,17 @@ from repro.harness.modes import (
     PB_SW_IDEAL,
     PHI,
 )
+from repro.harness.checkpoint import (
+    SweepCheckpoint,
+    default_checkpoint_dir,
+    list_runs,
+)
 from repro.harness.faults import (
     FaultInjector,
     FaultPolicy,
+    GracefulShutdown,
     PointFailure,
+    SweepInterrupted,
     SweepOutcome,
     run_sweep_resilient,
 )
@@ -31,6 +38,7 @@ __all__ = [
     "DEFAULT_MACHINE",
     "FaultInjector",
     "FaultPolicy",
+    "GracefulShutdown",
     "JsonlTelemetry",
     "MachineConfig",
     "NULL_TELEMETRY",
@@ -39,11 +47,15 @@ __all__ = [
     "PHI",
     "PointFailure",
     "Runner",
+    "SweepCheckpoint",
+    "SweepInterrupted",
     "SweepOutcome",
     "Telemetry",
+    "default_checkpoint_dir",
     "format_series",
     "format_table",
     "geomean",
     "speedup",
+    "list_runs",
     "run_sweep_resilient",
 ]

@@ -53,24 +53,47 @@ def phase_cycles(counters: RunCounters, name):
     return 0.0
 
 
-def prefetch_runs(runner, points, jobs=None, label=None):
+def prefetch_runs(runner, points, jobs=None, label=None, checkpoint_dir=None):
     """Warm the runner's memo for ``(workload, mode)`` points in parallel.
 
     Experiment drivers keep their readable serial loops; calling this first
     with ``jobs`` > 1 computes every independent point through the
     process-pool executor, so the subsequent serial loop is all memo hits.
-    A no-op when ``jobs`` is ``None``/``<= 1``.
+    A no-op when ``jobs`` is ``None``/``<= 1`` and no checkpoint directory
+    is given.
 
     ``label`` tags the sweep in the telemetry log with the experiment it
     warms, so ``repro report`` can attribute wall-clock per figure. With a
     fault policy on the runner, a crashed/hung point merely falls back to
     the driver's serial loop instead of aborting the figure.
+
+    ``checkpoint_dir`` attaches a :class:`SweepCheckpoint` under that
+    directory: completed points are journaled as they finish, SIGINT/SIGTERM
+    drain in flight work and raise
+    :class:`~repro.harness.faults.SweepInterrupted`, and re-running the same
+    figure resumes from the journal instead of starting over.
     """
-    if jobs is None or jobs <= 1:
+    if checkpoint_dir is None and (jobs is None or jobs <= 1):
         return
     points = list(points)
     if label is not None and runner.telemetry.enabled:
         runner.telemetry.emit(
             "experiment_prefetch", experiment=label, points=len(points)
         )
-    runner.run_many(points, jobs=jobs)
+    checkpoint = None
+    if checkpoint_dir is not None:
+        from repro.harness.checkpoint import SweepCheckpoint
+
+        checkpoint = SweepCheckpoint.attach(
+            checkpoint_dir,
+            runner,
+            points,
+            label=label,
+            telemetry=runner.telemetry,
+        )
+    runner.run_many(
+        points,
+        jobs=jobs if jobs is not None else 1,
+        checkpoint=checkpoint,
+        handle_signals=checkpoint is not None,
+    )

@@ -20,7 +20,7 @@ from repro.harness.report import format_table
 __all__ = ["run"]
 
 
-def run(runner=None, workloads=None, scale=None, jobs=None):
+def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None):
     """LLC miss rate of the irregular update stream, per workload/input."""
     runner = runner or shared_runner()
     rows = []
@@ -31,6 +31,7 @@ def run(runner=None, workloads=None, scale=None, jobs=None):
         [(w, modes.CHARACTERIZATION) for _, _, w in instances],
         jobs=jobs,
         label="fig02",
+        checkpoint_dir=checkpoint_dir,
     )
     for workload_name, input_name, workload in instances:
         counters = runner.run_characterization(workload)

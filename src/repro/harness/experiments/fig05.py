@@ -21,7 +21,7 @@ __all__ = ["run"]
 _MODES = (modes.BASELINE, modes.PB_SW, modes.PB_SW_IDEAL)
 
 
-def run(runner=None, workloads=None, scale=None, jobs=None):
+def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None):
     """Speedups of PB-SW and PB-SW-IDEAL over baseline, per workload."""
     runner = runner or shared_runner()
     rows = []
@@ -32,6 +32,7 @@ def run(runner=None, workloads=None, scale=None, jobs=None):
         [(w, mode) for _, _, w in instances for mode in _MODES],
         jobs=jobs,
         label="fig05",
+        checkpoint_dir=checkpoint_dir,
     )
     for workload_name, input_name, workload in instances:
         base = runner.run(workload, modes.BASELINE).cycles

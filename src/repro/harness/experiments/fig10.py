@@ -22,7 +22,7 @@ __all__ = ["run"]
 _MODES = (modes.BASELINE, modes.PB_SW, modes.PB_SW_IDEAL, modes.COBRA)
 
 
-def run(runner=None, workloads=None, scale=None, jobs=None):
+def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None):
     """Speedups over baseline for PB-SW / PB-SW-IDEAL / COBRA."""
     runner = runner or shared_runner()
     rows = []
@@ -33,6 +33,7 @@ def run(runner=None, workloads=None, scale=None, jobs=None):
         [(w, mode) for _, _, w in instances for mode in _MODES],
         jobs=jobs,
         label="fig10",
+        checkpoint_dir=checkpoint_dir,
     )
     for workload_name, input_name, workload in instances:
         base = runner.run(workload, modes.BASELINE).cycles

@@ -20,7 +20,7 @@ from repro.harness.report import format_table, geomean
 __all__ = ["run"]
 
 
-def run(runner=None, workloads=None, scale=None, jobs=None):
+def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None):
     """Binning/Accumulate speedups of COBRA over PB-SW."""
     runner = runner or shared_runner()
     rows = []
@@ -35,6 +35,7 @@ def run(runner=None, workloads=None, scale=None, jobs=None):
         ],
         jobs=jobs,
         label="fig11",
+        checkpoint_dir=checkpoint_dir,
     )
     for workload_name, input_name, workload in instances:
         pb = runner.run(workload, modes.PB_SW)

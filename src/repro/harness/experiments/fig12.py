@@ -24,7 +24,7 @@ __all__ = ["run"]
 _MODES = (modes.BASELINE, modes.PB_SW, modes.COBRA)
 
 
-def run(runner=None, workloads=None, scale=None, jobs=None):
+def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None):
     """Instruction reduction, MPKI, and Binning IPC per workload/input."""
     runner = runner or shared_runner()
     rows = []
@@ -35,6 +35,7 @@ def run(runner=None, workloads=None, scale=None, jobs=None):
         [(w, mode) for _, _, w in instances for mode in _MODES],
         jobs=jobs,
         label="fig12",
+        checkpoint_dir=checkpoint_dir,
     )
     for workload_name, input_name, workload in instances:
         base = runner.run(workload, modes.BASELINE)

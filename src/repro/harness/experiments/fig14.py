@@ -58,6 +58,7 @@ def run(
     input_names=None,
     scale=None,
     jobs=None,
+    checkpoint_dir=None,
 ):
     """Traffic and L1-miss reductions vs baseline for the four systems."""
     runner = runner or shared_runner()
@@ -72,6 +73,7 @@ def run(
         [(w, mode) for w in instances for mode in _applicable_modes(w)],
         jobs=jobs,
         label="fig14",
+        checkpoint_dir=checkpoint_dir,
     )
     rows = []
     for workload_name in workload_names:

@@ -24,6 +24,23 @@ completable point's counters (bit-identical to a serial run — each point
 is an independent simulation) plus a structured :class:`PointFailure` list
 for the rest, instead of raising.
 
+Beyond worker faults, this layer also survives faults of the *parent*:
+
+* a :class:`GracefulShutdown` latch turns SIGINT/SIGTERM into a cooperative
+  stop — the dispatch loop stops submitting, drains in-flight points
+  against ``FaultPolicy.drain_seconds``, flushes the checkpoint journal
+  and telemetry, and returns a partial :class:`SweepOutcome` marked
+  ``interrupted`` instead of dying with a stack trace,
+* a :class:`~repro.harness.checkpoint.SweepCheckpoint` journals every
+  completed point's counters so a killed sweep (``SIGTERM`` *or*
+  ``kill -9``) resumes by re-running only the unfinished points,
+* a **heartbeat** channel (``FaultPolicy.heartbeat_timeout``) lets the
+  watchdog distinguish a *stalled* worker (point started, then went
+  silent) from a merely *slow* point long before the blanket per-point
+  timeout: workers touch a per-point heartbeat file at point start and at
+  every phase boundary, and a file whose mtime goes quiet trips the same
+  teardown path as a timeout, recorded as ``stall_detected`` telemetry.
+
 Deterministic fault injection (tests, chaos drills) is driven by a
 :class:`FaultInjector` — or the ``REPRO_FAULT_INJECT`` environment
 variable — which kills (``SIGKILL``) or stalls chosen points *inside the
@@ -36,7 +53,10 @@ pools). Injection never fires in-process, so the serial fallback and
 from __future__ import annotations
 
 import os
+import shutil
 import signal
+import tempfile
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -50,7 +70,9 @@ from repro.harness.telemetry import NULL_TELEMETRY
 __all__ = [
     "FaultPolicy",
     "FaultInjector",
+    "GracefulShutdown",
     "PointFailure",
+    "SweepInterrupted",
     "SweepOutcome",
     "run_sweep_resilient",
 ]
@@ -77,12 +99,25 @@ class FaultPolicy:
     ``max_pool_rebuilds``
         Pool rebuilds tolerated before falling back to in-process serial
         execution of the remaining points.
+    ``heartbeat_timeout``
+        Seconds a dispatched point's heartbeat file may go quiet before the
+        watchdog declares the worker stalled (None disables the channel).
+        Workers beat at point start and every phase boundary, so this can
+        be far tighter than ``timeout``: a slow point keeps beating, a
+        stalled one goes silent. Only armed once the point's first beat
+        has landed — a worker still booting is not a stall.
+    ``drain_seconds``
+        Grace period a signal-driven shutdown waits for in-flight points
+        to finish before cancelling them (they stay unjournaled and are
+        re-run on resume).
     """
 
     timeout: float | None = None
     retries: int = 2
     backoff: float = 0.25
     max_pool_rebuilds: int = 3
+    heartbeat_timeout: float | None = None
+    drain_seconds: float = 5.0
 
 
 @dataclass(frozen=True)
@@ -187,11 +222,16 @@ class SweepOutcome:
     """Everything a fault-tolerant sweep produced.
 
     ``results`` is in input order with ``None`` at failed points;
-    ``failures`` explains each ``None``.
+    ``failures`` explains each ``None`` — except under ``interrupted``,
+    where remaining ``None`` points were simply never run (a graceful
+    shutdown stopped the sweep) and ``run_id`` names the checkpoint to
+    resume.
     """
 
     results: list
     failures: list = field(default_factory=list)
+    interrupted: bool = False
+    run_id: str | None = None
 
     @property
     def completed(self):
@@ -201,27 +241,179 @@ class SweepOutcome:
     @property
     def ok(self):
         """True when every point completed."""
-        return not self.failures
+        return not self.failures and not self.interrupted
 
 
-def _point_worker(spec, task, injector):
+class SweepInterrupted(RuntimeError):
+    """A sweep stopped early on SIGINT/SIGTERM.
+
+    Raised by callers with a list-of-counters contract
+    (:meth:`Runner.run_many`, the experiment drivers) that cannot return a
+    partial result; carries the partial :class:`SweepOutcome`, so every
+    completed (and journaled) point is still reachable.
+    """
+
+    def __init__(self, outcome):
+        self.outcome = outcome
+        self.run_id = outcome.run_id
+        message = (
+            f"sweep interrupted with {outcome.completed}/"
+            f"{len(outcome.results)} points complete"
+        )
+        if outcome.run_id:
+            message += f"; resume with `repro resume {outcome.run_id}`"
+        super().__init__(message)
+
+
+class GracefulShutdown:
+    """Cooperative SIGINT/SIGTERM latch for the sweep dispatch loop.
+
+    ``install()`` (a no-op outside the main thread, where signal handlers
+    cannot be set) replaces the handlers with one that only sets
+    :attr:`requested`; the dispatch loop notices, stops submitting, drains
+    in-flight points, and returns a partial outcome. A *second* signal
+    raises ``KeyboardInterrupt`` — the escape hatch when the drain itself
+    wedges.
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self):
+        self.requested = False
+        self.signum = None
+        self._previous = {}
+
+    def install(self):
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for signum in self.SIGNALS:
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            except (ValueError, OSError):
+                pass
+        return self
+
+    def restore(self):
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+        self._previous.clear()
+
+    def _handle(self, signum, frame):
+        if self.requested:
+            raise KeyboardInterrupt
+        self.requested = True
+        self.signum = signum
+
+    def __enter__(self):
+        return self.install()
+
+    def __exit__(self, *exc):
+        self.restore()
+
+
+def _beat(path):
+    """Touch a heartbeat file (best-effort; never fails the simulation)."""
+    if path is None:
+        return
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_WRONLY, 0o644)
+        os.close(fd)
+        os.utime(path, None)
+    except OSError:
+        pass
+
+
+def _clear_beat(path):
+    if path is None:
+        return
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+class _HeartbeatTelemetry:
+    """Worker-side telemetry wrapper that beats on every runner event.
+
+    The runner emits at phase boundaries (``phase_timed``), engine
+    selection, and cache activity — frequent enough that a healthy point's
+    heartbeat file keeps a fresh mtime while a wedged one goes quiet.
+    ``enabled`` is True so the runner actually produces those events; the
+    wrapped sink still decides whether they are persisted.
+    """
+
+    enabled = True
+
+    def __init__(self, inner, path):
+        self._inner = inner
+        self._path = path
+
+    def emit(self, event, **fields):
+        _beat(self._path)
+        if self._inner is not None and self._inner.enabled:
+            self._inner.emit(event, **fields)
+
+    def flush(self):
+        if self._inner is not None:
+            self._inner.flush()
+
+    def close(self):
+        if self._inner is not None:
+            self._inner.close()
+
+
+def _pool_worker_init():
+    """Reset signal dispositions in freshly spawned/forked pool workers.
+
+    Workers forked while a :class:`GracefulShutdown` latch is installed
+    would inherit its SIGTERM/SIGINT handler — a flag-setting no-op in the
+    worker — making them unkillable by ``process.terminate()`` and leaving
+    a stalled worker alive past parent exit. SIGTERM goes back to the
+    default (die, so teardown works); SIGINT is ignored (a terminal Ctrl-C
+    signals the whole foreground group, and the *parent* owns the drain —
+    workers must keep running until it finishes or tears them down).
+    """
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+
+
+def _point_worker(spec, task, injector, heartbeat_path=None):
     """Simulate one (cache_key, mode) point in a worker process."""
     from repro.harness.inputs import make_workload
     from repro.harness.runner import Runner
 
     cache_key, mode, use_cache = task
+    # Beat before injection: an injected stall then looks exactly like a
+    # real wedged simulation (point started, heartbeat frozen).
+    _beat(heartbeat_path)
     if injector is not None:
         injector.maybe_inject(cache_key, mode)
     runner = Runner.from_spec(spec)
+    if heartbeat_path is not None:
+        runner.telemetry = _HeartbeatTelemetry(
+            runner.telemetry, heartbeat_path
+        )
     workload_name, input_name, scale = cache_key.split(":")
     workload = make_workload(workload_name, input_name, int(scale))
     return runner.run(workload, mode, use_cache=use_cache)
 
 
 def _terminate_pool(pool):
-    """Hard-stop a (possibly hung) process pool without waiting."""
-    processes = getattr(pool, "_processes", None) or {}
-    for process in list(processes.values()):
+    """Hard-stop a (possibly hung) process pool.
+
+    Escalates from SIGTERM to SIGKILL: a worker wedged in uninterruptible
+    state (or one that somehow ignores SIGTERM) must still die, or the
+    executor's management thread would wait on its result forever and hang
+    the interpreter at exit.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for process in processes:
         try:
             process.terminate()
         except Exception:
@@ -230,6 +422,14 @@ def _terminate_pool(pool):
         pool.shutdown(wait=False, cancel_futures=True)
     except Exception:
         pass
+    deadline = time.monotonic() + 2.0
+    for process in processes:
+        try:
+            process.join(max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.kill()
+        except Exception:
+            pass
 
 
 def run_sweep_resilient(
@@ -240,8 +440,11 @@ def run_sweep_resilient(
     policy=None,
     telemetry=None,
     injector=None,
+    checkpoint=None,
+    shutdown=None,
+    handle_signals=False,
 ):
-    """Run a sweep that survives crashed and hung workers.
+    """Run a sweep that survives crashed and hung workers — and the parent.
 
     Like :func:`repro.harness.parallel.run_sweep` but never raises for a
     point's failure: returns a :class:`SweepOutcome` whose ``results`` are
@@ -249,6 +452,15 @@ def run_sweep_resilient(
     folded back into ``runner``'s in-memory memo. ``injector`` defaults to
     :meth:`FaultInjector.from_env` so tests and chaos drills can steer the
     recovery paths without touching call sites.
+
+    ``checkpoint`` (a :class:`~repro.harness.checkpoint.SweepCheckpoint`)
+    splices previously journaled counters back bit-identically — only the
+    unfinished points are dispatched — and journals every new completion.
+    ``handle_signals=True`` installs a :class:`GracefulShutdown` latch for
+    the duration of the sweep (``shutdown`` supplies an external latch
+    instead): on SIGINT/SIGTERM the sweep stops submitting, drains
+    in-flight points for ``policy.drain_seconds``, flushes the journal and
+    telemetry, and returns a partial outcome with ``interrupted=True``.
     """
     check_positive("jobs", jobs)
     policy = policy or FaultPolicy()
@@ -268,6 +480,30 @@ def run_sweep_resilient(
         tasks.append((cache_key, mode, use_cache))
     results = [None] * len(points)
     failures = []
+    restored = {}
+    if checkpoint is not None:
+        restored = checkpoint.completed_counters()
+        for index, counters in restored.items():
+            results[index] = counters
+        if restored:
+            telemetry.emit(
+                "points_restored",
+                run_id=checkpoint.run_id,
+                restored=len(restored),
+            )
+    todo = [index for index, result in enumerate(results) if result is None]
+    record = checkpoint.record if checkpoint is not None else None
+    own_shutdown = None
+    if shutdown is None and handle_signals:
+        shutdown = own_shutdown = GracefulShutdown().install()
+    hb_dir = None
+    hb_tmp = None
+    if policy.heartbeat_timeout is not None:
+        if checkpoint is not None:
+            hb_dir = checkpoint.run_dir / "heartbeats"
+        else:
+            hb_dir = hb_tmp = Path(tempfile.mkdtemp(prefix="repro-hb-"))
+        hb_dir.mkdir(parents=True, exist_ok=True)
     started = time.monotonic()
     telemetry.emit(
         "sweep_started",
@@ -276,35 +512,62 @@ def run_sweep_resilient(
         timeout=policy.timeout,
         retries=policy.retries,
         executor="resilient",
+        restored=len(restored),
+        run_id=checkpoint.run_id if checkpoint is not None else None,
     )
-    jobs = min(jobs, len(points))
-    if jobs <= 1:
-        pending = deque((index, 1) for index in range(len(points)))
-    else:
-        pending = _pooled_phase(
-            runner, points, tasks, results, failures, jobs, policy,
-            telemetry, injector,
-        )
-    _serial_phase(
-        runner, points, tasks, results, failures, pending, policy, telemetry
-    )
+    interrupted = False
+    try:
+        pool_jobs = min(jobs, len(todo))
+        if pool_jobs <= 1:
+            pending = deque((index, 1) for index in todo)
+        else:
+            pending, interrupted = _pooled_phase(
+                runner, tasks, todo, results, failures, pool_jobs, policy,
+                telemetry, injector, shutdown, record, hb_dir,
+            )
+        if not interrupted:
+            interrupted = _serial_phase(
+                runner, points, tasks, results, failures, pending, policy,
+                telemetry, shutdown, record,
+            )
+    finally:
+        if own_shutdown is not None:
+            own_shutdown.restore()
+        if hb_tmp is not None:
+            shutil.rmtree(hb_tmp, ignore_errors=True)
     for (cache_key, mode, _), counters in zip(tasks, results):
         if counters is not None:
             runner._store((cache_key, mode), counters, persist=False)
+    if checkpoint is not None:
+        checkpoint.flush()
+        if interrupted:
+            checkpoint.mark_interrupted()
+        elif failures:
+            checkpoint.mark_failed()
+        else:
+            checkpoint.mark_completed()
     telemetry.emit(
         "sweep_completed",
         completed=sum(r is not None for r in results),
         failed=len(failures),
+        interrupted=interrupted,
         seconds=time.monotonic() - started,
     )
-    return SweepOutcome(results=results, failures=failures)
+    if interrupted:
+        telemetry.flush()
+    return SweepOutcome(
+        results=results,
+        failures=failures,
+        interrupted=interrupted,
+        run_id=checkpoint.run_id if checkpoint is not None else None,
+    )
 
 
 def _pooled_phase(
-    runner, points, tasks, results, failures, jobs, policy, telemetry,
-    injector,
+    runner, tasks, todo, results, failures, jobs, policy, telemetry,
+    injector, shutdown=None, record=None, hb_dir=None,
 ):
-    """Process-pool dispatch loop; returns points left for the serial phase.
+    """Process-pool dispatch loop; returns ``(left_for_serial, interrupted)``.
 
     A crashed worker breaks the whole pool, and ``concurrent.futures``
     cannot say which in-flight point the dead worker was running — every
@@ -316,16 +579,27 @@ def _pooled_phase(
     serialized run. Hung points need no probation — the per-future timeout
     already names them — so only their innocent pool-mates are requeued
     unpenalized after the teardown.
+
+    ``shutdown.requested`` flips the loop into **drain** mode: no further
+    submissions, in-flight points get ``policy.drain_seconds`` to finish
+    (their results are still journaled via ``record``), then the pool is
+    torn down and the phase reports ``interrupted=True`` — the unfinished
+    points simply stay out of the journal for a later resume. ``hb_dir``
+    enables the heartbeat watchdog (see ``FaultPolicy.heartbeat_timeout``).
     """
     spec = runner.spawn_spec()
     # Queue entries: (index, attempt, earliest dispatch time). ``probation``
     # points are dispatched solo; ``pending`` points fill the whole pool.
-    pending = deque((index, 1, 0.0) for index in range(len(tasks)))
+    pending = deque((index, 1, 0.0) for index in todo)
     probation = deque()
     inflight = {}
     probing = False  # the single in-flight future is a probation run
     rebuilds = 0
-    pool = ProcessPoolExecutor(max_workers=jobs)
+    draining = False
+    drain_deadline = 0.0
+    pool = ProcessPoolExecutor(
+        max_workers=jobs, initializer=_pool_worker_init
+    )
 
     def retry_or_fail(index, attempt, reason, queue):
         cache_key, mode, _ = tasks[index]
@@ -374,11 +648,16 @@ def _pooled_phase(
     def submit(entry, solo):
         nonlocal probing
         index, attempt, _ = entry
+        hb_path = (
+            str(hb_dir / f"{index}-{attempt}") if hb_dir is not None else None
+        )
         try:
-            future = pool.submit(_point_worker, spec, tasks[index], injector)
+            future = pool.submit(
+                _point_worker, spec, tasks[index], injector, hb_path
+            )
         except BrokenExecutor:
             return False
-        inflight[future] = (index, attempt, time.monotonic())
+        inflight[future] = (index, attempt, time.monotonic(), hb_path)
         probing = solo
         cache_key, mode, _ = tasks[index]
         telemetry.emit(
@@ -393,8 +672,26 @@ def _pooled_phase(
     try:
         while pending or probation or inflight:
             now = time.monotonic()
+            if shutdown is not None and shutdown.requested and not draining:
+                draining = True
+                drain_deadline = now + max(0.0, policy.drain_seconds)
+                telemetry.emit(
+                    "sweep_interrupted",
+                    signal=shutdown.signum,
+                    inflight=len(inflight),
+                    queued=len(pending) + len(probation),
+                )
             broken = False
-            if probation:
+            if draining:
+                if not inflight:
+                    break  # drained; queued points stay for resume
+                if now >= drain_deadline:
+                    telemetry.emit("drain_timeout", cancelled=len(inflight))
+                    for _, _, _, hb_path in inflight.values():
+                        _clear_beat(hb_path)
+                    inflight.clear()
+                    break
+            elif probation:
                 # Probation runs are solo: wait out the pool, then dispatch
                 # exactly one suspect.
                 if not inflight:
@@ -426,13 +723,17 @@ def _pooled_phase(
             now = time.monotonic()
             was_probe = probing
             for future in done:
-                index, attempt, dispatched = inflight.pop(future)
+                index, attempt, dispatched, hb_path = inflight.pop(future)
+                _clear_beat(hb_path)
                 cache_key, mode, _ = tasks[index]
                 try:
                     counters = future.result()
                 except BrokenExecutor:
                     broken = True
-                    if was_probe:
+                    if draining:
+                        # Stay unfinished; resume re-runs it.
+                        pending.append((index, attempt, 0.0))
+                    elif was_probe:
                         # Solo run: the crash is unambiguously this point's.
                         retry_or_fail(
                             index, attempt, "worker crashed", probation
@@ -446,14 +747,19 @@ def _pooled_phase(
                             probation,
                         )
                 except Exception as exc:
-                    retry_or_fail(
-                        index,
-                        attempt,
-                        f"{type(exc).__name__}: {exc}",
-                        probation if was_probe else pending,
-                    )
+                    if draining:
+                        pending.append((index, attempt, 0.0))
+                    else:
+                        retry_or_fail(
+                            index,
+                            attempt,
+                            f"{type(exc).__name__}: {exc}",
+                            probation if was_probe else pending,
+                        )
                 else:
                     results[index] = counters
+                    if record is not None:
+                        record(index, counters)
                     telemetry.emit(
                         "point_completed",
                         point=cache_key,
@@ -463,29 +769,69 @@ def _pooled_phase(
                     )
             if not inflight:
                 probing = False
+            if draining:
+                continue  # no teardown/retry bookkeeping while draining
             hung = []
             if policy.timeout is not None:
                 hung = [
                     future
-                    for future, (_, _, dispatched) in inflight.items()
+                    for future, (_, _, dispatched, _) in inflight.items()
                     if now - dispatched > policy.timeout
                 ]
-            if not (broken or hung):
+            stalled = []
+            if policy.heartbeat_timeout is not None and hb_dir is not None:
+                wall_now = time.time()
+                for future, entry in inflight.items():
+                    index, attempt, dispatched, hb_path = entry
+                    if future in hung or hb_path is None or future.done():
+                        continue
+                    try:
+                        quiet = wall_now - os.stat(hb_path).st_mtime
+                    except OSError:
+                        # No first beat yet: the worker is still booting
+                        # or queued; the blanket timeout covers it.
+                        continue
+                    if quiet > policy.heartbeat_timeout:
+                        stalled.append(future)
+                        cache_key, mode, _ = tasks[index]
+                        telemetry.emit(
+                            "stall_detected",
+                            point=cache_key,
+                            mode=mode,
+                            attempt=attempt,
+                            quiet_seconds=quiet,
+                        )
+            if not (broken or hung or stalled):
                 continue
-            # The pool is compromised. Hung points are individually
-            # identified by their timeout, so they are charged an attempt
-            # directly; the other in-flight points are innocent — crashes
-            # send them to probation, teardowns for a hang requeue them.
+            # The pool is compromised. Hung and stalled points are
+            # individually identified (timeout / frozen heartbeat), so they
+            # are charged an attempt directly; the other in-flight points
+            # are innocent — crashes send them to probation, teardowns for
+            # a hang requeue them.
             for future in hung:
-                index, attempt, _ = inflight.pop(future)
+                index, attempt, _, hb_path = inflight.pop(future)
+                _clear_beat(hb_path)
                 retry_or_fail(
                     index,
                     attempt,
                     f"timeout after {policy.timeout:.1f}s",
                     probation if probing else pending,
                 )
+            for future in stalled:
+                index, attempt, _, hb_path = inflight.pop(future)
+                _clear_beat(hb_path)
+                retry_or_fail(
+                    index,
+                    attempt,
+                    (
+                        "stalled: no heartbeat within "
+                        f"{policy.heartbeat_timeout:.1f}s"
+                    ),
+                    probation if probing else pending,
+                )
             lost = len(inflight)
-            for index, attempt, _ in inflight.values():
+            for index, attempt, _, hb_path in inflight.values():
+                _clear_beat(hb_path)
                 if broken:
                     requeue_unpenalized(
                         index,
@@ -506,30 +852,46 @@ def _pooled_phase(
                 rebuilds=rebuilds,
                 lost_points=lost,
                 hung=len(hung),
+                stalled=len(stalled),
                 crashed=broken,
             )
             if rebuilds > policy.max_pool_rebuilds:
                 remaining = list(probation) + list(pending)
                 telemetry.emit("serial_fallback", remaining=len(remaining))
-                return deque(
-                    (index, attempt) for index, attempt, _ in remaining
+                return (
+                    deque((index, attempt) for index, attempt, _ in remaining),
+                    False,
                 )
-            pool = ProcessPoolExecutor(max_workers=jobs)
+            pool = ProcessPoolExecutor(
+                max_workers=jobs, initializer=_pool_worker_init
+            )
     finally:
         _terminate_pool(pool)
-    return deque()
+    return deque(), draining
 
 
 def _serial_phase(
-    runner, points, tasks, results, failures, pending, policy, telemetry
+    runner, points, tasks, results, failures, pending, policy, telemetry,
+    shutdown=None, record=None,
 ):
     """In-process drain of points the pooled phase gave up on.
 
     No timeout is enforceable here; fault injection never fires in-process,
     so this path cannot take down the caller short of a genuine bug in the
     simulation itself (which the serial executor would hit identically).
+    Returns True when a shutdown request stopped the drain early (the
+    remaining points stay unfinished for a later resume).
     """
-    for index, attempt in pending:
+    pending = list(pending)
+    for position, (index, attempt) in enumerate(pending):
+        if shutdown is not None and shutdown.requested:
+            telemetry.emit(
+                "sweep_interrupted",
+                signal=shutdown.signum,
+                inflight=0,
+                queued=len(pending) - position,
+            )
+            return True
         cache_key, mode, use_cache = tasks[index]
         workload, _ = points[index]
         while True:
@@ -569,6 +931,8 @@ def _serial_phase(
                     reason=reason,
                 )
             else:
+                if record is not None:
+                    record(index, results[index])
                 telemetry.emit(
                     "point_completed",
                     point=cache_key,
@@ -577,3 +941,4 @@ def _serial_phase(
                     seconds=time.monotonic() - dispatched,
                 )
             break
+    return False

@@ -208,7 +208,7 @@ def _sweep_worker(spec, chunk):
     return results
 
 
-def run_sweep(runner, points, jobs, use_cache=True):
+def run_sweep(runner, points, jobs, use_cache=True, checkpoint=None):
     """Fan independent ``(workload, mode)`` points across processes.
 
     Points are split round-robin into ``~4×jobs`` chunks (amortizing
@@ -219,15 +219,26 @@ def run_sweep(runner, points, jobs, use_cache=True):
     into ``runner``'s in-memory memo; with a persistent cache attached the
     workers write through to disk themselves.
 
+    An empty point list returns ``[]`` immediately, and the worker count is
+    clamped to the number of points still to run — a pool is never built
+    larger than its work list (or at all, when nothing is pending).
+
+    ``checkpoint`` (a :class:`~repro.harness.checkpoint.SweepCheckpoint`)
+    splices journaled counters back without re-simulation and journals each
+    chunk's completions as its future resolves.
+
     This is the *fast-path* executor: one crashed or hung worker aborts the
     sweep (``BrokenProcessPool`` / a stall). For sweeps that must survive
-    worker loss, use :func:`repro.harness.faults.run_sweep_resilient` or
-    attach a :class:`~repro.harness.faults.FaultPolicy` to the runner.
+    worker loss — or the parent's own SIGINT/SIGTERM — use
+    :func:`repro.harness.faults.run_sweep_resilient` or attach a
+    :class:`~repro.harness.faults.FaultPolicy` to the runner.
     """
     check_positive("jobs", jobs)
     telemetry = getattr(runner, "telemetry", NULL_TELEMETRY)
     started = time.monotonic()
     points = list(points)
+    if not points:
+        return []
     tasks = []
     for workload, mode in points:
         cache_key = getattr(workload, "cache_key", None)
@@ -237,23 +248,41 @@ def run_sweep(runner, points, jobs, use_cache=True):
                 "executor rebuilds workloads from keys in worker processes"
             )
         tasks.append((cache_key, mode, use_cache))
-    jobs = min(jobs, len(points))
+    results = [None] * len(points)
+    restored = {}
+    if checkpoint is not None:
+        restored = checkpoint.completed_counters()
+        for index, counters in restored.items():
+            results[index] = counters
+    todo = [index for index, result in enumerate(results) if result is None]
+    jobs = min(jobs, len(todo))
     if jobs <= 1:
-        return [
-            runner.run(workload, mode, use_cache=use_cache)
-            for workload, mode in points
-        ]
-    num_chunks = min(len(tasks), jobs * 4)
+        for index in todo:
+            workload, mode = points[index]
+            results[index] = runner.run(workload, mode, use_cache=use_cache)
+            if checkpoint is not None:
+                checkpoint.record(index, results[index])
+        for index in restored:
+            cache_key, mode, _ = tasks[index]
+            runner._store((cache_key, mode), results[index], persist=False)
+        if checkpoint is not None:
+            checkpoint.mark_completed()
+        return results
+    num_chunks = min(len(todo), jobs * 4)
     chunks = [[] for _ in range(num_chunks)]
     chunk_indices = [[] for _ in range(num_chunks)]
-    for index, task in enumerate(tasks):
-        chunks[index % num_chunks].append(task)
-        chunk_indices[index % num_chunks].append(index)
+    for position, index in enumerate(todo):
+        chunks[position % num_chunks].append(tasks[index])
+        chunk_indices[position % num_chunks].append(index)
     telemetry.emit(
-        "sweep_started", points=len(points), jobs=jobs, executor="pool"
+        "sweep_started",
+        points=len(points),
+        jobs=jobs,
+        executor="pool",
+        restored=len(restored),
+        run_id=checkpoint.run_id if checkpoint is not None else None,
     )
     spec = runner.spawn_spec()
-    results = [None] * len(points)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
             (pool.submit(_sweep_worker, spec, chunk), indices)
@@ -263,10 +292,14 @@ def run_sweep(runner, points, jobs, use_cache=True):
         for future, indices in futures:
             for index, counters in zip(indices, future.result()):
                 results[index] = counters
+                if checkpoint is not None:
+                    checkpoint.record(index, counters)
     for (workload, mode), counters in zip(points, results):
         runner._store(
             (workload.cache_key, mode), counters, persist=False
         )
+    if checkpoint is not None:
+        checkpoint.mark_completed()
     telemetry.emit(
         "sweep_completed",
         completed=len(results),

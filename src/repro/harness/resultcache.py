@@ -257,10 +257,12 @@ class ResultCache:
         """Delete every stored entry; returns the number removed.
 
         Stray ``*.tmp`` files from interrupted writers are swept too but do
-        not count toward the removed-entry total.
+        not count toward the removed-entry total. Safe against concurrent
+        clears/iterators: a file (or the directory itself) vanishing
+        mid-scan is another process's delete, not an error.
         """
         removed = 0
-        if self.directory.is_dir():
+        try:
             for path in self.directory.glob("*.json"):
                 try:
                     path.unlink()
@@ -272,9 +274,15 @@ class ResultCache:
                     path.unlink()
                 except OSError:
                     pass
+        except OSError:
+            pass
         return removed
 
     def __len__(self):
-        if not self.directory.is_dir():
-            return 0
-        return sum(1 for _ in self.directory.glob("*.json"))
+        count = 0
+        try:
+            for _ in self.directory.glob("*.json"):
+                count += 1
+        except OSError:
+            pass
+        return count

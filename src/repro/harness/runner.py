@@ -155,7 +155,14 @@ class Runner:
         self._store(key, counters, persist=use_cache)
         return counters
 
-    def run_many(self, points, jobs=None, use_cache=True):
+    def run_many(
+        self,
+        points,
+        jobs=None,
+        use_cache=True,
+        checkpoint=None,
+        handle_signals=False,
+    ):
         """Run ``(workload, mode)`` points, optionally across processes.
 
         Returns the :class:`RunCounters` list in input order. With ``jobs``
@@ -170,26 +177,52 @@ class Runner:
         recomputed serially in-process here, preserving this method's
         list-of-counters contract (a point that fails even in-process
         raises, exactly as the serial path would).
+
+        ``checkpoint`` (a :class:`~repro.harness.checkpoint.SweepCheckpoint`)
+        always routes through the fault-tolerant executor — even for
+        ``jobs=1`` — so every completed point is journaled, previously
+        journaled points are spliced back without re-simulation, and (with
+        ``handle_signals=True``) SIGINT/SIGTERM drain gracefully. An
+        interrupted sweep cannot satisfy the list contract, so it raises
+        :class:`~repro.harness.faults.SweepInterrupted` carrying the
+        partial :class:`~repro.harness.faults.SweepOutcome`.
         """
         points = list(points)
-        if jobs is not None and jobs > 1 and len(points) > 1:
-            if self.fault_policy is not None:
-                from repro.harness.faults import run_sweep_resilient
+        use_resilient = checkpoint is not None or (
+            self.fault_policy is not None
+            and jobs is not None
+            and jobs > 1
+            and len(points) > 1
+        )
+        if use_resilient:
+            from repro.harness.faults import (
+                SweepInterrupted,
+                run_sweep_resilient,
+            )
 
-                outcome = run_sweep_resilient(
-                    self,
-                    points,
-                    jobs=jobs,
-                    use_cache=use_cache,
-                    policy=self.fault_policy,
+            outcome = run_sweep_resilient(
+                self,
+                points,
+                jobs=jobs if jobs is not None else 1,
+                use_cache=use_cache,
+                policy=self.fault_policy,
+                checkpoint=checkpoint,
+                handle_signals=handle_signals,
+            )
+            if outcome.interrupted:
+                raise SweepInterrupted(outcome)
+            results = list(outcome.results)
+            for failure in outcome.failures:
+                workload, mode = points[failure.index]
+                results[failure.index] = self.run(
+                    workload, mode, use_cache=use_cache
                 )
-                results = list(outcome.results)
-                for failure in outcome.failures:
-                    workload, mode = points[failure.index]
-                    results[failure.index] = self.run(
-                        workload, mode, use_cache=use_cache
-                    )
-                return results
+                if checkpoint is not None:
+                    checkpoint.record(failure.index, results[failure.index])
+            if checkpoint is not None and outcome.failures:
+                checkpoint.mark_completed()
+            return results
+        if jobs is not None and jobs > 1 and len(points) > 1:
             from repro.harness.parallel import run_sweep
 
             return run_sweep(self, points, jobs=jobs, use_cache=use_cache)
@@ -202,14 +235,29 @@ class Runner:
     # Memo + persistent cache plumbing
     # ------------------------------------------------------------------ #
 
-    def _digest(self, cache_key, mode):
-        params = {
+    def _digest_params(self):
+        return {
             "max_sim_events": self.max_sim_events,
             "model_eviction_stalls": self.model_eviction_stalls,
             "des_sample": self.des_sample,
             "comm_sample": self.comm_sample,
         }
-        return run_digest(self.machine, params, cache_key, mode)
+
+    def _digest(self, cache_key, mode):
+        return run_digest(self.machine, self._digest_params(), cache_key, mode)
+
+    def point_digest(self, cache_key, mode):
+        """Content digest of one (workload, mode) point on this runner.
+
+        This is the persistent result cache's key and the identity recorded
+        in checkpoint manifests/journals; it covers the machine config and
+        every simulation-affecting runner knob.
+        """
+        return self._digest(cache_key, mode)
+
+    def machine_digest(self):
+        """Digest of the machine + runner configuration alone (no point)."""
+        return run_digest(self.machine, self._digest_params(), "", "machine")
 
     def _cached(self, key):
         """Memoized or persisted result for ``key``, or ``None``."""

@@ -23,6 +23,14 @@ Event vocabulary (see EXPERIMENTS.md for the full schema):
     wall-clock seconds, and failure reasons.
 ``pool_rebuilt`` / ``serial_fallback``
     Crash-isolation actions of the fault-tolerant executor.
+``sweep_interrupted`` / ``drain_timeout``
+    Signal-driven graceful shutdown of a sweep (in-flight points drained
+    or cancelled).
+``stall_detected``
+    The heartbeat watchdog flagged a worker whose point went quiet.
+``points_restored`` / ``journal_corrupt``
+    Checkpoint/resume activity: journaled points spliced into a sweep, and
+    unreadable journal lines skipped on load.
 ``cache_hit`` / ``cache_miss`` / ``cache_write_error``
     Persistent result-cache activity (digest-level).
 ``engine_selected``
@@ -37,6 +45,7 @@ and the cache hit rate.
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import time
@@ -67,6 +76,9 @@ class Telemetry:
     def emit(self, event, **fields):
         """Record one event (ignored)."""
 
+    def flush(self):
+        """Force events to durable storage (nothing to do)."""
+
     def close(self):
         """Release any underlying resources (nothing to do)."""
 
@@ -76,13 +88,20 @@ NULL_TELEMETRY = Telemetry()
 
 
 class JsonlTelemetry(Telemetry):
-    """Append-only JSONL sink shared safely across processes."""
+    """Append-only JSONL sink shared safely across processes.
+
+    Each sink registers an ``atexit`` hook that flushes (fsync) and closes
+    the descriptor, so the final events of a run survive interpreter exit —
+    including the signal-driven graceful shutdowns of the sweep executor,
+    which call :meth:`close` explicitly before returning.
+    """
 
     enabled = True
 
     def __init__(self, path):
         self.path = Path(path)
         self._fd = None
+        atexit.register(self.close)
 
     def _descriptor(self):
         if self._fd is None:
@@ -99,10 +118,23 @@ class JsonlTelemetry(Telemetry):
         line = json.dumps(record, sort_keys=True, default=str) + "\n"
         os.write(self._descriptor(), line.encode("utf-8"))
 
+    def flush(self):
+        """fsync buffered events to disk (best-effort)."""
+        if self._fd is not None:
+            try:
+                os.fsync(self._fd)
+            except OSError:
+                pass
+
     def close(self):
         if self._fd is not None:
+            self.flush()
             os.close(self._fd)
             self._fd = None
+        try:
+            atexit.unregister(self.close)
+        except Exception:
+            pass
 
     # The descriptor does not travel across processes; reopen by path.
     def __getstate__(self):
@@ -111,6 +143,7 @@ class JsonlTelemetry(Telemetry):
     def __setstate__(self, state):
         self.path = Path(state["path"])
         self._fd = None
+        atexit.register(self.close)
 
 
 # ---------------------------------------------------------------------- #
@@ -149,10 +182,17 @@ def summarize(path, slowest=10):
     phase_seconds = {}
     engines = {}
     sweeps = 0
+    interrupted = stalls = journal_warnings = 0
     for record in events:
         event = record["event"]
         if event == "sweep_started":
             sweeps += 1
+        elif event == "sweep_interrupted":
+            interrupted += 1
+        elif event == "stall_detected":
+            stalls += 1
+        elif event == "journal_corrupt":
+            journal_warnings += 1
         elif event == "point_completed":
             completed.append(record)
         elif event == "point_retried":
@@ -181,6 +221,9 @@ def summarize(path, slowest=10):
         "sweeps": sweeps,
         "completed": len(completed),
         "failed": len(failures),
+        "interrupted": interrupted,
+        "stalls": stalls,
+        "journal_warnings": journal_warnings,
         "retried_points": len(retries),
         "total_retries": sum(retries.values()),
         "slowest": [
@@ -225,6 +268,16 @@ def format_summary(summary):
         f"  retries {summary['total_retries']}"
         f" (over {summary['retried_points']} points)",
     ]
+    if (
+        summary.get("interrupted")
+        or summary.get("stalls")
+        or summary.get("journal_warnings")
+    ):
+        lines.append(
+            f"  robust    interruptions {summary.get('interrupted', 0)}"
+            f"  stalls {summary.get('stalls', 0)}"
+            f"  journal warnings {summary.get('journal_warnings', 0)}"
+        )
     cache = summary["cache"]
     if cache["hits"] or cache["misses"] or cache["write_errors"]:
         rate = cache["hit_rate"]

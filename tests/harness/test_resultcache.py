@@ -327,6 +327,73 @@ class TestTmpFileHygiene:
 
 
 class TestConcurrentAccess:
+    def test_len_and_clear_on_missing_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert len(cache) == 0
+        assert cache.clear() == 0
+
+    def test_clear_survives_entries_vanishing_mid_scan(
+        self, tmp_path, workload, monkeypatch
+    ):
+        """A concurrent clear may delete entries between glob and unlink;
+        neither clear() nor len() may raise."""
+        runner = fresh_runner(tmp_path)
+        runner.run(workload, BASELINE)
+        cache = runner.result_cache
+        real_glob = Path.glob
+
+        def racing_glob(self, pattern):
+            for path in list(real_glob(self, pattern)):
+                path.unlink(missing_ok=True)  # the "other process" wins
+                yield path
+
+        monkeypatch.setattr(Path, "glob", racing_glob)
+        assert cache.clear() == 0
+        assert len(cache) >= 0
+
+    def test_len_and_clear_survive_directory_removal_mid_scan(
+        self, tmp_path, workload, monkeypatch
+    ):
+        """The directory itself vanishing mid-iteration (FileNotFoundError
+        out of the glob generator) must count as empty, not raise."""
+        runner = fresh_runner(tmp_path)
+        runner.run(workload, BASELINE)
+        cache = runner.result_cache
+
+        def exploding_glob(self, pattern):
+            raise FileNotFoundError(2, "gone", str(self))
+            yield  # pragma: no cover
+
+        monkeypatch.setattr(Path, "glob", exploding_glob)
+        assert len(cache) == 0
+        assert cache.clear() == 0
+
+    def test_concurrent_clears_never_raise(self, tmp_path, workload):
+        """Two threads clearing the same directory race on every unlink."""
+        import threading
+
+        runner = fresh_runner(tmp_path)
+        runner.run(workload, BASELINE)
+        runner.run(workload, PB_SW)
+        cache = runner.result_cache
+        removed = []
+        errors = []
+
+        def clear():
+            try:
+                removed.append(cache.clear())
+            except BaseException as exc:  # noqa: BLE001 - test assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=clear) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert sum(removed) == 2
+        assert len(cache) == 0
+
     def test_two_process_put_get_stress(self, tmp_path, workload):
         """Two processes hammering the same digests concurrently must never
         corrupt an entry: every get returns either None or a fully valid

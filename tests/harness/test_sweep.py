@@ -83,6 +83,66 @@ class TestRunMany:
         assert clone.result_cache is None
 
 
+class TestPoolSizing:
+    def _forbid_pools(self, monkeypatch):
+        from repro.harness import parallel
+
+        def explode(*args, **kwargs):
+            raise AssertionError("a process pool must not be built")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", explode)
+
+    def test_empty_points_short_circuit(self, monkeypatch):
+        """An empty sweep returns [] without touching the pool machinery."""
+        self._forbid_pools(monkeypatch)
+        runner = Runner(max_sim_events=20_000)
+        assert run_sweep(runner, [], jobs=8) == []
+        assert runner.run_many([], jobs=8) == []
+
+    def test_jobs_clamped_to_point_count(self, monkeypatch, points):
+        """jobs > len(points) must never build an oversized pool."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.harness import parallel
+
+        seen = []
+
+        class CountingPool(ProcessPoolExecutor):
+            def __init__(self, max_workers=None, **kwargs):
+                seen.append(max_workers)
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", CountingPool)
+        serial = Runner(max_sim_events=20_000).run_many(points[:2])
+        results = run_sweep(
+            Runner(max_sim_events=20_000), points[:2], jobs=16
+        )
+        assert seen == [2]
+        assert results == serial
+
+    def test_single_point_sweep_runs_in_process(self, monkeypatch, points):
+        """One point with many jobs clamps to the serial path: no pool."""
+        self._forbid_pools(monkeypatch)
+        runner = Runner(max_sim_events=20_000)
+        (result,) = run_sweep(runner, points[:1], jobs=8)
+        assert result.mode == points[0][1]
+
+    def test_checkpoint_splices_and_journals(self, tmp_path, points):
+        """run_sweep with a checkpoint must skip journaled points and
+        journal the rest."""
+        from repro.harness.checkpoint import SweepCheckpoint
+
+        serial = Runner(max_sim_events=20_000).run_many(points)
+        runner = Runner(max_sim_events=20_000)
+        checkpoint = SweepCheckpoint.attach(tmp_path, runner, points)
+        checkpoint.record(0, serial[0])
+        checkpoint.record(3, serial[3])
+        results = run_sweep(runner, points, jobs=2, checkpoint=checkpoint)
+        assert results == serial
+        assert sorted(checkpoint.completed_counters()) == [0, 1, 2, 3, 4]
+        assert checkpoint.status == "completed"
+
+
 class TestEngineSelection:
     def test_engines_agree_end_to_end(self):
         """Full-pipeline equivalence: the batched and scalar engines must

@@ -51,6 +51,47 @@ class TestJsonlSink:
         JsonlTelemetry(path).emit("b")
         assert [e["event"] for e in read_events(path)] == ["a", "b"]
 
+    def test_flush_and_close_are_idempotent(self, tmp_path):
+        sink = JsonlTelemetry(tmp_path / "t.jsonl")
+        sink.flush()  # nothing open yet: no-op
+        sink.emit("a")
+        sink.flush()
+        sink.close()
+        sink.close()  # second close must not double-close the fd
+        sink.emit("b")  # emitting after close reopens by path
+        sink.close()
+        assert [e["event"] for e in read_events(sink.path)] == ["a", "b"]
+        NULL_TELEMETRY.flush()  # part of the base interface
+
+    def test_atexit_persists_final_events(self, tmp_path):
+        """A process that exits without closing its sink must still leave
+        every event on disk (the atexit hook flushes and closes)."""
+        import os
+        import subprocess
+        import sys
+
+        path = tmp_path / "t.jsonl"
+        script = (
+            "import sys\n"
+            "from repro.harness.telemetry import JsonlTelemetry\n"
+            f"sink = JsonlTelemetry({str(path)!r})\n"
+            "sink.emit('last_words', detail='unclosed')\n"
+            "sys.exit(0)\n"
+        )
+        env = {
+            **os.environ,
+            "PYTHONPATH": os.pathsep.join(p for p in sys.path if p),
+        }
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert [e["event"] for e in read_events(path)] == ["last_words"]
+
     def test_pickles_by_path(self, tmp_path):
         sink = JsonlTelemetry(tmp_path / "t.jsonl")
         sink.emit("before")

@@ -38,6 +38,39 @@ class TestParser:
         assert args.retries == 3
         assert args.telemetry == "run.jsonl"
 
+    def test_run_accepts_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig02", "--checkpoint-dir", "--heartbeat-timeout", "5"]
+        )
+        assert args.checkpoint_dir is True  # bare flag => default root
+        assert args.heartbeat_timeout == 5.0
+        args = build_parser().parse_args(
+            ["run", "fig02", "--checkpoint-dir", "runs/"]
+        )
+        assert args.checkpoint_dir == "runs/"
+
+    def test_runs_command(self):
+        args = build_parser().parse_args(["runs"])
+        assert args.command == "runs"
+        assert args.checkpoint_dir is None
+
+    def test_resume_requires_run_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resume"])
+
+    def test_resume_accepts_executor_flags(self):
+        args = build_parser().parse_args(
+            [
+                "resume", "1f2e3d4c5b6a", "--checkpoint-dir", "runs/",
+                "--jobs", "4", "--no-cache", "--heartbeat-timeout", "30",
+            ]
+        )
+        assert args.run_id == "1f2e3d4c5b6a"
+        assert args.checkpoint_dir == "runs/"
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.heartbeat_timeout == 30.0
+
     def test_report_requires_telemetry(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["report"])
@@ -134,6 +167,83 @@ class TestCommands:
         assert runner.fault_policy.timeout == 600.0
         assert runner.fault_policy.retries == 1
         monkeypatch.setattr(common, "_RUNNER", None)
+
+
+class TestCheckpointCommands:
+    def collect(self, argv):
+        lines = []
+        code = main(argv, print_fn=lines.append)
+        return code, "\n".join(str(line) for line in lines)
+
+    def make_run(self, root, record=()):
+        """Journal a two-point run under ``root``; return (id, results)."""
+        from repro.harness import Runner
+        from repro.harness.checkpoint import SweepCheckpoint
+        from repro.harness.inputs import make_workload
+        from repro.harness.modes import BASELINE, PB_SW
+
+        graph = make_workload("degree-count", "KRON", scale=13)
+        points = [(graph, BASELINE), (graph, PB_SW)]
+        runner = Runner(max_sim_events=20_000)
+        results = runner.run_many(points)
+        checkpoint = SweepCheckpoint.attach(
+            root, runner, points, label="cli-test"
+        )
+        for index in record:
+            checkpoint.record(index, results[index])
+        checkpoint.close()
+        return checkpoint.run_id, results
+
+    def test_runs_lists_checkpointed_runs(self, tmp_path):
+        run_id, _ = self.make_run(tmp_path, record=[0])
+        code, output = self.collect(
+            ["runs", "--checkpoint-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert run_id in output
+        assert "cli-test" in output
+        assert "1/2" in output
+
+    def test_runs_on_empty_root(self, tmp_path):
+        code, output = self.collect(
+            ["runs", "--checkpoint-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert "no checkpointed runs" in output
+
+    def test_resume_finishes_pending_points(self, tmp_path, monkeypatch):
+        from repro.harness import Runner
+        from repro.harness.checkpoint import STATUS_COMPLETED, SweepCheckpoint
+        from repro.harness.experiments import common
+
+        run_id, _ = self.make_run(tmp_path, record=[0])
+        monkeypatch.setattr(
+            common, "_RUNNER", Runner(max_sim_events=20_000)
+        )
+        code, output = self.collect(
+            [
+                "resume", run_id,
+                "--checkpoint-dir", str(tmp_path), "--no-cache",
+            ]
+        )
+        monkeypatch.setattr(common, "_RUNNER", None)
+        assert code == 0
+        assert "completed: 2/2 points" in output
+        reloaded = SweepCheckpoint.load(tmp_path, run_id)
+        assert reloaded.status == STATUS_COMPLETED
+        assert sorted(reloaded.completed_counters()) == [0, 1]
+
+    def test_resume_unknown_run_fails_and_lists_runs(self, tmp_path):
+        run_id, _ = self.make_run(tmp_path, record=[0])
+        code, output = self.collect(
+            [
+                "resume", "feedfacecafe",
+                "--checkpoint-dir", str(tmp_path), "--no-cache",
+            ]
+        )
+        assert code == 1
+        assert "no checkpointed run" in output
+        assert run_id in output  # the known-runs listing helps recovery
 
 
 def test_registry_matches_design_doc():
