@@ -56,17 +56,20 @@ _POLICY_CODES = {"lru": _LRU, "plru": _PLRU}
 _SEQ_STRIDE = 4
 
 
-def _lru_replay(state, cap, ev_line, ev_dirty, ev_seq, evict_seq, evict_line):
-    """Replay one set's events under LRU; returns per-event hit flags.
+def _lru_replay(state, cap, ev_line, ev_dirty, evict_pos, evict_line):
+    """Replay one set's events under LRU; returns miss positions.
 
     ``state`` is an :class:`OrderedDict` mapping resident lines (LRU first)
     to their dirty flag; every operation is a C-level dict primitive.
     Victim choice by least-recent touch matches FastHierarchy's stamp-based
-    LRU exactly (every hit and fill touches).
+    LRU exactly (every hit and fill touches). Hits are the common case, so
+    the kernel returns only the *positions* that missed; dirty evictions
+    record the event position too (the caller maps positions back to
+    sequence keys).
     """
     resident = state
-    hits = []
-    append = hits.append
+    miss_pos = []
+    miss = miss_pos.append
     move_to_end = resident.move_to_end
     popitem = resident.popitem
     for pos, line in enumerate(ev_line):
@@ -74,38 +77,39 @@ def _lru_replay(state, cap, ev_line, ev_dirty, ev_seq, evict_seq, evict_line):
             move_to_end(line)
             if ev_dirty[pos]:
                 resident[line] = True
-            append(True)
         else:
+            miss(pos)
             resident[line] = ev_dirty[pos]
             if len(resident) > cap:
                 victim, victim_dirty = popitem(last=False)
                 if victim_dirty:
-                    evict_seq.append(ev_seq[pos] + 1)
+                    evict_pos.append(pos)
                     evict_line.append(victim)
-            append(False)
-    return hits
+    return miss_pos
 
 
-def _plru_replay(state, cap, ev_line, ev_dirty, ev_seq, evict_seq, evict_line):
-    """Replay one set's events under bit-PLRU; returns per-event hit flags.
+def _plru_replay(state, cap, ev_line, ev_dirty, evict_pos, evict_line):
+    """Replay one set's events under bit-PLRU; returns miss positions.
 
     ``state`` is ``[table, way_line, mru, count, occupied, dirty]`` — a
-    line→way dict, its way→line inverse, and the MRU/dirty bits packed into
-    ints: the same scheme FastHierarchy keeps in its flat arrays, replicated
-    bit for bit (reset-on-saturation, first clear-MRU-bit victim, first
-    free way on cold fills).
+    line→way-bit dict, its way→line inverse, and the MRU/dirty bits packed
+    into ints: the same scheme FastHierarchy keeps in its flat arrays,
+    replicated bit for bit (reset-on-saturation, first clear-MRU-bit
+    victim, first free way on cold fills). The table stores ``1 << way``
+    rather than the way index so the hot hit path never shifts. Hits are
+    the common case, so only miss *positions* are returned; dirty
+    evictions record the event position too (the caller maps positions
+    back to sequence keys).
     """
     table, way_line = state[0], state[1]
     mru, count, occupied, dirty = state[2], state[3], state[4], state[5]
     full_mask = (1 << cap) - 1
-    hits = []
-    append = hits.append
+    miss_pos = []
+    miss = miss_pos.append
     lookup = table.get
     for pos, line in enumerate(ev_line):
-        way = lookup(line)
-        if way is not None:
-            append(True)
-            bit = 1 << way
+        bit = lookup(line)
+        if bit is not None:
             if not mru & bit:
                 count += 1
                 if count >= cap:
@@ -115,21 +119,22 @@ def _plru_replay(state, cap, ev_line, ev_dirty, ev_seq, evict_seq, evict_line):
             if ev_dirty[pos]:
                 dirty |= bit
             continue
-        append(False)
+        miss(pos)
         if occupied < cap:
             way = way_line.index(None)
+            bit = 1 << way
             occupied += 1
         else:
             inverted = ~mru & full_mask
-            way = (inverted & -inverted).bit_length() - 1 if inverted else 0
+            bit = inverted & -inverted if inverted else 1
+            way = bit.bit_length() - 1
             old = way_line[way]
             del table[old]
-            if dirty & (1 << way):
-                evict_seq.append(ev_seq[pos] + 1)
+            if dirty & bit:
+                evict_pos.append(pos)
                 evict_line.append(old)
-        table[line] = way
+        table[line] = bit
         way_line[way] = line
-        bit = 1 << way
         if ev_dirty[pos]:
             dirty |= bit
         else:
@@ -141,7 +146,7 @@ def _plru_replay(state, cap, ev_line, ev_dirty, ev_seq, evict_seq, evict_line):
             else:
                 mru |= bit
     state[2], state[3], state[4], state[5] = mru, count, occupied, dirty
-    return hits
+    return miss_pos
 
 
 class BatchHierarchy:
@@ -201,20 +206,38 @@ class BatchHierarchy:
         """
         count = line.size
         hit = np.empty(count, dtype=bool)
-        evict_seq, evict_line = [], []
+        empty_seq = np.empty(0, dtype=np.int64)
         if not count:
-            return hit, evict_seq, evict_line
+            return hit, empty_seq, []
         sets = self._sets[level]
         cap = self._caps[level]
         policy = self._pol[level]
         kernel = _lru_replay if policy == _LRU else _plru_replay
         states = self._state[level]
-        set_idx = line % sets
-        order = np.argsort(set_idx, kind="stable")
-        sorted_sets = set_idx[order]
-        starts = np.flatnonzero(np.diff(sorted_sets)) + 1
-        for group in np.split(order, starts):
-            set_id = int(set_idx[group[0]])
+        if sets & (sets - 1) == 0:  # power-of-two set count: bitmask index
+            set_idx = line & (sets - 1)
+        else:
+            set_idx = line % sets
+        # stable per-set grouping: set counts are small, so a narrow-dtype
+        # stable argsort hits numpy's radix path — ~3x faster than a
+        # comparison sort of packed (set, position) keys
+        if sets <= 1 << 16:
+            narrow = np.uint8 if sets <= 1 << 8 else np.uint16
+            set_idx = set_idx.astype(narrow)
+            order = np.argsort(set_idx, kind="stable")
+        else:  # huge set counts: generic value sort on packed keys
+            shift = int(count).bit_length()
+            key = (set_idx.astype(np.int64) << shift) | np.arange(
+                count, dtype=np.int64
+            )
+            key.sort()
+            order = key & ((1 << shift) - 1)
+        counts = np.bincount(set_idx, minlength=sets)
+        starts = np.cumsum(counts[:-1])
+        evict_seq_parts, evict_line = [], []
+        for set_id, group in enumerate(np.split(order, starts)):
+            if not group.size:
+                continue
             state = states.get(set_id)
             if state is None:
                 if policy == _LRU:
@@ -222,32 +245,72 @@ class BatchHierarchy:
                 else:
                     state = [{}, [None] * cap, 0, 0, 0, 0]
                 states[set_id] = state
-            hit[group] = kernel(
+            evict_pos = []
+            miss_pos = kernel(
                 state,
                 cap,
                 line[group].tolist(),
                 dirty[group].tolist(),
-                seq[group].tolist(),
-                evict_seq,
+                evict_pos,
                 evict_line,
             )
+            group_hit = np.ones(group.size, dtype=bool)
+            if miss_pos:
+                group_hit[miss_pos] = False
+            hit[group] = group_hit
+            if evict_pos:
+                # an eviction fires one sequence slot after its cause
+                evict_seq_parts.append(seq[group[evict_pos]] + 1)
+        evict_seq = (
+            np.concatenate(evict_seq_parts) if evict_seq_parts else empty_seq
+        )
         return hit, evict_seq, evict_line
 
     @staticmethod
     def _merge(demand_seq, demand_line, evict_seq, evict_line):
-        """Merge demand and eviction streams into one seq-ordered stream."""
+        """Merge demand and eviction streams into one seq-ordered stream.
+
+        The demand stream is already seq-sorted, so only the (much smaller)
+        eviction stream is sorted and the two are interleaved with
+        ``searchsorted`` — no ties are possible across streams because
+        demand events occupy slot 0 of each access's ``_SEQ_STRIDE`` window
+        and evictions the following slots.
+        """
         ev_seq = np.asarray(evict_seq, dtype=np.int64)
         ev_line = np.asarray(evict_line, dtype=np.int64)
-        seq = np.concatenate([demand_seq, ev_seq])
-        line = np.concatenate([demand_line, ev_line])
-        kind = np.concatenate(
-            [
-                np.zeros(demand_seq.size, dtype=np.uint8),
-                np.ones(ev_seq.size, dtype=np.uint8),
-            ]
+        if ev_seq.size:
+            # eviction seq keys are unique (each cause is a distinct
+            # event), so pack (seq, index) into one int64 and value-sort —
+            # cheaper than argsort's indirection
+            shift = int(ev_seq.size).bit_length()
+            if int(ev_seq.max()) < 1 << (62 - shift):
+                key = (ev_seq << shift) | np.arange(
+                    ev_seq.size, dtype=np.int64
+                )
+                key.sort()
+                ev_order = key & ((1 << shift) - 1)
+                ev_seq = key >> shift
+            else:  # pathological seq range: keep the exact slow path
+                ev_order = np.argsort(ev_seq, kind="stable")
+                ev_seq = ev_seq[ev_order]
+            ev_line = ev_line[ev_order]
+        nd, ne = demand_seq.size, ev_seq.size
+        seq = np.empty(nd + ne, dtype=np.int64)
+        line = np.empty(nd + ne, dtype=np.int64)
+        kind = np.empty(nd + ne, dtype=np.uint8)
+        dpos = np.searchsorted(ev_seq, demand_seq) + np.arange(
+            nd, dtype=np.int64
         )
-        order = np.argsort(seq, kind="stable")
-        return seq[order], line[order], kind[order]
+        epos = np.searchsorted(demand_seq, ev_seq) + np.arange(
+            ne, dtype=np.int64
+        )
+        seq[dpos] = demand_seq
+        line[dpos] = demand_line
+        kind[dpos] = 0
+        seq[epos] = ev_seq
+        line[epos] = ev_line
+        kind[epos] = 1
+        return seq, line, kind
 
     # ------------------------------------------------------------------ #
     # Demand path
@@ -317,6 +380,17 @@ class BatchHierarchy:
         return ServiceCounts(
             int(counts[1]), int(counts[2]), int(counts[3]), int(counts[4])
         )
+
+    def simulate_stream(self, chunks):
+        """Replay an iterable of ``(lines, writes)`` chunks lazily.
+
+        Yields the per-chunk served-level array from :meth:`simulate`.
+        Replacement state persists across calls, so consuming the generator
+        is bit-identical to one :meth:`simulate` over the concatenated
+        trace while holding only a chunk in memory at a time.
+        """
+        for lines, writes in chunks:
+            yield self.simulate(lines, writes)
 
     # ------------------------------------------------------------------ #
     # Maintenance (FastHierarchy API parity)

@@ -11,6 +11,7 @@ Usage::
     python -m repro run fig10 --jobs 4 --timeout 600 --retries 2 \
         --telemetry run.jsonl                 # fault-tolerant + observable
     python -m repro run fig10 --jobs 4 --checkpoint-dir  # journal progress
+    python -m repro point pagerank KRON --mode cobra  # one point, validated
     python -m repro runs                      # list checkpointed runs
     python -m repro resume 1f2e3d4c5b6a       # finish an interrupted run
     python -m repro report --telemetry run.jsonl  # summarize a run log
@@ -165,6 +166,33 @@ def build_parser():
         ),
     )
 
+    point_parser = commands.add_parser(
+        "point", help="simulate one (workload, input, mode) point"
+    )
+    point_parser.add_argument("workload", help="workload name (see `inputs`)")
+    point_parser.add_argument("input", help="input name, e.g. KRON")
+    point_parser.add_argument(
+        "--mode",
+        default="baseline",
+        help="execution mode (validated against ExecutionMode)",
+    )
+    point_parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help="log2 of the input namespace (default: full scale)",
+    )
+    point_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the RunResult as JSON instead of a table",
+    )
+    point_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache",
+    )
+
     runs_parser = commands.add_parser(
         "runs", help="list checkpointed sweep runs"
     )
@@ -308,6 +336,63 @@ def _cmd_report(print_fn, path, slowest):
     return 0
 
 
+def _cmd_point(print_fn, args):
+    """Simulate one point through the ``repro.api`` facade."""
+    import json
+
+    from repro.api import RunResult, Runner, make_workload
+    from repro.harness.modes import ExecutionMode
+    from repro.harness.report import format_table
+    from repro.harness.resultcache import ResultCache
+
+    try:
+        mode = ExecutionMode.coerce(args.mode)
+    except ValueError as exc:
+        print_fn(str(exc))
+        return 2
+    try:
+        workload = make_workload(args.workload, args.input, scale=args.scale)
+    except (KeyError, ValueError) as exc:
+        print_fn(str(exc))
+        return 2
+    runner = Runner(
+        result_cache=None if args.no_cache else ResultCache()
+    )
+    if mode is ExecutionMode.CHARACTERIZATION:
+        result = runner.run_characterization(workload)
+    else:
+        result = runner.run(workload, mode)
+    assert isinstance(result, RunResult)
+    if args.json:
+        print_fn(json.dumps(result.as_dict(), indent=2))
+        return 0
+    print_fn(
+        format_table(
+            ["phase", "engine", "Mcycles", "IPC", "MPKI", "DRAM lines"],
+            [
+                [
+                    p.name,
+                    p.engine or "-",
+                    p.cycles / 1e6,
+                    p.ipc,
+                    p.mpki,
+                    p.traffic.total_lines,
+                ]
+                for p in result.phases
+            ],
+            title=(
+                f"{result.workload} / {mode} "
+                f"({result.provenance}, engine={result.engine or '-'})"
+            ),
+        )
+    )
+    print_fn(
+        f"total: {result.cycles / 1e6:.3f} Mcycles, "
+        f"MPKI {result.mpki:.3f}"
+    )
+    return 0
+
+
 def _checkpoint_root(value):
     """Resolve a ``--checkpoint-dir`` value (bare flag => default root)."""
     from repro.harness.checkpoint import default_checkpoint_dir
@@ -420,6 +505,8 @@ def main(argv=None, print_fn=print):
         return 0
     if args.command == "report":
         return _cmd_report(print_fn, args.telemetry, args.slowest)
+    if args.command == "point":
+        return _cmd_point(print_fn, args)
     if args.command == "runs":
         return _cmd_runs(print_fn, args.checkpoint_dir)
     if args.command == "resume":

@@ -78,6 +78,17 @@ class PhaseTiming:
         """Wall-clock seconds at the given core frequency."""
         return self.total_cycles / (frequency_ghz * 1e9)
 
+    def as_dict(self):
+        """JSON-safe cycle breakdown (used by telemetry ``phase_timed``)."""
+        return {
+            "name": self.name,
+            "compute_cycles": float(self.compute_cycles),
+            "irregular_cycles": float(self.irregular_cycles),
+            "streaming_cycles": float(self.streaming_cycles),
+            "branch_cycles": float(self.branch_cycles),
+            "total_cycles": float(self.total_cycles),
+        }
+
 
 class TimingModel:
     """Converts counted events into cycles using :class:`CoreParams`."""

@@ -10,6 +10,7 @@ from repro.harness.modes import (
     PB_SW,
     PB_SW_IDEAL,
     PHI,
+    ExecutionMode,
 )
 from repro.harness.checkpoint import (
     SweepCheckpoint,
@@ -36,6 +37,7 @@ __all__ = [
     "COBRA_COMM",
     "COMMUTATIVE_ONLY_MODES",
     "DEFAULT_MACHINE",
+    "ExecutionMode",
     "FaultInjector",
     "FaultPolicy",
     "GracefulShutdown",

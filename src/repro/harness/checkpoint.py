@@ -244,7 +244,7 @@ class SweepCheckpoint:
         os.write(self._descriptor(), line.encode("utf-8"))
 
     def completed_counters(self):
-        """``{index: RunCounters}`` journaled so far.
+        """``{index: RunResult}`` journaled so far (``provenance="journal"``).
 
         Corrupt or truncated lines (a torn final write from a ``kill -9``),
         out-of-range indices, and entries whose digest does not match the
@@ -266,7 +266,9 @@ class SweepCheckpoint:
                     index = entry["index"]
                     if entry["digest"] != specs[index]["digest"]:
                         raise ValueError("digest mismatch vs manifest")
-                    counters = counters_from_dict(entry["counters"])
+                    counters = counters_from_dict(
+                        entry["counters"], provenance="journal"
+                    )
                 except (ValueError, KeyError, TypeError, IndexError) as exc:
                     self.telemetry.emit(
                         "journal_corrupt",

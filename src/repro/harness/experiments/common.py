@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cpu.counters import RunCounters
 from repro.harness.runner import Runner
 
 __all__ = [
@@ -17,12 +16,19 @@ __all__ = [
 
 @dataclass
 class ExperimentResult:
-    """Structured output of one experiment driver."""
+    """Structured output of one experiment driver.
+
+    ``runs`` carries the :class:`~repro.api.RunResult` of every simulation
+    point the figure consumed, in the order the driver ran them, so
+    programmatic consumers get the full structured counters — not just the
+    rendered ``rows``/``text``.
+    """
 
     name: str
     rows: list = field(default_factory=list)
     text: str = ""
     extras: dict = field(default_factory=dict)
+    runs: list = field(default_factory=list)
 
     def __str__(self):
         return self.text
@@ -45,8 +51,12 @@ def shared_runner(**kwargs):
     return _RUNNER
 
 
-def phase_cycles(counters: RunCounters, name):
-    """Cycles of one phase (0.0 when the phase is absent)."""
+def phase_cycles(counters, name):
+    """Cycles of one phase (0.0 when the phase is absent).
+
+    Accepts a :class:`~repro.api.RunResult` or any object exposing a
+    ``phases`` iterable of named phase counters.
+    """
     for phase in counters.phases:
         if phase.name == name:
             return phase.cycles

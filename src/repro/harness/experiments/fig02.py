@@ -33,8 +33,10 @@ def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None)
         label="fig02",
         checkpoint_dir=checkpoint_dir,
     )
+    runs = []
     for workload_name, input_name, workload in instances:
         counters = runner.run_characterization(workload)
+        runs.append(counters)
         service = counters.irregular_service
         rows.append(
             {
@@ -53,4 +55,4 @@ def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None)
         ],
         title="Figure 2: locality of irregular updates (baseline execution)",
     )
-    return ExperimentResult(name="fig02", rows=rows, text=text)
+    return ExperimentResult(name="fig02", rows=rows, text=text, runs=runs)

@@ -31,10 +31,12 @@ def run(
     kwargs = {} if scale is None else {"scale": scale}
     workload = make_workload(workload_name, input_name, **kwargs)
     rows = []
+    runs = []
     for num_bins in bin_counts:
         check_positive("num_bins", num_bins)
         spec = BinSpec.from_num_bins(workload.num_indices, num_bins)
         counters = runner.run_with_spec(workload, spec, include_init=False)
+        runs.append(counters)
         binning = counters.phase("binning")
         accumulate = counters.phase("accumulate")
         service = binning.irregular_service.merged(
@@ -69,4 +71,4 @@ def run(
             f"({workload_name}/{input_name})"
         ),
     )
-    return ExperimentResult(name="fig04", rows=rows, text=text)
+    return ExperimentResult(name="fig04", rows=rows, text=text, runs=runs)

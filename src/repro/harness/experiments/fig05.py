@@ -34,10 +34,11 @@ def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None)
         label="fig05",
         checkpoint_dir=checkpoint_dir,
     )
+    runs = []
     for workload_name, input_name, workload in instances:
-        base = runner.run(workload, modes.BASELINE).cycles
-        pb = runner.run(workload, modes.PB_SW).cycles
-        ideal = runner.run(workload, modes.PB_SW_IDEAL).cycles
+        results = [runner.run(workload, mode) for mode in _MODES]
+        runs.extend(results)
+        base, pb, ideal = (r.cycles for r in results)
         rows.append(
             {
                 "workload": workload_name,
@@ -67,4 +68,6 @@ def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None)
         + [["geomean", "", means["pb"], means["ideal"], means["headroom"]]],
         title="Figure 5: ideal-PB headroom (speedup over baseline)",
     )
-    return ExperimentResult(name="fig05", rows=rows, text=text, extras=means)
+    return ExperimentResult(
+        name="fig05", rows=rows, text=text, extras=means, runs=runs
+    )

@@ -35,11 +35,11 @@ def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None)
         label="fig10",
         checkpoint_dir=checkpoint_dir,
     )
+    runs = []
     for workload_name, input_name, workload in instances:
-        base = runner.run(workload, modes.BASELINE).cycles
-        pb = runner.run(workload, modes.PB_SW).cycles
-        ideal = runner.run(workload, modes.PB_SW_IDEAL).cycles
-        cobra = runner.run(workload, modes.COBRA).cycles
+        results = [runner.run(workload, mode) for mode in _MODES]
+        runs.extend(results)
+        base, pb, ideal, cobra = (r.cycles for r in results)
         rows.append(
             {
                 "workload": workload_name,
@@ -82,4 +82,6 @@ def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None)
         ],
         title="Figure 10: speedup over baseline",
     )
-    return ExperimentResult(name="fig10", rows=rows, text=text, extras=means)
+    return ExperimentResult(
+        name="fig10", rows=rows, text=text, extras=means, runs=runs
+    )

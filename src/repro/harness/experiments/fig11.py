@@ -37,9 +37,11 @@ def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None)
         label="fig11",
         checkpoint_dir=checkpoint_dir,
     )
+    runs = []
     for workload_name, input_name, workload in instances:
         pb = runner.run(workload, modes.PB_SW)
         cobra = runner.run(workload, modes.COBRA)
+        runs.extend([pb, cobra])
         binning = phase_cycles(pb, "binning") / phase_cycles(cobra, "binning")
         accumulate = phase_cycles(pb, "accumulate") / phase_cycles(
             cobra, "accumulate"
@@ -70,4 +72,6 @@ def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None)
         + [["geomean", "", means["binning"], means["accumulate"]]],
         title="Figure 11: COBRA per-phase speedup over PB-SW",
     )
-    return ExperimentResult(name="fig11", rows=rows, text=text, extras=means)
+    return ExperimentResult(
+        name="fig11", rows=rows, text=text, extras=means, runs=runs
+    )

@@ -37,10 +37,12 @@ def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None)
         label="fig12",
         checkpoint_dir=checkpoint_dir,
     )
+    runs = []
     for workload_name, input_name, workload in instances:
         base = runner.run(workload, modes.BASELINE)
         pb = runner.run(workload, modes.PB_SW)
         cobra = runner.run(workload, modes.COBRA)
+        runs.extend([base, pb, cobra])
         rows.append(
             {
                 "workload": workload_name,
@@ -85,4 +87,6 @@ def run(runner=None, workloads=None, scale=None, jobs=None, checkpoint_dir=None)
         ],
         title="Figure 12: instruction and branch overheads of Binning",
     )
-    return ExperimentResult(name="fig12", rows=rows, text=text, extras=means)
+    return ExperimentResult(
+        name="fig12", rows=rows, text=text, extras=means, runs=runs
+    )

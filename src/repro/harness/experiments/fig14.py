@@ -76,12 +76,13 @@ def run(
         checkpoint_dir=checkpoint_dir,
     )
     rows = []
+    runs = []
     for workload_name in workload_names:
         for input_name in input_names or WORKLOAD_INPUTS[workload_name]:
             workload = make_workload(workload_name, input_name, **kwargs)
-            base_traffic, base_l1 = _blocked_phase_metrics(
-                runner.run(workload, modes.BASELINE)
-            )
+            base = runner.run(workload, modes.BASELINE)
+            runs.append(base)
+            base_traffic, base_l1 = _blocked_phase_metrics(base)
             for system in _SYSTEMS:
                 if (
                     system in modes.COMMUTATIVE_ONLY_MODES
@@ -98,9 +99,9 @@ def run(
                         }
                     )
                     continue
-                traffic, l1 = _blocked_phase_metrics(
-                    runner.run(workload, system)
-                )
+                result = runner.run(workload, system)
+                runs.append(result)
+                traffic, l1 = _blocked_phase_metrics(result)
                 rows.append(
                     {
                         "workload": workload_name,
@@ -125,4 +126,4 @@ def run(
         ],
         title="Figure 14: commutativity specializations (vs baseline)",
     )
-    return ExperimentResult(name="fig14", rows=rows, text=text)
+    return ExperimentResult(name="fig14", rows=rows, text=text, runs=runs)

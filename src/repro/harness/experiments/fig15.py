@@ -64,6 +64,7 @@ def run(runner=None, input_names=("KRON", "URND"), tol=1e-6, scale=None):
     """Pagerank-to-convergence runtime: baseline vs Tiling vs PB."""
     runner = runner or shared_runner()
     rows = []
+    runs = []
     hierarchy = runner.machine.hierarchy
     kwargs = {} if scale is None else {"scale": scale}
     for input_name in input_names:
@@ -71,10 +72,12 @@ def run(runner=None, input_names=("KRON", "URND"), tol=1e-6, scale=None):
         graph = load_csr(input_name, **kwargs)
         _scores, iterations = workload.run_to_convergence(tol=tol)
 
-        base_iter = runner.run(workload, modes.BASELINE).cycles
+        base = runner.run(workload, modes.BASELINE)
+        base_iter = base.cycles
         baseline_total = base_iter * iterations
 
         pb = runner.run(workload, modes.PB_SW)
+        runs.extend([base, pb])
         pb_init = pb.phase("init").cycles
         pb_iter = pb.phase("binning").cycles + pb.phase("accumulate").cycles
         pb_total = pb_init + pb_iter * iterations
@@ -140,4 +143,4 @@ def run(runner=None, input_names=("KRON", "URND"), tol=1e-6, scale=None):
         ],
         title="Figure 15: PB vs CSR-Segmenting (Pagerank to convergence)",
     )
-    return ExperimentResult(name="fig15", rows=rows, text=text)
+    return ExperimentResult(name="fig15", rows=rows, text=text, runs=runs)

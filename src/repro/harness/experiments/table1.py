@@ -28,9 +28,11 @@ def run(
     kwargs = {} if scale is None else {"scale": scale}
     workload = make_workload(workload_name, input_name, **kwargs)
     rows = []
+    runs = []
     for label, num_bins in (("small", small_bins), ("large", large_bins)):
         spec = BinSpec.from_num_bins(workload.num_indices, num_bins)
         counters = runner.run_with_spec(workload, spec, include_init=True)
+        runs.append(counters)
         total = counters.cycles
         row = {"bins": label, "num_bins": spec.num_bins, "total_cycles": total}
         for phase in counters.phases:
@@ -51,4 +53,4 @@ def run(
         title=f"Table I: PB execution breakup ({workload_name}/{input_name})",
         floatfmt="{:.1f}",
     )
-    return ExperimentResult(name="table1", rows=rows, text=text)
+    return ExperimentResult(name="table1", rows=rows, text=text, runs=runs)

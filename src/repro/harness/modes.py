@@ -1,8 +1,19 @@
-"""Execution-mode identifiers used throughout the harness."""
+"""Execution-mode identifiers used throughout the harness.
+
+Modes are members of :class:`ExecutionMode`, a :class:`~enum.StrEnum`:
+every member *is* its mode string (``ExecutionMode.COBRA == "cobra"``,
+``json.dumps`` emits the bare string), so code and serialized artifacts
+that predate the enum — result-cache digests, checkpoint manifests,
+telemetry events — are unchanged. The bare-string module constants
+(``modes.BASELINE`` etc.) remain as aliases of the members.
+"""
 
 from __future__ import annotations
 
+from enum import StrEnum
+
 __all__ = [
+    "ExecutionMode",
     "BASELINE",
     "PB_SW",
     "PB_SW_IDEAL",
@@ -14,22 +25,58 @@ __all__ = [
     "COMMUTATIVE_ONLY_MODES",
 ]
 
-#: Direct irregular-update execution (no blocking).
-BASELINE = "baseline"
-#: Software Propagation Blocking at the compromise bin count.
-PB_SW = "pb-sw"
-#: Unrealizable ideal: Binning at its best bin count, Accumulate at its
-#: best bin count (Figure 5's headroom bound).
-PB_SW_IDEAL = "pb-sw-ideal"
-#: Hardware-assisted PB (this paper).
-COBRA = "cobra"
-#: COBRA specialized with LLC update coalescing (commutative only).
-COBRA_COMM = "cobra-comm"
-#: Hierarchical coalescing baseline (commutative only, idealized).
-PHI = "phi"
-#: Irregular-update locality characterization (Figure 2); not a real
-#: execution mode, but addressable as one so sweeps can mix it in.
-CHARACTERIZATION = "characterization"
+
+class ExecutionMode(StrEnum):
+    """Every execution mode the harness can run.
+
+    String-compatible: members compare and hash as their values, so they
+    interoperate with plain mode strings everywhere (dict keys, frozensets,
+    JSON payloads). Use :meth:`coerce` to validate untrusted input.
+    """
+
+    #: Direct irregular-update execution (no blocking).
+    BASELINE = "baseline"
+    #: Software Propagation Blocking at the compromise bin count.
+    PB_SW = "pb-sw"
+    #: Unrealizable ideal: Binning at its best bin count, Accumulate at its
+    #: best bin count (Figure 5's headroom bound).
+    PB_SW_IDEAL = "pb-sw-ideal"
+    #: Hardware-assisted PB (this paper).
+    COBRA = "cobra"
+    #: COBRA specialized with LLC update coalescing (commutative only).
+    COBRA_COMM = "cobra-comm"
+    #: Hierarchical coalescing baseline (commutative only, idealized).
+    PHI = "phi"
+    #: Irregular-update locality characterization (Figure 2); not a real
+    #: execution mode, but addressable as one so sweeps can mix it in.
+    CHARACTERIZATION = "characterization"
+
+    # hash by value (not member identity) so plain strings keep working as
+    # lookup keys in sets/dicts built from members, on every Python version
+    __hash__ = str.__hash__
+
+    @classmethod
+    def coerce(cls, value):
+        """Validate ``value`` (mode string or member) into a member.
+
+        Raises ``ValueError`` naming the valid modes for anything else.
+        """
+        try:
+            return cls(value)
+        except ValueError:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown mode {value!r}; valid modes: {valid}"
+            ) from None
+
+
+BASELINE = ExecutionMode.BASELINE
+PB_SW = ExecutionMode.PB_SW
+PB_SW_IDEAL = ExecutionMode.PB_SW_IDEAL
+COBRA = ExecutionMode.COBRA
+COBRA_COMM = ExecutionMode.COBRA_COMM
+PHI = ExecutionMode.PHI
+CHARACTERIZATION = ExecutionMode.CHARACTERIZATION
 
 ALL_MODES = (BASELINE, PB_SW, PB_SW_IDEAL, COBRA, COBRA_COMM, PHI)
 COMMUTATIVE_ONLY_MODES = frozenset({COBRA_COMM, PHI})

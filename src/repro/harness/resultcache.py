@@ -9,9 +9,10 @@ machine configuration, the runner's simulation parameters, the workload's
 so stale entries can never be returned, and ``clear()`` is only ever a
 space optimization.
 
-Entries serialize :class:`RunCounters` to JSON. Ints are exact and Python's
-float repr round-trips, so a warm read reconstructs counters bit-identical
-to the original run (asserted by the test suite).
+Entries serialize run results to JSON. Ints are exact and Python's float
+repr round-trips, so a warm read reconstructs a
+:class:`~repro.api.RunResult` bit-identical to the original run (asserted
+by the test suite), tagged with ``provenance="disk"``.
 """
 
 from __future__ import annotations
@@ -25,7 +26,6 @@ from pathlib import Path
 import numpy as np
 
 from repro.cache.stats import MemoryTraffic, ServiceCounts
-from repro.cpu.counters import PhaseCounters, RunCounters
 from repro.harness.telemetry import NULL_TELEMETRY
 
 __all__ = [
@@ -130,11 +130,17 @@ def run_digest(machine, runner_params, cache_key, mode):
 
 
 def counters_to_dict(counters):
-    """Serialize :class:`RunCounters` to a JSON-safe dict."""
+    """Serialize a run result to a JSON-safe dict.
+
+    Accepts a :class:`~repro.api.RunResult` or the legacy
+    :class:`RunCounters` (any field-compatible object). The layout is the
+    pre-``repro.api`` format plus an optional per-phase ``engine`` tag, so
+    previously stored entries stay readable.
+    """
     return {
         "version": FORMAT_VERSION,
         "workload": counters.workload,
-        "mode": counters.mode,
+        "mode": str(counters.mode),
         "phases": [
             {
                 "name": p.name,
@@ -151,21 +157,30 @@ def counters_to_dict(counters):
                     int(p.traffic.line_bytes),
                 ],
                 "cycles": float(p.cycles),
+                "engine": getattr(p, "engine", None),
             }
             for p in counters.phases
         ],
     }
 
 
-def counters_from_dict(payload):
-    """Rebuild :class:`RunCounters` from :func:`counters_to_dict` output."""
+def counters_from_dict(payload, provenance=None):
+    """Rebuild a :class:`~repro.api.RunResult` from
+    :func:`counters_to_dict` output.
+
+    ``provenance`` defaults to :data:`~repro.api.PROVENANCE_DISK` (the
+    caller is usually a cache read); checkpoint replay passes
+    :data:`~repro.api.PROVENANCE_JOURNAL`.
+    """
+    from repro.api import PROVENANCE_DISK, PhaseResult, RunResult
+
     if payload["version"] != FORMAT_VERSION:
         raise ValueError(f"cache format {payload['version']} != {FORMAT_VERSION}")
-    counters = RunCounters(workload=payload["workload"], mode=payload["mode"])
+    phases = []
     for p in payload["phases"]:
         reads, writes, prefetch_reads, line_bytes = p["traffic"]
-        counters.phases.append(
-            PhaseCounters(
+        phases.append(
+            PhaseResult(
                 name=p["name"],
                 instructions=p["instructions"],
                 branches=p["branches"],
@@ -180,9 +195,15 @@ def counters_from_dict(payload):
                     line_bytes=line_bytes,
                 ),
                 cycles=p["cycles"],
+                engine=p.get("engine"),
             )
         )
-    return counters
+    return RunResult(
+        workload=payload["workload"],
+        mode=payload["mode"],
+        phases=tuple(phases),
+        provenance=PROVENANCE_DISK if provenance is None else provenance,
+    )
 
 
 def _service_to_list(service):
@@ -195,7 +216,7 @@ def _service_to_list(service):
 
 
 class ResultCache:
-    """Digest-addressed JSON store of :class:`RunCounters`.
+    """Digest-addressed JSON store of run results.
 
     Writes are atomic (tmp file + :func:`os.replace`), so a killed sweep
     never leaves a truncated entry; unreadable or corrupt files simply count
@@ -216,7 +237,8 @@ class ResultCache:
         return self.directory / f"{digest}.json"
 
     def get(self, digest):
-        """Cached :class:`RunCounters` for ``digest``, or ``None``."""
+        """Cached :class:`~repro.api.RunResult` for ``digest`` (with
+        ``provenance="disk"``), or ``None``."""
         try:
             payload = json.loads(self._path(digest).read_text("utf-8"))
             counters = counters_from_dict(payload)

@@ -11,6 +11,7 @@ keeps full-suite sweeps tractable in pure Python.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -22,8 +23,8 @@ from repro.cache.stats import MemoryTraffic, ServiceCounts
 from repro.core import costs
 from repro.core.comm import CobraCommMachine
 from repro.baselines.phi import PhiMachine
+from repro.api import PhaseResult, RunResult
 from repro.cpu.branch import GSharePredictor, simulate_sites
-from repro.cpu.counters import PhaseCounters, RunCounters
 from repro.cpu.timing import TimingModel
 from repro.des.eviction_model import EvictionBufferModel, EvictionModelConfig
 from repro.harness import modes
@@ -33,9 +34,17 @@ from repro.harness.telemetry import NULL_TELEMETRY
 from repro.pb.planner import plan_bins
 from repro.workloads.base import PhaseSpec
 
-__all__ = ["Runner"]
+__all__ = ["Runner", "DEFAULT_TRACE_CHUNK"]
 
 _ENGINES = ("auto", "fast", "batch")
+
+_TRACE_CHUNK_ENV = "REPRO_TRACE_CHUNK"
+
+#: Default irregular accesses per streamed trace chunk. Merged traces
+#: (irregular accesses plus injected streaming lines) are built and
+#: simulated one chunk at a time, so peak trace memory is O(chunk) rather
+#: than O(trace); chunk results are bit-identical to the full build.
+DEFAULT_TRACE_CHUNK = 262_144
 
 
 class Runner:
@@ -52,6 +61,13 @@ class Runner:
     ``result_cache`` (a :class:`~repro.harness.resultcache.ResultCache`)
     adds a persistent, on-disk layer under the per-instance memo so repeated
     figure suites and resumed sweeps skip completed simulations.
+
+    ``trace_chunk`` bounds how many irregular accesses each streamed trace
+    chunk carries (``None`` reads the ``REPRO_TRACE_CHUNK`` environment
+    variable, falling back to :data:`DEFAULT_TRACE_CHUNK`; ``0`` disables
+    chunking and materializes full traces, the reference path). The chunked
+    and full pipelines produce bit-identical counters, so the knob is not
+    part of the result-cache digest.
 
     ``telemetry`` (a :class:`~repro.harness.telemetry.Telemetry`) records
     engine selections, per-phase simulation wall-clock, and — propagated to
@@ -72,6 +88,7 @@ class Runner:
         result_cache=None,
         telemetry=None,
         fault_policy=None,
+        trace_chunk=None,
     ):
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
@@ -86,6 +103,7 @@ class Runner:
         self.des_sample = des_sample
         self.comm_sample = comm_sample
         self.engine = engine
+        self.trace_chunk = trace_chunk
         self.result_cache = result_cache
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.fault_policy = fault_policy
@@ -111,49 +129,63 @@ class Runner:
         )
 
     def run(self, workload, mode, use_cache=True):
-        """Execute ``workload`` under ``mode``; returns :class:`RunCounters`.
+        """Execute ``workload`` under ``mode``; returns a frozen
+        :class:`~repro.api.RunResult`.
 
-        Results are memoized per (workload, mode) when the workload carries
-        a ``cache_key`` (set by the input suite), and read from / stored to
-        the persistent ``result_cache`` when one is attached. Pass
+        ``mode`` may be an :class:`~repro.harness.modes.ExecutionMode`
+        member or its string value; anything else raises ``ValueError``
+        listing the valid modes. Results are memoized per (workload, mode)
+        when the workload carries a ``cache_key`` (set by the input suite),
+        and read from / stored to the persistent ``result_cache`` when one
+        is attached — restored results carry ``provenance="disk"``. Pass
         ``use_cache=False`` to force a fresh simulation (it is still
-        memoized for later callers, but never read from or written to disk).
+        memoized for later callers, but never read from or written to
+        disk).
         """
+        mode = modes.ExecutionMode.coerce(mode)
         if mode == modes.CHARACTERIZATION:
             return self.run_characterization(workload, use_cache=use_cache)
-        key = (getattr(workload, "cache_key", None), mode)
+        key = (getattr(workload, "cache_key", None), str(mode))
         if use_cache and key[0] is not None:
             cached = self._cached(key)
             if cached is not None:
                 return cached
         phases, des_config = self._phases_for(workload, mode)
-        counters = RunCounters(workload=workload.name, mode=mode)
-        for phase in phases:
-            counters.phases.append(
+        result = RunResult(
+            workload=workload.name,
+            mode=str(mode),
+            phases=tuple(
                 self._simulate_phase(workload, phase, des_config)
-            )
-        self._store(key, counters, persist=use_cache)
-        return counters
+                for phase in phases
+            ),
+        )
+        self._store(key, result, persist=use_cache)
+        return result
 
     def run_characterization(self, workload, use_cache=True):
         """Irregular-update locality characterization (Figure 2).
 
         Identical to baseline for every workload except Integer Sort, whose
         performance baseline is a comparison sort but whose irregular
-        formulation is what Figure 2 characterizes.
+        formulation is what Figure 2 characterizes. Returns a
+        :class:`~repro.api.RunResult` shaped exactly like :meth:`run`
+        output (regression-tested).
         """
-        key = (getattr(workload, "cache_key", None), modes.CHARACTERIZATION)
+        key = (getattr(workload, "cache_key", None), str(modes.CHARACTERIZATION))
         if use_cache and key[0] is not None:
             cached = self._cached(key)
             if cached is not None:
                 return cached
-        counters = RunCounters(
-            workload=workload.name, mode=modes.CHARACTERIZATION
+        result = RunResult(
+            workload=workload.name,
+            mode=str(modes.CHARACTERIZATION),
+            phases=tuple(
+                self._simulate_phase(workload, phase, None)
+                for phase in workload.characterization_phases()
+            ),
         )
-        for phase in workload.characterization_phases():
-            counters.phases.append(self._simulate_phase(workload, phase, None))
-        self._store(key, counters, persist=use_cache)
-        return counters
+        self._store(key, result, persist=use_cache)
+        return result
 
     def run_many(
         self,
@@ -165,7 +197,7 @@ class Runner:
     ):
         """Run ``(workload, mode)`` points, optionally across processes.
 
-        Returns the :class:`RunCounters` list in input order. With ``jobs``
+        Returns the :class:`~repro.api.RunResult` list in input order. With ``jobs``
         > 1 the points are fanned out through the process-pool sweep
         executor (see :func:`repro.harness.parallel.run_sweep`); results are
         identical to the serial path — every point is an independent
@@ -290,6 +322,7 @@ class Runner:
             "des_sample": self.des_sample,
             "comm_sample": self.comm_sample,
             "engine": self.engine,
+            "trace_chunk": self.trace_chunk,
             "cache_dir": (
                 str(self.result_cache.directory)
                 if self.result_cache is not None
@@ -316,11 +349,20 @@ class Runner:
         return cls(result_cache=result_cache, telemetry=telemetry, **spec)
 
     def run_with_spec(self, workload, spec, include_init=True):
-        """Software PB at an explicit :class:`BinSpec` (bin-count sweeps)."""
-        counters = RunCounters(workload=workload.name, mode=f"pb@{spec.num_bins}")
-        for phase in workload.pb_phases(spec, include_init=include_init):
-            counters.phases.append(self._simulate_phase(workload, phase, None))
-        return counters
+        """Software PB at an explicit :class:`BinSpec` (bin-count sweeps).
+
+        Returns a :class:`~repro.api.RunResult` whose mode is the ad-hoc
+        string ``pb@<bins>`` (bin sweeps fall outside
+        :class:`~repro.harness.modes.ExecutionMode`).
+        """
+        return RunResult(
+            workload=workload.name,
+            mode=f"pb@{spec.num_bins}",
+            phases=tuple(
+                self._simulate_phase(workload, phase, None)
+                for phase in workload.pb_phases(spec, include_init=include_init)
+            ),
+        )
 
     # ------------------------------------------------------------------ #
     # Phase construction per mode
@@ -432,17 +474,32 @@ class Runner:
         total_events = phase.irregular_accesses
         trace_scale = getattr(phase, "trace_scale", 1.0)
 
+        engine = None
         if phase.segments:
-            lines, writes, sim_events = self._build_trace(phase, line_bytes)
+            arrays, flags, sim_events = self._trace_segments(phase, line_bytes)
             scale = (total_events / sim_events if sim_events else 1.0) * trace_scale
             reserved = phase.reserved_ways or (0, 0, 0)
             hierarchy = self._make_hierarchy(
                 machine.hierarchy.with_reserved(*reserved)
             )
+            engine = "batch" if isinstance(hierarchy, BatchHierarchy) else "fast"
             stream_lines_total = phase.streaming_bytes // line_bytes
-            irregular, streaming = self._simulate_interleaved(
-                hierarchy, lines, writes, stream_lines_total, total_events
-            )
+            chunk = self.trace_chunk_size()
+            if chunk:
+                irregular, streaming = self._simulate_chunked(
+                    hierarchy,
+                    arrays,
+                    flags,
+                    sim_events,
+                    stream_lines_total,
+                    total_events,
+                    chunk,
+                )
+            else:
+                lines, writes = _materialize_trace(arrays, flags)
+                irregular, streaming = self._simulate_interleaved(
+                    hierarchy, lines, writes, stream_lines_total, total_events
+                )
             irregular = _scaled(irregular, scale)
             streaming = _scaled(streaming, scale)
             if phase.coalesced_discount:
@@ -489,8 +546,10 @@ class Runner:
                 phase=phase.name,
                 workload=workload.name,
                 seconds=time.perf_counter() - wall_start,
+                engine=engine,
+                timing=timing.as_dict(),
             )
-        return PhaseCounters(
+        return PhaseResult(
             name=phase.name,
             instructions=int(phase.instructions),
             branches=phase.branches,
@@ -500,6 +559,7 @@ class Runner:
             streaming_bytes=phase.streaming_bytes,
             traffic=traffic,
             cycles=cycles,
+            engine=engine,
         )
 
     def _make_hierarchy(self, config):
@@ -513,58 +573,153 @@ class Runner:
             self.telemetry.emit("engine_selected", engine="fast")
         return FastHierarchy(config)
 
-    def _build_trace(self, phase, line_bytes):
-        """Interleave segments element-wise into (lines, writes) arrays."""
+    def trace_chunk_size(self):
+        """Irregular accesses per streamed chunk (0 = full materialization)."""
+        if self.trace_chunk is not None:
+            return int(self.trace_chunk)
+        env = os.environ.get(_TRACE_CHUNK_ENV)
+        if env is not None:
+            return int(env)
+        return DEFAULT_TRACE_CHUNK
+
+    def _trace_segments(self, phase, line_bytes):
+        """Per-segment line arrays + write flags, sampled to the budget.
+
+        Also places every region in a fresh address space and records the
+        first free line above it (``_stream_base``) for stream injection.
+        Returns ``(arrays, write_flags, sim_events)`` where ``sim_events``
+        is the length of the element-wise interleaved trace.
+        """
         space = AddressSpace(line_bytes)
         arrays = []
         flags = []
         budget = max(1, self.max_sim_events // len(phase.segments))
-        for segment in phase.segments:
-            region = segment.region
+        for region, indices, write in phase.sampled_segments(budget):
             if region.name not in space:
                 space.allocate(
                     region.name, region.element_bytes, region.num_elements
                 )
-            indices = segment.indices[:budget]
             arrays.append(space[region.name].lines_of(indices))
-            flags.append(bool(segment.write))
+            flags.append(write)
         shortest = min(len(a) for a in arrays)
-        if len(arrays) == 1:
-            lines = arrays[0]
-            writes = np.full(len(lines), flags[0])
-        else:
+        if len(arrays) > 1:
             arrays = [a[:shortest] for a in arrays]
-            lines = np.stack(arrays, axis=1).ravel()
-            writes = np.tile(np.asarray(flags, dtype=bool), shortest)
         # Streaming pressure is injected from a disjoint high region.
         self._stream_base = space.total_lines + 1
-        return np.ascontiguousarray(lines, dtype=np.int64), writes, len(lines)
+        sim_events = len(arrays[0]) if len(arrays) == 1 else shortest * len(arrays)
+        return arrays, flags, sim_events
 
-    def _interleaved_trace(self, lines, writes, stream_lines, total_events):
-        """Merge irregular accesses with uniformly injected stream lines.
+    def _build_trace(self, phase, line_bytes):
+        """Interleave segments element-wise into (lines, writes) arrays."""
+        arrays, flags, sim_events = self._trace_segments(phase, line_bytes)
+        lines, writes = _materialize_trace(arrays, flags)
+        return lines, writes, sim_events
 
-        Injection is integer-exact: after irregular access ``k`` (0-based)
-        the cumulative number of injected stream lines is
-        ``((k + 1) * stream_lines) // total_events`` — deterministic and
-        identical for the scalar and batched engines, where a float
-        accumulator would drift with evaluation order.
+    def _iter_trace_chunks(self, arrays, flags, chunk):
+        """Yield ``(lines, writes)`` slices of the interleaved trace.
+
+        Chunk boundaries fall on whole interleave rounds (one access per
+        segment), so concatenating the chunks reproduces
+        :func:`_materialize_trace` exactly.
+        """
+        width = len(arrays)
+        if width == 1:
+            lines = np.ascontiguousarray(arrays[0], dtype=np.int64)
+            for start in range(0, len(lines), chunk):
+                part = lines[start : start + chunk]
+                yield part, np.full(len(part), flags[0])
+            return
+        rounds = len(arrays[0])
+        per_chunk = max(1, chunk // width)
+        flag_row = np.asarray(flags, dtype=bool)
+        for start in range(0, rounds, per_chunk):
+            stop = min(rounds, start + per_chunk)
+            lines = np.stack([a[start:stop] for a in arrays], axis=1).ravel()
+            yield (
+                np.ascontiguousarray(lines, dtype=np.int64),
+                np.tile(flag_row, stop - start),
+            )
+
+    def _merge_chunk(self, lines, writes, stream_lines, total_events, offset):
+        """Inject stream lines into one trace chunk.
+
+        ``offset`` is the global index of the chunk's first irregular
+        access. Injection is integer-exact: after irregular access ``k``
+        (0-based, global) the cumulative number of injected stream lines is
+        ``((k + 1) * stream_lines) // total_events`` — deterministic,
+        identical for the scalar and batched engines (where a float
+        accumulator would drift with evaluation order), and sliceable, so
+        per-chunk merges concatenate to exactly the full merged trace.
         """
         n = lines.size
         if stream_lines <= 0 or total_events <= 0 or n == 0:
             return lines, writes, np.zeros(n, dtype=bool)
-        idx = np.arange(n, dtype=np.int64)
-        pos = idx + idx * stream_lines // total_events
-        total = n + int(n * stream_lines // total_events)
+        idx = np.arange(offset, offset + n, dtype=np.int64)
+        before = offset + offset * stream_lines // total_events
+        pos = idx + idx * stream_lines // total_events - before
+        end = offset + n
+        total = end + end * stream_lines // total_events - before
         merged_lines = np.empty(total, dtype=np.int64)
         merged_writes = np.zeros(total, dtype=bool)
         is_stream = np.ones(total, dtype=bool)
         is_stream[pos] = False
         merged_lines[pos] = lines
         merged_writes[pos] = writes
+        stream_before = offset * stream_lines // total_events
         merged_lines[is_stream] = self._stream_base + np.arange(
-            total - n, dtype=np.int64
+            stream_before, stream_before + (total - n), dtype=np.int64
         )
         return merged_lines, merged_writes, is_stream
+
+    def _interleaved_trace(self, lines, writes, stream_lines, total_events):
+        """Merge irregular accesses with uniformly injected stream lines."""
+        return self._merge_chunk(lines, writes, stream_lines, total_events, 0)
+
+    def _simulate_chunked(
+        self, hierarchy, arrays, flags, sim_events, stream_lines, total_events, chunk
+    ):
+        """Stream trace chunks through the hierarchy; O(chunk) peak memory.
+
+        Hierarchy state persists across ``simulate``/``access`` calls, so
+        per-chunk replay of the sliced merged trace is bit-identical to one
+        full-trace replay.
+        """
+        irregular = np.zeros(5, dtype=np.int64)
+        streaming = np.zeros(5, dtype=np.int64)
+        batched = isinstance(hierarchy, BatchHierarchy)
+        offset = 0
+        for lines, writes in self._iter_trace_chunks(arrays, flags, chunk):
+            merged_lines, merged_writes, is_stream = self._merge_chunk(
+                lines, writes, stream_lines, total_events, offset
+            )
+            offset += lines.size
+            if batched:
+                served = hierarchy.simulate(merged_lines, merged_writes)
+                irregular += np.bincount(served[~is_stream], minlength=5)
+                streaming += np.bincount(served[is_stream], minlength=5)
+            else:
+                access = hierarchy.access
+                for line, is_write, stream in zip(
+                    merged_lines.tolist(),
+                    merged_writes.tolist(),
+                    is_stream.tolist(),
+                ):
+                    bucket = streaming if stream else irregular
+                    bucket[access(line, is_write)] += 1
+        return (
+            ServiceCounts(
+                int(irregular[1]),
+                int(irregular[2]),
+                int(irregular[3]),
+                int(irregular[4]),
+            ),
+            ServiceCounts(
+                int(streaming[1]),
+                int(streaming[2]),
+                int(streaming[3]),
+                int(streaming[4]),
+            ),
+        )
 
     def _simulate_interleaved(
         self, hierarchy, lines, writes, stream_lines, total_events
@@ -612,6 +767,17 @@ class Runner:
         result = EvictionBufferModel(des_config).run(sample)
         self._cache[key] = result.stall_fraction
         return result.stall_fraction
+
+
+def _materialize_trace(arrays, flags):
+    """Element-wise interleave of pre-sampled segment arrays (full build)."""
+    if len(arrays) == 1:
+        lines = arrays[0]
+        writes = np.full(len(lines), flags[0])
+    else:
+        lines = np.stack(arrays, axis=1).ravel()
+        writes = np.tile(np.asarray(flags, dtype=bool), len(arrays[0]))
+    return np.ascontiguousarray(lines, dtype=np.int64), writes
 
 
 def _scaled(counts: ServiceCounts, scale: float) -> ServiceCounts:

@@ -115,6 +115,19 @@ class PhaseSpec:
         """Total irregular accesses across segments."""
         return sum(len(segment.indices) for segment in self.segments)
 
+    def sampled_segments(self, budget):
+        """Per-segment ``(region, indices, write)`` truncated to ``budget``.
+
+        This is the sampling contract shared by the runner's full and
+        chunked trace pipelines: both consume exactly these index arrays,
+        which keeps their interleavings (and therefore their counters)
+        bit-identical.
+        """
+        return [
+            (segment.region, segment.indices[:budget], bool(segment.write))
+            for segment in self.segments
+        ]
+
 
 class Workload:
     """Base class: subclasses provide the update stream and cost knobs.

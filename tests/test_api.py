@@ -7,6 +7,7 @@ import pytest
 import repro
 
 PACKAGES = [
+    "repro.api",
     "repro.baselines",
     "repro.cache",
     "repro.core",
