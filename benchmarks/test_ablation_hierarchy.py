@@ -8,10 +8,10 @@ LLC access per tuple. This bench quantifies what the hierarchy buys.
 """
 
 from repro.core import costs
+from repro.harness import modes
 from repro.harness.experiments.common import ExperimentResult
 from repro.harness.inputs import make_workload
 from repro.harness.report import format_table
-from repro.harness import modes
 from repro.workloads.base import PhaseSpec, RegionSpec, Segment
 
 

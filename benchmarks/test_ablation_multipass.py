@@ -8,8 +8,6 @@ bench compares Binning to the accumulate-optimal bin count three ways:
 single-pass software PB, two-pass software partitioning, and COBRA.
 """
 
-import math
-
 from repro.harness import modes
 from repro.harness.experiments.common import ExperimentResult
 from repro.harness.inputs import make_workload

@@ -1,6 +1,5 @@
 """Figure 13a benchmark: eviction-buffer sizing via the DES model."""
 
-from repro.des import littles_law_queue_estimate
 from repro.harness.experiments import fig13
 
 

@@ -1,0 +1,106 @@
+"""``repro.analysis`` — determinism & digest-purity static analysis.
+
+The ``repro lint`` subcommand (and CI gate) runs six repo-specific AST
+checkers over the checkout: unseeded randomness, result-digest purity,
+the ``REPRO_*`` knob registry, vector/scalar backend pairing,
+nondeterminism hazards, and process-pool worker safety. See
+:mod:`repro.analysis.rules` for the rule set and
+:mod:`repro.analysis.core` for suppression (``# repro: noqa[rule]``) and
+baseline semantics.
+
+Programmatic entry point::
+
+    from repro.analysis import run_lint
+    report = run_lint()            # lints the enclosing checkout
+    assert not report.new_findings
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.analysis.core import (
+    BASELINE_NAME,
+    Finding,
+    LintContext,
+    SourceError,
+    baseline_identities,
+    filter_suppressed,
+    find_root,
+    load_baseline,
+    sort_findings,
+    write_baseline,
+)
+from repro.analysis.rules import RULE_IDS, RULES, Rule
+
+__all__ = [
+    "BASELINE_NAME",
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "RULES",
+    "RULE_IDS",
+    "Rule",
+    "SourceError",
+    "find_root",
+    "run_lint",
+    "write_baseline",
+]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint pass over a checkout."""
+
+    root: Path
+    #: Active findings (suppressions already applied), sorted.
+    findings: List[Finding]
+    #: Findings silenced by ``# repro: noqa`` markers, sorted.
+    suppressed: List[Finding]
+    #: Committed-baseline entries loaded from ``lint_baseline.json``.
+    baseline: List[dict] = field(default_factory=list)
+
+    @property
+    def new_findings(self) -> List[Finding]:
+        """Findings not excused by the committed baseline."""
+        known = baseline_identities(self.baseline)
+        return [f for f in self.findings if f.identity not in known]
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_findings
+
+    def as_dict(self) -> dict:
+        """Machine-readable report (the ``repro lint --json`` payload)."""
+        return {
+            "root": str(self.root),
+            "rules": list(RULE_IDS),
+            "findings": [f.as_dict() for f in self.findings],
+            "new_findings": [f.as_dict() for f in self.new_findings],
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.findings) - len(self.new_findings),
+            "ok": self.ok,
+        }
+
+
+def run_lint(root: Optional[Union[str, Path]] = None) -> LintReport:
+    """Run every registered rule over the checkout at ``root``.
+
+    ``root`` defaults to the checkout enclosing the current directory (or,
+    failing that, the installed package). Suppressions are applied;
+    baseline comparison is exposed via :attr:`LintReport.new_findings`.
+    """
+    resolved = find_root(Path(root) if root is not None else None)
+    ctx = LintContext(resolved)
+    raw: List[Finding] = []
+    for rule in RULES:
+        raw.extend(rule.check(ctx))
+    active, suppressed = filter_suppressed(ctx, raw)
+    return LintReport(
+        root=resolved,
+        findings=sort_findings(active),
+        suppressed=sort_findings(suppressed),
+        baseline=load_baseline(resolved),
+    )

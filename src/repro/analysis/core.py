@@ -1,0 +1,342 @@
+"""Core machinery of the ``repro lint`` static-analysis pass.
+
+The analyzer is *purely static*: it parses the target tree's sources with
+:mod:`ast` and never imports them, so it can lint any checkout (including
+the test fixtures' synthetic mini-trees) without executing repo code.
+
+A :class:`LintContext` holds the parsed tree — every ``src/repro`` module,
+the test-suite sources as text (rules cross-reference equivalence tests),
+and EXPERIMENTS.md (the knob-registry rule cross-checks documentation).
+Rules are callables ``rule(ctx) -> iterable[Finding]`` registered in
+:data:`repro.analysis.rules.RULES`.
+
+Suppression
+-----------
+A finding is suppressed by a trailing marker on the flagged line::
+
+    ts = time.time()  # repro: noqa[nondet] journal metadata, never digested
+
+or by a comment-only marker line, which suppresses the next code line
+(room for a longer justification)::
+
+    # repro: noqa[nondet] journal timestamp is observability metadata;
+    # resume splices only "counters", verified by digest
+    ts = time.time()
+
+``# repro: noqa`` (no rule list) suppresses every rule on that line. The
+justification text after the bracket is free-form but encouraged; the
+allowlists (:mod:`repro.analysis.digest_exempt`) require one.
+
+Baseline
+--------
+``repro lint`` compares findings against a committed baseline file
+(``lint_baseline.json`` at the repo root) and fails only on *new*
+findings, so the gate can be adopted on an imperfect tree and ratcheted.
+Baseline identity is ``(rule, path, message)`` — deliberately
+line-number-free so unrelated edits do not churn the file.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BASELINE_NAME",
+    "Finding",
+    "LintContext",
+    "SourceFile",
+    "SourceError",
+    "baseline_identities",
+    "find_root",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Committed baseline file, at the linted tree's root.
+BASELINE_NAME = "lint_baseline.json"
+
+#: Baseline schema version.
+BASELINE_VERSION = 1
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[^\]]*)\])?", re.IGNORECASE
+)
+
+
+class SourceError(RuntimeError):
+    """A target-tree source file failed to parse."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str  # posix path relative to the linted root
+    line: int
+    message: str
+    hint: str = ""
+
+    @property
+    def identity(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable across line drift."""
+        return (self.rule, self.path, self.message)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python source of the linted tree."""
+
+    path: Path
+    rel: str  # posix, relative to the linted root
+    text: str
+    tree: ast.Module
+    #: line number -> None (bare noqa: all rules) or a set of rule ids.
+    noqa: Dict[int, Optional[frozenset]] = field(default_factory=dict)
+
+    @property
+    def lines(self) -> List[str]:
+        return self.text.splitlines()
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        if line not in self.noqa:
+            return False
+        rules = self.noqa[line]
+        return rules is None or rule in rules
+
+    #: Module-level ``NAME = "literal"`` string constants (used to resolve
+    #: indirected knob names like ``_BACKEND_ENV = "REPRO_..."``).
+    def string_constants(self) -> Dict[str, str]:
+        consts: Dict[str, str] = {}
+        for node in self.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        consts[target.id] = node.value.value
+        return consts
+
+
+def _merge_rules(
+    table: Dict[int, Optional[frozenset]],
+    lineno: int,
+    rules: Optional[frozenset],
+) -> None:
+    if rules is None or table.get(lineno, frozenset()) is None:
+        table[lineno] = None
+    else:
+        table[lineno] = table.get(lineno, frozenset()) | rules
+
+
+def _parse_noqa(text: str) -> Dict[int, Optional[frozenset]]:
+    table: Dict[int, Optional[frozenset]] = {}
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if "repro" not in line or "noqa" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        rules_text = match.group("rules")
+        if rules_text is None:
+            rules: Optional[frozenset] = None
+        else:
+            names = frozenset(
+                name.strip() for name in rules_text.split(",") if name.strip()
+            )
+            # ``# repro: noqa[]`` suppresses nothing (likely a typo); keep
+            # it out of the table so the finding still fires.
+            if not names:
+                continue
+            rules = names
+        _merge_rules(table, lineno, rules)
+        # A comment-only marker also covers the next code line, so long
+        # justifications can live above the flagged statement.
+        if line.strip().startswith("#"):
+            for offset, following in enumerate(lines[lineno:], start=1):
+                stripped = following.strip()
+                if stripped and not stripped.startswith("#"):
+                    _merge_rules(table, lineno + offset, rules)
+                    break
+    return table
+
+
+class LintContext:
+    """Parsed view of one checkout, shared by every rule."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root).resolve()
+        self.package_dir = self.root / "src" / "repro"
+        self.files: Dict[str, SourceFile] = {}
+        self.test_texts: Dict[str, str] = {}
+        self.experiments_text = ""
+        self._load()
+
+    def _load(self) -> None:
+        if not self.package_dir.is_dir():
+            raise SourceError(
+                f"{self.root} has no src/repro package to lint "
+                "(pass --root at a checkout root)"
+            )
+        for path in sorted(self.package_dir.rglob("*.py")):
+            rel = path.relative_to(self.root).as_posix()
+            text = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(text, filename=str(path))
+            except SyntaxError as exc:
+                raise SourceError(f"{rel}: {exc}") from exc
+            self.files[rel] = SourceFile(
+                path=path,
+                rel=rel,
+                text=text,
+                tree=tree,
+                noqa=_parse_noqa(text),
+            )
+        tests_dir = self.root / "tests"
+        if tests_dir.is_dir():
+            for path in sorted(tests_dir.rglob("*.py")):
+                rel = path.relative_to(self.root).as_posix()
+                self.test_texts[rel] = path.read_text(encoding="utf-8")
+        experiments = self.root / "EXPERIMENTS.md"
+        if experiments.is_file():
+            self.experiments_text = experiments.read_text(encoding="utf-8")
+
+    # -------------------------------------------------------------- #
+    # Lookup helpers for rules
+    # -------------------------------------------------------------- #
+
+    def module(self, rel: str) -> Optional[SourceFile]:
+        """The source at ``src/repro/<rel>``, or None if absent."""
+        return self.files.get(f"src/repro/{rel}")
+
+    def package_files(
+        self, subpackages: Optional[Sequence[str]] = None
+    ) -> List[SourceFile]:
+        """Package sources, optionally restricted to named subpackages."""
+        if subpackages is None:
+            return list(self.files.values())
+        prefixes = tuple(f"src/repro/{name}/" for name in subpackages)
+        return [
+            source
+            for rel, source in self.files.items()
+            if rel.startswith(prefixes)
+        ]
+
+    def tests_mentioning(self, *needles: str) -> List[str]:
+        """Test files whose text contains every needle."""
+        return [
+            rel
+            for rel, text in self.test_texts.items()
+            if all(needle in text for needle in needles)
+        ]
+
+
+def filter_suppressed(
+    ctx: LintContext, findings: Iterable[Finding]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (active, suppressed) using per-line noqa."""
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        source = ctx.files.get(finding.path)
+        if source is not None and source.suppresses(finding.line, finding.rule):
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    return active, suppressed
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))
+
+
+# ------------------------------------------------------------------ #
+# Root discovery + baseline IO
+# ------------------------------------------------------------------ #
+
+
+def find_root(start: Optional[Path] = None) -> Path:
+    """Locate the checkout root: the nearest ancestor of ``start`` (or the
+    package source) holding ``src/repro``."""
+    candidates = []
+    if start is not None:
+        candidates.append(Path(start).resolve())
+    else:
+        candidates.append(Path.cwd().resolve())
+        # Fall back to the installed package's checkout, if it is one.
+        candidates.append(Path(__file__).resolve())
+    for candidate in candidates:
+        node = candidate
+        while True:
+            if (node / "src" / "repro").is_dir():
+                return node
+            if node.parent == node:
+                break
+            node = node.parent
+    raise SourceError(
+        "cannot locate a repro checkout (no src/repro in any parent "
+        "directory); pass --root explicitly"
+    )
+
+
+def baseline_path(root: Path) -> Path:
+    return Path(root) / BASELINE_NAME
+
+
+def load_baseline(root: Path) -> List[dict]:
+    """The committed baseline entries (empty when the file is absent)."""
+    path = baseline_path(root)
+    if not path.is_file():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported lint baseline version {payload.get('version')!r}"
+        )
+    findings = payload.get("findings")
+    if not isinstance(findings, list):
+        raise ValueError("lint baseline must hold a 'findings' list")
+    return findings
+
+
+def baseline_identities(entries: Iterable[dict]) -> set:
+    return {
+        (entry["rule"], entry["path"], entry["message"]) for entry in entries
+    }
+
+
+def write_baseline(root: Path, findings: Sequence[Finding]) -> Path:
+    """(Re)write the committed baseline from the current findings."""
+    path = baseline_path(root)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in sort_findings(findings)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,75 @@
+"""Implementation of the ``repro lint`` CLI subcommand.
+
+Kept out of :mod:`repro.cli` so the top-level parser module stays thin;
+:func:`main` receives the parsed ``argparse`` namespace and a print
+function (the CLI test seam used across the repo).
+
+Exit codes: 0 — no findings beyond the committed baseline (or baseline
+successfully written); 1 — new findings; 2 — the tree could not be
+analyzed (no checkout, syntax error, corrupt baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Callable
+
+from repro.analysis import (
+    BASELINE_NAME,
+    RULES,
+    SourceError,
+    run_lint,
+    write_baseline,
+)
+
+__all__ = ["main"]
+
+
+def main(
+    args: argparse.Namespace, print_fn: Callable[..., Any] = print
+) -> int:
+    """Run the lint pass per the parsed CLI ``args``; returns exit code."""
+    try:
+        report = run_lint(args.root)
+    except (SourceError, ValueError) as exc:
+        print_fn(f"repro lint: {exc}")
+        return 2
+
+    if args.baseline == "write":
+        path = write_baseline(report.root, report.findings)
+        print_fn(
+            f"wrote {len(report.findings)} finding(s) to {path} "
+            f"({len(report.suppressed)} suppressed)"
+        )
+        return 0
+
+    if args.json:
+        print_fn(json.dumps(report.as_dict(), indent=2))
+        return 0 if report.ok else 1
+
+    new = report.new_findings
+    baselined = len(report.findings) - len(new)
+    for finding in new:
+        print_fn(finding.format())
+    if args.verbose:
+        known = {f.identity for f in new}
+        for finding in report.findings:
+            if finding.identity not in known:
+                print_fn(f"(baselined) {finding.format()}")
+        for finding in report.suppressed:
+            print_fn(f"(suppressed) {finding.format()}")
+    summary = (
+        f"repro lint: {len(new)} new finding(s), {baselined} baselined, "
+        f"{len(report.suppressed)} suppressed "
+        f"({len(RULES)} rules over {report.root})"
+    )
+    print_fn(summary)
+    if new:
+        print_fn(
+            f"fix the findings, suppress with '# repro: noqa[rule]', or "
+            f"re-baseline with 'repro lint --baseline write' "
+            f"(updates {BASELINE_NAME})"
+        )
+        return 1
+    return 0

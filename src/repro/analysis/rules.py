@@ -1,0 +1,913 @@
+"""The ``repro lint`` rule set: six repo-specific determinism checkers.
+
+Each rule is a callable ``rule(ctx) -> iterable[Finding]`` over a parsed
+:class:`~repro.analysis.core.LintContext`. Rules encode the reproduction
+invariants PRs 1–4 established informally:
+
+``unseeded-random``
+    Module-level randomness in simulation packages must flow from an
+    explicitly seeded generator.
+``digest-purity``
+    Runner/machine configuration and env knobs must be digested or
+    allowlisted in :mod:`repro.analysis.digest_exempt` with justification.
+``knob-registry``
+    Every ``REPRO_*`` environment read goes through
+    :mod:`repro.harness.knobs` and is documented in EXPERIMENTS.md.
+``backend-pairing``
+    Vector kernels keep their scalar reference path and an equivalence
+    test referencing both.
+``nondet``
+    Nondeterminism hazards: mutable default arguments, wall-clock in
+    digest/journal modules, float equality on counters, bare set
+    iteration, ``id()``-keyed caches.
+``worker-safety``
+    Process-pool submissions take module-level, lambda-free functions;
+    only documented initializer hooks may touch process-global state.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.analysis.core import Finding, LintContext, SourceFile
+
+__all__ = ["Rule", "RULES", "RULE_IDS"]
+
+#: Both function-definition node flavours (rules treat them alike).
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Simulation subpackages where module-level randomness is forbidden.
+RANDOM_CHECKED_PACKAGES = (
+    "cache",
+    "cpu",
+    "core",
+    "pb",
+    "sparse",
+    "dram",
+    "noc",
+    "des",
+    "graphs",
+    "workloads",
+)
+
+#: Seeded-generator constructors: fine *with* an explicit seed argument.
+_SEEDED_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+    "random.Random",
+}
+
+#: Modules on digest/journal paths where wall-clock reads are hazards.
+_CLOCK_SENSITIVE_MODULES = (
+    "src/repro/harness/resultcache.py",
+    "src/repro/harness/checkpoint.py",
+    "src/repro/harness/telemetry.py",
+)
+
+#: Float-valued counter attributes that must never be compared with ==.
+_FLOAT_COUNTER_ATTRS = frozenset(
+    {
+        "cycles",
+        "total_cycles",
+        "branch_mispredicts",
+        "stall_fraction",
+        "coherence_cycles",
+        "parallel_cycles",
+        "single_core_cycles",
+    }
+)
+
+#: Cross-module vector/scalar engine pairs (module, vector class,
+#: scalar module, scalar class).
+_BACKEND_PAIRS = (
+    ("cache/batchsim.py", "BatchHierarchy", "cache/fastsim.py", "FastHierarchy"),
+)
+
+#: Initializer hooks documented as the one sanctioned way to reset
+#: per-process global state in pool workers.
+_RESET_HOOK_SUFFIXES = ("_worker_init",)
+
+
+# ------------------------------------------------------------------ #
+# Shared AST helpers
+# ------------------------------------------------------------------ #
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _alias_map(tree: ast.Module) -> Dict[str, str]:
+    """Import alias -> fully qualified name, for the whole module."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def _qualified(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Fully qualified dotted name of a call target, alias-resolved."""
+    dotted = _dotted(node)
+    if dotted is None:
+        return None
+    first, _, rest = dotted.partition(".")
+    if first in aliases:
+        resolved = aliases[first]
+        return f"{resolved}.{rest}" if rest else resolved
+    return dotted
+
+
+def _str_arg(
+    call: ast.Call, consts: Dict[str, str], index: int = 0
+) -> Optional[str]:
+    """The call's ``index``-th positional argument as a string, resolving
+    module-level string constants."""
+    if len(call.args) <= index:
+        return None
+    arg = call.args[index]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.Name):
+        return consts.get(arg.id)
+    return None
+
+
+@dataclass(frozen=True)
+class EnvRead:
+    """One environment-variable read site found in the tree."""
+
+    source: SourceFile
+    line: int
+    name: Optional[str]  # resolved variable name, None if dynamic
+    via: str  # "os" (raw read) or "knobs" (registry read)
+
+
+def _env_reads(ctx: LintContext) -> List[EnvRead]:
+    """Every ``os.environ``/``os.getenv``/knob-registry read in the tree."""
+    reads: List[EnvRead] = []
+    for source in ctx.package_files():
+        aliases = _alias_map(source.tree)
+        consts = source.string_constants()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                target = _qualified(node.func, aliases)
+                if target in ("os.environ.get", "os.getenv"):
+                    reads.append(
+                        EnvRead(
+                            source,
+                            node.lineno,
+                            _str_arg(node, consts),
+                            "os",
+                        )
+                    )
+                elif target is not None and (
+                    target.endswith("knobs.read") or target.endswith("knobs.get")
+                ):
+                    reads.append(
+                        EnvRead(
+                            source,
+                            node.lineno,
+                            _str_arg(node, consts),
+                            "knobs",
+                        )
+                    )
+            elif isinstance(node, ast.Subscript):
+                if _qualified(node.value, aliases) == "os.environ":
+                    name = None
+                    if isinstance(node.slice, ast.Constant) and isinstance(
+                        node.slice.value, str
+                    ):
+                        name = node.slice.value
+                    elif isinstance(node.slice, ast.Name):
+                        name = consts.get(node.slice.id)
+                    reads.append(EnvRead(source, node.lineno, name, "os"))
+    return reads
+
+
+def _registered_knobs(ctx: LintContext) -> Dict[str, int]:
+    """Knob names declared in the tree's ``harness/knobs.py`` -> line."""
+    source = ctx.module("harness/knobs.py")
+    if source is None:
+        return {}
+    names: Dict[str, int] = {}
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _dotted(node.func)
+        if callee is None or callee.split(".")[-1] not in ("Knob", "_knob"):
+            continue
+        name: Optional[str] = None
+        first = node.args[0] if node.args else None
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            name = first.value
+        for keyword in node.keywords:
+            if keyword.arg == "name" and isinstance(keyword.value, ast.Constant):
+                if isinstance(keyword.value.value, str):
+                    name = keyword.value.value
+        if name is not None:
+            names[name] = node.lineno
+    return names
+
+
+def _class_methods(klass: ast.ClassDef) -> Dict[str, FuncDef]:
+    return {
+        stmt.name: stmt
+        for stmt in klass.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _init_params(klass: ast.ClassDef) -> Tuple[List[str], int]:
+    """``__init__`` parameter names (minus self) and its line number."""
+    init = _class_methods(klass).get("__init__")
+    if init is None:
+        return [], klass.lineno
+    args = init.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    return [name for name in names if name != "self"], init.lineno
+
+
+# ------------------------------------------------------------------ #
+# Rule 1: unseeded-random
+# ------------------------------------------------------------------ #
+
+
+def check_unseeded_random(ctx: LintContext) -> Iterator[Finding]:
+    hint = (
+        "thread an explicitly seeded generator through the call site "
+        "(np.random.default_rng(seed) / random.Random(seed)); "
+        "module-level randomness breaks bit-identical reproduction"
+    )
+    for source in ctx.package_files(RANDOM_CHECKED_PACKAGES):
+        aliases = _alias_map(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _qualified(node.func, aliases)
+            if target is None:
+                continue
+            stdlib_random = target.startswith("random.")
+            numpy_random = target.startswith("numpy.random.")
+            if not (stdlib_random or numpy_random):
+                continue
+            if target in _SEEDED_CONSTRUCTORS:
+                if node.args or any(k.arg == "seed" for k in node.keywords):
+                    continue
+                yield Finding(
+                    rule="unseeded-random",
+                    path=source.rel,
+                    line=node.lineno,
+                    message=f"{target}() constructed without an explicit seed",
+                    hint=hint,
+                )
+                continue
+            yield Finding(
+                rule="unseeded-random",
+                path=source.rel,
+                line=node.lineno,
+                message=(
+                    f"call to {target} uses module-level random state"
+                ),
+                hint=hint,
+            )
+
+
+# ------------------------------------------------------------------ #
+# Rule 2: digest-purity
+# ------------------------------------------------------------------ #
+
+
+def _digest_exempt_entries(
+    ctx: LintContext,
+) -> Tuple[Dict[str, Tuple[int, str]], List[Finding]]:
+    """Parse the tree's allowlist: key -> (line, justification)."""
+    source = ctx.module("analysis/digest_exempt.py")
+    if source is None:
+        return {}, []
+    entries: Dict[str, Tuple[int, str]] = {}
+    findings: List[Finding] = []
+    for node in source.tree.body:
+        if not (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "DIGEST_EXEMPT"
+                for t in node.targets
+            )
+        ):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            findings.append(
+                Finding(
+                    rule="digest-purity",
+                    path=source.rel,
+                    line=node.lineno,
+                    message="DIGEST_EXEMPT must be a literal dict "
+                    "(the analyzer parses it statically)",
+                )
+            )
+            continue
+        for key, value in zip(node.value.keys, node.value.values):
+            if not (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                findings.append(
+                    Finding(
+                        rule="digest-purity",
+                        path=source.rel,
+                        line=(key or node).lineno,
+                        message="DIGEST_EXEMPT entries must be literal "
+                        "string -> string pairs",
+                    )
+                )
+                continue
+            entries[key.value] = (key.lineno, value.value)
+            if not value.value.strip():
+                findings.append(
+                    Finding(
+                        rule="digest-purity",
+                        path=source.rel,
+                        line=key.lineno,
+                        message=(
+                            f"allowlist entry {key.value!r} has an empty "
+                            "justification"
+                        ),
+                        hint="say why the state cannot change counters "
+                        "(cite the equivalence test)",
+                    )
+                )
+    return entries, findings
+
+
+def _digest_keys(runner_class: ast.ClassDef) -> set:
+    """String keys of the dict ``_digest_params`` returns."""
+    keys = set()
+    method = _class_methods(runner_class).get("_digest_params")
+    if method is None:
+        return keys
+    for node in ast.walk(method):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+    return keys
+
+
+def check_digest_purity(ctx: LintContext) -> Iterator[Finding]:
+    exempt, parse_findings = _digest_exempt_entries(ctx)
+    yield from parse_findings
+
+    runner_params: List[str] = []
+    runner_src = ctx.module("harness/runner.py")
+    if runner_src is not None:
+        for node in runner_src.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == "Runner":
+                params, line = _init_params(node)
+                runner_params = params
+                digested = _digest_keys(node) | {"machine"}
+                for param in params:
+                    if param in digested:
+                        continue
+                    if f"Runner.{param}" in exempt:
+                        continue
+                    yield Finding(
+                        rule="digest-purity",
+                        path=runner_src.rel,
+                        line=line,
+                        message=(
+                            f"Runner parameter {param!r} is neither part of "
+                            "the run_digest serialization nor allowlisted "
+                            "in analysis/digest_exempt.py"
+                        ),
+                        hint="add it to _digest_params() if it can change "
+                        "counters, or register it with a justification",
+                    )
+
+    machine_src = ctx.module("harness/machine.py")
+    if machine_src is not None:
+        for node in machine_src.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == "MachineConfig":
+                decorated = any(
+                    (_dotted(d) or _dotted(getattr(d, "func", ast.Pass())))
+                    in ("dataclass", "dataclasses.dataclass")
+                    for d in node.decorator_list
+                )
+                if not decorated:
+                    yield Finding(
+                        rule="digest-purity",
+                        path=machine_src.rel,
+                        line=node.lineno,
+                        message=(
+                            "MachineConfig is not a dataclass: run_digest "
+                            "serializes the machine with dataclasses.asdict, "
+                            "so ad-hoc attributes would silently escape the "
+                            "digest"
+                        ),
+                    )
+
+    registry = _registered_knobs(ctx)
+    seen_knobs = set()
+    for read in _env_reads(ctx):
+        name = read.name
+        if name is None or not name.startswith("REPRO_"):
+            continue
+        seen_knobs.add(name)
+        if read.source.rel == "src/repro/harness/knobs.py":
+            continue
+        if name not in exempt:
+            yield Finding(
+                rule="digest-purity",
+                path=read.source.rel,
+                line=read.line,
+                message=(
+                    f"environment knob {name!r} is read but not "
+                    "digest-allowlisted in analysis/digest_exempt.py"
+                ),
+                hint="knobs must provably not change counters; register "
+                "the knob with a justification citing its equivalence test",
+            )
+
+    exempt_src = ctx.module("analysis/digest_exempt.py")
+    if exempt_src is None:
+        return
+    for key, (line, _justification) in exempt.items():
+        if key.startswith("Runner."):
+            if runner_src is not None and key[len("Runner."):] not in runner_params:
+                yield Finding(
+                    rule="digest-purity",
+                    path=exempt_src.rel,
+                    line=line,
+                    message=f"stale allowlist entry {key!r}: no such "
+                    "Runner parameter",
+                )
+        elif key.startswith("REPRO_"):
+            if key not in seen_knobs and key not in registry:
+                yield Finding(
+                    rule="digest-purity",
+                    path=exempt_src.rel,
+                    line=line,
+                    message=f"stale allowlist entry {key!r}: the knob is "
+                    "neither read nor registered anywhere",
+                )
+        else:
+            yield Finding(
+                rule="digest-purity",
+                path=exempt_src.rel,
+                line=line,
+                message=(
+                    f"allowlist key {key!r} is neither 'Runner.<param>' "
+                    "nor a 'REPRO_*' knob name"
+                ),
+            )
+
+
+# ------------------------------------------------------------------ #
+# Rule 3: knob-registry
+# ------------------------------------------------------------------ #
+
+
+def check_knob_registry(ctx: LintContext) -> Iterator[Finding]:
+    registry = _registered_knobs(ctx)
+    documented = ctx.experiments_text
+    for read in _env_reads(ctx):
+        name = read.name
+        if name is None or not name.startswith("REPRO_"):
+            continue
+        if read.source.rel == "src/repro/harness/knobs.py":
+            continue
+        if read.via == "os":
+            yield Finding(
+                rule="knob-registry",
+                path=read.source.rel,
+                line=read.line,
+                message=(
+                    f"raw environment read of {name!r} outside the knob "
+                    "registry"
+                ),
+                hint="read it through repro.harness.knobs.read(...) so the "
+                "registry stays the single source of truth",
+            )
+        if name not in registry:
+            yield Finding(
+                rule="knob-registry",
+                path=read.source.rel,
+                line=read.line,
+                message=(
+                    f"environment knob {name!r} is not registered in "
+                    "harness/knobs.py"
+                ),
+                hint="declare it in the KNOBS registry with a default and "
+                "a one-line contract",
+            )
+        elif name not in documented:
+            yield Finding(
+                rule="knob-registry",
+                path=read.source.rel,
+                line=read.line,
+                message=(
+                    f"environment knob {name!r} is not documented in "
+                    "EXPERIMENTS.md"
+                ),
+                hint="add it to the environment-knob table",
+            )
+    knobs_src = ctx.module("harness/knobs.py")
+    if knobs_src is None:
+        return
+    for name, line in registry.items():
+        if name not in documented:
+            yield Finding(
+                rule="knob-registry",
+                path=knobs_src.rel,
+                line=line,
+                message=(
+                    f"registered knob {name!r} is not documented in "
+                    "EXPERIMENTS.md"
+                ),
+                hint="add it to the environment-knob table",
+            )
+
+
+# ------------------------------------------------------------------ #
+# Rule 4: backend-pairing
+# ------------------------------------------------------------------ #
+
+
+def check_backend_pairing(ctx: LintContext) -> Iterator[Finding]:
+    for source in ctx.package_files():
+        for node in source.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = _class_methods(node)
+            if "simulate_array" not in methods:
+                continue
+            vector = methods["simulate_array"]
+            if "simulate" not in methods:
+                yield Finding(
+                    rule="backend-pairing",
+                    path=source.rel,
+                    line=vector.lineno,
+                    message=(
+                        f"{node.name}.simulate_array has no scalar "
+                        "reference path ({0}.simulate)".format(node.name)
+                    ),
+                    hint="keep the scalar loop as the oracle; digest "
+                    "purity rests on the engines being interchangeable",
+                )
+                continue
+            tests = [
+                rel
+                for rel in ctx.tests_mentioning(node.name, "simulate_array")
+                if ".simulate(" in ctx.test_texts[rel]
+            ]
+            if not tests:
+                yield Finding(
+                    rule="backend-pairing",
+                    path=source.rel,
+                    line=vector.lineno,
+                    message=(
+                        f"no test under tests/ exercises both "
+                        f"{node.name}.simulate_array and {node.name}"
+                        ".simulate (equivalence is unasserted)"
+                    ),
+                    hint="add an equivalence test that replays one stream "
+                    "through both paths and asserts identical output",
+                )
+    for module_rel, vector_cls, scalar_rel, scalar_cls in _BACKEND_PAIRS:
+        source = ctx.module(module_rel)
+        if source is None:
+            continue
+        class_names = {
+            node.name
+            for node in source.tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+        if vector_cls not in class_names:
+            continue
+        line = next(
+            node.lineno
+            for node in source.tree.body
+            if isinstance(node, ast.ClassDef) and node.name == vector_cls
+        )
+        scalar_src = ctx.module(scalar_rel)
+        scalar_names = (
+            {
+                node.name
+                for node in scalar_src.tree.body
+                if isinstance(node, ast.ClassDef)
+            }
+            if scalar_src is not None
+            else set()
+        )
+        if scalar_cls not in scalar_names:
+            yield Finding(
+                rule="backend-pairing",
+                path=source.rel,
+                line=line,
+                message=(
+                    f"vector backend {vector_cls} lost its scalar "
+                    f"reference engine {scalar_cls} ({scalar_rel})"
+                ),
+            )
+            continue
+        if not ctx.tests_mentioning(vector_cls, scalar_cls):
+            yield Finding(
+                rule="backend-pairing",
+                path=source.rel,
+                line=line,
+                message=(
+                    f"no test under tests/ references both {vector_cls} "
+                    f"and {scalar_cls} (engine equivalence is unasserted)"
+                ),
+                hint="add an equivalence test replaying one trace through "
+                "both engines and asserting identical counters",
+            )
+
+
+# ------------------------------------------------------------------ #
+# Rule 5: nondet hazards
+# ------------------------------------------------------------------ #
+
+
+def _mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        callee = _dotted(node.func)
+        return callee in ("list", "dict", "set", "bytearray")
+    return False
+
+
+def check_nondet(ctx: LintContext) -> Iterator[Finding]:
+    for source in ctx.package_files():
+        aliases = _alias_map(source.tree)
+        clock_sensitive = source.rel in _CLOCK_SENSITIVE_MODULES
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _mutable_default(default):
+                        yield Finding(
+                            rule="nondet",
+                            path=source.rel,
+                            line=default.lineno,
+                            message=(
+                                f"mutable default argument in "
+                                f"{node.name}() is shared across calls"
+                            ),
+                            hint="default to None and initialize inside "
+                            "the function (or use an immutable tuple/"
+                            "frozenset)",
+                        )
+            elif isinstance(node, ast.Call):
+                target = _qualified(node.func, aliases)
+                if clock_sensitive and target == "time.time":
+                    yield Finding(
+                        rule="nondet",
+                        path=source.rel,
+                        line=node.lineno,
+                        message=(
+                            "wall-clock time.time() in a digest/journal "
+                            "module"
+                        ),
+                        hint="timestamps must never reach digested "
+                        "payloads; if this is observability metadata "
+                        "only, suppress with a justification",
+                    )
+                elif target == "id" and not node.keywords and len(node.args) == 1:
+                    yield Finding(
+                        rule="nondet",
+                        path=source.rel,
+                        line=node.lineno,
+                        message=(
+                            "id() used as identity: CPython reuses "
+                            "addresses after collection, so id-keyed "
+                            "state can silently alias distinct objects"
+                        ),
+                        hint="key caches/memos by content (hash the "
+                        "bytes) or by a stable identifier",
+                    )
+            elif isinstance(node, ast.Compare):
+                if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                    continue
+                for side in [node.left] + list(node.comparators):
+                    if (
+                        isinstance(side, ast.Attribute)
+                        and side.attr in _FLOAT_COUNTER_ATTRS
+                    ):
+                        yield Finding(
+                            rule="nondet",
+                            path=source.rel,
+                            line=node.lineno,
+                            message=(
+                                f"float equality on counter attribute "
+                                f"'.{side.attr}'"
+                            ),
+                            hint="compare via math.isclose / a tolerance, "
+                            "or compare the exact integer inputs instead",
+                        )
+                        break
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                iterator = node.iter
+                is_set = isinstance(iterator, ast.Set) or (
+                    isinstance(iterator, ast.Call)
+                    and _dotted(iterator.func) in ("set", "frozenset")
+                )
+                if is_set:
+                    line = (
+                        node.lineno
+                        if isinstance(node, ast.For)
+                        else iterator.lineno
+                    )
+                    yield Finding(
+                        rule="nondet",
+                        path=source.rel,
+                        line=line,
+                        message=(
+                            "iteration over a set feeds order-sensitive "
+                            "output"
+                        ),
+                        hint="wrap in sorted(...) to fix the order",
+                    )
+
+
+# ------------------------------------------------------------------ #
+# Rule 6: worker-safety
+# ------------------------------------------------------------------ #
+
+
+def _module_level_callables(source: SourceFile) -> Dict[str, FuncDef]:
+    return {
+        node.name: node
+        for node in source.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def check_worker_safety(ctx: LintContext) -> Iterator[Finding]:
+    for source in ctx.package_files():
+        if not source.rel.startswith("src/repro/harness/"):
+            continue
+        module_defs = _module_level_callables(source)
+        aliases = _alias_map(source.tree)
+        imported = set(aliases)
+        submitted: List[Tuple[ast.AST, int]] = []
+        initializers: List[Tuple[ast.AST, int]] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "submit"
+                and node.args
+            ):
+                submitted.append((node.args[0], node.lineno))
+            callee = _qualified(node.func, aliases) or ""
+            if callee.endswith("ProcessPoolExecutor"):
+                for keyword in node.keywords:
+                    if keyword.arg == "initializer":
+                        initializers.append((keyword.value, node.lineno))
+
+        def _validate(target: ast.AST, line: int, role: str) -> Iterator[Finding]:
+            if isinstance(target, ast.Lambda):
+                yield Finding(
+                    rule="worker-safety",
+                    path=source.rel,
+                    line=line,
+                    message=f"lambda passed as pool {role}",
+                    hint="process pools pickle by qualified name; use a "
+                    "module-level function",
+                )
+                return
+            if isinstance(target, ast.Name):
+                if target.id in module_defs or target.id in imported:
+                    return
+                yield Finding(
+                    rule="worker-safety",
+                    path=source.rel,
+                    line=line,
+                    message=(
+                        f"pool {role} {target.id!r} is not a module-level "
+                        "function (nested functions and closures do not "
+                        "survive pickling)"
+                    ),
+                )
+                return
+            yield Finding(
+                rule="worker-safety",
+                path=source.rel,
+                line=line,
+                message=(
+                    f"pool {role} is not a plain module-level function "
+                    "reference (bound methods capture unpicklable or "
+                    "process-local state)"
+                ),
+            )
+
+        for target, line in submitted:
+            yield from _validate(target, line, "worker")
+        for target, line in initializers:
+            yield from _validate(target, line, "initializer")
+
+        worker_names = {
+            target.id
+            for target, _ in submitted
+            if isinstance(target, ast.Name) and target.id in module_defs
+        }
+        for name in worker_names:
+            func = module_defs[name]
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    yield Finding(
+                        rule="worker-safety",
+                        path=source.rel,
+                        line=node.lineno,
+                        message=(
+                            f"pool worker {name!r} mutates module-global "
+                            "state"
+                        ),
+                        hint="global telemetry/counters in workers are "
+                        "invisible to the parent and unsafe under fork; "
+                        "reset per-process state only in a documented "
+                        "*_worker_init initializer hook",
+                    )
+
+
+# ------------------------------------------------------------------ #
+# Registry
+# ------------------------------------------------------------------ #
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered checker."""
+
+    id: str
+    summary: str
+    check: Callable[[LintContext], Iterable[Finding]]
+
+
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        "unseeded-random",
+        "randomness in simulation packages must flow from explicit seeds",
+        check_unseeded_random,
+    ),
+    Rule(
+        "digest-purity",
+        "runner/machine config and env knobs are digested or allowlisted",
+        check_digest_purity,
+    ),
+    Rule(
+        "knob-registry",
+        "REPRO_* reads go through harness/knobs.py and EXPERIMENTS.md",
+        check_knob_registry,
+    ),
+    Rule(
+        "backend-pairing",
+        "vector kernels keep a scalar oracle and an equivalence test",
+        check_backend_pairing,
+    ),
+    Rule(
+        "nondet",
+        "nondeterminism hazards (mutable defaults, clocks, float ==, "
+        "set order, id() keys)",
+        check_nondet,
+    ),
+    Rule(
+        "worker-safety",
+        "pool workers are module-level, lambda-free, and global-clean",
+        check_worker_safety,
+    ),
+)
+
+RULE_IDS: Tuple[str, ...] = tuple(rule.id for rule in RULES)

@@ -10,7 +10,6 @@ from repro.cache.coherence import (
 )
 from repro.cache.config import HierarchyConfig
 from repro.cache.fastsim import FastHierarchy
-from repro.cache.mrc import miss_ratio_curve, working_set_lines
 from repro.cache.hierarchy import (
     LEVEL_DRAM,
     LEVEL_L1,
@@ -19,6 +18,7 @@ from repro.cache.hierarchy import (
     LEVEL_NAMES,
     CacheHierarchy,
 )
+from repro.cache.mrc import miss_ratio_curve, working_set_lines
 from repro.cache.prefetcher import StreamPrefetcher
 from repro.cache.replacement import DRRIP, LRU, BitPLRU, make_policy
 from repro.cache.stats import MemoryTraffic, ServiceCounts

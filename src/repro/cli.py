@@ -16,6 +16,9 @@ Usage::
     python -m repro resume 1f2e3d4c5b6a       # finish an interrupted run
     python -m repro report --telemetry run.jsonl  # summarize a run log
     python -m repro machine                   # the simulated machine
+    python -m repro lint                      # determinism static analysis
+    python -m repro lint --json               # machine-readable findings
+    python -m repro lint --baseline write     # regenerate lint_baseline.json
 
 Experiments print the same rows/series the paper's figures plot. Results
 persist under ``benchmarks/results/.cache/`` (disable with ``--no-cache``),
@@ -250,6 +253,40 @@ def build_parser():
         metavar="PATH",
         default=None,
         help="append a JSONL run-event log to PATH",
+    )
+
+    lint_parser = commands.add_parser(
+        "lint",
+        help="run the determinism/digest-purity static analysis",
+        description=(
+            "Runs the repo-specific AST checkers (unseeded randomness, "
+            "digest purity, knob registry, backend pairing, nondeterminism "
+            "hazards, worker safety) over the checkout. Exits 1 on "
+            "findings not excused by the committed lint_baseline.json."
+        ),
+    )
+    lint_parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="checkout root to lint (default: auto-detected)",
+    )
+    lint_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable findings report",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        choices=["write"],
+        default=None,
+        help="'write' (re)generates the committed baseline from the "
+        "current findings instead of checking against it",
+    )
+    lint_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined and suppressed findings",
     )
 
     report_parser = commands.add_parser(
@@ -503,6 +540,10 @@ def main(argv=None, print_fn=print):
     if args.command == "machine":
         _cmd_machine(print_fn)
         return 0
+    if args.command == "lint":
+        from repro.analysis.lintcli import main as lint_main
+
+        return lint_main(args, print_fn)
     if args.command == "report":
         return _cmd_report(print_fn, args.telemetry, args.slowest)
     if args.command == "point":

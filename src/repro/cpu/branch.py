@@ -10,7 +10,6 @@ branch outcome streams.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -356,7 +355,11 @@ class BranchSite:
 
 def branch_backend(backend=None):
     """Resolve the predictor backend: argument, env knob, or ``vector``."""
-    backend = backend or os.environ.get(_BACKEND_ENV) or "vector"
+    # Imported lazily: repro.harness pulls in the runner, which imports
+    # this module (registry reads must still go through the knob registry).
+    from repro.harness import knobs
+
+    backend = backend or knobs.read(_BACKEND_ENV) or "vector"
     if backend not in BRANCH_BACKENDS:
         raise ValueError(
             f"unknown branch backend {backend!r}; valid backends: "

@@ -1,17 +1,5 @@
 """Experiment harness: machine config, inputs, runner, reports, drivers."""
 
-from repro.harness.machine import DEFAULT_MACHINE, MachineConfig
-from repro.harness.modes import (
-    ALL_MODES,
-    BASELINE,
-    COBRA,
-    COBRA_COMM,
-    COMMUTATIVE_ONLY_MODES,
-    PB_SW,
-    PB_SW_IDEAL,
-    PHI,
-    ExecutionMode,
-)
 from repro.harness.checkpoint import (
     SweepCheckpoint,
     default_checkpoint_dir,
@@ -25,6 +13,18 @@ from repro.harness.faults import (
     SweepInterrupted,
     SweepOutcome,
     run_sweep_resilient,
+)
+from repro.harness.machine import DEFAULT_MACHINE, MachineConfig
+from repro.harness.modes import (
+    ALL_MODES,
+    BASELINE,
+    COBRA,
+    COBRA_COMM,
+    COMMUTATIVE_ONLY_MODES,
+    PB_SW,
+    PB_SW_IDEAL,
+    PHI,
+    ExecutionMode,
 )
 from repro.harness.report import format_series, format_table, geomean, speedup
 from repro.harness.runner import Runner

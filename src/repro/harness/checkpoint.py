@@ -42,6 +42,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.harness import knobs
 from repro.harness.resultcache import (
     FORMAT_VERSION,
     _is_repo_checkout,
@@ -73,7 +74,7 @@ def default_checkpoint_dir(package_file=None):
 
     ``package_file`` is this module's path (overridable for tests).
     """
-    env = os.environ.get("REPRO_CHECKPOINT_DIR")
+    env = knobs.read("REPRO_CHECKPOINT_DIR")
     if env:
         return Path(env)
     source = Path(package_file if package_file else __file__).resolve()
@@ -152,6 +153,8 @@ class SweepCheckpoint:
                 "version": FORMAT_VERSION,
                 "run_id": run_id,
                 "label": label,
+                # repro: noqa[nondet] creation stamp is operator metadata;
+                # the run id hashes machine digest + point specs only
                 "created": time.time(),
                 "machine_digest": machine_digest,
                 "points": specs,
@@ -237,6 +240,8 @@ class SweepCheckpoint:
             "point": spec["point"],
             "mode": spec["mode"],
             "digest": spec["digest"],
+            # repro: noqa[nondet] journal timestamp is observability
+            # metadata; resume splices only "counters", verified by digest
             "ts": time.time(),
             "counters": counters_to_dict(counters),
         }
@@ -301,6 +306,7 @@ class SweepCheckpoint:
     def mark(self, status):
         _atomic_write_json(
             self.run_dir / STATUS_NAME,
+            # repro: noqa[nondet] status stamp is operator metadata only
             {"status": status, "updated": time.time()},
         )
 

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.des.eviction_model import EvictionBufferModel, EvictionModelConfig
 from repro.core.context_switch import simulate_context_switches
+from repro.des.eviction_model import EvictionBufferModel, EvictionModelConfig
 from repro.harness.experiments.common import ExperimentResult, shared_runner
 from repro.harness.inputs import WORKLOAD_INPUTS, make_workload
 from repro.harness.report import format_table
@@ -90,7 +90,6 @@ def run_way_sensitivity(
             machine=base_runner.machine,
             max_sim_events=base_runner.max_sim_events,
         )
-        hierarchy = runner.machine.hierarchy
         cobra = runner.machine.cobra_config(
             workload.num_indices, workload.tuple_bytes
         )

@@ -65,6 +65,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro._util import check_positive
+from repro.harness import knobs
 from repro.harness.telemetry import NULL_TELEMETRY
 
 __all__ = [
@@ -149,8 +150,7 @@ class FaultInjector:
         ``stall_seconds=60;state=/tmp/faults``. ``kill``/``stall`` take
         comma-separated tokens.
         """
-        environ = os.environ if environ is None else environ
-        raw = environ.get("REPRO_FAULT_INJECT", "").strip()
+        raw = (knobs.read("REPRO_FAULT_INJECT", environ) or "").strip()
         if not raw:
             return None
         kill, stall = set(), set()

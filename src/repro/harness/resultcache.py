@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.cache.stats import MemoryTraffic, ServiceCounts
+from repro.harness import knobs
 from repro.harness.telemetry import NULL_TELEMETRY
 
 __all__ = [
@@ -65,7 +66,7 @@ def default_cache_dir(package_file=None):
 
     ``package_file`` is this module's path (overridable for tests).
     """
-    env = os.environ.get("REPRO_RESULT_CACHE")
+    env = knobs.read("REPRO_RESULT_CACHE")
     if env:
         return Path(env)
     source = Path(package_file if package_file else __file__).resolve()

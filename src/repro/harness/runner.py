@@ -11,23 +11,23 @@ keeps full-suite sweeps tractable in pure Python.
 
 from __future__ import annotations
 
-import os
+import hashlib
 import time
 
 import numpy as np
 
+from repro.api import PhaseResult, RunResult
+from repro.baselines.phi import PhiMachine
 from repro.cache.address import AddressSpace
 from repro.cache.batchsim import BatchHierarchy
 from repro.cache.fastsim import FastHierarchy
 from repro.cache.stats import MemoryTraffic, ServiceCounts
 from repro.core import costs
 from repro.core.comm import CobraCommMachine
-from repro.baselines.phi import PhiMachine
-from repro.api import PhaseResult, RunResult
 from repro.cpu.branch import GSharePredictor, simulate_sites
 from repro.cpu.timing import TimingModel
 from repro.des.eviction_model import EvictionBufferModel, EvictionModelConfig
-from repro.harness import modes
+from repro.harness import knobs, modes
 from repro.harness.machine import DEFAULT_MACHINE
 from repro.harness.resultcache import run_digest
 from repro.harness.telemetry import NULL_TELEMETRY
@@ -577,7 +577,7 @@ class Runner:
         """Irregular accesses per streamed chunk (0 = full materialization)."""
         if self.trace_chunk is not None:
             return int(self.trace_chunk)
-        env = os.environ.get(_TRACE_CHUNK_ENV)
+        env = knobs.read(_TRACE_CHUNK_ENV)
         if env is not None:
             return int(env)
         return DEFAULT_TRACE_CHUNK
@@ -759,11 +759,17 @@ class Runner:
         )
 
     def _eviction_stall_fraction(self, trace, des_config):
-        key = ("des", id(trace), des_config.l1_evict_queue,
-               des_config.l2_evict_queue, des_config.l1_buffers)
+        # Memoized by *content*: the sampled trace bytes plus every DES
+        # input. An id(trace) key would alias distinct traces once the
+        # allocator reuses a collected array's address.
+        sample = np.asarray(trace[: self.des_sample], dtype=np.int64)
+        key = ("des", hashlib.sha256(sample.tobytes()).hexdigest(),
+               des_config.num_indices, des_config.l1_evict_queue,
+               des_config.l2_evict_queue, des_config.l1_buffers,
+               des_config.l2_buffers, des_config.llc_buffers,
+               des_config.tuples_per_line)
         if key in self._cache:
             return self._cache[key]
-        sample = np.asarray(trace[: self.des_sample], dtype=np.int64)
         result = EvictionBufferModel(des_config).run(sample)
         self._cache[key] = result.stall_fraction
         return result.stall_fraction

@@ -113,6 +113,8 @@ class JsonlTelemetry(Telemetry):
 
     def emit(self, event, **fields):
         """Append one event as a single atomic line write."""
+        # repro: noqa[nondet] event timestamps are observability metadata;
+        # telemetry is never read back into counters or digests
         record = {"event": event, "ts": time.time(), "pid": os.getpid()}
         record.update(fields)
         line = json.dumps(record, sort_keys=True, default=str) + "\n"

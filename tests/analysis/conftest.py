@@ -1,0 +1,52 @@
+"""Fixture machinery for the ``repro lint`` analyzer tests.
+
+The analyzer is purely static (it parses, never imports), so each test
+builds a synthetic mini-checkout under ``tmp_path`` — a ``src/repro``
+package plus optional ``tests/`` and ``EXPERIMENTS.md`` — seeds it with a
+violation, and lints it with the real rule set.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def mini_tree(tmp_path):
+    """Factory building a lintable mini-checkout.
+
+    ``files`` maps checkout-relative paths to source text (dedented);
+    ``tests`` maps paths under ``tests/``; ``experiments`` is the
+    EXPERIMENTS.md body. Returns the checkout root.
+    """
+
+    def build(files, tests=None, experiments=""):
+        root = tmp_path / "tree"
+        package = root / "src" / "repro"
+        package.mkdir(parents=True, exist_ok=True)
+        (package / "__init__.py").write_text('"""fixture package."""\n')
+        for rel, text in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text))
+        for rel, text in (tests or {}).items():
+            path = root / "tests" / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text))
+        (root / "EXPERIMENTS.md").write_text(experiments or "# fixtures\n")
+        return root
+
+    return build
+
+
+def lint_findings(root, rule=None):
+    """Active findings for the checkout at ``root`` (optionally one rule)."""
+    report = run_lint(root)
+    if rule is None:
+        return report.findings
+    return [f for f in report.findings if f.rule == rule]

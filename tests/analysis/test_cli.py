@@ -1,0 +1,104 @@
+"""The ``repro lint`` CLI: parser wiring, exit codes, --json payload,
+and --baseline write."""
+
+import json
+
+from repro.cli import build_parser, main
+from tests.analysis.conftest import REPO_ROOT
+
+MUTABLE_DEFAULT = "def collect(value, acc=[]):\n    return acc\n"
+
+
+def run_cli(argv):
+    """Invoke the real CLI entry point, capturing printed lines."""
+    lines = []
+    code = main(argv, print_fn=lines.append)
+    return code, "\n".join(str(line) for line in lines)
+
+
+def dirty_tree(tmp_path):
+    root = tmp_path / "tree"
+    package = root / "src" / "repro" / "core"
+    package.mkdir(parents=True)
+    (root / "src" / "repro" / "__init__.py").write_text("")
+    (package / "collect.py").write_text(MUTABLE_DEFAULT)
+    return root
+
+
+class TestParser:
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+        assert args.root is None
+        assert args.json is False
+        assert args.baseline is None
+
+    def test_lint_flags(self):
+        args = build_parser().parse_args(
+            ["lint", "--root", "/x", "--json", "--baseline", "write"]
+        )
+        assert args.root == "/x"
+        assert args.json is True
+        assert args.baseline == "write"
+
+
+class TestExitCodes:
+    def test_clean_on_shipped_tree(self):
+        code, out = run_cli(["lint", "--root", str(REPO_ROOT)])
+        assert code == 0, out
+        assert "0 new finding(s)" in out
+
+    def test_new_findings_exit_one(self, tmp_path):
+        root = dirty_tree(tmp_path)
+        code, out = run_cli(["lint", "--root", str(root)])
+        assert code == 1
+        assert "[nondet]" in out
+        assert "collect.py" in out
+
+    def test_unanalyzable_tree_exit_two(self, tmp_path):
+        code, out = run_cli(["lint", "--root", str(tmp_path)])
+        assert code == 2
+        assert "repro lint:" in out
+
+
+class TestJsonOutput:
+    def test_payload_shape_on_shipped_tree(self):
+        code, out = run_cli(["lint", "--json", "--root", str(REPO_ROOT)])
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert payload["new_findings"] == []
+        assert len(payload["rules"]) == 6
+
+    def test_findings_carry_location_and_hint(self, tmp_path):
+        root = dirty_tree(tmp_path)
+        code, out = run_cli(["lint", "--json", "--root", str(root)])
+        assert code == 1
+        payload = json.loads(out)
+        (finding,) = payload["new_findings"]
+        assert finding["rule"] == "nondet"
+        assert finding["path"] == "src/repro/core/collect.py"
+        assert finding["line"] == 1
+        assert finding["hint"]
+
+
+class TestBaselineWrite:
+    def test_write_then_lint_is_clean(self, tmp_path):
+        root = dirty_tree(tmp_path)
+        code, out = run_cli(["lint", "--root", str(root), "--baseline", "write"])
+        assert code == 0
+        assert "wrote 1 finding(s)" in out
+
+        payload = json.loads((root / "lint_baseline.json").read_text())
+        assert payload["version"] == 1
+        assert len(payload["findings"]) == 1
+
+        code, _out = run_cli(["lint", "--root", str(root)])
+        assert code == 0  # ratcheted: old finding excused, gate green
+
+    def test_verbose_lists_baselined_findings(self, tmp_path):
+        root = dirty_tree(tmp_path)
+        run_cli(["lint", "--root", str(root), "--baseline", "write"])
+        code, out = run_cli(["lint", "--root", str(root), "--verbose"])
+        assert code == 0
+        assert "(baselined)" in out

@@ -1,0 +1,136 @@
+"""Core analyzer machinery: suppression parsing, baseline ratchet,
+root discovery, and the shipped baseline guard."""
+
+import json
+
+import pytest
+
+from repro.analysis import BASELINE_NAME, run_lint, write_baseline
+from repro.analysis.core import (
+    SourceError,
+    _parse_noqa,
+    find_root,
+    load_baseline,
+)
+from tests.analysis.conftest import REPO_ROOT, lint_findings
+
+MUTABLE_DEFAULT = """\
+    def collect(value, acc=[]):
+        acc.append(value)
+        return acc
+    """
+
+
+class TestNoqaParsing:
+    def test_same_line_rule_list(self):
+        table = _parse_noqa("x = 1  # repro: noqa[nondet]\n")
+        assert table == {1: frozenset({"nondet"})}
+
+    def test_multiple_rules(self):
+        table = _parse_noqa("x = 1  # repro: noqa[nondet, worker-safety]\n")
+        assert table[1] == frozenset({"nondet", "worker-safety"})
+
+    def test_bare_noqa_suppresses_all_rules(self):
+        table = _parse_noqa("x = 1  # repro: noqa\n")
+        assert table[1] is None
+
+    def test_empty_brackets_suppress_nothing(self):
+        # noqa[] is most likely a typo'd rule list; the finding must fire.
+        assert _parse_noqa("x = 1  # repro: noqa[]\n") == {}
+
+    def test_comment_line_covers_next_code_line(self):
+        text = (
+            "# repro: noqa[nondet] long justification\n"
+            "# continues on a second comment line\n"
+            "x = 1\n"
+        )
+        table = _parse_noqa(text)
+        assert table[1] == frozenset({"nondet"})
+        assert table[3] == frozenset({"nondet"})
+        assert 2 not in table
+
+    def test_unrelated_comments_ignored(self):
+        assert _parse_noqa("# plain comment\nx = 1  # noqa: E501\n") == {}
+
+
+class TestBaselineRatchet:
+    def test_baseline_excuses_existing_findings_only(self, mini_tree):
+        root = mini_tree({"src/repro/core/collect.py": MUTABLE_DEFAULT})
+        report = run_lint(root)
+        assert len(report.new_findings) == 1
+
+        write_baseline(root, report.findings)
+        assert run_lint(root).ok
+
+        # A *new* violation is not excused by the old baseline.
+        extra = root / "src" / "repro" / "core" / "extra.py"
+        extra.write_text("def f(acc={}):\n    return acc\n")
+        report = run_lint(root)
+        assert len(report.findings) == 2
+        assert len(report.new_findings) == 1
+        assert "extra.py" in report.new_findings[0].path
+
+    def test_baseline_identity_survives_line_drift(self, mini_tree):
+        root = mini_tree({"src/repro/core/collect.py": MUTABLE_DEFAULT})
+        write_baseline(root, run_lint(root).findings)
+
+        path = root / "src" / "repro" / "core" / "collect.py"
+        path.write_text("# a new header comment\n" + path.read_text())
+        report = run_lint(root)
+        assert report.findings  # still present, on a shifted line
+        assert report.ok  # ...but identity is line-free, so still excused
+
+    def test_corrupt_baseline_version_rejected(self, mini_tree):
+        root = mini_tree({})
+        (root / BASELINE_NAME).write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(root)
+
+
+class TestRootDiscovery:
+    def test_find_root_climbs_to_checkout(self, mini_tree):
+        root = mini_tree({})
+        nested = root / "src" / "repro" / "harness"
+        nested.mkdir(parents=True, exist_ok=True)
+        assert find_root(nested) == root
+
+    def test_find_root_rejects_non_checkout(self, tmp_path):
+        with pytest.raises(SourceError):
+            find_root(tmp_path)
+
+
+class TestShippedTree:
+    """The gate the CI lint job enforces, as plain tests."""
+
+    def test_repro_lint_runs_clean(self):
+        report = run_lint(REPO_ROOT)
+        assert report.new_findings == [], "\n".join(
+            f.format() for f in report.new_findings
+        )
+
+    def test_shipped_baseline_parses_and_is_empty(self):
+        path = REPO_ROOT / BASELINE_NAME
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert payload["findings"] == []
+
+    def test_every_suppression_is_justified(self):
+        # Suppressed findings must carry justification text after the
+        # bracket — a bare marker hides a hazard without saying why.
+        report = run_lint(REPO_ROOT)
+        for finding in report.suppressed:
+            source = REPO_ROOT / finding.path
+            lines = source.read_text(encoding="utf-8").splitlines()
+            window = "\n".join(lines[max(0, finding.line - 4): finding.line])
+            marker = window[window.rindex("noqa["):]
+            after_bracket = marker.split("]", 1)[1].strip()
+            assert after_bracket, (
+                f"{finding.path}:{finding.line} suppression has no "
+                "justification text"
+            )
+
+    def test_shipped_tree_fires_rules_on_seeded_violation(self, mini_tree):
+        # End-to-end sanity: the full rule registry still catches a
+        # violation when run through the public entry point.
+        root = mini_tree({"src/repro/core/collect.py": MUTABLE_DEFAULT})
+        assert lint_findings(root, "nondet")

@@ -1,7 +1,5 @@
 """Edge-case tests for replacement policies under partitioned ranges."""
 
-import pytest
-
 from repro.cache import DRRIP, BitPLRU, Cache
 
 

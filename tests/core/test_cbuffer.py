@@ -1,7 +1,5 @@
 """Tests for hardware C-Buffer lines and arrays."""
 
-import pytest
-
 from repro.core import CBufferArray, CBufferLine
 
 

@@ -1,7 +1,6 @@
 """Adversarial traces for the eviction-buffer DES (burst stress tests)."""
 
 import numpy as np
-import pytest
 
 from repro.des import EvictionBufferModel, EvictionModelConfig
 

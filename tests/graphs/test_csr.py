@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graphs import CSRGraph, build_csr
+from repro.graphs import CSRGraph
 
 
 @pytest.fixture

@@ -15,7 +15,6 @@ from repro.api import (
     Runner,
     make_workload,
 )
-from repro.cache.stats import MemoryTraffic, ServiceCounts
 from repro.cpu.counters import PhaseCounters, RunCounters
 from repro.harness import modes
 

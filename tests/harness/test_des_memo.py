@@ -1,0 +1,75 @@
+"""Regression tests for the DES stall-fraction memo key.
+
+The nondet lint rule flagged the original memo: it was keyed by
+``id(trace)``, and CPython reuses addresses after collection, so two
+*different* traces could silently share one memoized stall fraction.
+The memo is now keyed by trace content (plus every DES parameter).
+"""
+
+import numpy as np
+
+from repro.des.eviction_model import EvictionModelConfig
+from repro.harness import Runner
+
+
+def make_runner():
+    return Runner(max_sim_events=10_000, des_sample=1_500)
+
+
+def make_trace(seed, num_indices=64, size=1_500):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, num_indices, size=size).astype(np.int64)
+
+
+def des_keys(runner):
+    return [k for k in runner._cache if k[0] == "des"]
+
+
+class TestContentKeyedMemo:
+    def test_equal_content_shares_one_entry(self):
+        runner = make_runner()
+        config = EvictionModelConfig(num_indices=64)
+        trace = make_trace(7)
+        first = runner._eviction_stall_fraction(trace, config)
+        second = runner._eviction_stall_fraction(trace.copy(), config)
+        assert first == second
+        assert len(des_keys(runner)) == 1
+
+    def test_distinct_content_never_aliases(self):
+        # The id()-keyed bug: free the first trace, allocate a different
+        # one (often at the recycled address), and the memo must *not*
+        # return the stale stall fraction.
+        runner = make_runner()
+        # Tiny buffers + single-entry queues so eviction pressure (and
+        # hence the stall fraction) actually differs between traces.
+        config = EvictionModelConfig(
+            num_indices=4_096, l1_buffers=4, l2_buffers=8, llc_buffers=16,
+            l1_evict_queue=1, l2_evict_queue=1,
+        )
+        scattered = make_trace(1, num_indices=4_096)
+        first = runner._eviction_stall_fraction(scattered, config)
+        hot = np.zeros(1_500, dtype=np.int64)  # fully coalescing trace
+        second = runner._eviction_stall_fraction(hot, config)
+        assert len(des_keys(runner)) == 2
+        assert first != second
+
+    def test_des_parameters_are_part_of_the_key(self):
+        runner = make_runner()
+        trace = make_trace(7)
+        runner._eviction_stall_fraction(
+            trace, EvictionModelConfig(num_indices=64, l1_evict_queue=1)
+        )
+        runner._eviction_stall_fraction(
+            trace, EvictionModelConfig(num_indices=64, l1_evict_queue=32)
+        )
+        assert len(des_keys(runner)) == 2
+
+    def test_memo_ignores_trace_beyond_sample_window(self):
+        runner = make_runner()
+        config = EvictionModelConfig(num_indices=64)
+        trace = make_trace(7, size=3_000)
+        longer = np.concatenate([trace, make_trace(8, size=500)])
+        runner._eviction_stall_fraction(trace, config)
+        runner._eviction_stall_fraction(longer, config)
+        # Both share the first des_sample events, so one entry suffices.
+        assert len(des_keys(runner)) == 1

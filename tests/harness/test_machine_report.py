@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.harness import DEFAULT_MACHINE, MachineConfig, format_series, format_table, geomean, speedup
+from repro.harness import (
+    DEFAULT_MACHINE,
+    format_series,
+    format_table,
+    geomean,
+    speedup,
+)
 
 
 class TestMachineConfig:

@@ -7,7 +7,6 @@ from repro.harness import (
     COBRA,
     COBRA_COMM,
     PB_SW,
-    PB_SW_IDEAL,
     PHI,
     Runner,
 )

@@ -1,9 +1,7 @@
 """Cross-checks between the NoC model and the rest of the system."""
 
-import pytest
-
 from repro.harness import DEFAULT_MACHINE
-from repro.noc import Mesh2D, NocModel, NocParams
+from repro.noc import Mesh2D, NocModel
 
 
 class TestGrounding:

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.pb import BinSpec, bin_updates
+from repro.pb import bin_updates
 from repro.pb.multipass import MultiPassPartitioner
 
 

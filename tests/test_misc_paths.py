@@ -1,14 +1,13 @@
 """Coverage for smaller code paths across packages."""
 
-import numpy as np
 import pytest
 
 from repro.cache import ServiceCounts
 from repro.core import CobraCommMachine, CobraConfig
 from repro.cpu import CoreParams, TimingModel
+from repro.cpu.counters import PhaseCounters, RunCounters
 from repro.des import Queue, Simulator, Timeout
 from repro.harness.experiments.common import phase_cycles, shared_runner
-from repro.cpu.counters import PhaseCounters, RunCounters
 
 
 class TestTimingSharedLlc:

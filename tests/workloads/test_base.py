@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core import costs
 from repro.core.config import CobraConfig
+from repro.graphs import rmat
 from repro.pb import BinSpec
 from repro.workloads import DegreeCount, NeighborPopulate
-from repro.graphs import rmat
 
 
 @pytest.fixture(scope="module")
