@@ -1,0 +1,271 @@
+"""Flat-array level-replay kernels (the ``numba`` backend tier).
+
+Each function replays one cache level's whole seq-ordered event stream
+against flat per-(set, way) state arrays, using linear way scans for
+residency (ways are <= 16, so a machine-code scan beats any hash). They
+are decorated with :func:`~repro.cache.kernels.maybe_jit`: compiled by
+``numba.njit`` when numba is importable, plain Python otherwise — the
+logic is identical either way, which is how numba-free environments still
+test it (``tests/cache/test_kernel_backends.py`` replays traces through
+these kernels and asserts bit-identical counters against the dict kernels,
+:class:`~repro.cache.fastsim.FastHierarchy`, and the reference hierarchy).
+
+Event kinds match :mod:`repro.cache.kernels.setreplay`: 0 demand read,
+1 demand write / dirty-victim fill, 2 prefetch fill (no-op when resident),
+3 LLC residency probe (never mutates state).
+
+Outputs are written in place: ``hit_out[pos]`` is 1 when the event found
+its line resident, and ``evict_mask[pos]`` / ``evict_line_out[pos]``
+record the (at most one) dirty eviction the event caused — already in
+sequence order, so the caller needs no eviction sort on this tier.
+"""
+
+from __future__ import annotations
+
+from repro.cache.kernels import maybe_jit
+
+__all__ = [
+    "SCALAR_ORACLE",
+    "lru_level_replay",
+    "plru_level_replay",
+    "drrip_level_replay_flat",
+]
+
+#: Scalar twin these kernels are equivalence-tested against (the
+#: ``backend-pairing`` lint rule cross-checks that such a test exists).
+SCALAR_ORACLE = "FastHierarchy"
+
+
+@maybe_jit
+def lru_level_replay(
+    ev_line,
+    ev_kind,
+    ev_set,
+    ways,
+    usable,
+    way_line,
+    dirty,
+    stamp,
+    occ,
+    clock,
+    hit_out,
+    evict_mask,
+    evict_line_out,
+):
+    """Stamp-based LRU over one level's event stream (FastHierarchy twin).
+
+    ``way_line`` is int64[sets*ways] with -1 marking empty ways; ``stamp``
+    int64 touch clocks; ``occ`` int64[sets]; ``clock`` a 1-element int64
+    array threading the level's touch counter across calls.
+    """
+    tick = clock[0]
+    for pos in range(ev_line.shape[0]):
+        line = ev_line[pos]
+        kind = ev_kind[pos]
+        base = ev_set[pos] * ways
+        way = -1
+        for w in range(usable):
+            if way_line[base + w] == line:
+                way = w
+                break
+        if way >= 0:
+            hit_out[pos] = 1
+            if kind < 2:
+                tick += 1
+                stamp[base + way] = tick
+                if kind == 1:
+                    dirty[base + way] = 1
+            continue
+        hit_out[pos] = 0
+        if kind == 3:
+            continue
+        sidx = ev_set[pos]
+        if occ[sidx] < usable:
+            way = 0
+            for w in range(usable):
+                if way_line[base + w] == -1:
+                    way = w
+                    break
+            occ[sidx] += 1
+        else:
+            way = 0
+            best = stamp[base]
+            for w in range(1, usable):
+                if stamp[base + w] < best:
+                    way = w
+                    best = stamp[base + w]
+            if dirty[base + way] == 1:
+                evict_mask[pos] = 1
+                evict_line_out[pos] = way_line[base + way]
+        way_line[base + way] = line
+        dirty[base + way] = 1 if kind == 1 else 0
+        tick += 1
+        stamp[base + way] = tick
+    clock[0] = tick
+
+
+@maybe_jit
+def plru_level_replay(
+    ev_line,
+    ev_kind,
+    ev_set,
+    ways,
+    usable,
+    way_line,
+    dirty,
+    mru,
+    mru_cnt,
+    occ,
+    hit_out,
+    evict_mask,
+    evict_line_out,
+):
+    """Bit-PLRU over one level's event stream (FastHierarchy twin).
+
+    ``mru`` is uint8[sets*ways] MRU bits with reset-on-saturation over the
+    usable ways; victims are the first clear-MRU way, cold fills the first
+    empty way — bit for bit the scalar engine's policy.
+    """
+    for pos in range(ev_line.shape[0]):
+        line = ev_line[pos]
+        kind = ev_kind[pos]
+        sidx = ev_set[pos]
+        base = sidx * ways
+        way = -1
+        for w in range(usable):
+            if way_line[base + w] == line:
+                way = w
+                break
+        if way >= 0:
+            hit_out[pos] = 1
+            if kind < 2:
+                if mru[base + way] == 0:
+                    count = mru_cnt[sidx] + 1
+                    if count >= usable:
+                        for w in range(usable):
+                            mru[base + w] = 0
+                        mru[base + way] = 1
+                        mru_cnt[sidx] = 1
+                    else:
+                        mru[base + way] = 1
+                        mru_cnt[sidx] = count
+                if kind == 1:
+                    dirty[base + way] = 1
+            continue
+        hit_out[pos] = 0
+        if kind == 3:
+            continue
+        if occ[sidx] < usable:
+            way = 0
+            for w in range(usable):
+                if way_line[base + w] == -1:
+                    way = w
+                    break
+            occ[sidx] += 1
+        else:
+            way = 0
+            for w in range(usable):
+                if mru[base + w] == 0:
+                    way = w
+                    break
+            if dirty[base + way] == 1:
+                evict_mask[pos] = 1
+                evict_line_out[pos] = way_line[base + way]
+        way_line[base + way] = line
+        dirty[base + way] = 1 if kind == 1 else 0
+        if mru[base + way] == 0:
+            count = mru_cnt[sidx] + 1
+            if count >= usable:
+                for w in range(usable):
+                    mru[base + w] = 0
+                mru[base + way] = 1
+                mru_cnt[sidx] = 1
+            else:
+                mru[base + way] = 1
+                mru_cnt[sidx] = count
+
+
+@maybe_jit
+def drrip_level_replay_flat(
+    ev_line,
+    ev_kind,
+    ev_set,
+    ways,
+    usable,
+    way_line,
+    dirty,
+    rrpv,
+    role,
+    occ,
+    duel,
+    hit_out,
+    evict_mask,
+    evict_line_out,
+):
+    """DRRIP with set dueling over one level's event stream.
+
+    ``duel`` is a 2-element int64 array ``[psel, brrip_tick]`` threading
+    the global dueling state across calls in event order — the coupling
+    that rules out per-set replay for this policy.
+    """
+    psel = duel[0]
+    brrip_tick = duel[1]
+    for pos in range(ev_line.shape[0]):
+        line = ev_line[pos]
+        kind = ev_kind[pos]
+        sidx = ev_set[pos]
+        base = sidx * ways
+        way = -1
+        for w in range(usable):
+            if way_line[base + w] == line:
+                way = w
+                break
+        if way >= 0:
+            hit_out[pos] = 1
+            if kind < 2:
+                rrpv[base + way] = 0
+                if kind == 1:
+                    dirty[base + way] = 1
+            continue
+        hit_out[pos] = 0
+        if kind == 3:
+            continue
+        if occ[sidx] < usable:
+            way = 0
+            for w in range(usable):
+                if way_line[base + w] == -1:
+                    way = w
+                    break
+            occ[sidx] += 1
+        else:
+            way = -1
+            while way < 0:
+                for w in range(usable):
+                    if rrpv[base + w] >= 3:
+                        way = w
+                        break
+                if way < 0:
+                    for w in range(usable):
+                        rrpv[base + w] += 1
+            if dirty[base + way] == 1:
+                evict_mask[pos] = 1
+                evict_line_out[pos] = way_line[base + way]
+        way_line[base + way] = line
+        dirty[base + way] = 1 if kind == 1 else 0
+        set_role = role[sidx]
+        if set_role == 1:  # SRRIP leader
+            if psel < 1023:
+                psel += 1
+        elif set_role == 2:  # BRRIP leader
+            if psel > 0:
+                psel -= 1
+        if set_role == 2 or (set_role == 0 and psel < 512):
+            brrip_tick += 1
+            if brrip_tick % 32 == 0:
+                rrpv[base + way] = 2
+            else:
+                rrpv[base + way] = 3
+        else:
+            rrpv[base + way] = 2
+    duel[0] = psel
+    duel[1] = brrip_tick

@@ -1,0 +1,71 @@
+"""Batched stream-prefetcher scan for the batched cache engine.
+
+Both engines invoke the L2 stream prefetcher only on L1 misses
+(:meth:`FastHierarchy.access` returns before reaching it on an L1 hit), and
+prefetcher state depends on nothing but that miss stream — so issuance can
+be computed in one pass, *before* the L2 replays. The scan operates
+directly on a :class:`~repro.cache.prefetcher.StreamPrefetcher` instance —
+its insertion-ordered ``_expect`` table and ``issued`` counter — so state
+carries across chunked ``simulate`` calls and the engine's ``prefetcher``
+attribute reports the same statistics as the scalar engine's.
+
+The returned events are tagged with sequence keys that interleave them into
+the L2 event stream after the access's demand/eviction slots: prefetch
+``j`` of an access at sequence key ``s`` lands at ``s + 3 + 2j``, leaving
+``s + 4 + 2j`` for the dirty victim its fill may evict (see the slot
+discipline in :mod:`repro.cache.batchsim`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SCALAR_ORACLE", "prefetch_scan", "PF_SLOT_BASE", "PF_SLOT_STRIDE"]
+
+#: Scalar engine this scan is equivalence-tested against (the
+#: ``backend-pairing`` lint rule keys off this marker).
+SCALAR_ORACLE = "FastHierarchy"
+
+#: First sub-event slot used by prefetch fills (0 = demand, 1-2 = victims).
+PF_SLOT_BASE = 3
+#: Slots consumed per prefetch fill (the fill plus its potential victim).
+PF_SLOT_STRIDE = 2
+
+
+def prefetch_scan(prefetcher, miss_seq, miss_lines):
+    """Run ``prefetcher`` over the L1-miss stream; returns issued events.
+
+    ``miss_seq`` / ``miss_lines`` are the sequence keys and line numbers of
+    the L1 misses, in access order. Returns ``(pf_seq, pf_line)`` int64
+    arrays, already sequence-sorted, covering every line the prefetcher
+    issued (the L2 replay decides which of them actually fill).
+    """
+    expect = prefetcher._expect
+    threshold = prefetcher.threshold
+    degree = prefetcher.degree
+    num_streams = prefetcher.num_streams
+    pf_seq = []
+    pf_line = []
+    issued = 0
+    pop = expect.pop
+    for seq, line in zip(miss_seq.tolist(), miss_lines.tolist()):
+        confidence = pop(line, None)
+        if confidence is not None:
+            confidence += 1
+            expect[line + 1] = confidence
+            if confidence >= threshold:
+                slot = seq + PF_SLOT_BASE
+                for offset in range(1, degree + 1):
+                    pf_seq.append(slot)
+                    pf_line.append(line + offset)
+                    slot += PF_SLOT_STRIDE
+                issued += degree
+            continue
+        expect[line + 1] = 0
+        if len(expect) > num_streams:
+            del expect[next(iter(expect))]  # drop least-recently-extended
+    prefetcher.issued += issued
+    return (
+        np.asarray(pf_seq, dtype=np.int64),
+        np.asarray(pf_line, dtype=np.int64),
+    )

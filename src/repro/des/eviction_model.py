@@ -8,6 +8,13 @@ LLC C-Buffers are written to in-memory bins. The core *stalls* when it must
 evict into a full L1→L2 FIFO — the quantity Figure 13a reports as a
 function of FIFO size. Unlike the Little's-law estimate, the DES consumes a
 real tuple trace, so input-specific eviction bursts are captured.
+
+:meth:`EvictionBufferModel.run` executes the flattened event loop
+(:mod:`repro.des.fastloop`), which replays the identical schedule without
+generator/heap machinery. The original generator-engine formulation is
+retained verbatim as :meth:`EvictionBufferModel.run_reference` — it is the
+readable statement of the model and the oracle the fast loop is
+bit-identity-tested against (``tests/des/test_fastloop.py``).
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro._util import as_index_array, check_positive
+from repro.des import fastloop
 from repro.des.engine import Queue, Simulator, Timeout
 
 __all__ = ["EvictionModelConfig", "EvictionModelResult", "EvictionBufferModel"]
@@ -78,7 +86,37 @@ class EvictionBufferModel:
         self.config = config
 
     def run(self, indices) -> EvictionModelResult:
-        """Simulate binning the given tuple ``indices`` (1-D int array)."""
+        """Simulate binning the given tuple ``indices`` (1-D int array).
+
+        Runs the flattened event loop; bit-identical to
+        :meth:`run_reference` by construction and by test.
+        """
+        cfg = self.config
+        indices = as_index_array(indices)
+        if len(indices) and indices.max() >= cfg.num_indices:
+            raise ValueError("trace contains indices beyond num_indices")
+
+        total, stall, evictions, max_occ = fastloop.simulate_eviction_pipeline(
+            indices, cfg
+        )
+        return EvictionModelResult(
+            total_cycles=total,
+            core_stall_cycles=stall,
+            tuples=len(indices),
+            evictions={
+                "l1": evictions[0],
+                "l2": evictions[1],
+                "llc": evictions[2],
+            },
+            max_queue_occupancy={
+                "l1_evict": max_occ[0],
+                "l2_evict": max_occ[1],
+                "mem": max_occ[2],
+            },
+        )
+
+    def run_reference(self, indices) -> EvictionModelResult:
+        """Generator-engine oracle for :meth:`run` (original formulation)."""
         cfg = self.config
         indices = as_index_array(indices)
         if len(indices) and indices.max() >= cfg.num_indices:

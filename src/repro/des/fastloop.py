@@ -1,0 +1,269 @@
+"""Flattened event loop for the eviction-buffer DES (Figure 13a).
+
+The generator engine (:mod:`repro.des.engine`) spends most of its time in
+scheduling machinery: ``generator.send`` frames, frozen-dataclass
+``Timeout`` construction, ``isinstance`` effect dispatch, and heap pushes
+of comparison-heavy tuples. The eviction pipeline, however, has exactly
+four processes (core, two binning engines, memory writer) connected by
+three single-producer/single-consumer FIFOs — so this module replays the
+same model as explicit state machines driven by a four-slot scheduler
+(linear argmin over at most four runnable processes replaces the heap).
+
+Bit identity with the generator engine is by construction, not accident:
+every scheduling decision replicates :class:`~repro.des.engine.Simulator`
+exactly — one global sequence number incremented per schedule call, events
+ordered by ``(time, seq)``, a completed put scheduling the waiting getter
+before the putter, queue ``max_occupancy`` growing only when an item is
+appended (not when handed directly to a waiting getter), and stall time
+accumulated as ``now - put_start`` with the identical float-add chains.
+``tests/des/test_fastloop.py`` asserts bit-identical results — including
+final counter bytes — against :meth:`EvictionBufferModel.run_reference`
+(the retained generator-engine oracle) over random, bursty, and
+hypothesis-generated traces.
+
+The loop is array-flat where it pays: per-buffer fill state lives in flat
+integer lists indexed by buffer id rather than the reference model's
+dicts, and the trace is consumed from a plain int list. The payload lines
+that travel through the FIFOs stay small Python lists, mirroring the
+object flow of the reference model.
+
+Like the batched cache engine, the loop dispatches through the
+``REPRO_KERNEL_BACKEND`` tiers: when a compiled tier is selected and the
+``cnative`` library is available, the whole schedule runs as one C call
+(``eviction_pipeline_replay`` in :mod:`repro.cache.kernels.cnative`,
+fixed-size line rows copied by value between buffer stores and FIFO
+rings); otherwise the Python state machines below run. Both are
+bit-identical to the generator oracle.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SCALAR_ORACLE", "simulate_eviction_pipeline"]
+
+#: Scalar twin this loop is equivalence-tested against (the
+#: ``backend-pairing`` lint rule cross-checks that such a test exists).
+SCALAR_ORACLE = "Simulator"
+
+# Process ids, in the reference model's registration order (their initial
+# wakeups take sequence numbers 1..4 exactly as Simulator.process does).
+_CORE, _ENG1, _ENG2, _MEM = 0, 1, 2, 3
+
+# Per-process resume states.
+_START, _AFTER_TIMEOUT, _AFTER_PUT, _AFTER_GET = 0, 1, 2, 3
+
+
+def simulate_eviction_pipeline(indices, cfg, backend=None):
+    """Run the eviction-pipeline DES over ``indices`` (int list/array).
+
+    Returns ``(total_cycles, stall_cycles, evictions, max_occupancy)``
+    where ``evictions`` is ``[l1, l2, llc]`` and ``max_occupancy`` is
+    ``[l1_evict, l2_evict, mem]`` — bit-identical to driving
+    :class:`~repro.des.engine.Simulator` with the reference processes.
+
+    ``backend`` follows :func:`repro.cache.kernels.select_backend`
+    semantics (``None``/``"auto"`` reads the ``REPRO_KERNEL_BACKEND``
+    knob). Any compiled tier runs the C loop when available; ``"numpy"``
+    forces the Python state machines.
+    """
+    from repro.cache import kernels as kernel_backends
+
+    resolved = kernel_backends.select_backend(backend)
+    if resolved != "numpy" and kernel_backends.cnative_available():
+        from repro.cache.kernels import cnative
+
+        native = cnative.eviction_pipeline_native(indices, cfg)
+        if native is not None:
+            return native
+    trace = indices.tolist() if hasattr(indices, "tolist") else list(indices)
+    n = len(trace)
+    r1 = cfg.bin_range(cfg.l1_buffers)
+    r2 = cfg.bin_range(cfg.l2_buffers)
+    r3 = cfg.bin_range(cfg.llc_buffers)
+    per_line = cfg.tuples_per_line
+    core_dt = cfg.core_cycles_per_tuple
+    engine_dt = cfg.engine_cycles_per_tuple
+    mem_dt = cfg.mem_cycles_per_line
+
+    # Three FIFOs: 0 = L1->L2, 1 = L2->LLC, 2 = LLC->MEM. Single producer
+    # and single consumer each, so the waiter lists of the reference model
+    # collapse to one optional waiting putter / getter per queue.
+    capacity = [cfg.l1_evict_queue, cfg.l2_evict_queue, cfg.mem_queue]
+    items = [[], [], []]
+    put_waiter = [None, None, None]  # (pid, line) or None
+    get_waiter = [-1, -1, -1]  # pid or -1
+    max_occ = [0, 0, 0]
+
+    # Four-slot scheduler: each process has at most one pending event.
+    run_time = [0.0, 0.0, 0.0, 0.0]
+    run_seq = [1, 2, 3, 4]  # initial wakeups, registration order
+    run_val = [None, None, None, None]
+    runnable = [True, True, True, True]
+    state = [_START, _START, _START, _START]
+    seq = 4
+    now = 0.0
+
+    # Flat per-buffer fill state (count per buffer id; line contents are
+    # the lists that travel through the FIFOs, as in the reference model).
+    core_count = [0] * cfg.l1_buffers
+    core_lines = [None] * cfg.l1_buffers
+    eng_count = ([0] * cfg.l2_buffers, [0] * cfg.llc_buffers)
+    eng_lines = ([None] * cfg.l2_buffers, [None] * cfg.llc_buffers)
+    eng_range = (r2, r3)
+    eng_in = (0, 1)
+    eng_out = (1, 2)
+    evictions = [0, 0, 0]
+    stall = 0.0
+    core_pos = 0
+    core_put_start = 0.0
+    eng_line = [None, None]  # line being unpacked by each engine
+    eng_pos = [0, 0]
+
+    # --- scheduling primitives, replicated from Simulator -------------- #
+
+    def schedule(pid, delay, value):
+        nonlocal seq
+        seq += 1
+        run_time[pid] = now + delay
+        run_seq[pid] = seq
+        run_val[pid] = value
+        runnable[pid] = True
+
+    def complete_put(queue, pid, line):
+        getter = get_waiter[queue]
+        if getter >= 0:
+            get_waiter[queue] = -1
+            schedule(getter, 0.0, line)
+        else:
+            queued = items[queue]
+            queued.append(line)
+            if len(queued) > max_occ[queue]:
+                max_occ[queue] = len(queued)
+        schedule(pid, 0.0, None)
+
+    def do_put(queue, pid, line):
+        if len(items[queue]) >= capacity[queue]:
+            put_waiter[queue] = (pid, line)
+        else:
+            complete_put(queue, pid, line)
+
+    def do_get(queue, pid):
+        queued = items[queue]
+        if queued:
+            line = queued.pop(0)
+            waiter = put_waiter[queue]
+            if waiter is not None and len(queued) < capacity[queue]:
+                put_waiter[queue] = None
+                complete_put(queue, waiter[0], waiter[1])
+            schedule(pid, 0.0, line)
+        else:
+            get_waiter[queue] = pid
+
+    # --- process continuations ----------------------------------------- #
+
+    def core_advance():
+        if core_pos < n:
+            schedule(_CORE, core_dt, None)
+            state[_CORE] = _AFTER_TIMEOUT
+
+    def resume_core(value):
+        nonlocal core_pos, core_put_start, stall
+        if state[_CORE] == _AFTER_TIMEOUT:
+            idx = trace[core_pos]
+            core_pos += 1
+            buffer_id = idx // r1
+            line = core_lines[buffer_id]
+            if line is None:
+                line = core_lines[buffer_id] = []
+            line.append(idx)
+            count = core_count[buffer_id] + 1
+            if count == per_line:
+                evictions[0] += 1
+                core_count[buffer_id] = 0
+                core_lines[buffer_id] = []
+                core_put_start = now
+                state[_CORE] = _AFTER_PUT
+                do_put(0, _CORE, line)
+            else:
+                core_count[buffer_id] = count
+                core_advance()
+        elif state[_CORE] == _AFTER_PUT:
+            stall += now - core_put_start
+            core_advance()
+        else:  # _START: first wakeup enters the loop
+            core_advance()
+
+    def resume_engine(pid, value):
+        eng = pid - _ENG1
+        st = state[pid]
+        if st == _AFTER_GET:
+            eng_line[eng] = value
+            eng_pos[eng] = 0
+            schedule(pid, engine_dt, None)
+            state[pid] = _AFTER_TIMEOUT
+            return
+        if st == _AFTER_TIMEOUT:
+            line = eng_line[eng]
+            idx = line[eng_pos[eng]]
+            eng_pos[eng] += 1
+            buffer_id = idx // eng_range[eng]
+            counts = eng_count[eng]
+            lines = eng_lines[eng]
+            target = lines[buffer_id]
+            if target is None:
+                target = lines[buffer_id] = []
+            target.append(idx)
+            count = counts[buffer_id] + 1
+            if count == per_line:
+                evictions[1 + eng] += 1
+                counts[buffer_id] = 0
+                lines[buffer_id] = []
+                state[pid] = _AFTER_PUT
+                do_put(eng_out[eng], pid, target)
+                return
+            counts[buffer_id] = count
+        # _AFTER_PUT, _START, or the tail of _AFTER_TIMEOUT: continue the
+        # unpack loop, or block on the next line.
+        if st != _START and eng_pos[eng] < len(eng_line[eng]):
+            schedule(pid, engine_dt, None)
+            state[pid] = _AFTER_TIMEOUT
+        else:
+            state[pid] = _AFTER_GET
+            do_get(eng_in[eng], pid)
+
+    def resume_mem(value):
+        if state[_MEM] == _AFTER_GET:
+            schedule(_MEM, mem_dt, None)
+            state[_MEM] = _AFTER_TIMEOUT
+        else:  # _START or _AFTER_TIMEOUT: wait for the next line
+            state[_MEM] = _AFTER_GET
+            do_get(2, _MEM)
+
+    # --- event loop ----------------------------------------------------- #
+
+    while True:
+        pid = -1
+        best_time = 0.0
+        best_seq = 0
+        for candidate in (0, 1, 2, 3):
+            if runnable[candidate]:
+                t = run_time[candidate]
+                if pid < 0 or t < best_time or (
+                    t == best_time and run_seq[candidate] < best_seq
+                ):
+                    pid = candidate
+                    best_time = t
+                    best_seq = run_seq[candidate]
+        if pid < 0:
+            break
+        runnable[pid] = False
+        now = best_time
+        value = run_val[pid]
+        run_val[pid] = None
+        if pid == _CORE:
+            resume_core(value)
+        elif pid == _MEM:
+            resume_mem(value)
+        else:
+            resume_engine(pid, value)
+
+    return now, stall, evictions, max_occ

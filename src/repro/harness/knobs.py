@@ -75,6 +75,29 @@ KNOBS: Mapping[str, Knob] = {
             "totals (tests/cpu/test_branch_vectorized.py)",
         ),
         _knob(
+            "REPRO_KERNEL_BACKEND",
+            "auto",
+            "Compiled-kernel tier for the batched cache engine and the DES "
+            "fast loop: 'auto' (numba, else cnative when a C compiler is "
+            "present, else numpy), 'numpy', 'numba', or 'cnative' (explicit "
+            "tiers error when their prerequisite is missing).",
+            "kernel tiers are equivalence-tested to bit-identical counters "
+            "(tests/cache/test_kernel_backends.py, "
+            "tests/des/test_fastloop.py), so one cache entry serves every "
+            "tier",
+        ),
+        _knob(
+            "REPRO_TRACE_STORE",
+            None,
+            "Memory-mapped trace store: unset disables it, '1' enables it "
+            "at the default directory (a 'traces' subdirectory of the "
+            "result cache), any other value is the store directory.",
+            "store entries are content-addressed materializations of "
+            "phase traces, bit-identical to recomputation "
+            "(tests/harness/test_tracestore.py); the store only skips "
+            "redundant assembly work",
+        ),
+        _knob(
             "REPRO_RESULT_CACHE",
             None,
             "Result-cache directory override (default: the in-repo "

@@ -31,6 +31,7 @@ from repro.harness import knobs, modes
 from repro.harness.machine import DEFAULT_MACHINE
 from repro.harness.resultcache import run_digest
 from repro.harness.telemetry import NULL_TELEMETRY
+from repro.harness.tracestore import TRACE_STORE_KNOB, resolve_store
 from repro.pb.planner import plan_bins
 from repro.workloads.base import PhaseSpec
 
@@ -52,11 +53,12 @@ class Runner:
 
     ``engine`` selects the trace simulator: ``"auto"`` (default) uses the
     batched :class:`BatchHierarchy` whenever the phase's effective cache
-    configuration supports it and the scalar :class:`FastHierarchy`
-    otherwise; ``"fast"`` forces the scalar engine; ``"batch"`` requires
-    the machine's hierarchy to be batchable (phases that reserve ways still
-    fall back to the scalar engine, since way reservations are outside the
-    batched decomposition).
+    configuration supports it (every shipped figure configuration does —
+    DRRIP, prefetching, and reserved ways all have batched kernels) and
+    the scalar :class:`FastHierarchy` otherwise, emitting a
+    ``scalar_fallback`` telemetry event with the rejection reason on that
+    degradation; ``"fast"`` forces the scalar engine; ``"batch"`` requires
+    the machine's hierarchy to be batchable.
 
     ``result_cache`` (a :class:`~repro.harness.resultcache.ResultCache`)
     adds a persistent, on-disk layer under the per-instance memo so repeated
@@ -68,6 +70,14 @@ class Runner:
     chunking and materializes full traces, the reference path). The chunked
     and full pipelines produce bit-identical counters, so the knob is not
     part of the result-cache digest.
+
+    ``trace_store`` (a :class:`~repro.harness.tracestore.TraceStore`, a
+    directory path, or ``"1"`` for the default location; ``None`` reads
+    the ``REPRO_TRACE_STORE`` knob, unset disables it) materializes each
+    phase's interleaved trace once on disk and replays it through
+    read-only memory maps, so parallel sweep workers share one physical
+    copy per trace instead of each building its own. Stored traces are
+    content-addressed and bit-identical to in-memory materialization.
 
     ``telemetry`` (a :class:`~repro.harness.telemetry.Telemetry`) records
     engine selections, per-phase simulation wall-clock, and — propagated to
@@ -89,14 +99,17 @@ class Runner:
         telemetry=None,
         fault_policy=None,
         trace_chunk=None,
+        trace_store=None,
     ):
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
-        if engine == "batch" and not BatchHierarchy.supports(machine.hierarchy):
-            raise ValueError(
-                "engine='batch' but the machine's hierarchy needs the scalar "
-                "engine (DRRIP, prefetching, or reserved ways); use 'auto'"
-            )
+        if engine == "batch":
+            reason = BatchHierarchy.reject_reason(machine.hierarchy)
+            if reason is not None:
+                raise ValueError(
+                    f"engine='batch' but the machine's hierarchy needs the "
+                    f"scalar engine ({reason}); use 'auto'"
+                )
         self.machine = machine
         self.max_sim_events = max_sim_events
         self.model_eviction_stalls = model_eviction_stalls
@@ -104,6 +117,9 @@ class Runner:
         self.comm_sample = comm_sample
         self.engine = engine
         self.trace_chunk = trace_chunk
+        if trace_store is None:
+            trace_store = knobs.read(TRACE_STORE_KNOB)
+        self.trace_store = resolve_store(trace_store)
         self.result_cache = result_cache
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.fault_policy = fault_policy
@@ -323,6 +339,11 @@ class Runner:
             "comm_sample": self.comm_sample,
             "engine": self.engine,
             "trace_chunk": self.trace_chunk,
+            "trace_store_dir": (
+                str(self.trace_store.directory)
+                if self.trace_store is not None
+                else None
+            ),
             "cache_dir": (
                 str(self.result_cache.directory)
                 if self.result_cache is not None
@@ -344,9 +365,15 @@ class Runner:
         spec = dict(spec)
         cache_dir = spec.pop("cache_dir", None)
         telemetry_path = spec.pop("telemetry_path", None)
+        trace_store_dir = spec.pop("trace_store_dir", None)
         telemetry = JsonlTelemetry(telemetry_path) if telemetry_path else None
         result_cache = ResultCache(cache_dir) if cache_dir else None
-        return cls(result_cache=result_cache, telemetry=telemetry, **spec)
+        return cls(
+            result_cache=result_cache,
+            telemetry=telemetry,
+            trace_store=trace_store_dir,
+            **spec,
+        )
 
     def run_with_spec(self, workload, spec, include_init=True):
         """Software PB at an explicit :class:`BinSpec` (bin-count sweeps).
@@ -486,17 +513,19 @@ class Runner:
             stream_lines_total = phase.streaming_bytes // line_bytes
             chunk = self.trace_chunk_size()
             if chunk:
+                if self.trace_store is not None:
+                    lines, writes = self.trace_store.materialize(arrays, flags)
+                    chunks = _sliced_chunks(lines, writes, len(arrays), chunk)
+                else:
+                    chunks = self._iter_trace_chunks(arrays, flags, chunk)
                 irregular, streaming = self._simulate_chunked(
-                    hierarchy,
-                    arrays,
-                    flags,
-                    sim_events,
-                    stream_lines_total,
-                    total_events,
-                    chunk,
+                    hierarchy, chunks, stream_lines_total, total_events
                 )
             else:
-                lines, writes = _materialize_trace(arrays, flags)
+                if self.trace_store is not None:
+                    lines, writes = self.trace_store.materialize(arrays, flags)
+                else:
+                    lines, writes = _materialize_trace(arrays, flags)
                 irregular, streaming = self._simulate_interleaved(
                     hierarchy, lines, writes, stream_lines_total, total_events
                 )
@@ -564,11 +593,20 @@ class Runner:
 
     def _make_hierarchy(self, config):
         """Engine dispatch: batched when the config is expressible, else
-        scalar (equivalence between the two is test-asserted)."""
-        if self.engine != "fast" and BatchHierarchy.supports(config):
+        scalar (equivalence between the two is test-asserted).
+
+        A fallback to the scalar engine that the caller did not ask for is
+        a silent order-of-magnitude slowdown, so it emits a
+        ``scalar_fallback`` telemetry event carrying the batched engine's
+        rejection reason (surfaced by ``repro report``)."""
+        if self.engine != "fast":
+            reason = BatchHierarchy.reject_reason(config)
+            if reason is None:
+                if self.telemetry.enabled:
+                    self.telemetry.emit("engine_selected", engine="batch")
+                return BatchHierarchy(config)
             if self.telemetry.enabled:
-                self.telemetry.emit("engine_selected", engine="batch")
-            return BatchHierarchy(config)
+                self.telemetry.emit("scalar_fallback", reason=reason)
         if self.telemetry.enabled:
             self.telemetry.emit("engine_selected", engine="fast")
         return FastHierarchy(config)
@@ -675,20 +713,21 @@ class Runner:
         """Merge irregular accesses with uniformly injected stream lines."""
         return self._merge_chunk(lines, writes, stream_lines, total_events, 0)
 
-    def _simulate_chunked(
-        self, hierarchy, arrays, flags, sim_events, stream_lines, total_events, chunk
-    ):
+    def _simulate_chunked(self, hierarchy, chunks, stream_lines, total_events):
         """Stream trace chunks through the hierarchy; O(chunk) peak memory.
 
-        Hierarchy state persists across ``simulate``/``access`` calls, so
-        per-chunk replay of the sliced merged trace is bit-identical to one
-        full-trace replay.
+        ``chunks`` yields ``(lines, writes)`` pairs — from
+        :meth:`_iter_trace_chunks` (in-memory assembly) or from
+        :func:`_sliced_chunks` over a store-mapped trace; both cut on the
+        same interleave-round boundaries. Hierarchy state persists across
+        ``simulate``/``access`` calls, so per-chunk replay of the sliced
+        merged trace is bit-identical to one full-trace replay.
         """
         irregular = np.zeros(5, dtype=np.int64)
         streaming = np.zeros(5, dtype=np.int64)
         batched = isinstance(hierarchy, BatchHierarchy)
         offset = 0
-        for lines, writes in self._iter_trace_chunks(arrays, flags, chunk):
+        for lines, writes in chunks:
             merged_lines, merged_writes, is_stream = self._merge_chunk(
                 lines, writes, stream_lines, total_events, offset
             )
@@ -773,6 +812,19 @@ class Runner:
         result = EvictionBufferModel(des_config).run(sample)
         self._cache[key] = result.stall_fraction
         return result.stall_fraction
+
+
+def _sliced_chunks(lines, writes, width, chunk):
+    """Yield chunk views of a materialized (possibly mmap'd) trace.
+
+    Boundaries match :meth:`Runner._iter_trace_chunks` exactly: whole
+    interleave rounds of ``width`` accesses, ``max(1, chunk // width)``
+    rounds per chunk — so the two chunk sources replay identically. Views
+    into a memory-mapped trace stay zero-copy until the stream merge.
+    """
+    step = chunk if width == 1 else max(1, chunk // width) * width
+    for start in range(0, len(lines), step):
+        yield lines[start : start + step], writes[start : start + step]
 
 
 def _materialize_trace(arrays, flags):

@@ -35,6 +35,11 @@ Event vocabulary (see EXPERIMENTS.md for the full schema):
     Persistent result-cache activity (digest-level).
 ``engine_selected``
     Which trace engine simulated a phase.
+``scalar_fallback``
+    The batched engine could not express a phase's cache configuration
+    and the runner silently degraded to the scalar engine; carries the
+    rejection ``reason``. Every shipped figure configuration is batchable,
+    so any nonzero count in a report deserves a look.
 ``phase_timed``
     Wall-clock seconds spent simulating one phase.
 
@@ -183,6 +188,7 @@ def summarize(path, slowest=10):
     hits = misses = write_errors = 0
     phase_seconds = {}
     engines = {}
+    fallback_reasons = {}
     sweeps = 0
     interrupted = stalls = journal_warnings = 0
     for record in events:
@@ -216,6 +222,9 @@ def summarize(path, slowest=10):
         elif event == "engine_selected":
             name = record.get("engine", "?")
             engines[name] = engines.get(name, 0) + 1
+        elif event == "scalar_fallback":
+            reason = record.get("reason", "?")
+            fallback_reasons[reason] = fallback_reasons.get(reason, 0) + 1
     completed.sort(key=lambda r: -float(r.get("seconds", 0.0)))
     lookups = hits + misses
     return {
@@ -256,6 +265,10 @@ def summarize(path, slowest=10):
             sorted(phase_seconds.items(), key=lambda kv: -kv[1])
         ),
         "engines": engines,
+        "scalar_fallbacks": sum(fallback_reasons.values()),
+        "scalar_fallback_reasons": dict(
+            sorted(fallback_reasons.items(), key=lambda kv: -kv[1])
+        ),
     }
 
 
@@ -293,6 +306,15 @@ def format_summary(summary):
             f"{name}={count}" for name, count in sorted(summary["engines"].items())
         )
         lines.append(f"  engines   {parts}")
+    if summary.get("scalar_fallbacks"):
+        reasons = "; ".join(
+            f"{reason} x{count}"
+            for reason, count in summary["scalar_fallback_reasons"].items()
+        )
+        lines.append(
+            f"  WARNING   {summary['scalar_fallbacks']} scalar fallback(s): "
+            f"{reasons}"
+        )
     if summary["slowest"]:
         lines.append("")
         lines.append(

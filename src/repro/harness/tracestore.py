@@ -1,0 +1,202 @@
+"""Content-addressed, memory-mapped on-disk store for phase traces.
+
+``Runner._simulate_phase`` interleaves the sampled per-segment line
+arrays into one merged trace before replay. In a parallel sweep every
+worker process builds its own private copy of that trace — for the large
+figure points this is the dominant transient allocation, and identical
+(workload, phase) traces are rebuilt once per worker per sweep.
+
+:class:`TraceStore` materializes each interleaved trace exactly once into
+a directory of ``.npy`` files and hands back **read-only memory maps**
+(``numpy.load(..., mmap_mode="r")``). Workers that request the same trace
+map the same files, so the physical pages are shared through the OS page
+cache: zero copies per additional worker, and peak RSS per worker drops
+from O(trace) to O(chunk) even on the unchunked replay path.
+
+Entries are **content-addressed**: the key is the SHA-256 of the segment
+arrays' bytes, shapes, and write flags — the exact inputs of
+:func:`~repro.harness.runner._materialize_trace`. Two phases whose
+sampled segments are byte-identical share one entry; any difference in
+content produces a different key, so a stale or aliased entry cannot
+exist by construction (this is why the ``REPRO_TRACE_STORE`` knob stays
+out of result-cache digests — see ``repro.analysis.digest_exempt``).
+
+Writes are crash-safe: each array is written to a temporary file in the
+store directory and ``os.replace``-d into place, so concurrent workers
+racing on the same entry at worst build it twice and atomically install
+identical bytes. A ``.meta.json`` sidecar records the event count and
+interleave width for introspection (``entries``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["TraceStore", "TRACE_STORE_KNOB", "resolve_store"]
+
+TRACE_STORE_KNOB = "REPRO_TRACE_STORE"
+
+
+def resolve_store(value):
+    """A :class:`TraceStore` from a constructor argument or knob value.
+
+    ``None``/empty disables the store; ``"1"`` selects the default
+    directory (a ``traces`` subdirectory of the result cache, so the two
+    artifact sets travel together); an existing :class:`TraceStore`
+    passes through; anything else is the store directory.
+    """
+    if value is None or value == "":
+        return None
+    if isinstance(value, TraceStore):
+        return value
+    if str(value) == "1":
+        from repro.harness.resultcache import default_cache_dir
+
+        return TraceStore(default_cache_dir() / "traces")
+    return TraceStore(value)
+
+
+class TraceStore:
+    """Directory of content-addressed, mmap-served interleaved traces.
+
+    ``materialize(arrays, flags)`` is the single entry point: it returns
+    ``(lines, writes)`` bit-identical to
+    :func:`~repro.harness.runner._materialize_trace`, as read-only
+    memory-mapped arrays backed by the store directory. ``hits`` /
+    ``misses`` count mapped vs built traces for this process.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Keying
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def trace_digest(arrays, flags):
+        """SHA-256 over the interleave inputs (content plus shape).
+
+        Shapes and flags are folded in explicitly: two segment lists with
+        the same concatenated bytes but different boundaries (or write
+        flags) interleave differently and must not collide.
+        """
+        digest = hashlib.sha256()
+        digest.update(json.dumps(
+            [[len(a) for a in arrays], [bool(f) for f in flags]]
+        ).encode("utf-8"))
+        for array in arrays:
+            digest.update(np.ascontiguousarray(array, dtype=np.int64).data)
+        return digest.hexdigest()
+
+    def _paths(self, digest):
+        base = self.directory / digest
+        return (
+            base.with_suffix(".lines.npy"),
+            base.with_suffix(".writes.npy"),
+            base.with_suffix(".meta.json"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Materialization
+    # ------------------------------------------------------------------ #
+
+    def materialize(self, arrays, flags):
+        """The interleaved ``(lines, writes)`` trace, mapped zero-copy.
+
+        On the first request for a given content digest the trace is
+        built (exactly as the in-memory path builds it), persisted, and
+        then served from the files; later requests — in this process or
+        any concurrent worker — map the existing files directly.
+        """
+        digest = self.trace_digest(arrays, flags)
+        lines_path, writes_path, meta_path = self._paths(digest)
+        if lines_path.exists() and writes_path.exists():
+            self.hits += 1
+            return self._load(lines_path, writes_path)
+        from repro.harness.runner import _materialize_trace
+
+        lines, writes = _materialize_trace(arrays, flags)
+        self._install(lines_path, lines)
+        self._install(writes_path, writes)
+        self._install_meta(
+            meta_path, {"events": int(lines.size), "width": len(arrays)}
+        )
+        self.misses += 1
+        return self._load(lines_path, writes_path)
+
+    def _load(self, lines_path, writes_path):
+        return (
+            np.load(lines_path, mmap_mode="r"),
+            np.load(writes_path, mmap_mode="r"),
+        )
+
+    def _install(self, path, array):
+        """Atomically publish ``array`` as ``path`` (tmp + ``os.replace``)."""
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.save(handle, array)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _install_meta(self, path, meta):
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(meta, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Introspection / maintenance
+    # ------------------------------------------------------------------ #
+
+    def entries(self):
+        """``{digest: meta}`` for every complete entry in the store."""
+        found = {}
+        for meta_path in sorted(self.directory.glob("*.meta.json")):
+            digest = meta_path.name[: -len(".meta.json")]
+            lines_path, writes_path, _ = self._paths(digest)
+            if not (lines_path.exists() and writes_path.exists()):
+                continue
+            try:
+                with open(meta_path, "r", encoding="utf-8") as handle:
+                    found[digest] = json.load(handle)
+            except (OSError, ValueError):
+                continue
+        return found
+
+    def __len__(self):
+        return len(self.entries())
+
+    def clear(self):
+        """Delete every entry (and any orphaned temporaries)."""
+        for path in self.directory.glob("*"):
+            try:
+                path.unlink()
+            except OSError:
+                pass

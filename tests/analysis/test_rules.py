@@ -328,6 +328,117 @@ class TestBackendPairing:
         assert lint_findings(root, "backend-pairing") == []
 
 
+JIT_KERNEL = """\
+    from repro.cache.kernels import maybe_jit
+
+    @maybe_jit
+    def replay(stream):
+        return stream
+    """
+
+ORACLE_KERNEL = """\
+    SCALAR_ORACLE = "FastEngine"
+
+    def replay(stream):
+        return stream
+    """
+
+
+class TestCompiledKernelPairing:
+    """The compiled-kernel arm of the ``backend-pairing`` rule."""
+
+    def test_kernels_package_without_oracle_flagged(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/cache/kernels/fancy.py": """\
+                    def replay(stream):
+                        return stream
+                    """
+            }
+        )
+        findings = lint_findings(root, "backend-pairing")
+        assert len(findings) == 1
+        assert "names no scalar oracle" in findings[0].message
+
+    def test_jit_decorated_module_without_oracle_flagged(self, mini_tree):
+        """@maybe_jit marks a kernel module wherever it lives."""
+        root = mini_tree({"src/repro/cpu/hotloop.py": JIT_KERNEL})
+        findings = lint_findings(root, "backend-pairing")
+        assert len(findings) == 1
+        assert "names no scalar oracle" in findings[0].message
+
+    def test_njit_call_decorator_recognized(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/cpu/hotloop.py": """\
+                    import numba
+
+                    @numba.njit(cache=True)
+                    def replay(stream):
+                        return stream
+                    """
+            }
+        )
+        findings = lint_findings(root, "backend-pairing")
+        assert len(findings) == 1
+        assert "names no scalar oracle" in findings[0].message
+
+    def test_oracle_without_test_flagged(self, mini_tree):
+        root = mini_tree({"src/repro/cache/kernels/fancy.py": ORACLE_KERNEL})
+        findings = lint_findings(root, "backend-pairing")
+        assert len(findings) == 1
+        assert "equivalence is unasserted" in findings[0].message
+        assert "FastEngine" in findings[0].message
+
+    def test_module_stem_test_satisfies_rule(self, mini_tree):
+        root = mini_tree(
+            {"src/repro/des/fancy.py": ORACLE_KERNEL},
+            tests={
+                "des/test_fancy.py": """\
+                    def test_matches_oracle():
+                        from repro.des import fancy
+                        assert fancy.replay([1]) == FastEngine().run([1])
+                    """
+            },
+        )
+        assert lint_findings(root, "backend-pairing") == []
+
+    def test_kernels_package_test_satisfies_rule(self, mini_tree):
+        """A suite exercising the kernels package as a whole counts for
+        every module in it (tiers are selected behind one facade)."""
+        root = mini_tree(
+            {"src/repro/cache/kernels/fancy.py": ORACLE_KERNEL},
+            tests={
+                "cache/test_backends.py": """\
+                    def test_all_tiers():
+                        from repro.cache import kernels
+                        assert kernels.select() == FastEngine()
+                    """
+            },
+        )
+        assert lint_findings(root, "backend-pairing") == []
+
+    def test_package_init_exempt(self, mini_tree):
+        """kernels/__init__.py is selection plumbing, not a kernel."""
+        root = mini_tree(
+            {
+                "src/repro/cache/kernels/__init__.py": """\
+                    def select_backend(name):
+                        return name
+                    """
+            }
+        )
+        assert lint_findings(root, "backend-pairing") == []
+
+    def test_self_declared_oracle_enforced_outside_kernels(self, mini_tree):
+        """A module that declares SCALAR_ORACLE opts into the contract
+        even without jit decorators (the DES fast loop's shape)."""
+        root = mini_tree({"src/repro/des/flat.py": ORACLE_KERNEL})
+        findings = lint_findings(root, "backend-pairing")
+        assert len(findings) == 1
+        assert "equivalence is unasserted" in findings[0].message
+
+
 class TestNondetHazards:
     def test_mutable_default_argument_flagged(self, mini_tree):
         root = mini_tree(

@@ -130,26 +130,34 @@ class TestCapabilities:
         for config in BATCHABLE.values():
             assert BatchHierarchy.supports(config)
 
-    def test_rejects_drrip(self):
-        assert not BatchHierarchy.supports(
+    def test_supports_drrip(self):
+        assert BatchHierarchy.supports(
             HierarchyConfig(prefetch=False)  # default LLC policy is DRRIP
         )
 
-    def test_rejects_prefetch(self):
-        assert not BatchHierarchy.supports(
+    def test_supports_prefetch(self):
+        assert BatchHierarchy.supports(
             HierarchyConfig(llc_policy="plru", prefetch=True)
         )
 
-    def test_rejects_reserved_ways(self):
-        assert not BatchHierarchy.supports(
+    def test_supports_reserved_ways(self):
+        assert BatchHierarchy.supports(
             HierarchyConfig(
                 llc_policy="plru", prefetch=False, llc_reserved_ways=4
             )
         )
 
-    def test_constructor_raises_on_unsupported(self):
+    def test_supports_default_machine(self):
+        assert BatchHierarchy.supports(HierarchyConfig())
+        assert BatchHierarchy.reject_reason(HierarchyConfig()) is None
+
+    def test_rejects_unknown_policy(self):
+        config = HierarchyConfig(llc_policy="random")
+        reason = BatchHierarchy.reject_reason(config)
+        assert reason is not None and "random" in reason
+        assert not BatchHierarchy.supports(config)
         with pytest.raises(ValueError, match="cannot express"):
-            BatchHierarchy(HierarchyConfig())
+            BatchHierarchy(config)
 
 
 class TestBatchSimExtras:

@@ -1,0 +1,154 @@
+"""Bit-identity of the flattened DES loop with the generator engine.
+
+:meth:`EvictionBufferModel.run` executes the flat event loop of
+:mod:`repro.des.fastloop` (and, through the kernel-backend tiers, its C
+twin); :meth:`EvictionBufferModel.run_reference` retains the original
+generator-engine formulation as the oracle. Figure 13a's stall fractions
+are ratios of accumulated floats, so these tests demand *bit* identity —
+``float.hex`` equality of every cycle counter, not approximate equality —
+plus exact eviction counts and max queue occupancies (occupancy maxima
+are sensitive to event ordering at timestamp ties, which makes them the
+sharpest probe of schedule fidelity).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import kernels as kernel_backends
+from repro.des import fastloop
+from repro.des.eviction_model import EvictionBufferModel, EvictionModelConfig
+
+BACKENDS = ["numpy"]
+if kernel_backends.cnative_available():
+    BACKENDS.append("cnative")
+
+
+def assert_bit_identical(cfg, trace):
+    model = EvictionBufferModel(cfg)
+    ref = model.run_reference(trace)
+    trace = np.asarray(trace, dtype=np.int64)
+    for backend in BACKENDS:
+        total, stall, evictions, max_occ = fastloop.simulate_eviction_pipeline(
+            trace, cfg, backend=backend
+        )
+        label = f"backend={backend}"
+        assert total.hex() == ref.total_cycles.hex(), label
+        assert stall.hex() == ref.core_stall_cycles.hex(), label
+        assert evictions == [
+            ref.evictions["l1"], ref.evictions["l2"], ref.evictions["llc"],
+        ], label
+        assert max_occ == [
+            ref.max_queue_occupancy["l1_evict"],
+            ref.max_queue_occupancy["l2_evict"],
+            ref.max_queue_occupancy["mem"],
+        ], label
+    fast = model.run(trace)
+    assert fast.total_cycles.hex() == ref.total_cycles.hex()
+    assert fast.core_stall_cycles.hex() == ref.core_stall_cycles.hex()
+    assert fast.evictions == ref.evictions
+    assert fast.max_queue_occupancy == ref.max_queue_occupancy
+    assert fast.tuples == ref.tuples
+    assert fast.stall_fraction == ref.stall_fraction
+    return ref
+
+
+def test_uniform_trace():
+    rng = np.random.default_rng(11)
+    cfg = EvictionModelConfig(num_indices=2048)
+    assert_bit_identical(cfg, rng.integers(0, 2048, size=60_000))
+
+
+def test_bursty_trace_stalls():
+    """Runs of same-bin tuples force back-to-back evictions; with a short
+    L1 FIFO the core must actually stall (the Figure 13a effect)."""
+    rng = np.random.default_rng(12)
+    chunks = []
+    while sum(len(c) for c in chunks) < 40_000:
+        base = int(rng.integers(0, 512))
+        chunks.append([base] * int(rng.integers(1, 24)))
+    trace = np.concatenate(chunks)[:40_000].astype(np.int64)
+    cfg = EvictionModelConfig(
+        num_indices=512, l1_evict_queue=1, l2_evict_queue=1, mem_queue=1,
+        mem_cycles_per_line=32.0, core_cycles_per_tuple=0.5,
+    )
+    ref = assert_bit_identical(cfg, trace)
+    assert ref.core_stall_cycles > 0  # the scenario must exercise stalls
+
+
+def test_backpressure_fills_queues():
+    """A slow memory writer propagates backpressure through both FIFOs."""
+    cfg = EvictionModelConfig(
+        num_indices=64, l1_buffers=2, l2_buffers=4, llc_buffers=8,
+        l1_evict_queue=2, l2_evict_queue=2, mem_queue=2,
+        mem_cycles_per_line=128.0,
+    )
+    trace = np.tile(np.arange(64), 400)
+    ref = assert_bit_identical(cfg, trace)
+    assert ref.max_queue_occupancy["mem"] == 2  # saturated
+
+
+def test_odd_geometry():
+    """Non-power-of-two buffers, line size, and rates."""
+    rng = np.random.default_rng(13)
+    cfg = EvictionModelConfig(
+        num_indices=999, l1_buffers=7, l2_buffers=31, llc_buffers=101,
+        tuples_per_line=5, l1_evict_queue=2, l2_evict_queue=3, mem_queue=2,
+        core_cycles_per_tuple=1.25, engine_cycles_per_tuple=0.75,
+        mem_cycles_per_line=3.5,
+    )
+    assert_bit_identical(cfg, rng.integers(0, 999, size=20_000))
+
+
+def test_degenerate_traces():
+    cfg = EvictionModelConfig(
+        num_indices=16, l1_buffers=2, l2_buffers=2, llc_buffers=2
+    )
+    assert_bit_identical(cfg, np.array([], dtype=np.int64))
+    assert_bit_identical(cfg, np.array([3], dtype=np.int64))
+    assert_bit_identical(cfg, np.array([3] * 8, dtype=np.int64))
+    assert_bit_identical(cfg, np.array([3] * 7, dtype=np.int64))  # no evict
+
+
+@given(
+    trace=st.lists(st.integers(0, 63), min_size=0, max_size=600),
+    l1_fifo=st.integers(1, 4),
+    per_line=st.integers(1, 9),
+)
+@settings(max_examples=50, deadline=None)
+def test_schedule_property(trace, l1_fifo, per_line):
+    cfg = EvictionModelConfig(
+        num_indices=64, l1_buffers=4, l2_buffers=8, llc_buffers=16,
+        tuples_per_line=per_line, l1_evict_queue=l1_fifo,
+        l2_evict_queue=2, mem_queue=2,
+    )
+    assert_bit_identical(cfg, np.asarray(trace, dtype=np.int64))
+
+
+def test_oracle_marker():
+    """The backend-pairing lint rule keys off this module attribute."""
+    assert fastloop.SCALAR_ORACLE == "Simulator"
+
+
+def test_numpy_backend_forces_python_loop(monkeypatch):
+    """REPRO_KERNEL_BACKEND=numpy must bypass the C loop (the no-compiler
+    CI leg relies on this) and still be bit-identical."""
+    monkeypatch.setenv(kernel_backends.KERNEL_BACKEND_KNOB, "numpy")
+    rng = np.random.default_rng(14)
+    cfg = EvictionModelConfig(num_indices=256)
+    trace = rng.integers(0, 256, size=5_000)
+    model = EvictionBufferModel(cfg)
+    ref = model.run_reference(trace)
+    fast = model.run(trace)
+    assert fast.total_cycles.hex() == ref.total_cycles.hex()
+    assert fast.evictions == ref.evictions
+
+
+def test_run_validates_indices():
+    cfg = EvictionModelConfig(num_indices=8)
+    model = EvictionBufferModel(cfg)
+    with pytest.raises(ValueError, match="beyond num_indices"):
+        model.run(np.array([9], dtype=np.int64))
+    with pytest.raises(ValueError, match="beyond num_indices"):
+        model.run_reference(np.array([9], dtype=np.int64))

@@ -158,19 +158,53 @@ class TestEngineSelection:
             assert batch.run(workload, mode) == fast.run(workload, mode)
 
     def test_batch_engine_rejects_unbatchable_machine(self):
+        unbatchable = dataclasses.replace(
+            DEFAULT_MACHINE,
+            hierarchy=dataclasses.replace(
+                DEFAULT_MACHINE.hierarchy, llc_policy="random"
+            ),
+        )
         with pytest.raises(ValueError, match="batch"):
-            Runner(engine="batch")  # default machine: prefetch + DRRIP
+            Runner(machine=unbatchable, engine="batch")
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="engine"):
             Runner(engine="warp")
 
-    def test_auto_on_default_machine_uses_scalar(self):
-        from repro.cache.fastsim import FastHierarchy
+    def test_auto_on_default_machine_uses_batch(self):
+        """The default machine (DRRIP LLC + prefetch) is batchable now that
+        the kernels cover set dueling and prefetch gating."""
+        from repro.cache.batchsim import BatchHierarchy
 
         runner = Runner()
         hierarchy = runner._make_hierarchy(runner.machine.hierarchy)
+        assert isinstance(hierarchy, BatchHierarchy)
+
+    def test_auto_emits_scalar_fallback_telemetry(self, tmp_path, monkeypatch):
+        """A config the batched engine rejects degrades to the scalar
+        engine and reports why. Every shipped policy is batchable now, so
+        the rejection is simulated — the path guards future policies."""
+        from repro.cache.batchsim import BatchHierarchy
+        from repro.cache.fastsim import FastHierarchy
+        from repro.harness.telemetry import JsonlTelemetry, read_events
+
+        monkeypatch.setattr(
+            BatchHierarchy,
+            "reject_reason",
+            staticmethod(lambda config: "unknown llc replacement policy"),
+        )
+        sink = JsonlTelemetry(tmp_path / "t.jsonl")
+        runner = Runner(telemetry=sink)
+        hierarchy = runner._make_hierarchy(runner.machine.hierarchy)
+        sink.close()
         assert isinstance(hierarchy, FastHierarchy)
+        fallbacks = [
+            e
+            for e in read_events(tmp_path / "t.jsonl")
+            if e["event"] == "scalar_fallback"
+        ]
+        assert len(fallbacks) == 1
+        assert "policy" in fallbacks[0]["reason"]
 
     def test_auto_on_batchable_machine_uses_batch(self):
         from repro.cache.batchsim import BatchHierarchy

@@ -1,0 +1,165 @@
+"""The memory-mapped trace store: content addressing, zero-copy serving,
+and bit-identical integration with the runner's trace pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.harness import knobs
+from repro.harness.runner import Runner, _materialize_trace
+from repro.harness.tracestore import TraceStore, resolve_store
+
+
+def _segments(rng, width=3, n=500):
+    arrays = [rng.integers(0, 1000, size=n).astype(np.int64) for _ in range(width)]
+    flags = [bool(i % 2) for i in range(width)]
+    return arrays, flags
+
+
+class TestStore:
+    def test_materialize_matches_in_memory(self, tmp_path):
+        rng = np.random.default_rng(1)
+        arrays, flags = _segments(rng)
+        store = TraceStore(tmp_path)
+        lines, writes = store.materialize(arrays, flags)
+        ref_lines, ref_writes = _materialize_trace(arrays, flags)
+        np.testing.assert_array_equal(np.asarray(lines), ref_lines)
+        np.testing.assert_array_equal(np.asarray(writes), ref_writes)
+        assert store.misses == 1 and store.hits == 0
+
+    def test_served_as_readonly_mmap(self, tmp_path):
+        rng = np.random.default_rng(2)
+        arrays, flags = _segments(rng)
+        store = TraceStore(tmp_path)
+        store.materialize(arrays, flags)
+        lines, writes = store.materialize(arrays, flags)
+        assert isinstance(lines, np.memmap)
+        assert isinstance(writes, np.memmap)
+        with pytest.raises(ValueError):
+            lines[0] = 1  # mmap_mode="r" arrays must be immutable
+
+    def test_second_request_hits(self, tmp_path):
+        rng = np.random.default_rng(3)
+        arrays, flags = _segments(rng)
+        first = TraceStore(tmp_path)
+        first.materialize(arrays, flags)
+        second = TraceStore(tmp_path)  # a different worker process
+        second.materialize(arrays, flags)
+        assert second.hits == 1 and second.misses == 0
+
+    def test_content_addressing_discriminates(self, tmp_path):
+        store = TraceStore(tmp_path)
+        a = [np.array([1, 2, 3, 4], dtype=np.int64)]
+        b = [np.array([1, 2, 3, 5], dtype=np.int64)]
+        assert store.trace_digest(a, [False]) != store.trace_digest(b, [False])
+        # Same concatenated bytes, different segment boundaries:
+        split = [np.array([1, 2], dtype=np.int64), np.array([3, 4], dtype=np.int64)]
+        assert store.trace_digest(a, [False]) != store.trace_digest(
+            split, [False, False]
+        )
+        # Same lines, different write flags:
+        assert store.trace_digest(a, [False]) != store.trace_digest(a, [True])
+
+    def test_entries_and_meta(self, tmp_path):
+        rng = np.random.default_rng(4)
+        arrays, flags = _segments(rng, width=2, n=100)
+        store = TraceStore(tmp_path)
+        store.materialize(arrays, flags)
+        entries = store.entries()
+        assert len(entries) == len(store) == 1
+        (meta,) = entries.values()
+        assert meta == {"events": 200, "width": 2}
+
+    def test_clear(self, tmp_path):
+        rng = np.random.default_rng(5)
+        arrays, flags = _segments(rng)
+        store = TraceStore(tmp_path)
+        store.materialize(arrays, flags)
+        store.clear()
+        assert len(store) == 0
+
+    def test_torn_entry_rebuilt(self, tmp_path):
+        """A missing companion file (crashed writer) is not served."""
+        rng = np.random.default_rng(6)
+        arrays, flags = _segments(rng)
+        store = TraceStore(tmp_path)
+        store.materialize(arrays, flags)
+        digest = store.trace_digest(arrays, flags)
+        (tmp_path / f"{digest}.writes.npy").unlink()
+        assert store.entries() == {}
+        again = TraceStore(tmp_path)
+        again.materialize(arrays, flags)
+        assert again.misses == 1
+
+
+class TestResolve:
+    def test_disabled(self):
+        assert resolve_store(None) is None
+        assert resolve_store("") is None
+
+    def test_path(self, tmp_path):
+        store = resolve_store(tmp_path / "traces")
+        assert isinstance(store, TraceStore)
+        assert store.directory == tmp_path / "traces"
+
+    def test_passthrough(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert resolve_store(store) is store
+
+    def test_default_location(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "cache"))
+        store = resolve_store("1")
+        assert store.directory == tmp_path / "cache" / "traces"
+
+    def test_knob_registered(self):
+        assert "REPRO_TRACE_STORE" in knobs.registered_names()
+
+
+class TestRunnerIntegration:
+    @pytest.fixture()
+    def workload(self):
+        from repro.harness.inputs import make_workload
+
+        return make_workload("degree-count", "KRON", scale=12)
+
+    def test_counters_bit_identical(self, tmp_path, workload):
+        plain = Runner()
+        stored = Runner(trace_store=tmp_path)
+        for mode in ("baseline", "pb-sw", "cobra"):
+            a = plain.run(workload, mode, use_cache=False).as_dict()
+            b = stored.run(workload, mode, use_cache=False).as_dict()
+            assert a == b, mode
+        assert stored.trace_store.misses > 0
+
+    def test_unchunked_replay_from_store(self, tmp_path, workload):
+        reference = Runner(trace_chunk=0)
+        stored = Runner(trace_store=tmp_path, trace_chunk=0)
+        a = reference.run(workload, "cobra", use_cache=False).as_dict()
+        b = stored.run(workload, "cobra", use_cache=False).as_dict()
+        assert a == b
+
+    def test_second_runner_maps_existing_traces(self, tmp_path, workload):
+        first = Runner(trace_store=tmp_path)
+        first.run(workload, "baseline", use_cache=False)
+        second = Runner(trace_store=tmp_path)
+        second.run(workload, "baseline", use_cache=False)
+        assert second.trace_store.hits > 0
+        assert second.trace_store.misses == 0
+
+    def test_knob_enables_store(self, tmp_path, monkeypatch, workload):
+        monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path))
+        runner = Runner()
+        assert runner.trace_store is not None
+        runner.run(workload, "baseline", use_cache=False)
+        assert len(runner.trace_store) > 0
+
+    def test_spawn_spec_round_trip(self, tmp_path):
+        runner = Runner(trace_store=tmp_path)
+        spec = runner.spawn_spec()
+        assert spec["trace_store_dir"] == str(tmp_path)
+        rebuilt = Runner.from_spec(spec)
+        assert rebuilt.trace_store.directory == runner.trace_store.directory
+
+    def test_spawn_spec_without_store(self):
+        runner = Runner()
+        assert runner.trace_store is None
+        assert Runner.from_spec(runner.spawn_spec()).trace_store is None
