@@ -33,6 +33,31 @@ def runner():
 
 
 @pytest.fixture(scope="session")
+def bench_history():
+    """Append a perf measurement to a ``BENCH_*.json`` history envelope.
+
+    The perf suites used to ``write_text`` their record, silently clobbering
+    every earlier suite's measurement — which is how the PR-1 and PR-4 BENCH
+    files vanished. Records now accumulate keyed by git SHA + ISO date (see
+    :mod:`repro.harness.benchhistory`), and ``repro trend`` renders the
+    resulting trajectory.
+    """
+    from repro.harness.benchhistory import append_bench_record
+
+    def append(path, record):
+        history = append_bench_record(path, record)
+        entry = history["entries"][-1]
+        print(
+            f"[appended entry {len(history['entries'])} "
+            f"(git {str(entry['git_sha'])[:12]}, {entry['recorded']}) "
+            f"to {path}]"
+        )
+        return history
+
+    return append
+
+
+@pytest.fixture(scope="session")
 def save_result():
     """Persist an ExperimentResult (text + CSV rows) and echo the text."""
     RESULTS_DIR.mkdir(exist_ok=True)

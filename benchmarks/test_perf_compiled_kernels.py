@@ -24,7 +24,6 @@ equivalence-tested, so any drift is a bug, not noise.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import resource
 import time
@@ -110,7 +109,7 @@ def _des_bench(repeats=3):
     }
 
 
-def test_perf_compiled_kernels():
+def test_perf_compiled_kernels(bench_history):
     # The whole point of the backend layer: the default machine — DRRIP,
     # prefetch, and every COBRA reserved-ways variant — is batchable now.
     assert BatchHierarchy.reject_reason(DEFAULT_MACHINE.hierarchy) is None
@@ -145,7 +144,7 @@ def test_perf_compiled_kernels():
         "des_eviction": des,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    bench_history(BENCH_PATH, record)
     print(
         f"\nbackend  {record['backend']['selected']} "
         f"(available: {', '.join(record['backend']['available'])})\n"
@@ -153,7 +152,6 @@ def test_perf_compiled_kernels():
         f"({record['pipeline']['speedup']:.2f}x) on the default machine\n"
         f"des loop {des['reference_seconds']:.3f}s -> "
         f"{des['fastloop_seconds']:.3f}s ({des['speedup']:.1f}x)"
-        f"\n[saved to {BENCH_PATH}]"
     )
 
     # Acceptance: >= 5x end-to-end on the fig10-sized point (3x is the CI

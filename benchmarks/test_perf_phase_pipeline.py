@@ -25,7 +25,6 @@ than O(trace).
 from __future__ import annotations
 
 import dataclasses
-import json
 import pathlib
 import resource
 import time
@@ -134,7 +133,7 @@ def _memory_probe(workload, monkeypatch, trace_chunk):
     return peak
 
 
-def test_perf_phase_pipeline(monkeypatch):
+def test_perf_phase_pipeline(monkeypatch, bench_history):
     rng = np.random.default_rng(2026)
     outcomes = rng.random(OUTCOMES) < 0.37
 
@@ -170,7 +169,7 @@ def test_perf_phase_pipeline(monkeypatch):
         },
     }
     RESULTS_DIR.mkdir(exist_ok=True)
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    bench_history(BENCH_PATH, record)
     print(
         f"\ngshare  {gshare['scalar_seconds']:.3f}s -> "
         f"{gshare['vector_seconds']:.3f}s ({gshare['speedup']:.1f}x)\n"
@@ -179,7 +178,6 @@ def test_perf_phase_pipeline(monkeypatch):
         f"pipeline {ref_seconds:.2f}s -> {new_seconds:.2f}s "
         f"({record['pipeline']['speedup']:.2f}x), trace assembly peak "
         f"{materialized_peak / 1e6:.1f} -> {chunked_peak / 1e6:.1f} MB"
-        f"\n[saved to {BENCH_PATH}]"
     )
 
     # Acceptance: >=5x on the 1M-outcome branch stream (3x is the CI

@@ -14,7 +14,6 @@ the scalar path by design — see ``repro.cache.batchsim``).
 from __future__ import annotations
 
 import dataclasses
-import json
 import pathlib
 import time
 
@@ -80,7 +79,7 @@ def _engine_microbench(accesses=200_000):
     }
 
 
-def test_perf_smoke(tmp_path):
+def test_perf_smoke(tmp_path, bench_history):
     points = _points()
 
     # 1. Seed path: scalar engine, no persistent cache.
@@ -125,7 +124,7 @@ def test_perf_smoke(tmp_path):
         "engine_microbench": micro,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    bench_history(BENCH_PATH, record)
     print(
         f"\nscalar cold {scalar_seconds:.2f}s | "
         f"batch cold {batch_seconds:.2f}s "
@@ -134,7 +133,6 @@ def test_perf_smoke(tmp_path):
         f"({record['warm_speedup']:.1f}x)\n"
         f"engine: {micro['fast_accesses_per_second']:,.0f} -> "
         f"{micro['batch_accesses_per_second']:,.0f} accesses/s"
-        f"\n[saved to {BENCH_PATH}]"
     )
 
     # The acceptance bar: batched engine + warm cache >= 3x the seed path.

@@ -82,4 +82,20 @@ DIGEST_EXEMPT = {
         "injected faults abort attempts before counters exist; retried "
         "points produce identical counters (tests/harness/test_faults.py)"
     ),
+    "REPRO_GOLDEN_DIR": (
+        "chooses where golden-run entries live; entries are "
+        "content-addressed by machine digest + point + mode and replay "
+        "verifies them against per-point digests regardless of location"
+    ),
+    "REPRO_REPLAY_TIME_BAND": (
+        "tolerance band for the wall-clock columns of replay reports "
+        "only; simulated counters are compared bit-exact and never "
+        "scaled or filtered by it (tests/golden/test_replay.py)"
+    ),
+    "REPRO_REPLAY_PERTURB": (
+        "fault-injection drill that perturbs only the in-memory copy "
+        "`repro replay` diffs; simulation, result caches, and golden "
+        "entries never see the perturbed counters "
+        "(tests/golden/test_replay.py)"
+    ),
 }

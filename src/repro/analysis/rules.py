@@ -20,9 +20,10 @@ invariants PRs 1–4 established informally:
     ``SCALAR_ORACLE``) name their scalar oracle and are equivalence-
     tested against it.
 ``nondet``
-    Nondeterminism hazards: mutable default arguments, wall-clock in
-    digest/journal modules, float equality on counters, bare set
-    iteration, ``id()``-keyed caches.
+    Nondeterminism hazards: mutable default arguments, wall-clock reads
+    and wall-clock *subtraction* in digest/journal and golden/replay
+    modules (durations must come from monotonic clocks), float equality
+    on counters, bare set iteration, ``id()``-keyed caches.
 ``worker-safety``
     Process-pool submissions take module-level, lambda-free functions;
     only documented initializer hooks may touch process-global state.
@@ -71,7 +72,17 @@ _CLOCK_SENSITIVE_MODULES = (
     "src/repro/harness/resultcache.py",
     "src/repro/harness/checkpoint.py",
     "src/repro/harness/telemetry.py",
+    "src/repro/harness/benchhistory.py",
 )
+
+#: Package prefixes with the same clock sensitivity (every module under
+#: the golden capture/replay subsystem compares runs across time, so a
+#: wall-clock-derived duration there silently corrupts drift verdicts).
+_CLOCK_SENSITIVE_PREFIXES = ("src/repro/golden/",)
+
+#: Attribute/subscript names that hold wall-clock stamps; subtracting two
+#: of them derives a duration from a steppable clock.
+_WALLCLOCK_FIELDS = frozenset({"ts", "recorded", "updated", "created"})
 
 #: Float-valued counter attributes that must never be compared with ==.
 _FLOAT_COUNTER_ATTRS = frozenset(
@@ -770,11 +781,54 @@ def _mutable_default(node: ast.AST) -> bool:
     return False
 
 
+def _wallclock_operand(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Why ``node`` carries a wall-clock value, or None.
+
+    Flags ``time.time()`` calls and reads of stamp-named fields
+    (``.ts`` attributes, ``["ts"]`` subscripts, and friends): subtracting
+    any of them derives a duration from a clock that steps.
+    """
+    if isinstance(node, ast.Call) and _qualified(node.func, aliases) == "time.time":
+        return "time.time()"
+    if isinstance(node, ast.Attribute) and node.attr in _WALLCLOCK_FIELDS:
+        return f"a .{node.attr} wall-clock stamp"
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.slice, ast.Constant)
+        and node.slice.value in _WALLCLOCK_FIELDS
+    ):
+        return f"a [{node.slice.value!r}] wall-clock stamp"
+    return None
+
+
 def check_nondet(ctx: LintContext) -> Iterator[Finding]:
     for source in ctx.package_files():
         aliases = _alias_map(source.tree)
-        clock_sensitive = source.rel in _CLOCK_SENSITIVE_MODULES
+        clock_sensitive = source.rel in _CLOCK_SENSITIVE_MODULES or source.rel.startswith(
+            _CLOCK_SENSITIVE_PREFIXES
+        )
         for node in ast.walk(source.tree):
+            if clock_sensitive and isinstance(node, ast.BinOp) and isinstance(
+                node.op, ast.Sub
+            ):
+                for operand in (node.left, node.right):
+                    reason = _wallclock_operand(operand, aliases)
+                    if reason is not None:
+                        yield Finding(
+                            rule="nondet",
+                            path=source.rel,
+                            line=node.lineno,
+                            message=(
+                                f"wall-clock subtraction ({reason}) in a "
+                                "golden/replay or journal module: wall "
+                                "clocks step, so ts-derived durations are "
+                                "non-monotonic"
+                            ),
+                            hint="measure durations with time.perf_counter"
+                            " / time.monotonic pairs (emit_timed's "
+                            "duration_s); ts stamps are display-only",
+                        )
+                        break
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 defaults = list(node.args.defaults) + [
                     d for d in node.args.kw_defaults if d is not None
@@ -1004,8 +1058,8 @@ RULES: Tuple[Rule, ...] = (
     ),
     Rule(
         "nondet",
-        "nondeterminism hazards (mutable defaults, clocks, float ==, "
-        "set order, id() keys)",
+        "nondeterminism hazards (mutable defaults, clocks, wall-clock "
+        "subtraction, float ==, set order, id() keys)",
         check_nondet,
     ),
     Rule(

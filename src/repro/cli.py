@@ -19,6 +19,11 @@ Usage::
     python -m repro lint                      # determinism static analysis
     python -m repro lint --json               # machine-readable findings
     python -m repro lint --baseline write     # regenerate lint_baseline.json
+    python -m repro capture                   # record golden canary runs
+    python -m repro replay                    # diff canary vs goldens
+    python -m repro replay --gate counters --report replay.json  # CI gate
+    python -m repro report --replay replay.json  # render a saved report
+    python -m repro trend                     # BENCH_*.json perf trajectory
 
 Experiments print the same rows/series the paper's figures plot. Results
 persist under ``benchmarks/results/.cache/`` (disable with ``--no-cache``),
@@ -290,19 +295,126 @@ def build_parser():
     )
 
     report_parser = commands.add_parser(
-        "report", help="summarize a telemetry JSONL file"
+        "report", help="summarize a telemetry log or a saved replay report"
     )
     report_parser.add_argument(
         "--telemetry",
         metavar="PATH",
-        required=True,
+        default=None,
         help="telemetry file written by `repro run --telemetry PATH`",
+    )
+    report_parser.add_argument(
+        "--replay",
+        metavar="PATH",
+        default=None,
+        help=(
+            "ReplayReport JSON written by `repro replay --report PATH` "
+            "(e.g. a CI artifact); rendered as the replay verdict table"
+        ),
     )
     report_parser.add_argument(
         "--slowest",
         type=int,
         default=10,
         help="number of slowest points to list (default 10)",
+    )
+
+    capture_parser = commands.add_parser(
+        "capture",
+        help="record golden canary runs for the perf-regression gate",
+        description=(
+            "Simulates the canary subset (degree-count/KRON under "
+            "baseline+cobra, integer-sort/U16 under baseline+pb-sw) fresh "
+            "and stores each result — full counter snapshot, result-cache "
+            "digest, honest wall-clock — as a content-addressed golden "
+            "entry keyed by machine digest + workload + mode."
+        ),
+    )
+    replay_parser = commands.add_parser(
+        "replay",
+        help="re-run the canary and diff against the golden store",
+        description=(
+            "Re-simulates every canary point and compares it to its "
+            "golden: counters bit-exactly, wall-clock within a relative "
+            "band ($REPRO_REPLAY_TIME_BAND / --time-band). Exits non-zero "
+            "when any point fails the selected gate; stale, missing, and "
+            "corrupt goldens are reported for recapture, never failed."
+        ),
+    )
+    for sub in (capture_parser, replay_parser):
+        sub.add_argument(
+            "--scale",
+            type=int,
+            default=None,
+            help="log2 of the canary input namespace (default 13)",
+        )
+        sub.add_argument(
+            "--golden-dir",
+            metavar="DIR",
+            default=None,
+            help=(
+                "golden store root (default: benchmarks/results/.golden/ "
+                "or $REPRO_GOLDEN_DIR)"
+            ),
+        )
+        sub.add_argument(
+            "--telemetry",
+            metavar="PATH",
+            default=None,
+            help="append golden/replay events to a JSONL log at PATH",
+        )
+    replay_parser.add_argument(
+        "--gate",
+        choices=["all", "counters"],
+        default="all",
+        help=(
+            "what fails the exit code: 'all' (counters and timing) or "
+            "'counters' (bit-identity only; timing excursions are "
+            "reported but do not gate — the CI merge-gate setting)"
+        ),
+    )
+    replay_parser.add_argument(
+        "--time-band",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "relative wall-clock drift tolerance (0.5 = ±50%%; default "
+            "$REPRO_REPLAY_TIME_BAND or 0.5)"
+        ),
+    )
+    replay_parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="also write the structured ReplayReport JSON to PATH",
+    )
+    replay_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the ReplayReport as JSON instead of the verdict table",
+    )
+
+    trend_parser = commands.add_parser(
+        "trend",
+        help="render the BENCH_*.json perf trajectory",
+        description=(
+            "Folds the accumulated, append-only BENCH_*.json histories "
+            "(one entry per recorded run, keyed by git SHA + UTC date) "
+            "into a per-bench table of tracked speedup metrics plus the "
+            "net change from oldest to newest entry."
+        ),
+    )
+    trend_parser.add_argument(
+        "--results-dir",
+        metavar="DIR",
+        default=None,
+        help="directory holding BENCH_*.json (default: benchmarks/results/)",
+    )
+    trend_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured trajectory instead of tables",
     )
     return parser
 
@@ -361,15 +473,119 @@ def _cmd_machine(print_fn):
     )
 
 
-def _cmd_report(print_fn, path, slowest):
+def _cmd_report(print_fn, args):
+    if (args.telemetry is None) == (args.replay is None):
+        print_fn("report needs exactly one of --telemetry or --replay")
+        return 2
+    if args.replay is not None:
+        import json
+
+        from repro.harness.report import format_replay
+
+        try:
+            with open(args.replay, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print_fn(f"cannot read replay report: {exc}")
+            return 1
+        print_fn(format_replay(payload))
+        return 0
     from repro.harness.telemetry import format_summary, summarize
 
     try:
-        summary = summarize(path, slowest=slowest)
+        summary = summarize(args.telemetry, slowest=args.slowest)
     except OSError as exc:
         print_fn(f"cannot read telemetry file: {exc}")
         return 1
     print_fn(format_summary(summary))
+    return 0
+
+
+def _golden_wiring(args):
+    """Shared ``capture``/``replay`` wiring: runner, canary, store."""
+    from repro.golden.canary import canary_points
+    from repro.golden.store import GoldenStore
+    from repro.harness.resultcache import ResultCache
+    from repro.harness.runner import Runner
+    from repro.harness.telemetry import NULL_TELEMETRY, JsonlTelemetry
+
+    telemetry = (
+        JsonlTelemetry(args.telemetry) if args.telemetry else NULL_TELEMETRY
+    )
+    # The cache is attached so canary simulation *writes through* (warm
+    # for later runs), but capture/replay always simulate with
+    # use_cache=False — golden timing must come from honest runs.
+    runner = Runner(result_cache=ResultCache(), telemetry=telemetry)
+    points = canary_points(scale=args.scale)
+    store = GoldenStore(directory=args.golden_dir, telemetry=telemetry)
+    return runner, points, store, telemetry
+
+
+def _cmd_capture(print_fn, args):
+    from repro.golden.replay import capture_goldens
+
+    runner, points, store, telemetry = _golden_wiring(args)
+    entries = capture_goldens(runner, points, store, telemetry=telemetry)
+    for entry in entries:
+        print_fn(
+            f"captured {entry['point']} ({entry['mode']}): "
+            f"golden {entry['id']} in {entry['timing']['seconds']:.3f}s"
+        )
+    print_fn(
+        f"{len(entries)} golden(s) under {store.directory} "
+        f"(machine {runner.machine_digest()[:12]})"
+    )
+    return 0
+
+
+def _cmd_replay(print_fn, args):
+    import json
+
+    from repro.golden.replay import TolerancePolicy, replay_goldens
+    from repro.harness.report import format_replay
+
+    runner, points, store, telemetry = _golden_wiring(args)
+    policy = TolerancePolicy.from_env(time_rel_band=args.time_band)
+    report = replay_goldens(
+        runner, points, store, policy=policy, telemetry=telemetry
+    )
+    payload = report.as_dict()
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print_fn(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print_fn(format_replay(payload))
+        needs_capture = sum(
+            payload["summary"][bucket]
+            for bucket in ("stale", "missing", "corrupt")
+        )
+        if needs_capture:
+            print_fn(
+                f"  {needs_capture} point(s) need recapture: "
+                "`python -m repro capture`"
+            )
+    return 0 if report.ok(gate=args.gate) else 1
+
+
+def _cmd_trend(print_fn, args):
+    import json
+
+    from repro.golden.trend import bench_trend, format_trend
+    from repro.harness.resultcache import default_cache_dir
+
+    results_dir = (
+        args.results_dir
+        if args.results_dir is not None
+        else default_cache_dir().parent
+    )
+    data = bench_trend(results_dir)
+    if args.json:
+        print_fn(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print_fn(format_trend(data))
     return 0
 
 
@@ -545,7 +761,13 @@ def main(argv=None, print_fn=print):
 
         return lint_main(args, print_fn)
     if args.command == "report":
-        return _cmd_report(print_fn, args.telemetry, args.slowest)
+        return _cmd_report(print_fn, args)
+    if args.command == "capture":
+        return _cmd_capture(print_fn, args)
+    if args.command == "replay":
+        return _cmd_replay(print_fn, args)
+    if args.command == "trend":
+        return _cmd_trend(print_fn, args)
     if args.command == "point":
         return _cmd_point(print_fn, args)
     if args.command == "runs":

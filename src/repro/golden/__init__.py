@@ -1,0 +1,51 @@
+"""Golden-run capture/replay: the continuous perf-regression gate.
+
+The paper's claims are counter-level and bit-exact — fig02–fig15 LLC miss
+rates, stall fractions, and the 7.4x/74x pipeline speedups — which makes
+them exactly the kind of output a golden store can gate durably instead
+of point-in-time. This package provides the four pieces:
+
+:mod:`repro.golden.store`
+    Versioned golden entries, content-addressed by machine digest +
+    workload + mode (the checkpoint layer's run-id derivation).
+:mod:`repro.golden.canary`
+    The small figure-suite subset captured and replayed on every PR.
+:mod:`repro.golden.replay`
+    ``repro capture`` / ``repro replay``: re-run the canary and diff with
+    an explicit two-tier tolerance policy — bit-exact counters,
+    configurable relative bands for wall-clock — into a structured
+    :class:`~repro.golden.replay.ReplayReport`.
+:mod:`repro.golden.trend`
+    ``repro trend``: the per-figure perf trajectory over the accumulated
+    append-only ``BENCH_*.json`` history.
+"""
+
+from __future__ import annotations
+
+from repro.golden.canary import CANARY_SCALE, CANARY_SPECS, canary_points
+from repro.golden.replay import (
+    PointReport,
+    ReplayReport,
+    TolerancePolicy,
+    capture_goldens,
+    replay_goldens,
+)
+from repro.golden.store import GoldenStore, default_golden_dir, golden_id
+from repro.golden.trend import bench_trend, format_trend, trend_metrics
+
+__all__ = [
+    "CANARY_SCALE",
+    "CANARY_SPECS",
+    "GoldenStore",
+    "PointReport",
+    "ReplayReport",
+    "TolerancePolicy",
+    "bench_trend",
+    "canary_points",
+    "capture_goldens",
+    "default_golden_dir",
+    "format_trend",
+    "golden_id",
+    "replay_goldens",
+    "trend_metrics",
+]

@@ -1,0 +1,39 @@
+"""The canary subset of the figure suite gated by capture/replay.
+
+The full figure campaign is hours of simulation; the perf-regression gate
+needs a subset small enough to re-run on every PR yet broad enough to
+cover the counter surfaces the paper's claims rest on. The canary spans
+both workload families (graph-irregular and sort-irregular updates) and
+the modes whose counters back the headline figures: ``baseline`` (fig02
+LLC miss rates), ``pb-sw`` (fig05/fig10 software PB), and ``cobra``
+(fig10/fig11 hardware PB with reserved ways + C-Buffers).
+
+The default scale (13) matches the CI smoke scale: each point simulates
+in seconds while still exercising every engine layer end to end.
+"""
+
+from __future__ import annotations
+
+from repro.harness.inputs import make_workload
+from repro.harness.modes import BASELINE, COBRA, PB_SW
+
+__all__ = ["CANARY_SCALE", "CANARY_SPECS", "canary_points"]
+
+#: Default log2 input scale for canary capture/replay.
+CANARY_SCALE = 13
+
+#: ``(workload, input, modes)`` triples of the canary subset.
+CANARY_SPECS = (
+    ("degree-count", "KRON", (BASELINE, COBRA)),
+    ("integer-sort", "U16", (BASELINE, PB_SW)),
+)
+
+def canary_points(scale=None):
+    """The canary ``(workload, mode)`` list at ``scale`` (default 13)."""
+    scale = CANARY_SCALE if scale is None else scale
+    points = []
+    for name, input_name, modes in CANARY_SPECS:
+        workload = make_workload(name, input_name, scale=scale)
+        for mode in modes:
+            points.append((workload, mode))
+    return points

@@ -1,0 +1,191 @@
+"""Versioned, content-addressed golden-run store.
+
+A *golden* is the durable record of one canary point's result: the full
+counter snapshot (:meth:`~repro.api.RunResult.as_dict` — ints exact,
+floats repr-round-tripped, so equality is bit-exact), the point's
+result-cache digest, and the wall-clock the honest run took. Entries are
+addressed the same way checkpointed sweeps derive their run ids
+(:func:`repro.harness.checkpoint.content_id`): a content hash of the
+machine/runner digest plus the point's ``cache_key`` and mode, so a
+machine or knob change can never silently serve a stale golden — it maps
+to a different address, and replay reports the old entry as ``stale``
+rather than diffing against it.
+
+Durability mirrors the checkpoint layer: entries are published with the
+fsync-hardened atomic JSON writer, and unreadable or mismatched entries
+are *skipped with telemetry* (``golden_corrupt``) exactly like torn
+journal lines — a corrupt golden degrades to "needs recapture", never to
+a crash or a false gate failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.harness import knobs
+from repro.harness.checkpoint import _atomic_write_json, content_id
+from repro.harness.resultcache import _is_repo_checkout
+from repro.harness.telemetry import NULL_TELEMETRY
+
+__all__ = ["FORMAT_VERSION", "GoldenStore", "default_golden_dir", "golden_id"]
+
+#: Bumped when the golden entry layout changes incompatibly; entries with
+#: a different version are treated as corrupt (recapture, never diff).
+FORMAT_VERSION = 1
+
+#: Keys every readable golden entry must carry.
+_REQUIRED_KEYS = frozenset(
+    {
+        "version",
+        "id",
+        "machine_digest",
+        "point",
+        "mode",
+        "digest",
+        "counters",
+        "timing",
+    }
+)
+
+
+def default_golden_dir(package_file=None):
+    """Golden-store root: ``$REPRO_GOLDEN_DIR``, the in-repo default
+    (``benchmarks/results/.golden/``), or a per-user dir for installed
+    copies. ``package_file`` is this module's path (overridable for tests).
+    """
+    env = knobs.read("REPRO_GOLDEN_DIR")
+    if env:
+        return Path(env)
+    source = Path(package_file if package_file else __file__).resolve()
+    try:
+        repo_root = source.parents[3]
+    except IndexError:
+        repo_root = None
+    if repo_root is not None and _is_repo_checkout(repo_root):
+        return repo_root / "benchmarks" / "results" / ".golden"
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "golden"
+
+
+def golden_id(machine_digest, point, mode):
+    """Content address of one golden entry (machine + workload + mode)."""
+    return content_id(
+        {"machine": machine_digest, "point": point, "mode": str(mode)},
+        length=16,
+    )
+
+
+class GoldenStore:
+    """Directory of golden entries, one JSON file per addressed point."""
+
+    STATUS_OK = "ok"
+    STATUS_MISSING = "missing"
+    STATUS_CORRUPT = "corrupt"
+
+    def __init__(self, directory=None, telemetry=None):
+        self.directory = Path(directory) if directory else default_golden_dir()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+
+    def path_for(self, entry_id):
+        return self.directory / f"{entry_id}.json"
+
+    def put(self, entry):
+        """Publish one golden entry (atomic + fsync'd); returns its id."""
+        missing = _REQUIRED_KEYS - set(entry)
+        if missing:
+            raise ValueError(
+                f"golden entry is missing keys: {sorted(missing)}"
+            )
+        entry_id = entry["id"]
+        self.directory.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.path_for(entry_id), entry)
+        return entry_id
+
+    def _read(self, path, expect_id=None):
+        """Entry at ``path``, or ``None`` after a ``golden_corrupt`` event.
+
+        Mirrors the checkpoint journal's torn-line handling: any parse
+        failure, version drift, missing key, or identity mismatch makes
+        the entry unusable — report it, skip it, let replay mark the
+        point for recapture.
+        """
+        try:
+            entry = json.loads(path.read_text("utf-8"))
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not a JSON object")
+            if entry.get("version") != FORMAT_VERSION:
+                raise ValueError(
+                    f"golden format {entry.get('version')!r} != "
+                    f"{FORMAT_VERSION}"
+                )
+            missing = _REQUIRED_KEYS - set(entry)
+            if missing:
+                raise ValueError(f"missing keys: {sorted(missing)}")
+            if expect_id is not None and entry["id"] != expect_id:
+                raise ValueError(
+                    f"entry id {entry['id']!r} does not match its "
+                    f"address {expect_id!r}"
+                )
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self.telemetry.emit(
+                "golden_corrupt",
+                path=str(path),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return None
+        return entry
+
+    def get(self, machine_digest, point, mode):
+        """``(entry, status)`` for one addressed point.
+
+        ``status`` is ``"ok"``, ``"missing"`` (never captured at this
+        address), or ``"corrupt"`` (present but unreadable/mismatched;
+        a ``golden_corrupt`` telemetry event was emitted).
+        """
+        entry_id = golden_id(machine_digest, point, mode)
+        path = self.path_for(entry_id)
+        if not path.is_file():
+            return None, self.STATUS_MISSING
+        entry = self._read(path, expect_id=entry_id)
+        if entry is None:
+            return None, self.STATUS_CORRUPT
+        return entry, self.STATUS_OK
+
+    def find_point(self, point, mode):
+        """Any readable entry for ``(point, mode)``, machine regardless.
+
+        Used by replay to tell ``stale`` from ``missing``: when the
+        content address misses but an entry for the same point exists
+        under a *different* machine/runner digest, the golden is stale —
+        the configuration drifted — rather than never captured.
+        """
+        mode = str(mode)
+        for entry in self.entries():
+            if entry["point"] == point and entry["mode"] == mode:
+                return entry
+        return None
+
+    def entries(self):
+        """Every readable entry in the store (corrupt files skipped with
+        telemetry), sorted by (point, mode) for stable listings."""
+        found = []
+        if not self.directory.is_dir():
+            return found
+        for path in sorted(self.directory.glob("*.json")):
+            entry = self._read(path, expect_id=path.stem)
+            if entry is not None:
+                found.append(entry)
+        found.sort(key=lambda e: (e["point"], e["mode"]))
+        return found
+
+    def __len__(self):
+        count = 0
+        try:
+            for _ in self.directory.glob("*.json"):
+                count += 1
+        except OSError:
+            pass
+        return count

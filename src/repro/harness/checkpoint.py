@@ -53,6 +53,7 @@ from repro.harness.telemetry import NULL_TELEMETRY
 
 __all__ = [
     "SweepCheckpoint",
+    "content_id",
     "default_checkpoint_dir",
     "list_runs",
     "format_runs",
@@ -90,10 +91,32 @@ def default_checkpoint_dir(package_file=None):
 
 
 def _atomic_write_json(path, payload):
-    """Write ``payload`` as JSON via tmp file + rename (never torn)."""
+    """Write ``payload`` as JSON via tmp file + fsync + rename (never torn).
+
+    The fsync before the rename matters: ``os.replace`` makes the *name*
+    switch atomic, but without flushing the tmp file's data first a power
+    loss can journal the rename while the blocks are still in the page
+    cache — publishing a zero-length (or partial) file under the final
+    name. Durability requires flush + fsync, then rename.
+    """
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(payload, sort_keys=True, indent=2), "utf-8")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, sort_keys=True, indent=2))
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
+
+
+def content_id(payload, length=12):
+    """Deterministic short id of a JSON-safe payload (sweep/golden ids).
+
+    The canonical serialization (sorted keys) makes the id content-addressed:
+    identical payloads — machine digest plus point specs — always map to the
+    same id, in any process, ever. Shared by :meth:`SweepCheckpoint.attach`
+    and the golden-run store (:mod:`repro.golden.store`).
+    """
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:length]
 
 
 class SweepCheckpoint:
@@ -140,10 +163,7 @@ class SweepCheckpoint:
         """
         specs = cls._specs_for(runner, list(points))
         machine_digest = runner.machine_digest()
-        identity = json.dumps(
-            {"machine": machine_digest, "points": specs}, sort_keys=True
-        )
-        run_id = hashlib.sha256(identity.encode("utf-8")).hexdigest()[:12]
+        run_id = content_id({"machine": machine_digest, "points": specs})
         run_dir = Path(root) / run_id
         manifest_path = run_dir / MANIFEST_NAME
         if manifest_path.is_file():

@@ -356,6 +356,11 @@ class _HeartbeatTelemetry:
         if self._inner is not None and self._inner.enabled:
             self._inner.emit(event, **fields)
 
+    def emit_timed(self, event, duration_s, **fields):
+        _beat(self._path)
+        if self._inner is not None and self._inner.enabled:
+            self._inner.emit_timed(event, duration_s, **fields)
+
     def flush(self):
         if self._inner is not None:
             self._inner.flush()
@@ -546,12 +551,12 @@ def run_sweep_resilient(
             checkpoint.mark_failed()
         else:
             checkpoint.mark_completed()
-    telemetry.emit(
+    telemetry.emit_timed(
         "sweep_completed",
+        time.monotonic() - started,
         completed=sum(r is not None for r in results),
         failed=len(failures),
         interrupted=interrupted,
-        seconds=time.monotonic() - started,
     )
     if interrupted:
         telemetry.flush()
@@ -760,12 +765,12 @@ def _pooled_phase(
                     results[index] = counters
                     if record is not None:
                         record(index, counters)
-                    telemetry.emit(
+                    telemetry.emit_timed(
                         "point_completed",
+                        now - dispatched,
                         point=cache_key,
                         mode=mode,
                         attempt=attempt,
-                        seconds=now - dispatched,
                     )
             if not inflight:
                 probing = False
@@ -933,12 +938,12 @@ def _serial_phase(
             else:
                 if record is not None:
                     record(index, results[index])
-                telemetry.emit(
+                telemetry.emit_timed(
                     "point_completed",
+                    time.monotonic() - dispatched,
                     point=cache_key,
                     mode=mode,
                     attempt=attempt,
-                    seconds=time.monotonic() - dispatched,
                 )
             break
     return False

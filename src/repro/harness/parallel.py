@@ -300,10 +300,10 @@ def run_sweep(runner, points, jobs, use_cache=True, checkpoint=None):
         )
     if checkpoint is not None:
         checkpoint.mark_completed()
-    telemetry.emit(
+    telemetry.emit_timed(
         "sweep_completed",
+        time.monotonic() - started,
         completed=len(results),
         failed=0,
-        seconds=time.monotonic() - started,
     )
     return results

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["geomean", "format_table", "format_series", "speedup"]
+__all__ = [
+    "geomean",
+    "format_table",
+    "format_series",
+    "format_replay",
+    "speedup",
+]
 
 
 def geomean(values):
@@ -48,3 +54,59 @@ def format_series(name, xs, ys, xlabel="x", ylabel="y", floatfmt="{:.3f}"):
     """Render an (x, y) series as the rows a figure would plot."""
     rows = [[x, float(y)] for x, y in zip(xs, ys)]
     return format_table([xlabel, ylabel], rows, title=name, floatfmt=floatfmt)
+
+
+def format_replay(payload):
+    """Render a ``ReplayReport.as_dict()`` payload as plain text.
+
+    Takes the serialized dict (not the dataclass) so ``repro report
+    --replay saved.json`` renders an artifact from another machine/CI run
+    identically to a live ``repro replay``.
+    """
+    rows = []
+    for point in payload.get("points", []):
+        drift = point.get("time_drift")
+        rows.append(
+            [
+                str(point.get("point")),
+                str(point.get("mode")),
+                str(point.get("status")),
+                str(point.get("failure") or "-"),
+                "-" if drift is None else f"{drift:+.1%}",
+                str(len(point.get("counter_drift", []))),
+            ]
+        )
+    summary = payload.get("summary", {})
+    band = payload.get("policy", {}).get("time_rel_band")
+    lines = [
+        format_table(
+            ["point", "mode", "status", "failure", "time drift", "drifts"],
+            rows,
+            title=(
+                f"Replay vs golden (machine "
+                f"{str(payload.get('machine_digest'))[:12]}, "
+                f"time band ±{band:.0%})"
+                if band is not None
+                else "Replay vs golden"
+            ),
+        ),
+        "  "
+        + "  ".join(
+            f"{bucket} {summary.get(bucket, 0)}"
+            for bucket in ("pass", "fail", "stale", "missing", "corrupt")
+        ),
+    ]
+    for point in payload.get("points", []):
+        for drift in point.get("counter_drift", []):
+            lines.append(
+                f"  COUNTER DRIFT {point.get('point')} ({point.get('mode')}) "
+                f"{drift.get('field')}: golden={drift.get('golden')!r} "
+                f"replay={drift.get('replay')!r}"
+            )
+    verdict = (
+        "counters bit-identical"
+        if payload.get("ok_counters")
+        else "COUNTER DRIFT DETECTED"
+    )
+    lines.append(f"  gate: {verdict}")
+    return "\n".join(lines)

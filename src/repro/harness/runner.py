@@ -570,11 +570,11 @@ class Runner:
             line_bytes=line_bytes,
         )
         if self.telemetry.enabled:
-            self.telemetry.emit(
+            self.telemetry.emit_timed(
                 "phase_timed",
+                time.perf_counter() - wall_start,
                 phase=phase.name,
                 workload=workload.name,
-                seconds=time.perf_counter() - wall_start,
                 engine=engine,
                 timing=timing.as_dict(),
             )

@@ -13,6 +13,15 @@ event on an ``O_APPEND`` descriptor, so concurrent sweep workers can share
 one log without interleaving partial lines. The object pickles by path —
 shipping it to a worker process reopens the same file.
 
+Clock contract: the ``ts`` field on every event is wall-clock
+(``time.time``) and **display-only** — it orders events for humans and
+``repro report``, nothing more. Wall clocks step (NTP slews, suspend/
+resume), so durations must never be derived by subtracting ``ts`` values;
+timed events instead carry an explicit ``duration_s`` measured from a
+monotonic clock (``time.perf_counter`` / ``time.monotonic``) via
+:meth:`Telemetry.emit_timed`. The ``nondet`` lint rule flags wall-clock
+subtraction in golden/replay and journal code to keep it that way.
+
 Event vocabulary (see EXPERIMENTS.md for the full schema):
 
 ``sweep_started`` / ``sweep_completed``
@@ -81,6 +90,21 @@ class Telemetry:
     def emit(self, event, **fields):
         """Record one event (ignored)."""
 
+    def emit_timed(self, event, duration_s, **fields):
+        """Record one timed event with an explicit monotonic duration.
+
+        ``duration_s`` must come from a monotonic clock pair
+        (``perf_counter``/``monotonic``), never from subtracting
+        wall-clock stamps. The legacy ``seconds`` field is emitted as an
+        alias so pre-``duration_s`` report consumers keep working.
+        """
+        self.emit(
+            event,
+            duration_s=float(duration_s),
+            seconds=float(duration_s),
+            **fields,
+        )
+
     def flush(self):
         """Force events to durable storage (nothing to do)."""
 
@@ -118,8 +142,9 @@ class JsonlTelemetry(Telemetry):
 
     def emit(self, event, **fields):
         """Append one event as a single atomic line write."""
-        # repro: noqa[nondet] event timestamps are observability metadata;
-        # telemetry is never read back into counters or digests
+        # repro: noqa[nondet] the ts stamp is display-only observability
+        # metadata (see the module docstring); durations are carried as
+        # explicit monotonic duration_s fields, never derived from ts
         record = {"event": event, "ts": time.time(), "pid": os.getpid()}
         record.update(fields)
         line = json.dumps(record, sort_keys=True, default=str) + "\n"
@@ -179,6 +204,12 @@ def read_events(path):
     return events
 
 
+def _duration(record):
+    """A timed event's monotonic duration (``duration_s``, falling back to
+    the legacy ``seconds`` alias for logs written before the field)."""
+    return float(record.get("duration_s", record.get("seconds", 0.0)))
+
+
 def summarize(path, slowest=10):
     """Aggregate a telemetry file into the ``repro report`` view."""
     events = read_events(path)
@@ -216,8 +247,8 @@ def summarize(path, slowest=10):
             write_errors += 1
         elif event == "phase_timed":
             name = record.get("phase", "?")
-            phase_seconds[name] = phase_seconds.get(name, 0.0) + float(
-                record.get("seconds", 0.0)
+            phase_seconds[name] = phase_seconds.get(name, 0.0) + _duration(
+                record
             )
         elif event == "engine_selected":
             name = record.get("engine", "?")
@@ -225,7 +256,7 @@ def summarize(path, slowest=10):
         elif event == "scalar_fallback":
             reason = record.get("reason", "?")
             fallback_reasons[reason] = fallback_reasons.get(reason, 0) + 1
-    completed.sort(key=lambda r: -float(r.get("seconds", 0.0)))
+    completed.sort(key=lambda r: -_duration(r))
     lookups = hits + misses
     return {
         "events": len(events),
@@ -241,7 +272,7 @@ def summarize(path, slowest=10):
             {
                 "point": r.get("point"),
                 "mode": r.get("mode"),
-                "seconds": float(r.get("seconds", 0.0)),
+                "seconds": _duration(r),
                 "attempt": r.get("attempt", 1),
             }
             for r in completed[:slowest]

@@ -141,13 +141,17 @@ class TraceStore:
         )
 
     def _install(self, path, array):
-        """Atomically publish ``array`` as ``path`` (tmp + ``os.replace``)."""
+        """Atomically publish ``array`` as ``path`` (tmp + fsync +
+        ``os.replace``; without the fsync a power loss can rename a
+        still-unflushed tmp file into place as a zero-length entry)."""
         fd, tmp = tempfile.mkstemp(
             dir=self.directory, prefix=path.stem, suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.save(handle, array)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -163,6 +167,8 @@ class TraceStore:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(meta, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

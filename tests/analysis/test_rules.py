@@ -536,6 +536,75 @@ class TestNondetHazards:
         )
         assert lint_findings(root, "nondet") == []
 
+    def test_ts_subtraction_in_golden_module_flagged(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/golden/replay.py": """\
+                    def elapsed(first, last):
+                        return last["ts"] - first["ts"]
+                    """
+            }
+        )
+        findings = lint_findings(root, "nondet")
+        assert len(findings) == 1
+        assert "wall-clock subtraction" in findings[0].message
+
+    def test_stamp_attribute_subtraction_flagged(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/golden/store.py": """\
+                    def age(entry, other):
+                        return entry.recorded - other.recorded
+                    """
+            }
+        )
+        findings = lint_findings(root, "nondet")
+        assert len(findings) == 1
+        assert "wall-clock subtraction" in findings[0].message
+        assert ".recorded" in findings[0].message
+
+    def test_time_time_subtraction_flagged_twice(self, mini_tree):
+        # time.time() in a clock-sensitive module already trips the call
+        # check; deriving a duration from it adds the subtraction finding.
+        root = mini_tree(
+            {
+                "src/repro/golden/replay.py": """\
+                    import time
+
+                    def timed(start):
+                        return time.time() - start
+                    """
+            }
+        )
+        messages = [f.message for f in lint_findings(root, "nondet")]
+        assert any("wall-clock subtraction" in m for m in messages)
+
+    def test_monotonic_subtraction_in_golden_module_clean(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/golden/replay.py": """\
+                    import time
+
+                    def timed(fn):
+                        start = time.perf_counter()
+                        fn()
+                        return time.perf_counter() - start
+                    """
+            }
+        )
+        assert lint_findings(root, "nondet") == []
+
+    def test_ts_subtraction_elsewhere_ignored(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/core/render.py": """\
+                    def elapsed(first, last):
+                        return last["ts"] - first["ts"]
+                    """
+            }
+        )
+        assert lint_findings(root, "nondet") == []
+
     def test_suppression_comment_above_line(self, mini_tree):
         root = mini_tree(
             {

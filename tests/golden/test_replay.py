@@ -1,0 +1,261 @@
+"""Tests for the replay tolerance policy and verdict buckets."""
+
+import json
+
+import pytest
+
+from repro.golden.replay import (
+    STATUS_CORRUPT,
+    STATUS_FAIL,
+    STATUS_MISSING,
+    STATUS_PASS,
+    STATUS_STALE,
+    PointReport,
+    ReplayReport,
+    TolerancePolicy,
+    capture_goldens,
+    replay_goldens,
+)
+from repro.golden.store import GoldenStore
+
+from .conftest import RecordingTelemetry, fresh_runner
+
+
+def wide_policy():
+    """A band no honest re-run on any machine can fall outside."""
+    return TolerancePolicy(time_rel_band=1e9)
+
+
+def tamper(store, entry, mutate):
+    """Rewrite one stored golden after applying ``mutate`` to its body."""
+    body = json.loads(store.path_for(entry["id"]).read_text("utf-8"))
+    mutate(body)
+    store.path_for(entry["id"]).write_text(json.dumps(body), "utf-8")
+
+
+class TestPolicy:
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError, match="time_rel_band"):
+            TolerancePolicy(time_rel_band=-0.1)
+
+    def test_from_env_reads_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_TIME_BAND", "0.25")
+        assert TolerancePolicy.from_env().time_rel_band == 0.25
+
+    def test_explicit_band_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_TIME_BAND", "0.25")
+        assert TolerancePolicy.from_env(0.75).time_rel_band == 0.75
+
+    def test_default_band(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPLAY_TIME_BAND", raising=False)
+        assert TolerancePolicy.from_env().time_rel_band == 0.5
+
+
+class TestCaptureReplayCycle:
+    def test_honest_replay_passes(self, tmp_path, points, telemetry):
+        store = GoldenStore(tmp_path, telemetry=telemetry)
+        entries = capture_goldens(
+            fresh_runner(), points, store, telemetry=telemetry
+        )
+        assert len(entries) == len(points)
+        assert len(telemetry.of("golden_captured")) == len(points)
+
+        report = replay_goldens(
+            fresh_runner(), points, store, policy=wide_policy(),
+            telemetry=telemetry,
+        )
+        assert [p.status for p in report.points] == [STATUS_PASS] * len(
+            points
+        )
+        assert report.ok() and report.ok("counters")
+        assert report.summary[STATUS_PASS] == len(points)
+        assert len(telemetry.of("replay_point")) == len(points)
+
+    def test_capture_records_digests_and_counters(self, tmp_path, points):
+        runner = fresh_runner()
+        entries = capture_goldens(runner, points, GoldenStore(tmp_path))
+        for (workload, mode), entry in zip(points, entries):
+            assert entry["machine_digest"] == runner.machine_digest()
+            assert entry["digest"] == runner.point_digest(
+                workload.cache_key, mode
+            )
+            assert entry["counters"]["phases"]
+            assert entry["timing"]["seconds"] > 0
+
+    def test_counter_mismatch_fails(self, tmp_path, points):
+        store = GoldenStore(tmp_path)
+        entries = capture_goldens(fresh_runner(), points, store)
+
+        def corrupt_counters(body):
+            body["counters"]["phases"][0]["instructions"] += 1
+
+        tamper(store, entries[0], corrupt_counters)
+        report = replay_goldens(
+            fresh_runner(), points, store, policy=wide_policy()
+        )
+        first, second = report.points
+        assert first.status == STATUS_FAIL
+        assert first.failure == "counters"
+        (drift,) = first.counter_drift
+        assert drift["field"] == "phases[0].instructions"
+        assert drift["golden"] == drift["replay"] + 1
+        assert second.status == STATUS_PASS
+        assert not report.ok() and not report.ok("counters")
+
+    def test_timing_inside_band_passes(self, tmp_path, points):
+        store = GoldenStore(tmp_path)
+        capture_goldens(fresh_runner(), points, store)
+        report = replay_goldens(
+            fresh_runner(), points, store, policy=wide_policy()
+        )
+        assert all(p.status == STATUS_PASS for p in report.points)
+        assert all(p.time_drift is not None for p in report.points)
+
+    def test_timing_outside_band_fails_timing_only(self, tmp_path, points):
+        store = GoldenStore(tmp_path)
+        entries = capture_goldens(fresh_runner(), points, store)
+        # An absurd golden wall-clock forces drift ~ -100%, far outside
+        # any reasonable band, without touching counters.
+        for entry in entries:
+            tamper(
+                store, entry, lambda body: body["timing"].update(
+                    seconds=1e6
+                )
+            )
+        report = replay_goldens(
+            fresh_runner(), points, store,
+            policy=TolerancePolicy(time_rel_band=0.5),
+        )
+        assert all(p.status == STATUS_FAIL for p in report.points)
+        assert all(p.failure == "timing" for p in report.points)
+        assert all(not p.counter_drift for p in report.points)
+        # Timing excursions fail the full gate but never the CI
+        # counters-only merge gate.
+        assert not report.ok("all")
+        assert report.ok("counters")
+
+
+class TestStaleAndMissing:
+    def test_machine_drift_reports_stale_not_fail(self, tmp_path, points):
+        store = GoldenStore(tmp_path)
+        capture_goldens(fresh_runner(), points, store)
+        # A different runner configuration changes the machine digest: the
+        # comparison is invalid, the code is not wrong.
+        drifted = fresh_runner(max_sim_events=10_000)
+        report = replay_goldens(drifted, points, store, policy=wide_policy())
+        assert [p.status for p in report.points] == [STATUS_STALE] * len(
+            points
+        )
+        assert report.summary[STATUS_STALE] == len(points)
+        assert report.summary[STATUS_FAIL] == 0
+        assert report.ok() and report.ok("counters")
+
+    def test_empty_store_reports_missing(self, tmp_path, points):
+        report = replay_goldens(
+            fresh_runner(), points, GoldenStore(tmp_path),
+            policy=wide_policy(),
+        )
+        assert [p.status for p in report.points] == [STATUS_MISSING] * len(
+            points
+        )
+        # Bootstrap semantics: a repo with no goldens yet gates green.
+        assert report.ok() and report.ok("counters")
+
+    def test_corrupt_golden_skipped_with_telemetry(
+        self, tmp_path, points, telemetry
+    ):
+        store = GoldenStore(tmp_path, telemetry=telemetry)
+        entries = capture_goldens(fresh_runner(), points, store)
+        store.path_for(entries[0]["id"]).write_text("torn{", "utf-8")
+        report = replay_goldens(
+            fresh_runner(), points, store, policy=wide_policy(),
+            telemetry=telemetry,
+        )
+        first, second = report.points
+        assert first.status == STATUS_CORRUPT
+        assert second.status == STATUS_PASS
+        assert telemetry.of("golden_corrupt")
+        assert report.ok() and report.ok("counters")
+
+
+class TestPerturbDrill:
+    def test_perturbation_fails_the_gate(
+        self, tmp_path, points, monkeypatch
+    ):
+        store = GoldenStore(tmp_path)
+        entries = capture_goldens(fresh_runner(), points, store)
+        monkeypatch.setenv("REPRO_REPLAY_PERTURB", "7")
+        report = replay_goldens(
+            fresh_runner(), points, store, policy=wide_policy()
+        )
+        assert all(p.status == STATUS_FAIL for p in report.points)
+        assert all(p.failure == "counters" for p in report.points)
+        for point in report.points:
+            (drift,) = point.counter_drift
+            assert drift["field"] == "phases[0].instructions"
+            assert drift["replay"] - drift["golden"] == 7
+        # The drill perturbs only the differ's copy: stored goldens are
+        # untouched and an unperturbed replay still passes.
+        monkeypatch.delenv("REPRO_REPLAY_PERTURB")
+        for entry in entries:
+            stored, status = store.get(
+                entry["machine_digest"], entry["point"], entry["mode"]
+            )
+            assert status == GoldenStore.STATUS_OK
+            assert stored == entry
+        clean = replay_goldens(
+            fresh_runner(), points, store, policy=wide_policy()
+        )
+        assert clean.ok()
+
+    def test_non_integer_perturb_rejected(
+        self, tmp_path, points, monkeypatch
+    ):
+        store = GoldenStore(tmp_path)
+        capture_goldens(fresh_runner(), points, store)
+        monkeypatch.setenv("REPRO_REPLAY_PERTURB", "lots")
+        with pytest.raises(ValueError, match="REPRO_REPLAY_PERTURB"):
+            replay_goldens(
+                fresh_runner(), points, store, policy=wide_policy()
+            )
+
+
+class TestReportShape:
+    def test_as_dict_is_json_roundtrippable(self, tmp_path, points):
+        store = GoldenStore(tmp_path)
+        capture_goldens(fresh_runner(), points, store)
+        report = replay_goldens(
+            fresh_runner(), points, store, policy=wide_policy()
+        )
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["ok"] is True
+        assert payload["ok_counters"] is True
+        assert payload["machine_digest"] == report.machine_digest
+        assert len(payload["points"]) == len(points)
+        assert set(payload["summary"]) == {
+            STATUS_PASS,
+            STATUS_FAIL,
+            STATUS_STALE,
+            STATUS_MISSING,
+            STATUS_CORRUPT,
+        }
+
+    def test_unknown_gate_rejected(self):
+        report = ReplayReport(machine_digest="m", policy=TolerancePolicy())
+        with pytest.raises(ValueError, match="gate"):
+            report.failures("vibes")
+
+    def test_counters_gate_filters_timing_failures(self):
+        timing = PointReport(
+            point="p", mode="baseline", status=STATUS_FAIL, failure="timing"
+        )
+        counters = PointReport(
+            point="q", mode="cobra", status=STATUS_FAIL, failure="counters"
+        )
+        report = ReplayReport(
+            machine_digest="m",
+            policy=TolerancePolicy(),
+            points=(timing, counters),
+        )
+        assert report.failures("all") == [timing, counters]
+        assert report.failures("counters") == [counters]

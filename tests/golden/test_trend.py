@@ -1,0 +1,75 @@
+"""Tests for the BENCH_*.json perf-trajectory renderer."""
+
+from repro.golden.trend import bench_trend, format_trend, trend_metrics
+from repro.harness.benchhistory import append_bench_record
+
+
+class TestMetricExtraction:
+    def test_speedup_leaves_found_at_any_depth(self):
+        record = {
+            "pipeline": {"speedup": 3.5, "seconds": 1.2},
+            "des_eviction": {"nested": {"speedup_vs_flat": 2.0}},
+            "speedup": 4,
+        }
+        assert trend_metrics(record) == {
+            "pipeline.speedup": 3.5,
+            "des_eviction.nested.speedup_vs_flat": 2.0,
+            "speedup": 4.0,
+        }
+
+    def test_non_numeric_and_bool_ignored(self):
+        assert trend_metrics(
+            {"speedup": "fast", "speedup_ok": True, "other": 9}
+        ) == {}
+
+
+class TestTrajectory:
+    def seed_history(self, results_dir):
+        path = results_dir / "BENCH_sample.json"
+        append_bench_record(
+            path,
+            {"pipeline": {"speedup": 3.0}},
+            git_sha="a" * 40,
+            recorded="2026-08-01T00:00:00Z",
+        )
+        append_bench_record(
+            path,
+            {"pipeline": {"speedup": 4.5}},
+            git_sha="b" * 40,
+            recorded="2026-08-08T00:00:00Z",
+        )
+        return path
+
+    def test_two_entries_produce_a_trajectory(self, tmp_path):
+        self.seed_history(tmp_path)
+        data = bench_trend(tmp_path)
+        (bench,) = data["benches"]
+        assert bench["bench"] == "sample"
+        assert [e["metrics"]["pipeline.speedup"] for e in bench["entries"]] \
+            == [3.0, 4.5]
+        text = format_trend(data)
+        assert "sample (2 entries)" in text
+        assert "net change (newest vs oldest)" in text
+        assert "+50.0%" in text
+
+    def test_corrupt_history_skipped_not_fatal(self, tmp_path):
+        self.seed_history(tmp_path)
+        (tmp_path / "BENCH_broken.json").write_text("nope{", "utf-8")
+        data = bench_trend(tmp_path)
+        assert len(data["benches"]) == 1
+        (skip,) = data["skipped"]
+        assert "BENCH_broken.json" in skip["path"]
+        assert "SKIPPED" in format_trend(data)
+
+    def test_empty_dir_renders_placeholder(self, tmp_path):
+        assert format_trend(bench_trend(tmp_path)) == (
+            "no BENCH_*.json history found"
+        )
+
+    def test_single_entry_has_no_net_change_line(self, tmp_path):
+        append_bench_record(
+            tmp_path / "BENCH_one.json", {"speedup": 2.0}
+        )
+        text = format_trend(bench_trend(tmp_path))
+        assert "one (1 entries)" in text
+        assert "net change" not in text

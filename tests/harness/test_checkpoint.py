@@ -15,6 +15,8 @@ from repro.harness.checkpoint import (
     STATUS_INTERRUPTED,
     STATUS_RUNNING,
     SweepCheckpoint,
+    _atomic_write_json,
+    content_id,
     format_runs,
     list_runs,
 )
@@ -56,6 +58,14 @@ class RecordingTelemetry:
     def emit(self, event, **fields):
         self.events.append({"event": event, **fields})
 
+    def emit_timed(self, event, duration_s, **fields):
+        self.emit(
+            event,
+            duration_s=float(duration_s),
+            seconds=float(duration_s),
+            **fields,
+        )
+
     def of(self, name):
         return [e for e in self.events if e["event"] == name]
 
@@ -64,6 +74,51 @@ class RecordingTelemetry:
 
     def close(self):
         pass
+
+
+class TestContentId:
+    def test_stable_and_key_order_independent(self):
+        one = content_id({"a": 1, "b": [2, 3]})
+        assert content_id({"b": [2, 3], "a": 1}) == one
+        assert content_id({"a": 1, "b": [2, 4]}) != one
+        assert len(one) == 12
+        assert len(content_id({"a": 1}, length=16)) == 16
+
+
+class TestAtomicWriteDurability:
+    def test_fsync_before_rename(self, tmp_path, monkeypatch):
+        """The temp file must be fsync'd before the rename publishes it,
+        or a power loss can leave the *renamed* file empty."""
+        order = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (order.append("fsync"), real_fsync(fd))
+        )
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda a, b: (order.append("replace"), real_replace(a, b)),
+        )
+        target = tmp_path / "status.json"
+        _atomic_write_json(target, {"a": 1})
+        assert order == ["fsync", "replace"]
+        assert json.loads(target.read_text("utf-8")) == {"a": 1}
+
+    def test_tracestore_install_fsyncs(self, tmp_path, monkeypatch):
+        """The trace store's publish path shares the same discipline."""
+        import numpy as np
+
+        from repro.harness.tracestore import TraceStore
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        store = TraceStore(tmp_path)
+        store.materialize([np.arange(4, dtype=np.int64)], [False])
+        # The lines and writes blobs plus the meta JSON each fsync.
+        assert len(synced) >= 3
 
 
 class TestJournal:

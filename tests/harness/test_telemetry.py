@@ -124,6 +124,9 @@ class TestRunnerWiring:
         timed = [e for e in events if e["event"] == "phase_timed"]
         assert all(e["seconds"] >= 0.0 for e in timed)
         assert all(e["workload"] == workload.name for e in timed)
+        # Timed events carry the monotonic duration_s (with the legacy
+        # seconds alias mirroring it exactly).
+        assert all(e["duration_s"] == e["seconds"] for e in timed)
 
     def test_cache_hits_and_misses_logged(self, tmp_path):
         workload = make_workload("degree-count", "KRON", scale=SCALE)
@@ -213,6 +216,30 @@ class TestSummary:
         path.write_text("")
         text = format_summary(summarize(path))
         assert "completed 0" in text
+
+    def test_emit_timed_carries_duration_and_alias(self, tmp_path):
+        sink = JsonlTelemetry(tmp_path / "t.jsonl")
+        sink.emit_timed("phase_timed", 1.25, phase="binning")
+        sink.close()
+        (event,) = read_events(sink.path)
+        assert event["duration_s"] == 1.25
+        assert event["seconds"] == 1.25  # legacy alias for old consumers
+
+    def test_summarize_prefers_duration_s(self, tmp_path):
+        sink = JsonlTelemetry(tmp_path / "t.jsonl")
+        # A modern event where the fields disagree (should never happen,
+        # but the monotonic duration must win) and a legacy one without
+        # duration_s at all.
+        sink.emit("phase_timed", phase="binning", duration_s=2.0, seconds=9.0)
+        sink.emit("phase_timed", phase="binning", seconds=0.5)
+        sink.emit(
+            "point_completed",
+            point="a:b:1", mode="baseline", duration_s=3.0, seconds=99.0,
+        )
+        sink.close()
+        summary = summarize(sink.path)
+        assert summary["phase_seconds"]["binning"] == pytest.approx(2.5)
+        assert summary["slowest"][0]["seconds"] == 3.0
 
     def test_custom_sink_subclass_contract(self):
         class Collect(Telemetry):

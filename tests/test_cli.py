@@ -71,10 +71,6 @@ class TestParser:
         assert args.no_cache is True
         assert args.heartbeat_timeout == 30.0
 
-    def test_report_requires_telemetry(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["report"])
-
     def test_report_accepts_telemetry_path(self):
         args = build_parser().parse_args(
             ["report", "--telemetry", "run.jsonl", "--slowest", "3"]
@@ -82,6 +78,41 @@ class TestParser:
         assert args.command == "report"
         assert args.telemetry == "run.jsonl"
         assert args.slowest == 3
+
+    def test_report_accepts_replay_artifact(self):
+        args = build_parser().parse_args(["report", "--replay", "r.json"])
+        assert args.replay == "r.json"
+        assert args.telemetry is None
+
+    def test_capture_and_replay_flags(self):
+        args = build_parser().parse_args(
+            ["capture", "--scale", "14", "--golden-dir", "g/"]
+        )
+        assert args.command == "capture"
+        assert args.scale == 14
+        assert args.golden_dir == "g/"
+        args = build_parser().parse_args(
+            [
+                "replay", "--gate", "counters", "--time-band", "0.25",
+                "--report", "out.json", "--json",
+            ]
+        )
+        assert args.gate == "counters"
+        assert args.time_band == 0.25
+        assert args.report == "out.json"
+        assert args.json is True
+
+    def test_replay_rejects_unknown_gate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--gate", "vibes"])
+
+    def test_trend_flags(self):
+        args = build_parser().parse_args(
+            ["trend", "--results-dir", "r/", "--json"]
+        )
+        assert args.command == "trend"
+        assert args.results_dir == "r/"
+        assert args.json is True
 
 
 class TestCommands:
@@ -244,6 +275,115 @@ class TestCheckpointCommands:
         assert code == 1
         assert "no checkpointed run" in output
         assert run_id in output  # the known-runs listing helps recovery
+
+
+class TestGoldenCommands:
+    """End-to-end capture -> replay -> report cycle through the CLI."""
+
+    def collect(self, argv):
+        lines = []
+        code = main(argv, print_fn=lines.append)
+        return code, "\n".join(str(line) for line in lines)
+
+    @pytest.fixture()
+    def isolated(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_GOLDEN_DIR", str(tmp_path / "golden"))
+        monkeypatch.delenv("REPRO_REPLAY_PERTURB", raising=False)
+        return tmp_path
+
+    def test_capture_then_honest_replay_passes(self, isolated):
+        code, output = self.collect(["capture"])
+        assert code == 0
+        assert "4 golden(s)" in output
+        code, output = self.collect(["replay", "--time-band", "1e9"])
+        assert code == 0
+        assert "pass 4  fail 0" in output
+        assert "counters bit-identical" in output
+
+    def test_perturbed_replay_fails_counters_gate(
+        self, isolated, monkeypatch
+    ):
+        assert self.collect(["capture"])[0] == 0
+        monkeypatch.setenv("REPRO_REPLAY_PERTURB", "3")
+        report_path = isolated / "replay.json"
+        code, output = self.collect(
+            [
+                "replay", "--gate", "counters", "--time-band", "1e9",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 1
+        assert "COUNTER DRIFT DETECTED" in output
+        assert "phases[0].instructions" in output
+        # The artifact renders identically through `report --replay`.
+        code, rendered = self.collect(
+            ["report", "--replay", str(report_path)]
+        )
+        assert code == 0
+        assert "COUNTER DRIFT DETECTED" in rendered
+
+    def test_replay_emits_json_payload(self, isolated):
+        assert self.collect(["capture"])[0] == 0
+        code, output = self.collect(
+            ["replay", "--json", "--time-band", "1e9"]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(output)
+        assert payload["ok"] is True
+        assert payload["summary"]["pass"] == 4
+
+    def test_replay_against_empty_store_bootstraps_green(self, isolated):
+        code, output = self.collect(["replay"])
+        assert code == 0
+        assert "missing 4" in output
+        assert "need recapture" in output
+
+    def test_report_needs_exactly_one_source(self, tmp_path):
+        code, output = self.collect(["report"])
+        assert code == 2
+        assert "exactly one" in output
+        code, output = self.collect(
+            ["report", "--telemetry", "a", "--replay", "b"]
+        )
+        assert code == 2
+
+    def test_report_on_unreadable_replay_artifact(self, tmp_path):
+        code, output = self.collect(
+            ["report", "--replay", str(tmp_path / "absent.json")]
+        )
+        assert code == 1
+        assert "cannot read replay report" in output
+
+    def test_trend_renders_accumulated_history(self, tmp_path):
+        from repro.harness.benchhistory import append_bench_record
+
+        path = tmp_path / "BENCH_demo.json"
+        append_bench_record(path, {"speedup": 2.0}, git_sha="a" * 40)
+        append_bench_record(path, {"speedup": 3.0}, git_sha="b" * 40)
+        code, output = self.collect(
+            ["trend", "--results-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert "demo (2 entries)" in output
+        assert "net change (newest vs oldest): speedup +50.0%" in output
+
+    def test_trend_json_mode(self, tmp_path):
+        from repro.harness.benchhistory import append_bench_record
+
+        append_bench_record(
+            tmp_path / "BENCH_demo.json", {"speedup": 2.0}, git_sha="x"
+        )
+        code, output = self.collect(
+            ["trend", "--results-dir", str(tmp_path), "--json"]
+        )
+        assert code == 0
+        import json
+
+        data = json.loads(output)
+        assert data["benches"][0]["bench"] == "demo"
 
 
 def test_registry_matches_design_doc():
