@@ -14,7 +14,18 @@ Scenario (all through the real CLI, in subprocesses):
 4. Run the same sweep uninterrupted in a clean environment and assert
    the two journals hold bit-identical counters for every point.
 
-Exits 0 on success, 1 with a diagnostic on any violated assertion.
+Exit codes distinguish failure classes so CI can triage without log
+archaeology:
+
+* 0 — success;
+* 2 — the initial (interrupted) run misbehaved: no progress, wrong exit
+  code, or a malformed partial journal;
+* 3 — resume misbehaved: non-zero exit, incomplete journal, or pending
+  points re-executed/skipped;
+* 4 — resume completed but its counters are **not bit-identical** to an
+  uninterrupted reference run (the reproducibility failure);
+* 1 — infrastructure problems in the smoke itself (reference run
+  failed, unexpected journal layout).
 """
 
 import json
@@ -35,9 +46,15 @@ POLL_SECONDS = 0.1
 STARTUP_DEADLINE = 180.0
 
 
-def fail(message):
+# Failure-class exit codes (see module docstring).
+EXIT_INITIAL_RUN = 2
+EXIT_RESUME = 3
+EXIT_NOT_IDENTICAL = 4
+
+
+def fail(message, code=1):
     print(f"interruption-smoke FAILED: {message}", file=sys.stderr)
-    sys.exit(1)
+    sys.exit(code)
 
 
 def base_env(cache_dir):
@@ -121,25 +138,36 @@ def main():
         if proc.poll() is not None:
             fail(
                 "sweep exited before the interrupt "
-                f"(code {proc.returncode}):\n{proc.communicate()[1]}"
+                f"(code {proc.returncode}):\n{proc.communicate()[1]}",
+                code=EXIT_INITIAL_RUN,
             )
         time.sleep(POLL_SECONDS)
     else:
         proc.kill()
-        fail("no journal progress before the startup deadline")
+        fail(
+            "no journal progress before the startup deadline",
+            code=EXIT_INITIAL_RUN,
+        )
 
     proc.send_signal(signal.SIGTERM)
     stdout, stderr = proc.communicate(timeout=120)
     if proc.returncode != 130:
         fail(
             f"interrupted sweep exited {proc.returncode}, wanted 130\n"
-            f"stdout:\n{stdout}\nstderr:\n{stderr}"
+            f"stdout:\n{stdout}\nstderr:\n{stderr}",
+            code=EXIT_INITIAL_RUN,
         )
     if read_status(runs_root) != "interrupted":
-        fail(f"status after SIGTERM is {read_status(runs_root)!r}")
+        fail(
+            f"status after SIGTERM is {read_status(runs_root)!r}",
+            code=EXIT_INITIAL_RUN,
+        )
     partial = read_journal(runs_root)
     if not partial or len(partial) >= 23:
-        fail(f"unexpected partial journal size {len(partial)}")
+        fail(
+            f"unexpected partial journal size {len(partial)}",
+            code=EXIT_INITIAL_RUN,
+        )
     print(f"interrupt OK: exit 130, {len(partial)}/23 points journaled")
 
     # --- 2. resume finishes only the pending points --------------------
@@ -158,27 +186,41 @@ def main():
     if result.returncode != 0:
         fail(
             f"resume exited {result.returncode}\n"
-            f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+            f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}",
+            code=EXIT_RESUME,
         )
     if read_status(runs_root) != "completed":
-        fail(f"status after resume is {read_status(runs_root)!r}")
+        fail(
+            f"status after resume is {read_status(runs_root)!r}",
+            code=EXIT_RESUME,
+        )
     resumed = read_journal(runs_root)
     if len(resumed) != 23:
-        fail(f"resumed journal holds {len(resumed)}/23 points")
+        fail(
+            f"resumed journal holds {len(resumed)}/23 points",
+            code=EXIT_RESUME,
+        )
     restored = telemetry_events(telemetry_resume, "sweep_started")
     if not restored or restored[0].get("restored") != len(partial):
-        fail(f"resume restored {restored}; wanted restored={len(partial)}")
+        fail(
+            f"resume restored {restored}; wanted restored={len(partial)}",
+            code=EXIT_RESUME,
+        )
     rerun = {
         event["point"]
         for event in telemetry_events(telemetry_resume, "point_completed")
     }
     already_done = {point for point, _ in partial}
     if rerun & already_done:
-        fail(f"resume re-executed journaled points: {rerun & already_done}")
+        fail(
+            f"resume re-executed journaled points: {rerun & already_done}",
+            code=EXIT_RESUME,
+        )
     if len(rerun) != 23 - len(partial):
         fail(
             f"resume executed {len(rerun)} points, "
-            f"wanted {23 - len(partial)}"
+            f"wanted {23 - len(partial)}",
+            code=EXIT_RESUME,
         )
     print(f"resume OK: exit 0, re-ran only {len(rerun)} pending points")
 
@@ -198,10 +240,13 @@ def main():
         )
     reference = read_journal(fresh_root)
     if set(reference) != set(resumed):
-        fail("reference and resumed runs cover different points")
+        fail(
+            "reference and resumed runs cover different points",
+            code=EXIT_NOT_IDENTICAL,
+        )
     for key in sorted(reference):
         if reference[key] != resumed[key]:
-            fail(f"counters diverge for {key}")
+            fail(f"counters diverge for {key}", code=EXIT_NOT_IDENTICAL)
     print(f"bit-identity OK: all {len(reference)} counters match")
     print("interruption-smoke PASSED")
 

@@ -92,6 +92,21 @@ DIGEST_EXEMPT = {
         "only; simulated counters are compared bit-exact and never "
         "scaled or filtered by it (tests/golden/test_replay.py)"
     ),
+    "REPRO_SERVICE_PORT": (
+        "transport plumbing: selects where the sweep-service daemon "
+        "listens; jobs execute through the same Runner and produce the "
+        "same counters regardless of port"
+    ),
+    "REPRO_SERVICE_QUEUE_MAX": (
+        "admission control only decides when a job runs, never what its "
+        "points simulate; shed submissions retry onto the same "
+        "content-addressed job id (tests/service/test_jobqueue.py)"
+    ),
+    "REPRO_SERVICE_DRAIN_DEADLINE": (
+        "shutdown timing only; drained or interrupted jobs resume from "
+        "their sweep checkpoints bit-identically "
+        "(tests/service/test_jobqueue.py)"
+    ),
     "REPRO_REPLAY_PERTURB": (
         "fault-injection drill that perturbs only the in-memory copy "
         "`repro replay` diffs; simulation, result caches, and golden "

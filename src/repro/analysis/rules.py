@@ -77,8 +77,10 @@ _CLOCK_SENSITIVE_MODULES = (
 
 #: Package prefixes with the same clock sensitivity (every module under
 #: the golden capture/replay subsystem compares runs across time, so a
-#: wall-clock-derived duration there silently corrupts drift verdicts).
-_CLOCK_SENSITIVE_PREFIXES = ("src/repro/golden/",)
+#: wall-clock-derived duration there silently corrupts drift verdicts;
+#: the sweep service journals job state across restarts, so wall-clock
+#: there must stay display-only).
+_CLOCK_SENSITIVE_PREFIXES = ("src/repro/golden/", "src/repro/service/")
 
 #: Attribute/subscript names that hold wall-clock stamps; subtracting two
 #: of them derives a duration from a steppable clock.
@@ -934,7 +936,9 @@ def _module_level_callables(source: SourceFile) -> Dict[str, FuncDef]:
 
 def check_worker_safety(ctx: LintContext) -> Iterator[Finding]:
     for source in ctx.package_files():
-        if not source.rel.startswith("src/repro/harness/"):
+        if not source.rel.startswith(
+            ("src/repro/harness/", "src/repro/service/")
+        ):
             continue
         module_defs = _module_level_callables(source)
         aliases = _alias_map(source.tree)

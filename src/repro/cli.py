@@ -13,7 +13,11 @@ Usage::
     python -m repro run fig10 --jobs 4 --checkpoint-dir  # journal progress
     python -m repro point pagerank KRON --mode cobra  # one point, validated
     python -m repro runs                      # list checkpointed runs
+    python -m repro runs --json               # machine-readable run list
     python -m repro resume 1f2e3d4c5b6a       # finish an interrupted run
+    python -m repro serve --port 0            # crash-safe sweep daemon
+    python -m repro submit degree-count:KRON:13:cobra --wait  # run via daemon
+    python -m repro jobs                      # the daemon's job table
     python -m repro report --telemetry run.jsonl  # summarize a run log
     python -m repro machine                   # the simulated machine
     python -m repro lint                      # determinism static analysis
@@ -210,6 +214,184 @@ def build_parser():
         default=None,
         help="run root to list (default: the default run root)",
     )
+    runs_parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit the machine-readable run list (the same serializer "
+            "backs the sweep service's /jobs run summaries)"
+        ),
+    )
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the crash-safe sweep-service daemon",
+        description=(
+            "Long-running daemon accepting sweep submissions over local "
+            "HTTP/JSON. Jobs are journaled durably before acknowledgement "
+            "and executed through the fault-tolerant sweep executor with "
+            "per-point checkpoints, so a kill -9 plus restart resumes "
+            "every in-flight job bit-identically. SIGTERM drains "
+            "gracefully within $REPRO_SERVICE_DRAIN_DEADLINE."
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=(
+            "TCP port (default $REPRO_SERVICE_PORT or 8377; 0 picks a "
+            "free port, published in endpoint.json)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "service state directory for the job journal and "
+            "endpoint.json (default: 'service' under the checkpoint root)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="sweep-checkpoint root (default: the default run root)",
+    )
+    serve_parser.add_argument(
+        "--queue-max",
+        type=int,
+        default=None,
+        help=(
+            "bounded queue depth before submissions are shed with 429 "
+            "(default $REPRO_SERVICE_QUEUE_MAX or 64)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--client-max",
+        type=int,
+        default=None,
+        help="per-client in-flight job cap (default 8)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="worker processes per sweep (default 2)",
+    )
+    serve_parser.add_argument(
+        "--drain-deadline",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "SIGTERM drain deadline "
+            "(default $REPRO_SERVICE_DRAIN_DEADLINE or 30)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result-cache read-through tier",
+    )
+    serve_parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="append service + sweep events to a JSONL log at PATH",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point wall-clock budget in seconds",
+    )
+    serve_parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="retries per point after a crash/timeout/error",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="stall threshold for silent sweep workers (seconds)",
+    )
+
+    submit_parser = commands.add_parser(
+        "submit",
+        help="submit sweep points to a running sweep service",
+        description=(
+            "Points are 'workload:input:scale[:mode]' (mode defaults to "
+            "baseline). The daemon is discovered through endpoint.json "
+            "in its state directory unless --port is given. Refusals "
+            "(429/503) are retried with jittered backoff."
+        ),
+    )
+    submit_parser.add_argument(
+        "points",
+        nargs="+",
+        metavar="point",
+        help="one or more 'workload:input:scale[:mode]' specs",
+    )
+    submit_parser.add_argument(
+        "--label", default=None, help="human-readable job label"
+    )
+    submit_parser.add_argument(
+        "--client", default=None, help="client name for per-client caps"
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job leaves the pending states",
+    )
+    submit_parser.add_argument(
+        "--wait-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=600.0,
+        help="--wait deadline (default 600)",
+    )
+
+    jobs_parser = commands.add_parser(
+        "jobs", help="list a running sweep service's jobs"
+    )
+    jobs_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw /jobs payload",
+    )
+    for sub in (submit_parser, jobs_parser):
+        sub.add_argument(
+            "--state-dir",
+            metavar="DIR",
+            default=None,
+            help=(
+                "service state directory holding endpoint.json "
+                "(default: 'service' under the checkpoint root)"
+            ),
+        )
+        sub.add_argument(
+            "--checkpoint-dir",
+            metavar="DIR",
+            default=None,
+            help="checkpoint root the daemon was started with",
+        )
+        sub.add_argument(
+            "--host", default="127.0.0.1", help="daemon host (with --port)"
+        )
+        sub.add_argument(
+            "--port",
+            type=int,
+            default=None,
+            help="daemon port (skips endpoint.json discovery)",
+        )
 
     resume_parser = commands.add_parser(
         "resume", help="finish an interrupted checkpointed sweep"
@@ -655,10 +837,139 @@ def _checkpoint_root(value):
     return value
 
 
-def _cmd_runs(print_fn, checkpoint_dir):
-    from repro.harness.checkpoint import format_runs, list_runs
+def _cmd_runs(print_fn, checkpoint_dir, as_json=False):
+    from repro.harness.checkpoint import format_runs, list_runs, runs_payload
 
-    print_fn(format_runs(list_runs(_checkpoint_root(checkpoint_dir))))
+    runs = list_runs(_checkpoint_root(checkpoint_dir))
+    if as_json:
+        import json
+
+        print_fn(json.dumps(runs_payload(runs), indent=2, sort_keys=True))
+        return 0
+    print_fn(format_runs(runs))
+    return 0
+
+
+def _service_state_dir(args):
+    """Resolve a service ``--state-dir`` (default: under the run root)."""
+    if args.state_dir is not None:
+        return args.state_dir
+    from pathlib import Path
+
+    return Path(_checkpoint_root(args.checkpoint_dir)) / "service"
+
+
+def _cmd_serve(print_fn, args):
+    import asyncio
+
+    from repro.harness import knobs
+    from repro.service.jobqueue import SweepService
+    from repro.service.server import DEFAULT_PORT, serve_forever
+
+    runner = _configure_runner(args)
+    port = args.port
+    if port is None:
+        raw = knobs.read("REPRO_SERVICE_PORT")
+        port = int(raw) if raw and raw.strip() else DEFAULT_PORT
+    service = SweepService(
+        runner,
+        _service_state_dir(args),
+        queue_max=args.queue_max,
+        client_max=args.client_max if args.client_max is not None else 8,
+        sweep_jobs=args.jobs,
+        checkpoint_root=_checkpoint_root(args.checkpoint_dir),
+        drain_deadline=args.drain_deadline,
+        telemetry=runner.telemetry if runner.telemetry.enabled else None,
+    ).start()
+    return asyncio.run(
+        serve_forever(service, host=args.host, port=port, print_fn=print_fn)
+    )
+
+
+def _service_client(args, client_name=None):
+    from repro.service.client import ServiceClient
+
+    if args.port is not None:
+        return ServiceClient(
+            host=args.host, port=args.port, client_name=client_name
+        )
+    return ServiceClient.from_state_dir(
+        _service_state_dir(args), client_name=client_name
+    )
+
+
+def _cmd_submit(print_fn, args):
+    from repro.service.client import ServiceError
+
+    specs = []
+    for raw in args.points:
+        pieces = raw.split(":")
+        if len(pieces) == 3:
+            pieces.append("baseline")
+        if len(pieces) != 4:
+            print_fn(f"bad point {raw!r}: want workload:input:scale[:mode]")
+            return 2
+        specs.append(
+            {"point": ":".join(pieces[:3]), "mode": pieces[3]}
+        )
+    try:
+        client = _service_client(args, client_name=args.client)
+        payload = client.submit(specs, label=args.label)
+    except (OSError, ValueError, ServiceError) as exc:
+        print_fn(f"submit failed: {exc}")
+        return 1
+    job = payload["job"]
+    print_fn(
+        f"job {job['job_id']} {job['state']} "
+        f"({len(job['points'])} point(s)"
+        + (", from cache)" if job.get("from_cache") else ")")
+    )
+    if not args.wait or job["state"] == "completed":
+        return 0
+    try:
+        final = client.wait_job(job["job_id"], timeout=args.wait_timeout)
+    except ServiceError as exc:
+        print_fn(str(exc))
+        return 1
+    state = final["job"]["state"]
+    print_fn(f"job {job['job_id']} {state}")
+    if final["job"].get("error"):
+        print_fn(f"  {final['job']['error']}")
+    return 0 if state == "completed" else 1
+
+
+def _cmd_jobs(print_fn, args):
+    import json
+
+    from repro.harness.report import format_table
+    from repro.service.client import ServiceError
+
+    try:
+        payload = _service_client(args).jobs()
+    except (OSError, ValueError, ServiceError) as exc:
+        print_fn(f"cannot reach the sweep service: {exc}")
+        return 1
+    if args.json:
+        print_fn(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [
+            job["job_id"],
+            job["state"],
+            len(job["points"]),
+            (job["run"] or {}).get("completed", 0),
+            job.get("label") or "-",
+            job.get("client") or "-",
+        ]
+        for job in payload["jobs"]
+    ]
+    print_fn(
+        format_table(
+            ["job", "state", "points", "done", "label", "client"],
+            rows,
+            title=f"{len(rows)} job(s)",
+        )
+    )
     return 0
 
 
@@ -771,9 +1082,15 @@ def main(argv=None, print_fn=print):
     if args.command == "point":
         return _cmd_point(print_fn, args)
     if args.command == "runs":
-        return _cmd_runs(print_fn, args.checkpoint_dir)
+        return _cmd_runs(print_fn, args.checkpoint_dir, as_json=args.json)
     if args.command == "resume":
         return _cmd_resume(print_fn, args)
+    if args.command == "serve":
+        return _cmd_serve(print_fn, args)
+    if args.command == "submit":
+        return _cmd_submit(print_fn, args)
+    if args.command == "jobs":
+        return _cmd_jobs(print_fn, args)
     import inspect
 
     from repro.harness.faults import SweepInterrupted

@@ -57,6 +57,8 @@ __all__ = [
     "default_checkpoint_dir",
     "list_runs",
     "format_runs",
+    "run_summary",
+    "runs_payload",
 ]
 
 MANIFEST_NAME = "manifest.json"
@@ -162,7 +164,26 @@ class SweepCheckpoint:
         fresh run.
         """
         specs = cls._specs_for(runner, list(points))
-        machine_digest = runner.machine_digest()
+        return cls.attach_specs(
+            root,
+            runner.machine_digest(),
+            specs,
+            label=label,
+            telemetry=telemetry,
+        )
+
+    @classmethod
+    def attach_specs(cls, root, machine_digest, specs, label=None, telemetry=None):
+        """Attach by pre-computed point specs, no workload objects needed.
+
+        The sweep service admits jobs from ``(cache_key, mode, digest)``
+        specs alone — building the actual workload arrays is deferred to
+        the executor — so checkpoint attachment must not force a workload
+        build either. :meth:`attach` derives the specs from live
+        ``(workload, mode)`` points and lands here; both produce the same
+        content-addressed ``run_id``.
+        """
+        specs = [dict(spec) for spec in specs]
         run_id = content_id({"machine": machine_digest, "points": specs})
         run_dir = Path(root) / run_id
         manifest_path = run_dir / MANIFEST_NAME
@@ -367,6 +388,33 @@ class SweepCheckpoint:
 # ---------------------------------------------------------------------- #
 
 
+def run_summary(checkpoint):
+    """One checkpointed run's machine-readable summary dict.
+
+    The single serializer behind ``repro runs`` (table and ``--json``)
+    and the sweep service's ``/jobs`` endpoint, so every surface agrees
+    on field names and on the completed-but-unmarked repair below.
+    """
+    done = len(checkpoint.completed_counters())
+    status = checkpoint.status
+    if done >= checkpoint.total and status == STATUS_RUNNING:
+        # Every point journaled but the parent died before marking.
+        status = STATUS_COMPLETED
+    return {
+        "run_id": checkpoint.run_id,
+        "label": checkpoint.label or "-",
+        "status": status,
+        "completed": done,
+        "total": checkpoint.total,
+        "updated": checkpoint.updated,
+    }
+
+
+def runs_payload(runs):
+    """The versioned JSON payload wrapping :func:`run_summary` dicts."""
+    return {"version": FORMAT_VERSION, "runs": list(runs)}
+
+
 def list_runs(root=None):
     """Summaries of every checkpointed run under ``root``, newest first."""
     root = Path(root) if root is not None else default_checkpoint_dir()
@@ -382,22 +430,7 @@ def list_runs(root=None):
             manifest = json.loads(manifest_path.read_text("utf-8"))
         except (OSError, ValueError):
             continue
-        checkpoint = SweepCheckpoint(manifest_path.parent, manifest)
-        done = len(checkpoint.completed_counters())
-        status = checkpoint.status
-        if done >= checkpoint.total and status == STATUS_RUNNING:
-            # Every point journaled but the parent died before marking.
-            status = STATUS_COMPLETED
-        runs.append(
-            {
-                "run_id": checkpoint.run_id,
-                "label": checkpoint.label or "-",
-                "status": status,
-                "completed": done,
-                "total": checkpoint.total,
-                "updated": checkpoint.updated,
-            }
-        )
+        runs.append(run_summary(SweepCheckpoint(manifest_path.parent, manifest)))
     runs.sort(key=lambda r: -r["updated"])
     return runs
 

@@ -129,10 +129,16 @@ class FaultInjector:
     ``state_dir``, each fault fires exactly once per directory (atomic
     ``O_EXCL`` marker files shared by every worker process), so a killed
     point's retry succeeds; without one, the fault fires on every attempt.
+
+    ``torn`` extends injection to the *service layer*: it holds journal
+    names (the sweep service's job journal registers as ``"jobs"``) whose
+    next append should be torn mid-write, exercising the
+    seal-and-rewrite recovery of :class:`repro.service.journal.JobJournal`.
     """
 
     kill: frozenset = frozenset()
     stall: frozenset = frozenset()
+    torn: frozenset = frozenset()
     stall_seconds: float = 3600.0
     state_dir: str = ""
 
@@ -148,12 +154,14 @@ class FaultInjector:
         Format: semicolon-separated directives, e.g.
         ``kill=pagerank:KRON:13|baseline;stall=spmv:POIS:13|cobra;``
         ``stall_seconds=60;state=/tmp/faults``. ``kill``/``stall`` take
-        comma-separated tokens.
+        comma-separated point tokens; ``torn`` takes comma-separated
+        journal names (``torn=jobs`` tears the sweep service's next job
+        journal append).
         """
         raw = (knobs.read("REPRO_FAULT_INJECT", environ) or "").strip()
         if not raw:
             return None
-        kill, stall = set(), set()
+        kill, stall, torn = set(), set(), set()
         stall_seconds = 3600.0
         state_dir = ""
         for directive in raw.split(";"):
@@ -166,6 +174,8 @@ class FaultInjector:
                 kill.update(t for t in value.split(",") if t)
             elif name == "stall":
                 stall.update(t for t in value.split(",") if t)
+            elif name == "torn":
+                torn.update(t for t in value.split(",") if t)
             elif name == "stall_seconds":
                 stall_seconds = float(value)
             elif name == "state":
@@ -177,6 +187,7 @@ class FaultInjector:
         return cls(
             kill=frozenset(kill),
             stall=frozenset(stall),
+            torn=frozenset(torn),
             stall_seconds=stall_seconds,
             state_dir=state_dir,
         )
@@ -204,6 +215,15 @@ class FaultInjector:
             os.kill(os.getpid(), _KILL_SIGNAL)
         if token in self.stall and self._arm("stall", token):
             time.sleep(self.stall_seconds)
+
+    def maybe_tear(self, journal):
+        """Called by journal writers before an append; True = tear it.
+
+        ``journal`` is the journal's registered name, not a point token.
+        With a ``state_dir`` the tear fires once per directory, so exactly
+        one append exercises the writer's seal-and-rewrite recovery path.
+        """
+        return journal in self.torn and self._arm("torn", journal)
 
 
 @dataclass(frozen=True)

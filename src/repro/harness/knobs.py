@@ -149,11 +149,39 @@ KNOBS: Mapping[str, Knob] = {
         _knob(
             "REPRO_FAULT_INJECT",
             None,
-            "Deterministic worker kill/stall directives for fault drills "
-            "(kill=...;stall=...;stall_seconds=...;state=...).",
+            "Deterministic worker kill/stall/torn-write directives for "
+            "fault drills "
+            "(kill=...;stall=...;torn=...;stall_seconds=...;state=...).",
             "injected faults abort attempts before counters exist; "
             "retried points produce identical counters "
             "(tests/harness/test_faults.py)",
+        ),
+        _knob(
+            "REPRO_SERVICE_PORT",
+            "8377",
+            "Default TCP port for the `repro serve` sweep-service daemon "
+            "(0 picks a free port, published in endpoint.json).",
+            "transport plumbing: selects where the daemon listens; jobs "
+            "execute through the same Runner regardless of port",
+        ),
+        _knob(
+            "REPRO_SERVICE_QUEUE_MAX",
+            "64",
+            "Bounded job-queue depth of the sweep service; submissions "
+            "beyond it are shed with 429 + Retry-After (fully-cached "
+            "jobs are still served read-through).",
+            "admission control only decides when a job runs, never what "
+            "its points simulate; shed jobs are retried to the same "
+            "content-addressed id (tests/service/test_jobqueue.py)",
+        ),
+        _knob(
+            "REPRO_SERVICE_DRAIN_DEADLINE",
+            "30",
+            "Seconds a SIGTERM'd sweep service waits for the in-flight "
+            "job to drain before journaling it interrupted and exiting.",
+            "shutdown timing only; drained or interrupted jobs resume "
+            "from their sweep checkpoints bit-identically "
+            "(tests/service/test_jobqueue.py)",
         ),
     )
 }

@@ -1,0 +1,202 @@
+"""Stdlib HTTP client for the sweep service, with disciplined retries.
+
+The chaos drill's contract — every submitted job eventually completes,
+bit-identically, through daemon kills and restarts — is only meaningful
+if the *client* side behaves: :meth:`ServiceClient.submit_with_retry`
+retries connection failures (daemon restarting) and 429/503 refusals
+(admission control) with jittered exponential backoff, honoring the
+server's ``Retry-After`` hint when one is present. The jitter source is
+an explicitly seeded ``random.Random`` so a drill's retry schedule is
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+from pathlib import Path
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+_RETRYABLE = frozenset({429, 503})
+
+
+class ServiceError(RuntimeError):
+    """A non-retryable (or retry-exhausted) service response."""
+
+    def __init__(self, message, status=None, payload=None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload if payload is not None else {}
+
+
+class ServiceClient:
+    """Talk to one sweep-service daemon over local HTTP/JSON."""
+
+    def __init__(
+        self,
+        host="127.0.0.1",
+        port=None,
+        *,
+        timeout=30.0,
+        retries=8,
+        backoff=0.25,
+        backoff_cap=10.0,
+        seed=0,
+        client_name=None,
+    ):
+        if port is None:
+            raise ValueError("ServiceClient needs a port (or from_state_dir)")
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.client_name = client_name
+        self._rng = random.Random(seed)
+        #: 429/503 refusals observed across retrying calls (chaos drills
+        #: assert admission control actually fired).
+        self.shed_responses = 0
+
+    @classmethod
+    def from_state_dir(cls, state_dir, **kwargs):
+        """Discover the daemon through its published ``endpoint.json``."""
+        endpoint = Path(state_dir) / "endpoint.json"
+        payload = json.loads(endpoint.read_text("utf-8"))
+        return cls(host=payload["host"], port=payload["port"], **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def request(self, method, path, payload=None):
+        """One HTTP exchange; returns ``(status, headers, json_payload)``."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+            headers["Content-Length"] = str(len(body))
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                parsed = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                parsed = {"error": raw.decode("utf-8", "replace")}
+            return response.status, dict(response.getheaders()), parsed
+        finally:
+            connection.close()
+
+    def _delay(self, attempt, headers):
+        retry_after = None
+        for name, value in headers.items():
+            if name.lower() == "retry-after":
+                try:
+                    retry_after = float(value)
+                except ValueError:
+                    pass
+        delay = min(self.backoff_cap, self.backoff * (2**attempt))
+        # Full jitter: anywhere in (0.5, 1.0] of the window, so a herd of
+        # shed clients does not re-arrive in lockstep.
+        delay *= 0.5 + 0.5 * self._rng.random()
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return delay
+
+    def request_with_retry(self, method, path, payload=None):
+        """Retry connection errors and 429/503 with jittered backoff."""
+        last_error = None
+        for attempt in range(self.retries + 1):
+            try:
+                status, headers, parsed = self.request(method, path, payload)
+            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                status, headers, parsed = None, {}, {}
+            else:
+                if status not in _RETRYABLE:
+                    return status, headers, parsed
+                self.shed_responses += 1
+                last_error = parsed.get("error", f"HTTP {status}")
+            if attempt < self.retries:
+                time.sleep(self._delay(attempt, headers))
+        raise ServiceError(
+            f"{method} {path} failed after {self.retries + 1} attempts: "
+            f"{last_error}",
+            status=status,
+            payload=parsed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # API surface
+    # ------------------------------------------------------------------ #
+
+    def healthz(self):
+        return self.request("GET", "/healthz")[0] == 200
+
+    def readyz(self):
+        return self.request("GET", "/readyz")[0] == 200
+
+    def status(self):
+        status, _, payload = self.request_with_retry("GET", "/status")
+        if status != 200:
+            raise ServiceError("status failed", status=status, payload=payload)
+        return payload
+
+    def jobs(self):
+        status, _, payload = self.request_with_retry("GET", "/jobs")
+        if status != 200:
+            raise ServiceError("jobs failed", status=status, payload=payload)
+        return payload
+
+    def job(self, job_id):
+        status, _, payload = self.request_with_retry("GET", f"/jobs/{job_id}")
+        if status == 404:
+            return None
+        if status != 200:
+            raise ServiceError(
+                f"job {job_id} failed", status=status, payload=payload
+            )
+        return payload
+
+    def submit(self, points, label=None):
+        """Submit once, retrying refusals/outages; returns the job payload."""
+        body = {"points": list(points), "label": label}
+        if self.client_name is not None:
+            body["client"] = self.client_name
+        status, _, payload = self.request_with_retry("POST", "/jobs", body)
+        if status in (200, 202):
+            return payload
+        raise ServiceError(
+            payload.get("error", f"submit failed (HTTP {status})"),
+            status=status,
+            payload=payload,
+        )
+
+    def wait_job(self, job_id, timeout=600.0, poll=0.2):
+        """Poll until the job leaves the pending states; returns its payload.
+
+        Connection outages during the wait are retried — a daemon being
+        killed and restarted mid-job is exactly the scenario the chaos
+        drill exercises — so only a genuinely missing job or the timeout
+        raises.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload is not None:
+                state = payload["job"]["state"]
+                if state not in ("submitted", "running", "interrupted"):
+                    return payload
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still pending after {timeout:.0f}s"
+                )
+            time.sleep(poll)

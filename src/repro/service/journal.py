@@ -1,0 +1,264 @@
+"""Crash-safe job journal for the sweep service.
+
+The service's authoritative job state lives in memory; this journal is
+what survives a ``kill -9``. Every job lifecycle transition is one JSON
+line appended with a single ``os.write`` on an ``O_APPEND`` descriptor
+and fsync'd before the call returns — atomic at the line level, durable
+at the transition level. Restart replays the file front to back and
+folds the lines back into :class:`JobRecord` objects; jobs whose last
+state is ``submitted``/``running``/``interrupted`` are re-enqueued, and
+their sweep checkpoints (:mod:`repro.harness.checkpoint`, shared
+content-addressed ids) splice the already-completed points back
+bit-identically.
+
+Torn writes are a designed-for case, not a corruption:
+
+* a process killed mid-append leaves a partial final line; replay skips
+  it with ``service_journal_corrupt`` telemetry, and the next writer
+  **seals** the torn tail with a newline before appending, so later
+  lines never merge into the garbage;
+* the ``torn=jobs`` directive of
+  :class:`~repro.harness.faults.FaultInjector` exercises that machinery
+  deterministically from inside a live daemon: the append writes a torn
+  prefix, closes the descriptor, reopens (sealing the tail), and
+  rewrites the full line — the chaos drill asserts no transition is
+  lost.
+
+Job ids are :func:`~repro.harness.checkpoint.content_id` hashes of the
+machine digest plus ordered point specs — exactly a sweep checkpoint's
+``run_id`` — so a job *is* its checkpoint: resubmitting identical work
+dedupes, and results are always served from the checkpoint journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.harness.telemetry import NULL_TELEMETRY
+
+__all__ = [
+    "JOB_COMPLETED",
+    "JOB_FAILED",
+    "JOB_INTERRUPTED",
+    "JOB_RUNNING",
+    "JOB_STATES",
+    "JOB_SUBMITTED",
+    "JOURNAL_NAME",
+    "JobJournal",
+    "JobRecord",
+    "PENDING_STATES",
+]
+
+JOURNAL_NAME = "jobs.jsonl"
+
+JOB_SUBMITTED = "submitted"
+JOB_RUNNING = "running"
+JOB_COMPLETED = "completed"
+JOB_FAILED = "failed"
+JOB_INTERRUPTED = "interrupted"
+
+JOB_STATES = (
+    JOB_SUBMITTED,
+    JOB_RUNNING,
+    JOB_COMPLETED,
+    JOB_FAILED,
+    JOB_INTERRUPTED,
+)
+
+#: States a restarted daemon re-enqueues (``interrupted`` means a drain
+#: stopped the job mid-sweep; its checkpoint holds the finished points).
+PENDING_STATES = frozenset({JOB_SUBMITTED, JOB_RUNNING, JOB_INTERRUPTED})
+
+
+@dataclass
+class JobRecord:
+    """One job's current state as folded from the journal."""
+
+    job_id: str
+    points: tuple = ()
+    state: str = JOB_SUBMITTED
+    label: str | None = None
+    client: str | None = None
+    submitted: float = 0.0
+    updated: float = 0.0
+    error: str | None = None
+    from_cache: bool = False
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def pending(self):
+        return self.state in PENDING_STATES
+
+    def as_dict(self):
+        """The JSON shape shared by ``/jobs`` and ``repro jobs``."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "points": [dict(spec) for spec in self.points],
+            "label": self.label,
+            "client": self.client,
+            "submitted": self.submitted,
+            "updated": self.updated,
+            "error": self.error,
+            "from_cache": self.from_cache,
+        }
+
+
+class JobJournal:
+    """Append-only fsync'd journal of job lifecycle transitions."""
+
+    #: Name under which the torn-write injector addresses this journal.
+    TORN_TOKEN = "jobs"
+
+    def __init__(self, path, telemetry=None, injector=None):
+        self.path = Path(path)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.injector = injector
+        self._fd = None
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def _tail_torn(self):
+        """True when the file ends mid-line (a writer died mid-append)."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return False
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except OSError:
+            return False
+
+    def _descriptor(self):
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            torn = self._tail_torn()
+            self._fd = os.open(
+                self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+            )
+            if torn:
+                # Seal the torn tail so the next append starts a fresh
+                # line; replay will skip the sealed garbage line.
+                os.write(self._fd, b"\n")
+                self.telemetry.emit("service_journal_sealed", path=str(self.path))
+        return self._fd
+
+    def append(self, job_id, state, **fields):
+        """Durably journal one transition (single-line append + fsync)."""
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        entry = {
+            "job_id": job_id,
+            "state": state,
+            # repro: noqa[nondet] journal timestamps are operator metadata;
+            # recovery keys off job ids and states, never off wall-clock
+            "ts": time.time(),
+        }
+        entry.update(fields)
+        data = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+        fd = self._descriptor()
+        if self.injector is not None and self.injector.maybe_tear(
+            self.TORN_TOKEN
+        ):
+            # Injected torn write: leave a partial line (what a kill -9
+            # mid-append leaves behind), then recover exactly as a fresh
+            # writer would — reopen seals the tail — and rewrite the full
+            # transition so chaos drills can assert nothing was lost.
+            os.write(fd, data[: max(1, len(data) // 2)])
+            self.telemetry.emit(
+                "service_journal_torn", job_id=job_id, state=state
+            )
+            self.close()
+            fd = self._descriptor()
+        os.write(fd, data)
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+
+    def flush(self):
+        if self._fd is not None:
+            try:
+                os.fsync(self._fd)
+            except OSError:
+                pass
+
+    def close(self):
+        if self._fd is not None:
+            self.flush()
+            os.close(self._fd)
+            self._fd = None
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+
+    def replay(self):
+        """``{job_id: JobRecord}`` in submission order, corrupt lines skipped.
+
+        A line is only trusted if it parses, names a known state, and —
+        for the first sighting of a job — carries the job's point specs
+        (a torn ``submitted`` line whose later transitions survive is
+        unrecoverable and skipped with telemetry; the client's retry
+        resubmits the job under the same content-addressed id).
+        """
+        records = {}
+        if not self.path.is_file():
+            return records
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    job_id = entry["job_id"]
+                    state = entry["state"]
+                    if not isinstance(job_id, str) or state not in JOB_STATES:
+                        raise ValueError("malformed journal entry")
+                except (ValueError, KeyError, TypeError):
+                    self.telemetry.emit(
+                        "service_journal_corrupt",
+                        path=str(self.path),
+                        line=lineno,
+                    )
+                    continue
+                record = records.get(job_id)
+                if record is None:
+                    points = entry.get("points")
+                    if not isinstance(points, list) or not points:
+                        self.telemetry.emit(
+                            "service_journal_corrupt",
+                            path=str(self.path),
+                            line=lineno,
+                            job_id=job_id,
+                        )
+                        continue
+                    records[job_id] = JobRecord(
+                        job_id=job_id,
+                        points=tuple(dict(spec) for spec in points),
+                        state=state,
+                        label=entry.get("label"),
+                        client=entry.get("client"),
+                        submitted=float(entry.get("ts", 0.0)),
+                        updated=float(entry.get("ts", 0.0)),
+                        from_cache=bool(entry.get("from_cache", False)),
+                    )
+                    continue
+                records[job_id] = replace(
+                    record,
+                    state=state,
+                    updated=float(entry.get("ts", record.updated)),
+                    error=entry.get("error", record.error),
+                    from_cache=bool(
+                        entry.get("from_cache", record.from_cache)
+                    ),
+                )
+        return records

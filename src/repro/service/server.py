@@ -1,0 +1,285 @@
+"""Hand-rolled asyncio HTTP/1.1 front end of the sweep service.
+
+No web framework, no new dependencies: ``asyncio.start_server`` plus a
+minimal one-request-per-connection HTTP parser. The simulation work all
+happens on the :class:`~repro.service.jobqueue.SweepService` worker
+thread (and its process pool), so the event loop stays free to answer
+liveness probes while multi-second sweeps run.
+
+Routes::
+
+    GET  /healthz    liveness: 200 while the process is up (drain too)
+    GET  /readyz     readiness: 503 while draining or saturated
+    GET  /status     queue depth, pool state, heartbeat age, cache rate
+    GET  /jobs       all jobs (shares the `repro runs --json` serializer)
+    GET  /jobs/<id>  one job, with results once completed
+    POST /jobs       submit {"points": [...], "label":, "client":}
+
+Refusals carry structured JSON plus a ``Retry-After`` header (429 when
+the bounded queue or a per-client cap sheds load, 503 while draining),
+so well-behaved clients — :class:`repro.service.client.ServiceClient` —
+can back off with jitter instead of hammering a saturated daemon.
+
+On bind the server publishes ``endpoint.json`` (host, actual port, pid)
+into the service state directory; ``--port 0`` therefore works for
+tests and chaos drills, and ``repro submit``/``repro jobs`` discover
+the daemon with ``--state-dir`` alone. SIGTERM/SIGINT trigger the
+graceful drain; a second signal abandons the deadline and exits
+immediately (jobs are journaled either way).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+from pathlib import Path
+
+from repro.harness.checkpoint import _atomic_write_json
+from repro.service.jobqueue import AdmissionError
+
+__all__ = ["DEFAULT_PORT", "ENDPOINT_NAME", "ServiceServer", "serve_forever"]
+
+DEFAULT_PORT = 8377
+ENDPOINT_NAME = "endpoint.json"
+
+_MAX_BODY = 1 << 20
+_MAX_HEADER_LINES = 64
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _BadRequest(Exception):
+    pass
+
+
+async def _read_request(reader):
+    """Parse one HTTP/1.1 request; returns (method, path, body)."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionError("client closed")
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise _BadRequest("malformed request line")
+    method, target = parts[0].upper(), parts[1]
+    length = 0
+    for _ in range(_MAX_HEADER_LINES):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                raise _BadRequest("bad Content-Length") from None
+    else:
+        raise _BadRequest("too many headers")
+    if length < 0 or length > _MAX_BODY:
+        raise _BadRequest("body too large")
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return method, path, body
+
+
+class ServiceServer:
+    """One :class:`SweepService` behind a local asyncio HTTP listener."""
+
+    def __init__(self, service, host="127.0.0.1", port=DEFAULT_PORT):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server = None
+
+    async def start(self):
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._publish_endpoint()
+        return self
+
+    def _publish_endpoint(self):
+        state_dir = Path(self.service.state_dir)
+        state_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(
+            state_dir / ENDPOINT_NAME,
+            {"host": self.host, "port": self.port, "pid": os.getpid()},
+        )
+
+    async def close(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle(self, reader, writer):
+        try:
+            try:
+                method, path, body = await _read_request(reader)
+            except _BadRequest as exc:
+                status, payload, headers = 400, {"error": str(exc)}, {}
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                return
+            else:
+                status, payload, headers = self.handle_request(
+                    method, path, body
+                )
+            data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            head = [
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(data)}",
+                "Connection: close",
+            ]
+            head.extend(f"{name}: {value}" for name, value in headers.items())
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+            writer.write(data)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def handle_request(self, method, path, body):
+        """Route one request; returns ``(status, payload, extra_headers)``.
+
+        Pure function of the service state — no sockets — so the full
+        routing table is unit-testable without a running event loop.
+        """
+        service = self.service
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "GET only"}, {}
+            return 200, {"ok": True}, {}
+        if path == "/readyz":
+            if method != "GET":
+                return 405, {"error": "GET only"}, {}
+            status = service.status()
+            if status["state"] == "running":
+                return 200, {"ready": True}, {}
+            return (
+                503,
+                {"ready": False, "reason": status["state"]},
+                {"Retry-After": "1"},
+            )
+        if path == "/status":
+            if method != "GET":
+                return 405, {"error": "GET only"}, {}
+            return 200, service.status(), {}
+        if path == "/jobs" and method == "GET":
+            return 200, {"version": 1, "jobs": service.jobs_payload()}, {}
+        if path == "/jobs" and method == "POST":
+            return self._submit(body)
+        if path.startswith("/jobs/") and method == "GET":
+            return self._job(path[len("/jobs/"):])
+        if path.startswith("/jobs"):
+            return 405, {"error": "unsupported method"}, {}
+        return 404, {"error": f"no route {path}"}, {}
+
+    def _submit(self, body):
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"bad JSON body: {exc}"}, {}
+        try:
+            # repro: noqa[worker-safety] job admission, not a pool submit
+            record, results, accepted = self.service.submit(
+                payload.get("points"),
+                label=payload.get("label"),
+                client=payload.get("client"),
+            )
+        except AdmissionError as exc:
+            headers = {}
+            if exc.retry_after is not None:
+                headers["Retry-After"] = str(exc.retry_after)
+            return exc.status, {"error": str(exc)}, headers
+        except ValueError as exc:
+            return 400, {"error": str(exc)}, {}
+        response = {"job": self.service.job_payload(record), "accepted": accepted}
+        if results is not None:
+            response["results"] = results
+            return 200, response, {}
+        return 202, response, {}
+
+    def _job(self, job_id):
+        record = self.service.jobs.get(job_id)
+        if record is None:
+            return 404, {"error": f"unknown job {job_id!r}"}, {}
+        response = {"job": self.service.job_payload(record)}
+        if record.state == "completed":
+            response["results"] = self.service.results(job_id)
+        return 200, response, {}
+
+
+async def serve_forever(service, host="127.0.0.1", port=DEFAULT_PORT, print_fn=None):
+    """Run the server until a signal drains it; returns the exit code.
+
+    First SIGTERM/SIGINT: stop admissions, drain with the service's
+    deadline, exit 0 (1 if the drain timed out — jobs are journaled
+    either way). Second signal: abandon the wait and exit immediately.
+    """
+    server = await ServiceServer(service, host, port).start()
+    if print_fn is not None:
+        print_fn(
+            f"sweep service listening on {server.host}:{server.port} "
+            f"(state: {service.state_dir})"
+        )
+    loop = asyncio.get_running_loop()
+    stopped = asyncio.Event()
+    outcome = {"code": 0, "draining": False}
+
+    async def _drain(signum):
+        clean = await loop.run_in_executor(None, service.drain, signum)
+        outcome["code"] = 0 if clean else 1
+        stopped.set()
+
+    def _on_signal(signum):
+        if outcome["draining"]:
+            outcome["code"] = 1
+            stopped.set()
+            return
+        outcome["draining"] = True
+        loop.create_task(_drain(signum))
+
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, _on_signal, signum)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+    try:
+        await stopped.wait()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        await server.close()
+        service.close()
+    if print_fn is not None:
+        print_fn(
+            "sweep service drained"
+            if outcome["code"] == 0
+            else "sweep service exited with undrained work (journaled)"
+        )
+    return outcome["code"]

@@ -703,3 +703,62 @@ class TestWorkerSafety:
             }
         )
         assert lint_findings(root, "worker-safety") == []
+
+
+class TestServicePrefixCoverage:
+    """The sweep service is clock-sensitive and worker-safety gated."""
+
+    def test_wall_clock_subtraction_in_service_flagged(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/service/jobqueue.py": """\
+                    import time
+
+                    def age(record):
+                        return time.time() - record.updated
+                    """
+            }
+        )
+        findings = lint_findings(root, "nondet")
+        messages = [f.message for f in findings]
+        assert any("wall-clock subtraction" in m for m in messages)
+
+    def test_time_call_in_service_flagged(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/service/journal.py": """\
+                    import time
+
+                    def stamp():
+                        return {"ts": time.time()}
+                    """
+            }
+        )
+        findings = lint_findings(root, "nondet")
+        assert len(findings) == 1
+        assert "time.time()" in findings[0].message
+
+    def test_lambda_submission_in_service_flagged(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/service/jobqueue.py": """\
+                    def run(pool):
+                        return pool.submit(lambda: 1)
+                    """
+            }
+        )
+        findings = lint_findings(root, "worker-safety")
+        assert len(findings) == 1
+        assert "lambda" in findings[0].message
+
+    def test_other_packages_keep_old_scope(self, mini_tree):
+        # The service gate must not widen worker-safety to, say, cpu/.
+        root = mini_tree(
+            {
+                "src/repro/cpu/pool.py": """\
+                    def run(pool):
+                        return pool.submit(lambda: 1)
+                    """
+            }
+        )
+        assert lint_findings(root, "worker-safety") == []

@@ -234,3 +234,58 @@ class TestFaultInjector:
         )
         assert outcome.completed == 1
         assert not outcome.ok
+
+
+class TestTornDirective:
+    def test_from_env_parses_torn_journals(self):
+        injector = FaultInjector.from_env(
+            {"REPRO_FAULT_INJECT": "torn=jobs,other;state=/tmp/x"}
+        )
+        assert injector.torn == {"jobs", "other"}
+
+    def test_maybe_tear_respects_arming(self, tmp_path):
+        injector = FaultInjector(
+            torn=frozenset({"jobs"}), state_dir=str(tmp_path)
+        )
+        assert injector.maybe_tear("jobs")
+        assert not injector.maybe_tear("jobs")  # marker armed: fire once
+        assert not injector.maybe_tear("unlisted")
+
+    def test_maybe_tear_without_state_fires_every_time(self):
+        injector = FaultInjector(torn=frozenset({"jobs"}))
+        assert injector.maybe_tear("jobs")
+        assert injector.maybe_tear("jobs")
+
+
+class TestGracefulShutdown:
+    def test_first_signal_latches_second_escalates(self):
+        from repro.harness.faults import GracefulShutdown
+
+        latch = GracefulShutdown()
+        assert not latch.requested
+        latch._handle(15, None)
+        assert latch.requested
+        assert latch.signum == 15
+        # The drain wedged; the operator's second signal must break out.
+        with pytest.raises(KeyboardInterrupt):
+            latch._handle(15, None)
+        # Still latched after the escalation.
+        assert latch.requested
+
+    def test_install_off_main_thread_is_a_noop(self):
+        import threading
+
+        from repro.harness.faults import GracefulShutdown
+
+        latch = GracefulShutdown()
+        seen = {}
+
+        def run():
+            latch.install()
+            seen["previous"] = dict(latch._previous)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join()
+        assert seen["previous"] == {}  # no handlers touched
+        latch.restore()  # harmless when nothing was installed

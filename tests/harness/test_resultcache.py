@@ -443,3 +443,44 @@ def _src_path():
     src = str(Path(__file__).resolve().parents[2] / "src")
     existing = os.environ.get("PYTHONPATH", "")
     return f"{src}{os.pathsep}{existing}" if existing else src
+
+
+class TestReadThroughUnderPut:
+    """Concurrent readers during put(): never a partial entry."""
+
+    def test_threaded_readers_see_none_or_complete(self, tmp_path, workload):
+        import threading
+
+        result = Runner(result_cache=None, max_sim_events=20_000).run(
+            workload, BASELINE, use_cache=False
+        )
+        reference = counters_to_dict(result)
+        cache = ResultCache(tmp_path)
+        digest = "ab" * 32
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                got = cache.get(digest)
+                if got is None:
+                    continue
+                # Atomic os.replace publication: a hit is always complete.
+                if counters_to_dict(got) != reference:
+                    torn.append(got)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        # Republish the same entry repeatedly while the readers hammer it;
+        # any in-progress tmp write must stay invisible.
+        for _ in range(25):
+            assert cache.put(digest, result)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert torn == []
+        assert list(tmp_path.glob("*.tmp")) == []
+        final = cache.get(digest)
+        assert counters_to_dict(final) == reference

@@ -1,0 +1,135 @@
+"""Tests for the crash-safe job journal (append, replay, torn writes)."""
+
+import json
+
+import pytest
+
+from repro.harness.faults import FaultInjector
+from repro.harness.telemetry import JsonlTelemetry, read_events
+from repro.service.journal import (
+    JOB_COMPLETED,
+    JOB_RUNNING,
+    JOB_SUBMITTED,
+    JobJournal,
+    JobRecord,
+)
+
+POINTS = [{"point": "degree-count:KRON:8", "mode": "baseline", "digest": "d1"}]
+
+
+@pytest.fixture
+def journal(tmp_path):
+    j = JobJournal(tmp_path / "jobs.jsonl")
+    yield j
+    j.close()
+
+
+class TestAppendReplay:
+    def test_roundtrip_folds_transitions(self, journal):
+        journal.append("job-a", JOB_SUBMITTED, points=POINTS, label="L")
+        journal.append("job-a", JOB_RUNNING)
+        journal.append("job-a", JOB_COMPLETED)
+        records = journal.replay()
+        assert set(records) == {"job-a"}
+        record = records["job-a"]
+        assert record.state == JOB_COMPLETED
+        assert record.label == "L"
+        assert record.points == (dict(POINTS[0]),)
+        assert not record.pending
+
+    def test_pending_states_survive(self, journal):
+        journal.append("job-a", JOB_SUBMITTED, points=POINTS)
+        journal.append("job-a", JOB_RUNNING)
+        assert journal.replay()["job-a"].pending
+
+    def test_unknown_state_rejected(self, journal):
+        with pytest.raises(ValueError, match="unknown job state"):
+            journal.append("job-a", "exploded")
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        assert JobJournal(tmp_path / "nope.jsonl").replay() == {}
+
+    def test_submission_order_preserved(self, journal):
+        for job_id in ("b", "a", "c"):
+            journal.append(job_id, JOB_SUBMITTED, points=POINTS)
+        assert list(journal.replay()) == ["b", "a", "c"]
+
+
+class TestTornWrites:
+    def test_torn_tail_skipped_and_sealed(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        journal.append("job-a", JOB_SUBMITTED, points=POINTS)
+        journal.close()
+        # A writer died mid-append: partial line, no trailing newline.
+        with open(path, "ab") as handle:
+            handle.write(b'{"job_id": "job-b", "sta')
+        telemetry = JsonlTelemetry(tmp_path / "t.jsonl")
+        reopened = JobJournal(path, telemetry=telemetry)
+        assert set(reopened.replay()) == {"job-a"}
+        # The next append must seal the torn tail with a newline first.
+        reopened.append("job-c", JOB_SUBMITTED, points=POINTS)
+        reopened.close()
+        records = JobJournal(path).replay()
+        assert set(records) == {"job-a", "job-c"}
+        telemetry.close()
+        events = {e["event"] for e in read_events(tmp_path / "t.jsonl")}
+        assert "service_journal_sealed" in events
+        assert "service_journal_corrupt" in events
+
+    def test_corrupt_middle_line_skipped(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        journal.append("job-a", JOB_SUBMITTED, points=POINTS)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"job_id": "job-a", "state": "running"}))
+            handle.write("\n")
+        records = JobJournal(path).replay()
+        assert records["job-a"].state == JOB_RUNNING
+
+    def test_first_sighting_without_points_skipped(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        # A running line whose submitted line was lost: unrecoverable.
+        path.write_text(
+            json.dumps({"job_id": "ghost", "state": "running"}) + "\n"
+        )
+        assert JobJournal(path).replay() == {}
+
+    def test_injected_tear_loses_no_transition(self, tmp_path):
+        injector = FaultInjector(
+            torn=frozenset({"jobs"}), state_dir=str(tmp_path / "state")
+        )
+        telemetry = JsonlTelemetry(tmp_path / "t.jsonl")
+        journal = JobJournal(
+            tmp_path / "jobs.jsonl", telemetry=telemetry, injector=injector
+        )
+        journal.append("job-a", JOB_SUBMITTED, points=POINTS)
+        journal.append("job-a", JOB_COMPLETED)
+        journal.close()
+        # The torn write fired once, yet replay sees both transitions and
+        # the sealed garbage line is skipped.
+        records = JobJournal(tmp_path / "jobs.jsonl").replay()
+        assert records["job-a"].state == JOB_COMPLETED
+        telemetry.close()
+        events = [e["event"] for e in read_events(tmp_path / "t.jsonl")]
+        assert "service_journal_torn" in events
+
+    def test_injected_tear_fires_once(self, tmp_path):
+        injector = FaultInjector(
+            torn=frozenset({"jobs"}), state_dir=str(tmp_path / "state")
+        )
+        assert injector.maybe_tear("jobs")
+        assert not injector.maybe_tear("jobs")
+        assert not injector.maybe_tear("other")
+
+
+class TestJobRecord:
+    def test_as_dict_shape(self):
+        record = JobRecord(job_id="j", points=(dict(POINTS[0]),))
+        payload = record.as_dict()
+        assert payload["job_id"] == "j"
+        assert payload["state"] == JOB_SUBMITTED
+        assert payload["points"] == [dict(POINTS[0])]
+        assert payload["from_cache"] is False

@@ -1,0 +1,173 @@
+"""Tests for the HTTP front end: routing table and a live server."""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.harness.resultcache import ResultCache
+from repro.harness.runner import Runner
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobqueue import SweepService
+from repro.service.server import ENDPOINT_NAME, ServiceServer
+
+SCALE = 8
+GRAPH = {"point": f"degree-count:KRON:{SCALE}", "mode": "baseline"}
+
+
+@pytest.fixture
+def service(tmp_path):
+    runner = Runner(result_cache=ResultCache(directory=tmp_path / "cache"))
+    svc = SweepService(
+        runner,
+        tmp_path / "svc",
+        sweep_jobs=1,
+        checkpoint_root=tmp_path / "runs",
+    )
+    yield svc
+    svc.close()
+
+
+def post(server, path, payload):
+    return server.handle_request(
+        "POST", path, json.dumps(payload).encode("utf-8")
+    )
+
+
+class TestRouting:
+    """The routing table is a pure function — no sockets needed."""
+
+    def test_healthz_always_ok(self, service):
+        server = ServiceServer(service)
+        assert server.handle_request("GET", "/healthz", b"") == (
+            200, {"ok": True}, {}
+        )
+        service.drain()  # still alive while draining
+        assert server.handle_request("GET", "/healthz", b"")[0] == 200
+
+    def test_readyz_tracks_state(self, service):
+        server = ServiceServer(service)
+        assert server.handle_request("GET", "/readyz", b"")[0] == 200
+        service.drain()
+        status, payload, headers = server.handle_request("GET", "/readyz", b"")
+        assert status == 503
+        assert payload["reason"] == "draining"
+        assert headers["Retry-After"] == "1"
+
+    def test_status_and_jobs(self, service):
+        server = ServiceServer(service)
+        status, payload, _ = server.handle_request("GET", "/status", b"")
+        assert status == 200 and payload["state"] == "running"
+        status, payload, _ = server.handle_request("GET", "/jobs", b"")
+        assert status == 200 and payload == {"version": 1, "jobs": []}
+
+    def test_submit_validates_json(self, service):
+        server = ServiceServer(service)
+        assert server.handle_request("POST", "/jobs", b"{nope")[0] == 400
+        assert post(server, "/jobs", {"points": []})[0] == 400
+        assert post(server, "/jobs", {"points": [{"point": "x"}]})[0] == 400
+
+    def test_submit_accepts_then_404_then_found(self, service):
+        server = ServiceServer(service)
+        status, payload, _ = post(server, "/jobs", {"points": [GRAPH]})
+        assert status == 202
+        assert payload["accepted"] is True
+        job_id = payload["job"]["job_id"]
+        assert server.handle_request("GET", "/jobs/nope", b"")[0] == 404
+        status, payload, _ = server.handle_request(
+            "GET", f"/jobs/{job_id}", b""
+        )
+        assert status == 200
+        assert payload["job"]["state"] == "submitted"
+
+    def test_shed_maps_to_429_with_retry_after(self, tmp_path, service):
+        service.queue_max = 0
+        server = ServiceServer(service)
+        status, payload, headers = post(server, "/jobs", {"points": [GRAPH]})
+        assert status == 429
+        assert "queue full" in payload["error"]
+        assert float(headers["Retry-After"]) > 0
+
+    def test_draining_maps_to_503(self, service):
+        service.drain()
+        server = ServiceServer(service)
+        status, payload, headers = post(server, "/jobs", {"points": [GRAPH]})
+        assert status == 503
+        assert "Retry-After" in headers
+
+    def test_unknown_route_and_method(self, service):
+        server = ServiceServer(service)
+        assert server.handle_request("GET", "/nope", b"")[0] == 404
+        assert server.handle_request("DELETE", "/jobs", b"")[0] == 405
+        assert server.handle_request("POST", "/status", b"")[0] == 405
+
+
+class TestLiveServer:
+    """One real asyncio listener, driven by the stdlib client."""
+
+    @pytest.fixture
+    def live(self, service):
+        service.start()
+        holder = {}
+        stop = threading.Event()
+        ready = threading.Event()
+
+        def run():
+            async def main():
+                server = await ServiceServer(service, port=0).start()
+                holder["port"] = server.port
+                ready.set()
+                while not stop.is_set():
+                    await asyncio.sleep(0.02)
+                await server.close()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10)
+        yield ServiceClient(port=holder["port"], client_name="test")
+        stop.set()
+        thread.join(timeout=10)
+        service.drain()
+
+    def test_submit_wait_results_roundtrip(self, live, service, tmp_path):
+        assert live.healthz()
+        assert live.readyz()
+        payload = live.submit([GRAPH], label="live")
+        job_id = payload["job"]["job_id"]
+        final = live.wait_job(job_id, timeout=60.0)
+        assert final["job"]["state"] == "completed"
+        assert final["results"] == service.results(job_id)
+        assert live.jobs()["jobs"][0]["job_id"] == job_id
+        # endpoint.json was published with the real bound port.
+        endpoint = json.loads(
+            (tmp_path / "svc" / ENDPOINT_NAME).read_text("utf-8")
+        )
+        assert endpoint["port"] == live.port
+        discovered = ServiceClient.from_state_dir(tmp_path / "svc")
+        assert discovered.port == live.port
+
+    def test_status_stays_responsive_while_job_runs(self, live):
+        live.submit([GRAPH, {"point": GRAPH["point"], "mode": "cobra"}])
+        start = time.monotonic()
+        status = live.status()
+        assert time.monotonic() - start < 5.0
+        assert status["state"] in ("running", "degraded")
+
+
+class TestClientRetry:
+    def test_retry_exhaustion_raises_service_error(self):
+        # Nothing listens on this port; every attempt is a refusal.
+        client = ServiceClient(port=1, retries=1, backoff=0.01)
+        with pytest.raises(ServiceError, match="2 attempts"):
+            client.request_with_retry("GET", "/status")
+
+    def test_delay_honors_retry_after_and_cap(self):
+        client = ServiceClient(port=1, backoff=0.25, backoff_cap=2.0, seed=7)
+        assert client._delay(0, {"Retry-After": "1.5"}) >= 1.5
+        assert client._delay(10, {}) <= 2.0
+        jittered = {client._delay(2, {}) for _ in range(8)}
+        assert len(jittered) > 1  # jitter actually varies

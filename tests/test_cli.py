@@ -394,3 +394,118 @@ def test_registry_matches_design_doc():
         "scaling", "mrc",
     }
     assert set(EXPERIMENTS) == expected
+
+
+class TestServiceCommands:
+    def collect(self, argv):
+        lines = []
+        code = main(argv, print_fn=lines.append)
+        return code, "\n".join(str(line) for line in lines)
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--state-dir", "/tmp/svc",
+                "--queue-max", "4", "--client-max", "2", "--jobs", "3",
+                "--drain-deadline", "5", "--telemetry", "t.jsonl",
+                "--timeout", "60", "--heartbeat-timeout", "2",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.queue_max == 4
+        assert args.client_max == 2
+        assert args.jobs == 3
+        assert args.drain_deadline == 5.0
+        assert args.heartbeat_timeout == 2.0
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port is None  # resolved via REPRO_SERVICE_PORT
+        assert args.state_dir is None
+        assert args.jobs == 2
+
+    def test_submit_flags(self):
+        args = build_parser().parse_args(
+            [
+                "submit", "degree-count:KRON:13:cobra",
+                "integer-sort:U16:13",
+                "--label", "L", "--client", "me", "--wait",
+                "--state-dir", "/tmp/svc",
+            ]
+        )
+        assert args.command == "submit"
+        assert len(args.points) == 2
+        assert args.wait
+
+    def test_submit_requires_points(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_jobs_flags(self):
+        args = build_parser().parse_args(
+            ["jobs", "--json", "--port", "8377"]
+        )
+        assert args.command == "jobs"
+        assert args.json and args.port == 8377
+
+    def test_submit_bad_point_spec_is_exit_2(self, tmp_path):
+        code, output = self.collect(
+            ["submit", "not-a-spec", "--state-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "workload:input:scale" in output
+
+    def test_submit_without_daemon_fails_cleanly(self, tmp_path):
+        code, output = self.collect(
+            [
+                "submit", "degree-count:KRON:8",
+                "--state-dir", str(tmp_path / "empty"),
+            ]
+        )
+        assert code == 1
+        assert "submit failed" in output
+
+    def test_jobs_without_daemon_fails_cleanly(self, tmp_path):
+        code, output = self.collect(
+            ["jobs", "--state-dir", str(tmp_path / "empty")]
+        )
+        assert code == 1
+        assert "cannot reach" in output
+
+
+class TestRunsJson:
+    def test_runs_json_shares_service_serializer(self, tmp_path):
+        import json as jsonlib
+
+        lines = []
+        helper = TestCheckpointCommands()
+        run_id, _ = helper.make_run(tmp_path, record=[0])
+        code = main(
+            ["runs", "--checkpoint-dir", str(tmp_path), "--json"],
+            print_fn=lines.append,
+        )
+        assert code == 0
+        payload = jsonlib.loads("\n".join(lines))
+        from repro.harness.checkpoint import FORMAT_VERSION
+
+        assert payload["version"] == FORMAT_VERSION
+        (run,) = payload["runs"]
+        assert run["run_id"] == run_id
+        assert run["label"] == "cli-test"
+        assert run["completed"] == 1 and run["total"] == 2
+        # Same key set the sweep service embeds per job under "run".
+        assert set(run) == {
+            "run_id", "label", "status", "completed", "total", "updated"
+        }
+
+    def test_runs_json_empty_root(self, tmp_path):
+        import json as jsonlib
+
+        lines = []
+        code = main(
+            ["runs", "--checkpoint-dir", str(tmp_path), "--json"],
+            print_fn=lines.append,
+        )
+        assert code == 0
+        assert jsonlib.loads("\n".join(lines))["runs"] == []
