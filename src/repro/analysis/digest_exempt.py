@@ -107,6 +107,12 @@ DIGEST_EXEMPT = {
         "their sweep checkpoints bit-identically "
         "(tests/service/test_jobqueue.py)"
     ),
+    "REPRO_DATASET_DIR": (
+        "chooses where downloaded dataset files live; every file is "
+        "verified against its pinned sha256 before parsing "
+        "(tests/graphs/test_ingest.py), so location never changes the "
+        "ingested edges"
+    ),
     "REPRO_REPLAY_PERTURB": (
         "fault-injection drill that perturbs only the in-memory copy "
         "`repro replay` diffs; simulation, result caches, and golden "

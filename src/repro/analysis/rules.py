@@ -1,4 +1,4 @@
-"""The ``repro lint`` rule set: six repo-specific determinism checkers.
+"""The ``repro lint`` rule set: seven repo-specific determinism checkers.
 
 Each rule is a callable ``rule(ctx) -> iterable[Finding]`` over a parsed
 :class:`~repro.analysis.core.LintContext`. Rules encode the reproduction
@@ -27,6 +27,12 @@ invariants PRs 1–4 established informally:
 ``worker-safety``
     Process-pool submissions take module-level, lambda-free functions;
     only documented initializer hooks may touch process-global state.
+``workload-registry``
+    Workload kernels named in the registry's ``REGISTERED_CLASSES``
+    literal are constructed only through
+    :mod:`repro.workloads.registry` (outside the workloads package
+    itself), and raw dataset files (``.mtx``/``.snap``/``.el``) are read
+    only by the digest-pinned ingester in :mod:`repro.graphs.ingest`.
 """
 
 from __future__ import annotations
@@ -122,6 +128,22 @@ _KERNEL_JIT_DECORATORS = frozenset({"maybe_jit", "njit", "numba.njit"})
 #: Initializer hooks documented as the one sanctioned way to reset
 #: per-process global state in pool workers.
 _RESET_HOOK_SUFFIXES = ("_worker_init",)
+
+#: Package prefix inside which workload classes may be constructed
+#: directly (the registry's builders and the kernels themselves).
+_WORKLOADS_PACKAGE_PREFIX = "src/repro/workloads/"
+
+#: The one module allowed to open raw dataset files: every read there is
+#: sha256-verified against the DATASETS pin table before parsing.
+_INGEST_MODULE = "src/repro/graphs/ingest.py"
+
+#: File suffixes of raw graph datasets (Matrix Market, SNAP edge lists).
+_DATASET_SUFFIXES = (".mtx", ".snap", ".el")
+
+#: Attribute-call names that read file contents (``Path.read_text`` and
+#: friends); paired with a dataset-suffixed literal they bypass the
+#: ingester's checksum gate.
+_DATASET_READERS = frozenset({"read_text", "read_bytes", "open"})
 
 
 # ------------------------------------------------------------------ #
@@ -1026,6 +1048,116 @@ def check_worker_safety(ctx: LintContext) -> Iterator[Finding]:
 
 
 # ------------------------------------------------------------------ #
+# Rule 7: workload-registry
+# ------------------------------------------------------------------ #
+
+
+def _registered_workload_classes(ctx: LintContext) -> Dict[str, int]:
+    """Class names in the registry's ``REGISTERED_CLASSES`` literal -> line.
+
+    The tuple in ``workloads/registry.py`` is kept a pure literal so this
+    parse stays static; a unit test cross-checks it against the live
+    registry so the two cannot drift.
+    """
+    source = ctx.module("workloads/registry.py")
+    if source is None:
+        return {}
+    names: Dict[str, int] = {}
+    for node in source.tree.body:
+        if not (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "REGISTERED_CLASSES"
+                for t in node.targets
+            )
+        ):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(
+                    elt.value, str
+                ):
+                    names[elt.value] = elt.lineno
+    return names
+
+
+def _dataset_path_literal(
+    call: ast.Call, consts: Dict[str, str]
+) -> Optional[str]:
+    """A dataset-suffixed string literal anywhere in ``call``, else None.
+
+    Walks the whole call (arguments *and* the receiver chain) so both
+    ``open("karate.mtx")`` and ``Path("karate.mtx").read_text()`` match.
+    """
+    for sub in ast.walk(call):
+        value: Optional[str] = None
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            value = sub.value
+        elif isinstance(sub, ast.Name):
+            value = consts.get(sub.id)
+        if value is not None and value.endswith(_DATASET_SUFFIXES):
+            return value
+    return None
+
+
+def check_workload_registry(ctx: LintContext) -> Iterator[Finding]:
+    registered = _registered_workload_classes(ctx)
+    for source in ctx.package_files():
+        consts = source.string_constants()
+        aliases = _alias_map(source.tree)
+        in_workloads = source.rel.startswith(_WORKLOADS_PACKAGE_PREFIX)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not in_workloads:
+                target = _qualified(node.func, aliases)
+                tail = target.rsplit(".", 1)[-1] if target else None
+                if tail in registered:
+                    yield Finding(
+                        rule="workload-registry",
+                        path=source.rel,
+                        line=node.lineno,
+                        message=(
+                            f"workload class {tail} constructed outside "
+                            "the registry; ad-hoc instances carry no "
+                            "canonical cache_key, so their results dodge "
+                            "the result cache and golden pins"
+                        ),
+                        hint="resolve the point through "
+                        "repro.workloads.registry (resolve / resolve_spec "
+                        "/ workload_instances), or register a new "
+                        "WorkloadSpec if this is a genuinely new kernel",
+                    )
+                    continue
+            if source.rel == _INGEST_MODULE:
+                continue
+            reader: Optional[str] = None
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                reader = "open()"
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DATASET_READERS
+            ):
+                reader = f".{node.func.attr}()"
+            if reader is None:
+                continue
+            path_literal = _dataset_path_literal(node, consts)
+            if path_literal is not None:
+                yield Finding(
+                    rule="workload-registry",
+                    path=source.rel,
+                    line=node.lineno,
+                    message=(
+                        f"raw dataset read of {path_literal!r} via "
+                        f"{reader} bypasses the digest-pinned ingester"
+                    ),
+                    hint="load datasets through repro.graphs.ingest."
+                    "load_dataset so the bytes are sha256-verified "
+                    "against the DATASETS pin table first",
+                )
+
+
+# ------------------------------------------------------------------ #
 # Registry
 # ------------------------------------------------------------------ #
 
@@ -1070,6 +1202,12 @@ RULES: Tuple[Rule, ...] = (
         "worker-safety",
         "pool workers are module-level, lambda-free, and global-clean",
         check_worker_safety,
+    ),
+    Rule(
+        "workload-registry",
+        "workload kernels resolve through the registry; raw dataset "
+        "reads go through the digest-pinned ingester",
+        check_workload_registry,
     ),
 )
 

@@ -37,6 +37,7 @@ __all__ = [
     "RunResult",
     "Runner",
     "make_workload",
+    "resolve_workload",
     "workload_instances",
     "run_experiment",
     "PROVENANCE_SIMULATED",
@@ -250,19 +251,42 @@ class RunResult:
 
 
 def make_workload(name, input_name, scale=None):
-    """Build one workload instance (see :mod:`repro.harness.inputs`)."""
-    from repro.harness.inputs import make_workload as _make
+    """Build one workload instance via the registry.
 
-    kwargs = {} if scale is None else {"scale": scale}
-    return _make(name, input_name, **kwargs)
+    Prefer :func:`resolve_workload` with a canonical
+    ``workload/input@scale`` spec string for new code.
+    """
+    from repro.workloads.registry import resolve
+
+    return resolve(name, input_name, scale)
 
 
-def workload_instances(workloads=None, scale=None):
+def resolve_workload(spec):
+    """Resolve a canonical ``workload/input[@scale]`` spec string.
+
+    The registry-native entry point::
+
+        from repro.api import resolve_workload
+
+        workload = resolve_workload("degree-count/KRON@18")
+        workload.cache_key  # "degree-count:KRON:18"
+
+    Omitting ``@scale`` uses the input's fixed scale (ingested real
+    graphs) or the suite default. See
+    :mod:`repro.workloads.registry` for the full registry surface.
+    """
+    from repro.workloads.registry import resolve_spec
+
+    return resolve_spec(spec)
+
+
+def workload_instances(workloads=None, scale=None, include_extensions=False):
     """Iterate ``(workload_name, input_name, workload)`` triples."""
-    from repro.harness.inputs import workload_instances as _instances
+    from repro.workloads.registry import workload_instances as _instances
 
-    kwargs = {} if scale is None else {"scale": scale}
-    return _instances(workloads=workloads, **kwargs)
+    return _instances(
+        workloads=workloads, scale=scale, include_extensions=include_extensions
+    )
 
 
 def run_experiment(name, **kwargs):

@@ -47,6 +47,7 @@ from repro.harness.experiments import (
     fig04,
     fig05,
     fig10,
+    fig10x,
     fig11,
     fig12,
     fig13,
@@ -66,6 +67,10 @@ EXPERIMENTS = {
     "fig05": (fig05.run, "PB-SW-IDEAL headroom over software PB"),
     "table1": (table1.run, "PB phase breakup (Init/Binning/Accumulate)"),
     "fig10": (fig10.run, "headline speedups: PB-SW / PB-SW-IDEAL / COBRA"),
+    "fig10x": (
+        fig10x.run,
+        "extension-suite speedups: histogram + csr-build, real graphs",
+    ),
     "fig11": (fig11.run, "COBRA per-phase speedups over PB-SW"),
     "fig12": (fig12.run, "instruction & branch overheads of Binning"),
     "fig13a": (fig13.run_eviction_buffers, "eviction-buffer sizing (DES)"),
@@ -181,8 +186,30 @@ def build_parser():
     point_parser = commands.add_parser(
         "point", help="simulate one (workload, input, mode) point"
     )
-    point_parser.add_argument("workload", help="workload name (see `inputs`)")
-    point_parser.add_argument("input", help="input name, e.g. KRON")
+    point_parser.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help=(
+            "workload name (see `workloads`); deprecated positional form — "
+            "prefer --spec workload/input@scale"
+        ),
+    )
+    point_parser.add_argument(
+        "input",
+        nargs="?",
+        default=None,
+        help="input name, e.g. KRON (deprecated positional form)",
+    )
+    point_parser.add_argument(
+        "--spec",
+        metavar="WORKLOAD/INPUT[@SCALE]",
+        default=None,
+        help=(
+            "canonical point spec, e.g. degree-count/KRON@18 or "
+            "csr-build/KARATE (ingested inputs pin their own scale)"
+        ),
+    )
     point_parser.add_argument(
         "--mode",
         default="baseline",
@@ -203,6 +230,23 @@ def build_parser():
         "--no-cache",
         action="store_true",
         help="disable the persistent result cache",
+    )
+
+    workloads_parser = commands.add_parser(
+        "workloads",
+        help="list the registered workloads and their canonical specs",
+        description=(
+            "Every workload in the declarative registry with its input "
+            "suite, accepted input kinds, and canonical "
+            "workload/input@scale spec strings (the form `repro point "
+            "--spec` and `repro submit` accept). Extension workloads "
+            "(outside the paper's nine-kernel suite) are marked."
+        ),
+    )
+    workloads_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable registry listing",
     )
 
     runs_parser = commands.add_parser(
@@ -328,17 +372,21 @@ def build_parser():
         "submit",
         help="submit sweep points to a running sweep service",
         description=(
-            "Points are 'workload:input:scale[:mode]' (mode defaults to "
-            "baseline). The daemon is discovered through endpoint.json "
-            "in its state directory unless --port is given. Refusals "
-            "(429/503) are retried with jittered backoff."
+            "Points are 'workload/input[@scale][:mode]' canonical specs "
+            "(or the legacy 'workload:input:scale[:mode]' form); mode "
+            "defaults to baseline. The daemon is discovered through "
+            "endpoint.json in its state directory unless --port is given. "
+            "Refusals (429/503) are retried with jittered backoff."
         ),
     )
     submit_parser.add_argument(
         "points",
         nargs="+",
         metavar="point",
-        help="one or more 'workload:input:scale[:mode]' specs",
+        help=(
+            "one or more 'workload/input[@scale][:mode]' specs (legacy "
+            "'workload:input:scale[:mode]' also accepted)"
+        ),
     )
     submit_parser.add_argument(
         "--label", default=None, help="human-readable job label"
@@ -506,10 +554,12 @@ def build_parser():
         help="record golden canary runs for the perf-regression gate",
         description=(
             "Simulates the canary subset (degree-count/KRON under "
-            "baseline+cobra, integer-sort/U16 under baseline+pb-sw) fresh "
+            "baseline+cobra, integer-sort/U16 under baseline+pb-sw, and "
+            "the ingested csr-build/KARATE under baseline+cobra) fresh "
             "and stores each result — full counter snapshot, result-cache "
             "digest, honest wall-clock — as a content-addressed golden "
-            "entry keyed by machine digest + workload + mode."
+            "entry keyed by machine digest + workload + mode. --spec "
+            "overrides the canary set with explicit points."
         ),
     )
     replay_parser = commands.add_parser(
@@ -529,6 +579,16 @@ def build_parser():
             type=int,
             default=None,
             help="log2 of the canary input namespace (default 13)",
+        )
+        sub.add_argument(
+            "--spec",
+            action="append",
+            default=None,
+            metavar="WORKLOAD/INPUT[@SCALE][:MODE]",
+            help=(
+                "override the canary set with explicit points (repeatable); "
+                "MODE defaults to baseline, e.g. degree-count/KRON@13:cobra"
+            ),
         )
         sub.add_argument(
             "--golden-dir",
@@ -608,10 +668,10 @@ def _cmd_list(print_fn):
 
 
 def _cmd_inputs(print_fn, scale=None):
-    from repro.harness.inputs import describe_inputs
     from repro.harness.report import format_table
+    from repro.workloads.registry import describe_inputs
 
-    rows = describe_inputs() if scale is None else describe_inputs(scale)
+    rows = describe_inputs(scale, include_datasets=True)
     print_fn(
         format_table(
             ["input", "kind", "size", "entries"],
@@ -624,9 +684,38 @@ def _cmd_inputs(print_fn, scale=None):
                 ]
                 for row in rows
             ],
-            title="Input suite (scaled Table III)",
+            title="Input suite (scaled Table III + ingested datasets)",
         )
     )
+
+
+def _cmd_workloads(print_fn, as_json=False):
+    import json
+
+    from repro.harness.report import format_table
+    from repro.workloads.registry import describe_workloads
+
+    rows = describe_workloads()
+    if as_json:
+        print_fn(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    print_fn(
+        format_table(
+            ["workload", "inputs", "kinds", "ext", "description"],
+            [
+                [
+                    row["workload"],
+                    ",".join(row["inputs"]),
+                    ",".join(row["kinds"]),
+                    "yes" if row["extension"] else "-",
+                    row["description"],
+                ]
+                for row in rows
+            ],
+            title="Workload registry (spec form: workload/input@scale)",
+        )
+    )
+    return 0
 
 
 def _cmd_machine(print_fn):
@@ -683,6 +772,49 @@ def _cmd_report(print_fn, args):
     return 0
 
 
+def _parse_point_arg(raw):
+    """Parse one point argument into ``{"point": cache_key, "mode": mode}``.
+
+    Accepts the canonical spec form ``workload/input[@scale][:mode]`` and
+    the legacy wire form ``workload:input:scale[:mode]``. Raises
+    :class:`ValueError` on malformed or unregistered points.
+    """
+    from repro.workloads.registry import (
+        INPUTS,
+        WORKLOADS,
+        cache_key_for,
+        parse_spec,
+    )
+
+    if "/" in raw:
+        body, _, mode = raw.partition(":")
+        workload_name, input_name, scale = parse_spec(body)
+    else:
+        pieces = raw.split(":")
+        if len(pieces) == 3:
+            pieces.append("baseline")
+        if len(pieces) != 4:
+            raise ValueError(
+                f"bad point {raw!r}: want workload:input:scale[:mode] or "
+                "workload/input[@scale][:mode]"
+            )
+        workload_name, input_name, scale_text, mode = pieces
+        try:
+            scale = int(scale_text)
+        except ValueError:
+            raise ValueError(
+                f"bad point {raw!r}: scale {scale_text!r} is not an integer"
+            ) from None
+    if workload_name not in WORKLOADS:
+        raise ValueError(f"bad point {raw!r}: unknown workload {workload_name!r}")
+    if input_name not in INPUTS:
+        raise ValueError(f"bad point {raw!r}: unknown input {input_name!r}")
+    return {
+        "point": cache_key_for(workload_name, input_name, scale),
+        "mode": mode or "baseline",
+    }
+
+
 def _golden_wiring(args):
     """Shared ``capture``/``replay`` wiring: runner, canary, store."""
     from repro.golden.canary import canary_points
@@ -698,7 +830,15 @@ def _golden_wiring(args):
     # for later runs), but capture/replay always simulate with
     # use_cache=False — golden timing must come from honest runs.
     runner = Runner(result_cache=ResultCache(), telemetry=telemetry)
-    points = canary_points(scale=args.scale)
+    if getattr(args, "spec", None):
+        from repro.workloads.registry import resolve_point
+
+        points = []
+        for raw in args.spec:
+            entry = _parse_point_arg(raw)
+            points.append((resolve_point(entry["point"]), entry["mode"]))
+    else:
+        points = canary_points(scale=args.scale)
     store = GoldenStore(directory=args.golden_dir, telemetry=telemetry)
     return runner, points, store, telemetry
 
@@ -775,7 +915,7 @@ def _cmd_point(print_fn, args):
     """Simulate one point through the ``repro.api`` facade."""
     import json
 
-    from repro.api import RunResult, Runner, make_workload
+    from repro.api import RunResult, Runner, make_workload, resolve_workload
     from repro.harness.modes import ExecutionMode
     from repro.harness.report import format_table
     from repro.harness.resultcache import ResultCache
@@ -785,8 +925,28 @@ def _cmd_point(print_fn, args):
     except ValueError as exc:
         print_fn(str(exc))
         return 2
+    if args.spec is not None and args.workload is not None:
+        print_fn("point takes either --spec or positional workload/input")
+        return 2
+    if args.spec is None and (args.workload is None or args.input is None):
+        print_fn(
+            "point needs --spec workload/input[@scale] "
+            "(or the deprecated positional workload + input)"
+        )
+        return 2
     try:
-        workload = make_workload(args.workload, args.input, scale=args.scale)
+        if args.spec is not None:
+            if args.scale is not None and "@" in args.spec:
+                print_fn("pass the scale either in --spec or via --scale")
+                return 2
+            spec = args.spec
+            if args.scale is not None:
+                spec = f"{spec}@{args.scale}"
+            workload = resolve_workload(spec)
+        else:
+            workload = make_workload(
+                args.workload, args.input, scale=args.scale
+            )
     except (KeyError, ValueError) as exc:
         print_fn(str(exc))
         return 2
@@ -903,15 +1063,11 @@ def _cmd_submit(print_fn, args):
 
     specs = []
     for raw in args.points:
-        pieces = raw.split(":")
-        if len(pieces) == 3:
-            pieces.append("baseline")
-        if len(pieces) != 4:
-            print_fn(f"bad point {raw!r}: want workload:input:scale[:mode]")
+        try:
+            specs.append(_parse_point_arg(raw))
+        except ValueError as exc:
+            print_fn(str(exc))
             return 2
-        specs.append(
-            {"point": ":".join(pieces[:3]), "mode": pieces[3]}
-        )
     try:
         client = _service_client(args, client_name=args.client)
         payload = client.submit(specs, label=args.label)
@@ -1064,6 +1220,8 @@ def main(argv=None, print_fn=print):
     if args.command == "inputs":
         _cmd_inputs(print_fn)
         return 0
+    if args.command == "workloads":
+        return _cmd_workloads(print_fn, as_json=args.json)
     if args.command == "machine":
         _cmd_machine(print_fn)
         return 0

@@ -6,16 +6,21 @@ cover the counter surfaces the paper's claims rest on. The canary spans
 both workload families (graph-irregular and sort-irregular updates) and
 the modes whose counters back the headline figures: ``baseline`` (fig02
 LLC miss rates), ``pb-sw`` (fig05/fig10 software PB), and ``cobra``
-(fig10/fig11 hardware PB with reserved ways + C-Buffers).
+(fig10/fig11 hardware PB with reserved ways + C-Buffers) — plus one
+ingested real graph (``csr-build/KARATE``), pinning the dataset ingestion
+path (sha256-verified bytes, fixed natural scale) under the same
+bit-identity gate as the synthetic suite.
 
 The default scale (13) matches the CI smoke scale: each point simulates
-in seconds while still exercising every engine layer end to end.
+in seconds while still exercising every engine layer end to end. Ingested
+inputs ignore the requested scale — a real graph arrives at one size, and
+its registry identity pins that size.
 """
 
 from __future__ import annotations
 
-from repro.harness.inputs import make_workload
 from repro.harness.modes import BASELINE, COBRA, PB_SW
+from repro.workloads.registry import input_fixed_scale, resolve
 
 __all__ = ["CANARY_SCALE", "CANARY_SPECS", "canary_points"]
 
@@ -26,14 +31,22 @@ CANARY_SCALE = 13
 CANARY_SPECS = (
     ("degree-count", "KRON", (BASELINE, COBRA)),
     ("integer-sort", "U16", (BASELINE, PB_SW)),
+    ("csr-build", "KARATE", (BASELINE, COBRA)),
 )
 
 def canary_points(scale=None):
-    """The canary ``(workload, mode)`` list at ``scale`` (default 13)."""
+    """The canary ``(workload, mode)`` list at ``scale`` (default 13).
+
+    Fixed-scale inputs (ingested datasets) resolve at their own natural
+    scale regardless of ``scale``.
+    """
     scale = CANARY_SCALE if scale is None else scale
     points = []
     for name, input_name, modes in CANARY_SPECS:
-        workload = make_workload(name, input_name, scale=scale)
+        point_scale = (
+            None if input_fixed_scale(input_name) is not None else scale
+        )
+        workload = resolve(name, input_name, point_scale)
         for mode in modes:
             points.append((workload, mode))
     return points

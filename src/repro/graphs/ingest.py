@@ -1,0 +1,306 @@
+"""Digest-pinned ingestion of real-world graphs (SNAP / Matrix Market).
+
+The synthetic suite covers the paper's degree-distribution *families*;
+real road/social/web graphs have skew none of the generators reproduce
+(see PAPERS.md: GAP, "Making Caches Work for Graph Analytics"). This
+module brings real edge lists into the workload registry under the same
+determinism contract as everything else:
+
+* every dataset is declared as a :class:`DatasetSpec` with a **pinned
+  sha256** — a byte-for-byte identity, verified on every load, so two
+  machines ingesting ``KARATE`` provably simulate the same updates;
+* files resolve from the vendored fixtures shipped with the package
+  (offline CI path), then the local dataset cache (``$REPRO_DATASET_DIR``,
+  location-only — see :mod:`repro.analysis.digest_exempt`), and only then
+  the network (``urllib``, checksum-verified before the file is adopted);
+* parsed edge lists are deterministic functions of the file bytes: SNAP
+  vertex ids are compacted in first-appearance order, Matrix Market
+  symmetric patterns are expanded to both directions in file order.
+
+Nothing here reaches the result-cache digest directly: a dataset's
+identity in ``cache_key``/``run_digest`` is its registry input name plus
+its natural scale, and the sha256 pin guarantees that name always maps to
+the same bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.edgelist import EdgeList
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_dir",
+    "fetch",
+    "load_dataset",
+    "natural_scale",
+    "parse_matrix_market",
+    "parse_snap",
+    "sha256_path",
+]
+
+#: Subdirectory of the package holding vendored fixture datasets.
+_VENDOR_DIR = Path(__file__).resolve().parent / "data"
+
+#: Formats the ingester understands.
+FORMAT_MATRIX_MARKET = "matrix-market"
+FORMAT_SNAP = "snap"
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One ingestible dataset: where it lives and what its bytes must be."""
+
+    #: Registry input name (``KARATE``, ``FLORENT``, ...).
+    name: str
+    #: File name under the vendor dir / dataset cache.
+    filename: str
+    #: ``matrix-market`` or ``snap``.
+    format: str
+    #: Pinned sha256 of the raw file bytes; verified on every load.
+    sha256: str
+    #: One-line provenance note.
+    description: str
+    #: Download URL for non-vendored datasets (``None`` => vendored only).
+    url: Optional[str] = None
+
+
+#: Every ingestible dataset, keyed by registry input name. Both entries
+#: are vendored fixtures so the ingestion path (and CI) works offline;
+#: adding a remote SNAP dataset is one DatasetSpec with a ``url``.
+DATASETS = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            name="KARATE",
+            filename="karate.mtx",
+            format=FORMAT_MATRIX_MARKET,
+            sha256=(
+                "4936d019e0db554356cf515407af0b25ebcc4989304e40a9ab3299af46c38cef"
+            ),
+            description=(
+                "Zachary karate club (34 vertices, 156 directed edges after "
+                "symmetric expansion) — real social network, Matrix Market"
+            ),
+        ),
+        DatasetSpec(
+            name="FLORENT",
+            filename="florentine.snap",
+            format=FORMAT_SNAP,
+            sha256=(
+                "81314e004f59ba7aa5006faad1fd3427e8b2b3fe034a68efa02f64318a5b7463"
+            ),
+            description=(
+                "Padgett Florentine families marriage network (15 vertices, "
+                "20 edges) — real social network, SNAP edge-list"
+            ),
+        ),
+    )
+}
+
+
+def sha256_path(path):
+    """Hex sha256 of a file's bytes (streamed, so large graphs are fine)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def dataset_dir():
+    """The local dataset cache directory (created on demand).
+
+    ``$REPRO_DATASET_DIR`` overrides the location; the default lives next
+    to the result cache (``benchmarks/results/.datasets/`` in a checkout,
+    the XDG user cache for installed copies). Location only: datasets are
+    identified by their sha256 pin regardless of where the file sits.
+    """
+    from repro.harness import knobs
+    from repro.harness.resultcache import default_cache_dir
+
+    override = knobs.read("REPRO_DATASET_DIR")
+    if override:
+        directory = Path(override)
+    else:
+        directory = default_cache_dir().parent / ".datasets"
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def _verified(path, spec):
+    """``path`` if it exists and matches the pin, else ``None``."""
+    path = Path(path)
+    if not path.is_file():
+        return None
+    if sha256_path(path) != spec.sha256:
+        raise ValueError(
+            f"dataset {spec.name}: {path} does not match its pinned sha256 "
+            f"({spec.sha256[:12]}...); refusing to ingest unverified bytes"
+        )
+    return path
+
+
+def fetch(name, environ_url=None):
+    """Resolve dataset ``name`` to a checksum-verified local file path.
+
+    Resolution order: the vendored fixture shipped with the package, the
+    local dataset cache, then a fresh download of ``spec.url`` (or
+    ``environ_url``, for tests) into the cache. Every candidate is
+    verified against the pinned sha256 before being returned; a download
+    whose bytes do not match the pin is discarded with a ``ValueError``.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise KeyError(
+            f"unknown dataset {name!r}; registered datasets: {known}"
+        ) from None
+    vendored = _verified(_VENDOR_DIR / spec.filename, spec)
+    if vendored is not None:
+        return vendored
+    cached = _verified(dataset_dir() / spec.filename, spec)
+    if cached is not None:
+        return cached
+    url = environ_url if environ_url is not None else spec.url
+    if url is None:
+        raise FileNotFoundError(
+            f"dataset {spec.name}: no vendored or cached copy of "
+            f"{spec.filename} and no download URL is registered"
+        )
+    import urllib.request
+
+    target = dataset_dir() / spec.filename
+    partial = target.with_suffix(target.suffix + ".part")
+    with urllib.request.urlopen(url) as response, open(partial, "wb") as out:
+        while True:
+            chunk = response.read(1 << 20)
+            if not chunk:
+                break
+            out.write(chunk)
+    if sha256_path(partial) != spec.sha256:
+        partial.unlink()
+        raise ValueError(
+            f"dataset {spec.name}: download from {url} does not match the "
+            f"pinned sha256 ({spec.sha256[:12]}...); discarded"
+        )
+    partial.replace(target)
+    return target
+
+
+def parse_matrix_market(text):
+    """Parse a Matrix Market ``coordinate`` file into an :class:`EdgeList`.
+
+    Supports the ``pattern`` and value-carrying coordinate variants
+    (values are ignored — the kernels consume structure only) with
+    ``general`` or ``symmetric`` symmetry. Symmetric entries are expanded
+    to both directions, in file order, skipping self-loop duplicates.
+    Indices are 1-based per the format and shifted to 0-based.
+    """
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("%%MatrixMarket"):
+        raise ValueError("not a Matrix Market file (missing %%MatrixMarket)")
+    header = lines[0].split()
+    if len(header) < 5 or header[2] != "coordinate":
+        raise ValueError(
+            "only Matrix Market 'coordinate' files describe edge lists"
+        )
+    symmetry = header[4].lower()
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported Matrix Market symmetry {symmetry!r}")
+    body = [ln for ln in lines[1:] if ln.strip() and not ln.startswith("%")]
+    if not body:
+        raise ValueError("Matrix Market file has no size line")
+    size = body[0].split()
+    if len(size) != 3:
+        raise ValueError(f"bad Matrix Market size line {body[0]!r}")
+    rows, cols, nnz = (int(field) for field in size)
+    num_vertices = max(rows, cols)
+    if len(body) - 1 != nnz:
+        raise ValueError(
+            f"Matrix Market file declares {nnz} entries but carries "
+            f"{len(body) - 1}"
+        )
+    src, dst = [], []
+    for line in body[1:]:
+        fields = line.split()
+        if len(fields) < 2:
+            raise ValueError(f"bad Matrix Market entry {line!r}")
+        i, j = int(fields[0]) - 1, int(fields[1]) - 1
+        src.append(i)
+        dst.append(j)
+        if symmetry == "symmetric" and i != j:
+            src.append(j)
+            dst.append(i)
+    return EdgeList(
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        num_vertices,
+    )
+
+
+def parse_snap(text):
+    """Parse a SNAP edge-list file into an :class:`EdgeList`.
+
+    Lines are ``src<ws>dst`` pairs; ``#`` lines are comments. SNAP ids
+    are arbitrary (non-contiguous), so they are compacted to a dense
+    0-based namespace in first-appearance order — a deterministic
+    function of the file bytes.
+    """
+    src_raw, dst_raw = [], []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) < 2:
+            raise ValueError(f"bad SNAP edge line {line!r}")
+        src_raw.append(int(fields[0]))
+        dst_raw.append(int(fields[1]))
+    if not src_raw:
+        raise ValueError("SNAP file carries no edges")
+    compact = {}
+    for vertex in [v for pair in zip(src_raw, dst_raw) for v in pair]:
+        if vertex not in compact:
+            compact[vertex] = len(compact)
+    src = np.asarray([compact[v] for v in src_raw], dtype=np.int64)
+    dst = np.asarray([compact[v] for v in dst_raw], dtype=np.int64)
+    return EdgeList(src, dst, len(compact))
+
+
+_PARSERS = {
+    FORMAT_MATRIX_MARKET: parse_matrix_market,
+    FORMAT_SNAP: parse_snap,
+}
+
+_loaded = {}
+
+
+def load_dataset(name):
+    """The parsed, cached :class:`EdgeList` for dataset ``name``."""
+    if name not in _loaded:
+        spec = DATASETS[name] if name in DATASETS else None
+        path = fetch(name)
+        text = Path(path).read_text("utf-8")
+        _loaded[name] = _PARSERS[spec.format](text)
+    return _loaded[name]
+
+
+def natural_scale(edges):
+    """The fixed registry scale of an ingested graph: ceil(log2(|V|)).
+
+    Real graphs arrive at one size; their registry identity pins that
+    size as an integer scale so ingested points flow through the same
+    ``workload:input:scale`` cache keys, checkpoint specs, and service
+    job ids as the synthetic suite.
+    """
+    n = max(int(edges.num_vertices), 2)
+    return int(n - 1).bit_length()

@@ -249,14 +249,11 @@ class SweepCheckpoint:
 
     def points(self):
         """Rebuild the ``(workload, mode)`` list from the manifest."""
-        from repro.harness.inputs import make_workload
+        from repro.workloads.registry import resolve_point
 
         rebuilt = []
         for spec in self.manifest["points"]:
-            name, input_name, scale = spec["point"].split(":")
-            rebuilt.append(
-                (make_workload(name, input_name, int(scale)), spec["mode"])
-            )
+            rebuilt.append((resolve_point(spec["point"]), spec["mode"]))
         return rebuilt
 
     # ------------------------------------------------------------------ #

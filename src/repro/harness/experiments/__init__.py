@@ -5,6 +5,7 @@ from repro.harness.experiments import (
     fig04,
     fig05,
     fig10,
+    fig10x,
     fig11,
     fig12,
     fig13,
@@ -22,6 +23,7 @@ __all__ = [
     "fig04",
     "fig05",
     "fig10",
+    "fig10x",
     "fig11",
     "fig12",
     "fig13",

@@ -14,8 +14,8 @@ from repro.harness.experiments.common import (
     prefetch_runs,
     shared_runner,
 )
-from repro.harness.inputs import workload_instances
 from repro.harness.report import format_table
+from repro.workloads.registry import workload_instances
 
 __all__ = ["run"]
 

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from repro._util import check_positive
 from repro.harness.experiments.common import ExperimentResult, shared_runner
-from repro.harness.inputs import make_workload
 from repro.harness.report import format_table
 from repro.pb.bins import BinSpec
+from repro.workloads.registry import resolve
 
 __all__ = ["run", "DEFAULT_BIN_COUNTS"]
 
@@ -29,7 +29,7 @@ def run(
     """Sweep the bin count; report per-phase cycles and miss breakdown."""
     runner = runner or shared_runner()
     kwargs = {} if scale is None else {"scale": scale}
-    workload = make_workload(workload_name, input_name, **kwargs)
+    workload = resolve(workload_name, input_name, **kwargs)
     rows = []
     runs = []
     for num_bins in bin_counts:

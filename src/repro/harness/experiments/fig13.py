@@ -15,9 +15,9 @@ import numpy as np
 from repro.core.context_switch import simulate_context_switches
 from repro.des.eviction_model import EvictionBufferModel, EvictionModelConfig
 from repro.harness.experiments.common import ExperimentResult, shared_runner
-from repro.harness.inputs import WORKLOAD_INPUTS, make_workload
 from repro.harness.report import format_table
 from repro.harness.runner import Runner
+from repro.workloads.registry import WORKLOAD_INPUTS, resolve
 
 __all__ = ["run_eviction_buffers", "run_way_sensitivity", "run_context_switch"]
 
@@ -44,7 +44,7 @@ def run_eviction_buffers(
     kwargs = {} if scale is None else {"scale": scale}
     rows = []
     for input_name in input_names:
-        workload = make_workload(workload_name, input_name, **kwargs)
+        workload = resolve(workload_name, input_name, **kwargs)
         cobra = runner.cobra_config(workload)
         trace = np.asarray(workload.update_indices[:trace_len])
         for entries in queue_sizes:
@@ -83,7 +83,7 @@ def run_way_sensitivity(
     rows = []
     base_runner = shared_runner()
     kwargs = {} if scale is None else {"scale": scale}
-    workload = make_workload(workload_name, input_name, **kwargs)
+    workload = resolve(workload_name, input_name, **kwargs)
 
     def binning_cycles(l1=None, l2=1, llc=None):
         runner = Runner(
@@ -155,7 +155,7 @@ def run_context_switch(
     """Figure 13c: worst-case bandwidth waste vs scheduling quantum."""
     runner = shared_runner()
     kwargs = {} if scale is None else {"scale": scale}
-    workload = make_workload(workload_name, input_name, **kwargs)
+    workload = resolve(workload_name, input_name, **kwargs)
     cobra = runner.cobra_config(workload)
     trace = workload.update_indices[:trace_len]
     rows = []

@@ -15,8 +15,8 @@ from repro.harness.experiments.common import (
     prefetch_runs,
     shared_runner,
 )
-from repro.harness.inputs import WORKLOAD_INPUTS, make_workload
 from repro.harness.report import format_table
+from repro.workloads.registry import WORKLOAD_INPUTS, resolve
 
 __all__ = ["run"]
 
@@ -64,7 +64,7 @@ def run(
     runner = runner or shared_runner()
     kwargs = {} if scale is None else {"scale": scale}
     instances = [
-        make_workload(workload_name, input_name, **kwargs)
+        resolve(workload_name, input_name, **kwargs)
         for workload_name in workload_names
         for input_name in input_names or WORKLOAD_INPUTS[workload_name]
     ]
@@ -79,7 +79,7 @@ def run(
     runs = []
     for workload_name in workload_names:
         for input_name in input_names or WORKLOAD_INPUTS[workload_name]:
-            workload = make_workload(workload_name, input_name, **kwargs)
+            workload = resolve(workload_name, input_name, **kwargs)
             base = runner.run(workload, modes.BASELINE)
             runs.append(base)
             base_traffic, base_l1 = _blocked_phase_metrics(base)

@@ -15,10 +15,10 @@ import numpy as np
 from repro.baselines.segmenting import SegmentedGraph
 from repro.harness import modes
 from repro.harness.experiments.common import ExperimentResult, shared_runner
-from repro.harness.inputs import load_csr, load_graph, make_workload
 from repro.harness.report import format_table
 from repro.workloads.base import PhaseSpec, RegionSpec, Segment
 from repro.workloads.neighbor_populate import NeighborPopulate
+from repro.workloads.registry import load_csr, load_graph, resolve
 
 __all__ = ["run"]
 
@@ -68,7 +68,7 @@ def run(runner=None, input_names=("KRON", "URND"), tol=1e-6, scale=None):
     hierarchy = runner.machine.hierarchy
     kwargs = {} if scale is None else {"scale": scale}
     for input_name in input_names:
-        workload = make_workload("pagerank", input_name, **kwargs)
+        workload = resolve("pagerank", input_name, **kwargs)
         graph = load_csr(input_name, **kwargs)
         _scores, iterations = workload.run_to_convergence(tol=tol)
 
@@ -91,6 +91,9 @@ def run(runner=None, input_names=("KRON", "URND"), tol=1e-6, scale=None):
         segmented = SegmentedGraph(graph, segment_range)
         # Building per-segment CSCs is an Edgelist-to-CSR conversion of the
         # reversed graph — we cost it as exactly that kernel.
+        # repro: noqa[workload-registry] the reversed graph is a derived
+        # input no registry spec names; the instance is a cost model only
+        # and its cycles never reach the result cache or golden pins
         build = NeighborPopulate(load_graph(input_name, **kwargs).reversed())
         tiling_init = sum(
             runner._simulate_phase(build, phase, None).cycles

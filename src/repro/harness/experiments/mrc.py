@@ -12,9 +12,9 @@ import numpy as np
 
 from repro.cache.mrc import miss_ratio_curve, working_set_lines
 from repro.harness.experiments.common import ExperimentResult, shared_runner
-from repro.harness.inputs import make_workload
 from repro.harness.report import format_table
 from repro.pb.bins import BinSpec
+from repro.workloads.registry import resolve
 
 __all__ = ["run"]
 
@@ -32,7 +32,7 @@ def run(
     """Miss-ratio curves of the raw and bin-reordered update streams."""
     runner = runner or shared_runner()
     kwargs = {} if scale is None else {"scale": scale}
-    workload = make_workload(workload_name, input_name, **kwargs)
+    workload = resolve(workload_name, input_name, **kwargs)
     line_elems = 64 // workload.element_bytes
     raw_lines = (workload.update_indices // line_elems).tolist()
     spec = BinSpec.from_num_bins(workload.num_indices, num_bins)

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from repro.harness import modes
 from repro.harness.experiments.common import ExperimentResult, shared_runner
-from repro.harness.inputs import make_workload
 from repro.harness.parallel import ParallelModel
 from repro.harness.report import format_table
+from repro.workloads.registry import resolve
 
 __all__ = ["run"]
 
@@ -30,7 +30,7 @@ def run(
     """Speedup vs cores for baseline, PB-SW, and COBRA."""
     runner = runner or shared_runner()
     kwargs = {} if scale is None else {"scale": scale}
-    workload = make_workload(workload_name, input_name, **kwargs)
+    workload = resolve(workload_name, input_name, **kwargs)
     model = ParallelModel(runner)
     rows = []
     for mode in (modes.BASELINE, modes.PB_SW, modes.COBRA):

@@ -8,9 +8,9 @@ the motivation for COBRA targeting the Binning phase.
 from __future__ import annotations
 
 from repro.harness.experiments.common import ExperimentResult, shared_runner
-from repro.harness.inputs import make_workload
 from repro.harness.report import format_table
 from repro.pb.bins import BinSpec
+from repro.workloads.registry import resolve
 
 __all__ = ["run"]
 
@@ -26,7 +26,7 @@ def run(
     """Phase breakdown (% of cycles) at a small and a large bin count."""
     runner = runner or shared_runner()
     kwargs = {} if scale is None else {"scale": scale}
-    workload = make_workload(workload_name, input_name, **kwargs)
+    workload = resolve(workload_name, input_name, **kwargs)
     rows = []
     runs = []
     for label, num_bins in (("small", small_bins), ("large", large_bins)):

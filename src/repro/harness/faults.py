@@ -410,8 +410,8 @@ def _pool_worker_init():
 
 def _point_worker(spec, task, injector, heartbeat_path=None):
     """Simulate one (cache_key, mode) point in a worker process."""
-    from repro.harness.inputs import make_workload
     from repro.harness.runner import Runner
+    from repro.workloads.registry import resolve_point
 
     cache_key, mode, use_cache = task
     # Beat before injection: an injected stall then looks exactly like a
@@ -424,8 +424,7 @@ def _point_worker(spec, task, injector, heartbeat_path=None):
         runner.telemetry = _HeartbeatTelemetry(
             runner.telemetry, heartbeat_path
         )
-    workload_name, input_name, scale = cache_key.split(":")
-    workload = make_workload(workload_name, input_name, int(scale))
+    workload = resolve_point(cache_key)
     return runner.run(workload, mode, use_cache=use_cache)
 
 

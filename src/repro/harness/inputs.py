@@ -1,33 +1,27 @@
-"""The standard input suite — our scaled Table III.
+"""Compatibility shim over the workload registry (the old entry point).
 
-Graphs cover the paper's three degree-distribution families (power-law,
-uniform, bounded-degree) and the matrices its two sparse families
-(simulation stencils, random optimization-style). Sizes are chosen so each
-irregular working set is ~8x the simulated LLC bank, matching the paper's
-footprint-to-cache ratio (DESIGN.md Sections 4-5).
+The standard input suite — our scaled Table III — used to be built here
+by a ``make_workload`` string ladder. It now lives declaratively in
+:mod:`repro.workloads.registry`; this module re-exports the same names
+with the same behavior (shared instance cache, identical ``cache_key``
+bytes, identical KeyError semantics) so existing imports keep working.
+New code should resolve through the registry (or
+``repro.api.resolve_workload``) instead.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
-from repro.graphs import build_csr, mesh2d, rmat, uniform_random
-from repro.sparse import (
-    poisson2d,
-    random_permutation,
-    random_sparse,
-    random_symmetric,
-)
-from repro.workloads import (
-    DegreeCount,
-    IntegerSort,
-    NeighborPopulate,
-    Pagerank,
-    PInv,
-    Radii,
-    SpMV,
-    SymPerm,
-    Transpose,
+from repro.workloads import registry
+from repro.workloads.registry import (
+    GRAPH_NAMES,
+    MATRIX_NAMES,
+    WORKLOAD_INPUTS,
+    load_csr,
+    load_graph,
+    load_matrix,
+    workload_instances,
 )
 
 __all__ = [
@@ -42,150 +36,25 @@ __all__ = [
     "describe_inputs",
 ]
 
-_SCALE = 18  # log2 of the vertex-namespace size
-_DEG = 8  # average degree of the synthetic graphs
-
-#: Graph inputs (paper analogs in parentheses): KRON (KRON/TWIT — heavy
-#: power-law skew), WEB (milder power-law), URND (uniform random), EURO
-#: (bounded-degree road-style mesh).
-GRAPH_NAMES = ("KRON", "WEB", "URND", "EURO")
-
-#: Matrix inputs: POIS (simulation stencil), ROPT (random optimization).
-MATRIX_NAMES = ("POIS", "ROPT")
-
-_cache = {}
-
-
-def _cached(key, builder):
-    if key not in _cache:
-        _cache[key] = builder()
-    return _cache[key]
-
-
-def load_graph(name, scale=_SCALE):
-    """Edge list for a named graph input."""
-    n = 1 << scale
-    m = n * _DEG
-    if name == "KRON":
-        return _cached((name, scale), lambda: rmat(n, m, seed=101))
-    if name == "WEB":
-        return _cached(
-            (name, scale), lambda: rmat(n, m, seed=202, a=0.45, b=0.22, c=0.22)
-        )
-    if name == "URND":
-        return _cached((name, scale), lambda: uniform_random(n, m, seed=303))
-    if name == "EURO":
-        side = int(np.sqrt(n))
-        return _cached((name, scale), lambda: mesh2d(side, seed=404))
-    raise KeyError(f"unknown graph {name!r}; expected one of {GRAPH_NAMES}")
-
-
-def load_csr(name, scale=_SCALE):
-    """CSR of a named graph input (cached)."""
-    return _cached(
-        ("csr", name, scale), lambda: build_csr(load_graph(name, scale))
-    )
-
-
-def load_matrix(name, scale=_SCALE):
-    """CSR matrix for a named matrix input."""
-    if name == "POIS":
-        side = int(np.sqrt(1 << scale))
-        return _cached(
-            (name, scale), lambda: poisson2d(side, seed=505).to_csr()
-        )
-    if name == "ROPT":
-        n = 1 << scale
-        return _cached(
-            (name, scale),
-            lambda: random_sparse(n, n, n * 6, seed=606).to_csr(),
-        )
-    raise KeyError(f"unknown matrix {name!r}; expected one of {MATRIX_NAMES}")
-
-
-#: Which inputs each workload runs on (workload name -> input names).
-WORKLOAD_INPUTS = {
-    "degree-count": GRAPH_NAMES,
-    "neighbor-populate": GRAPH_NAMES,
-    "pagerank": GRAPH_NAMES,
-    "radii": ("KRON", "WEB", "URND"),  # the paper skips EURO for Radii
-    "integer-sort": ("U16", "U64"),  # max-key variants
-    "spmv": MATRIX_NAMES,
-    "pinv": ("PERM",),
-    "transpose": MATRIX_NAMES,
-    "symperm": ("SYM",),
-}
+_SCALE = registry.DEFAULT_SCALE  # log2 of the vertex-namespace size
 
 
 def make_workload(workload_name, input_name, scale=_SCALE):
-    """Instantiate a workload on a named input (cached)."""
-    key = ("wl", workload_name, input_name, scale)
+    """Deprecated: use ``repro.workloads.registry.resolve`` (or
+    ``repro.api.resolve_workload`` with a ``workload/input@scale`` spec).
 
-    def build():
-        if workload_name == "degree-count":
-            return DegreeCount(load_graph(input_name, scale))
-        if workload_name == "neighbor-populate":
-            return NeighborPopulate(load_graph(input_name, scale))
-        if workload_name == "pagerank":
-            return Pagerank(load_csr(input_name, scale))
-        if workload_name == "radii":
-            return Radii(load_csr(input_name, scale))
-        if workload_name == "integer-sort":
-            max_key = 1 << (scale - 3) if input_name == "U16" else 1 << (scale - 1)
-            rng = np.random.default_rng(707)
-            keys = rng.integers(0, max_key, size=(1 << scale) * 4, dtype=np.int64)
-            return IntegerSort(keys, max_key)
-        if workload_name == "spmv":
-            return SpMV(load_matrix(input_name, scale))
-        if workload_name == "pinv":
-            return PInv(random_permutation(1 << (scale + 1), seed=808))
-        if workload_name == "transpose":
-            return Transpose(load_matrix(input_name, scale))
-        if workload_name == "symperm":
-            n = 1 << scale
-            sym = _cached(
-                ("sym", scale), lambda: random_symmetric(n, n * 4, seed=909)
-            )
-            return SymPerm(sym, random_permutation(n, seed=910))
-        raise KeyError(f"unknown workload {workload_name!r}")
-
-    workload = _cached(key, build)
-    workload.cache_key = f"{workload_name}:{input_name}:{scale}"
-    return workload
-
-
-def workload_instances(scale=_SCALE, workloads=None):
-    """Yield (workload_name, input_name, workload) over the whole suite."""
-    for workload_name, input_names in WORKLOAD_INPUTS.items():
-        if workloads is not None and workload_name not in workloads:
-            continue
-        for input_name in input_names:
-            yield workload_name, input_name, make_workload(
-                workload_name, input_name, scale
-            )
+    Same contract as ever — cached instances, ``cache_key`` stamped with
+    the identical ``workload:input:scale`` bytes.
+    """
+    warnings.warn(
+        "repro.harness.inputs.make_workload is deprecated; resolve through "
+        "the workload registry (repro.api.resolve_workload)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return registry.resolve(workload_name, input_name, scale)
 
 
 def describe_inputs(scale=_SCALE):
     """Rows describing the input suite (the Table III analog)."""
-    rows = []
-    for name in GRAPH_NAMES:
-        edges = load_graph(name, scale)
-        rows.append(
-            {
-                "input": name,
-                "kind": "graph",
-                "vertices": edges.num_vertices,
-                "edges": edges.num_edges,
-            }
-        )
-    for name in MATRIX_NAMES:
-        matrix = load_matrix(name, scale)
-        rows.append(
-            {
-                "input": name,
-                "kind": "matrix",
-                "rows": matrix.num_rows,
-                "nnz": matrix.nnz,
-            }
-        )
-    return rows
+    return registry.describe_inputs(scale)

@@ -175,6 +175,18 @@ KNOBS: Mapping[str, Knob] = {
             "content-addressed id (tests/service/test_jobqueue.py)",
         ),
         _knob(
+            "REPRO_DATASET_DIR",
+            None,
+            "Ingested-dataset cache directory override (default: "
+            "benchmarks/results/.datasets/, or the XDG user cache for "
+            "installed copies); datasets are sha256-pinned regardless of "
+            "where the files sit.",
+            "chooses where downloaded dataset files live; every file is "
+            "verified against its pinned sha256 before parsing "
+            "(tests/graphs/test_ingest.py), so location never changes the "
+            "ingested edges",
+        ),
+        _knob(
             "REPRO_SERVICE_DRAIN_DEADLINE",
             "30",
             "Seconds a SIGTERM'd sweep service waits for the in-flight "

@@ -196,14 +196,13 @@ def _sweep_worker(spec, chunk):
     and workloads from their cache keys (shipping the array-heavy workload
     objects across the process boundary would dwarf the simulation cost).
     """
-    from repro.harness.inputs import make_workload
     from repro.harness.runner import Runner
+    from repro.workloads.registry import resolve_point
 
     runner = Runner.from_spec(spec)
     results = []
     for cache_key, mode, use_cache in chunk:
-        workload_name, input_name, scale = cache_key.split(":")
-        workload = make_workload(workload_name, input_name, int(scale))
+        workload = resolve_point(cache_key)
         results.append(runner.run(workload, mode, use_cache=use_cache))
     return results
 

@@ -41,11 +41,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.harness.faults import FaultInjector
-from repro.harness.inputs import make_workload
 from repro.harness.resultcache import counters_to_dict
 from repro.harness.runner import Runner
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.journal import JOURNAL_NAME
+from repro.workloads.registry import resolve_point
 
 __all__ = ["ChaosReport", "run_chaos_drill", "spawn_daemon", "wait_endpoint"]
 
@@ -175,8 +175,7 @@ def _expected_counters(jobs):
     for label, specs in jobs:
         rows = []
         for spec in specs:
-            name, input_name, scale = spec["point"].split(":")
-            workload = make_workload(name, input_name, int(scale))
+            workload = resolve_point(spec["point"])
             rows.append(
                 counters_to_dict(
                     runner.run(workload, spec["mode"], use_cache=False)

@@ -279,12 +279,15 @@ class SweepService:
     def normalize_points(raw_points):
         """Validate submitted point specs into ``[(cache_key, mode)]``.
 
-        Accepts either the compact form (``{"point": "name:input:scale",
-        "mode": m}``) or the explicit form (``{"workload", "input",
-        "scale", "mode"}``). Raises ``ValueError`` with a client-facing
-        message on malformed input; unknown workload *names* are left to
-        the executor (the job fails with a recorded error) so admission
-        never has to build input arrays.
+        Accepts the compact wire form (``{"point": "name:input:scale",
+        "mode": m}``), the canonical spec form (``{"point":
+        "name/input@scale", "mode": m}``), or the explicit form
+        (``{"workload", "input", "scale", "mode"}``). Raises ``ValueError``
+        with a client-facing message on malformed input; unknown workload
+        *names* are left to the executor (the job fails with a recorded
+        error) so admission never has to build input arrays. Canonical
+        specs without a scale resolve through the registry (ingested
+        inputs pin their own natural scale).
         """
         if not isinstance(raw_points, (list, tuple)) or not raw_points:
             raise ValueError("points must be a non-empty list")
@@ -293,12 +296,23 @@ class SweepService:
             if not isinstance(raw, dict):
                 raise ValueError(f"points[{position}] must be an object")
             mode = str(ExecutionMode.coerce(raw.get("mode", "baseline")))
-            if "point" in raw:
+            if "point" in raw and "/" in str(raw["point"]):
+                from repro.workloads.registry import (
+                    effective_scale,
+                    parse_spec,
+                )
+
+                try:
+                    name, input_name, scale = parse_spec(str(raw["point"]))
+                    scale = effective_scale(input_name, scale)
+                except ValueError as exc:
+                    raise ValueError(f"points[{position}]: {exc}") from None
+            elif "point" in raw:
                 pieces = str(raw["point"]).split(":")
                 if len(pieces) != 3:
                     raise ValueError(
                         f"points[{position}].point must be "
-                        "'workload:input:scale'"
+                        "'workload:input:scale' or 'workload/input[@scale]'"
                     )
                 name, input_name, scale = pieces
             else:

@@ -1,5 +1,10 @@
-"""The paper's nine irregular-update kernels plus the workload abstraction."""
+"""The paper's nine irregular-update kernels (plus extensions) and the
+workload abstraction, all resolvable through the declarative registry
+(:mod:`repro.workloads.registry`)."""
 
+# Kernel submodules import each other directly (never through this
+# package), so the registry import below is cycle-safe.
+from repro.workloads import registry
 from repro.workloads.base import (
     PHASE_ACCUMULATE,
     PHASE_BINNING,
@@ -10,7 +15,9 @@ from repro.workloads.base import (
     Segment,
     Workload,
 )
+from repro.workloads.csr_build import CSRBuild
 from repro.workloads.degree_count import DegreeCount
+from repro.workloads.histogram import Histogram
 from repro.workloads.intsort import IntegerSort
 from repro.workloads.neighbor_populate import NeighborPopulate
 from repro.workloads.pagerank import Pagerank
@@ -22,7 +29,9 @@ from repro.workloads.transpose import Transpose
 from repro.workloads.validate import results_equal, verify_workload
 
 __all__ = [
+    "CSRBuild",
     "DegreeCount",
+    "Histogram",
     "IntegerSort",
     "NeighborPopulate",
     "PHASE_ACCUMULATE",
@@ -39,6 +48,7 @@ __all__ = [
     "SymPerm",
     "Transpose",
     "Workload",
+    "registry",
     "results_equal",
     "verify_workload",
 ]

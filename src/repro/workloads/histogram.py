@@ -1,0 +1,61 @@
+"""Histogram: the canonical commutative irregular-update kernel.
+
+Streams a key array and increments ``counts[key >> shift]`` per element —
+the radix-partitioning histogram pass that seeds counting sort, radix
+join, and bucketing pipelines. The update is a commutative add over a
+bucket namespace much smaller than the key range, so it sits between
+Degree-Counting (graph-shaped skew) and Integer Sort's histogram pass
+(uniform keys) in the paper's taxonomy, and — like them — any update
+order yields the same counts, which is exactly the unordered parallelism
+PB needs (Section III-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_index_array, check_positive
+from repro.pb.engine import PropagationBlocker
+from repro.workloads.base import RegionSpec, Workload
+
+__all__ = ["Histogram"]
+
+
+class Histogram(Workload):
+    """Bucket-count integer keys via ``counts[key >> shift] += 1``."""
+
+    name = "histogram"
+    commutative = True
+    reduce_op = "add"
+    tuple_bytes = 4  # the bucket index alone; the +1 is implicit
+    element_bytes = 8  # int64 counts
+    stream_bytes_per_update = 4
+
+    def __init__(self, keys, max_key, shift=6):
+        check_positive("max_key", max_key)
+        if shift < 0:
+            raise ValueError(f"shift must be non-negative, got {shift}")
+        keys = as_index_array(keys, "keys")
+        if len(keys) and (keys.min() < 0 or keys.max() >= max_key):
+            raise ValueError("keys must lie in [0, max_key)")
+        self.keys = keys
+        self.shift = shift
+        self.num_indices = max(1, (max_key + (1 << shift) - 1) >> shift)
+        self.update_indices = keys >> shift
+        self.update_values = None
+        self.data_region = RegionSpec(
+            f"{self.name}.counts", self.element_bytes, self.num_indices
+        )
+
+    def run_reference(self):
+        """Direct bucket counting."""
+        return np.bincount(
+            self.update_indices, minlength=self.num_indices
+        ).astype(np.int64)
+
+    def run_pb_functional(self, num_bins=256):
+        """Bucket counting via PB (bin by bucket, then accumulate)."""
+        out = np.zeros(self.num_indices, dtype=np.int64)
+        blocker = PropagationBlocker(self.num_indices, num_bins=num_bins)
+        ones = np.ones(self.num_updates, dtype=np.int64)
+        return blocker.execute(self.update_indices, ones, out, op="add")

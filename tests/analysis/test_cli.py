@@ -68,7 +68,8 @@ class TestJsonOutput:
         payload = json.loads(out)
         assert payload["ok"] is True
         assert payload["new_findings"] == []
-        assert len(payload["rules"]) == 6
+        assert len(payload["rules"]) == 7
+        assert "workload-registry" in payload["rules"]
 
     def test_findings_carry_location_and_hint(self, tmp_path):
         root = dirty_tree(tmp_path)

@@ -762,3 +762,161 @@ class TestServicePrefixCoverage:
             }
         )
         assert lint_findings(root, "worker-safety") == []
+
+
+MINI_REGISTRY = """\
+    REGISTERED_CLASSES = (
+        "DegreeCount",
+        "Histogram",
+    )
+    """
+
+
+class TestWorkloadRegistry:
+    def test_out_of_registry_construction_flagged(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/workloads/registry.py": MINI_REGISTRY,
+                "src/repro/harness/adhoc.py": """\
+                    from repro.workloads import DegreeCount
+
+                    def point(edges):
+                        return DegreeCount(edges)
+                    """,
+            }
+        )
+        findings = lint_findings(root, "workload-registry")
+        assert len(findings) == 1
+        assert findings[0].path == "src/repro/harness/adhoc.py"
+        assert "DegreeCount" in findings[0].message
+        assert "registry" in findings[0].hint
+
+    def test_module_qualified_construction_flagged(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/workloads/registry.py": MINI_REGISTRY,
+                "src/repro/harness/adhoc.py": """\
+                    from repro.workloads import histogram
+
+                    def point(keys):
+                        return histogram.Histogram(keys, 64)
+                    """,
+            }
+        )
+        findings = lint_findings(root, "workload-registry")
+        assert len(findings) == 1
+        assert "Histogram" in findings[0].message
+
+    def test_workloads_package_itself_exempt(self, mini_tree):
+        # The registry's builders and kernel modules construct freely.
+        root = mini_tree(
+            {
+                "src/repro/workloads/registry.py": """\
+                    from repro.workloads.degree_count import DegreeCount
+
+                    REGISTERED_CLASSES = (
+                        "DegreeCount",
+                        "Histogram",
+                    )
+
+                    def build(edges):
+                        return DegreeCount(edges)
+                    """,
+            }
+        )
+        assert lint_findings(root, "workload-registry") == []
+
+    def test_unregistered_classes_ignored(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/workloads/registry.py": MINI_REGISTRY,
+                "src/repro/harness/other.py": """\
+                    from repro.harness.runner import Runner
+
+                    def runner():
+                        return Runner()
+                    """,
+            }
+        )
+        assert lint_findings(root, "workload-registry") == []
+
+    def test_suppressed_with_noqa(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/workloads/registry.py": MINI_REGISTRY,
+                "src/repro/harness/adhoc.py": """\
+                    from repro.workloads import DegreeCount
+
+                    def point(edges):
+                        return DegreeCount(edges)  # repro: noqa[workload-registry] fixture
+                    """,
+            }
+        )
+        assert lint_findings(root, "workload-registry") == []
+
+    def test_raw_open_of_dataset_flagged(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/harness/loader.py": """\
+                    def load():
+                        with open("data/karate.mtx") as handle:
+                            return handle.read()
+                    """
+            }
+        )
+        findings = lint_findings(root, "workload-registry")
+        assert len(findings) == 1
+        assert "karate.mtx" in findings[0].message
+        assert "ingest" in findings[0].hint
+
+    def test_read_text_of_dataset_flagged(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/harness/loader.py": """\
+                    from pathlib import Path
+
+                    def load():
+                        return Path("web.snap").read_text()
+                    """
+            }
+        )
+        findings = lint_findings(root, "workload-registry")
+        assert len(findings) == 1
+        assert "web.snap" in findings[0].message
+
+    def test_indirected_dataset_path_flagged(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/harness/loader.py": """\
+                    _FIXTURE = "florentine.el"
+
+                    def load():
+                        return open(_FIXTURE).read()
+                    """
+            }
+        )
+        findings = lint_findings(root, "workload-registry")
+        assert len(findings) == 1
+        assert "florentine.el" in findings[0].message
+
+    def test_ingest_module_exempt(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/graphs/ingest.py": """\
+                    def load():
+                        return open("data/karate.mtx").read()
+                    """
+            }
+        )
+        assert lint_findings(root, "workload-registry") == []
+
+    def test_non_dataset_reads_ignored(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/harness/loader.py": """\
+                    def load():
+                        return open("README.md").read()
+                    """
+            }
+        )
+        assert lint_findings(root, "workload-registry") == []

@@ -1,0 +1,185 @@
+"""Tests for the digest-pinned dataset ingester."""
+
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graphs import ingest
+from repro.graphs.ingest import (
+    DATASETS,
+    dataset_dir,
+    fetch,
+    load_dataset,
+    natural_scale,
+    parse_matrix_market,
+    parse_snap,
+    sha256_path,
+)
+
+MM_SYMMETRIC = """\
+%%MatrixMarket matrix coordinate pattern symmetric
+% a comment line
+4 4 3
+2 1
+3 1
+3 3
+"""
+
+MM_GENERAL = """\
+%%MatrixMarket matrix coordinate real general
+3 3 2
+1 2 0.5
+3 1 2.0
+"""
+
+SNAP_TEXT = """\
+# Directed edge list with arbitrary ids
+40 10
+10 40
+99 40
+"""
+
+
+class TestMatrixMarketParser:
+    def test_symmetric_expands_both_directions(self):
+        edges = parse_matrix_market(MM_SYMMETRIC)
+        assert edges.num_vertices == 4
+        # (2,1) and (3,1) expand; the (3,3) self-loop does not duplicate.
+        assert list(edges.src) == [1, 0, 2, 0, 2]
+        assert list(edges.dst) == [0, 1, 0, 2, 2]
+
+    def test_general_keeps_direction_and_ignores_values(self):
+        edges = parse_matrix_market(MM_GENERAL)
+        assert list(edges.src) == [0, 2]
+        assert list(edges.dst) == [1, 0]
+
+    def test_missing_banner_rejected(self):
+        with pytest.raises(ValueError, match="MatrixMarket"):
+            parse_matrix_market("1 1 0\n")
+
+    def test_entry_count_mismatch_rejected(self):
+        bad = MM_SYMMETRIC.replace("4 4 3", "4 4 7")
+        with pytest.raises(ValueError, match="declares 7"):
+            parse_matrix_market(bad)
+
+    def test_unsupported_symmetry_rejected(self):
+        bad = MM_SYMMETRIC.replace("symmetric", "hermitian")
+        with pytest.raises(ValueError, match="hermitian"):
+            parse_matrix_market(bad)
+
+
+class TestSnapParser:
+    def test_ids_compact_in_first_appearance_order(self):
+        edges = parse_snap(SNAP_TEXT)
+        # 40 -> 0, 10 -> 1, 99 -> 2 (first appearance), comments skipped.
+        assert edges.num_vertices == 3
+        assert list(edges.src) == [0, 1, 2]
+        assert list(edges.dst) == [1, 0, 0]
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError, match="no edges"):
+            parse_snap("# only comments\n")
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError, match="bad SNAP edge"):
+            parse_snap("42\n")
+
+
+class TestVendoredDatasets:
+    def test_karate_loads_offline(self):
+        edges = load_dataset("KARATE")
+        assert edges.num_vertices == 34
+        assert edges.num_edges == 156  # 78 undirected, symmetric-expanded
+        assert natural_scale(edges) == 6
+
+    def test_florentine_loads_offline(self):
+        edges = load_dataset("FLORENT")
+        assert edges.num_vertices == 15
+        assert edges.num_edges == 20
+        assert natural_scale(edges) == 4
+
+    def test_loads_are_cached(self):
+        assert load_dataset("KARATE") is load_dataset("KARATE")
+
+    def test_every_pin_matches_vendored_bytes(self):
+        for spec in DATASETS.values():
+            path = fetch(spec.name)
+            assert sha256_path(path) == spec.sha256
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            fetch("NOPE")
+
+
+class TestNaturalScale:
+    def test_powers_round_up(self):
+        class Edges:
+            def __init__(self, n):
+                self.num_vertices = n
+
+        assert natural_scale(Edges(2)) == 1
+        assert natural_scale(Edges(16)) == 4
+        assert natural_scale(Edges(17)) == 5
+        # Degenerate single-vertex graphs still get a positive scale.
+        assert natural_scale(Edges(1)) == 1
+
+
+class TestFetchResolution:
+    @pytest.fixture()
+    def offline(self, tmp_path, monkeypatch):
+        """No vendored copies; dataset cache redirected into tmp_path."""
+        monkeypatch.setattr(ingest, "_VENDOR_DIR", tmp_path / "novendor")
+        monkeypatch.setenv("REPRO_DATASET_DIR", str(tmp_path / "cache"))
+        return tmp_path
+
+    def test_dataset_dir_honors_knob(self, offline, tmp_path):
+        assert dataset_dir() == tmp_path / "cache"
+
+    def test_cached_copy_resolves(self, offline):
+        spec = DATASETS["KARATE"]
+        real = Path(ingest.__file__).parent / "data" / spec.filename
+        target = dataset_dir() / spec.filename
+        shutil.copy(real, target)
+        assert fetch("KARATE") == target
+
+    def test_corrupted_cache_copy_rejected(self, offline):
+        spec = DATASETS["KARATE"]
+        target = dataset_dir() / spec.filename
+        target.write_text("not the pinned bytes\n")
+        with pytest.raises(ValueError, match="pinned sha256"):
+            fetch("KARATE")
+
+    def test_no_copy_and_no_url_is_filenotfound(self, offline):
+        with pytest.raises(FileNotFoundError, match="no vendored or cached"):
+            fetch("KARATE")
+
+    def test_download_verifies_and_adopts(self, offline, tmp_path):
+        spec = DATASETS["KARATE"]
+        real = Path(ingest.__file__).parent / "data" / spec.filename
+        source = tmp_path / "remote.mtx"
+        shutil.copy(real, source)
+        path = fetch("KARATE", environ_url=source.as_uri())
+        assert path == dataset_dir() / spec.filename
+        assert sha256_path(path) == spec.sha256
+
+    def test_download_with_wrong_bytes_discarded(self, offline, tmp_path):
+        source = tmp_path / "remote.mtx"
+        source.write_text("tampered\n")
+        with pytest.raises(ValueError, match="does not match the"):
+            fetch("KARATE", environ_url=source.as_uri())
+        # The partial download must not be adopted into the cache.
+        spec = DATASETS["KARATE"]
+        assert not (dataset_dir() / spec.filename).exists()
+        assert not (dataset_dir() / (spec.filename + ".part")).exists()
+
+
+class TestIngestedEdgesAreDeterministic:
+    def test_karate_parse_is_stable(self):
+        a = load_dataset("KARATE")
+        b = parse_matrix_market(
+            fetch("KARATE").read_text("utf-8")
+        )
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dst, b.dst)

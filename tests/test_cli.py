@@ -295,10 +295,10 @@ class TestGoldenCommands:
     def test_capture_then_honest_replay_passes(self, isolated):
         code, output = self.collect(["capture"])
         assert code == 0
-        assert "4 golden(s)" in output
+        assert "6 golden(s)" in output
         code, output = self.collect(["replay", "--time-band", "1e9"])
         assert code == 0
-        assert "pass 4  fail 0" in output
+        assert "pass 6  fail 0" in output
         assert "counters bit-identical" in output
 
     def test_perturbed_replay_fails_counters_gate(
@@ -333,12 +333,12 @@ class TestGoldenCommands:
 
         payload = json.loads(output)
         assert payload["ok"] is True
-        assert payload["summary"]["pass"] == 4
+        assert payload["summary"]["pass"] == 6
 
     def test_replay_against_empty_store_bootstraps_green(self, isolated):
         code, output = self.collect(["replay"])
         assert code == 0
-        assert "missing 4" in output
+        assert "missing 6" in output
         assert "need recapture" in output
 
     def test_report_needs_exactly_one_source(self, tmp_path):
@@ -389,7 +389,7 @@ class TestGoldenCommands:
 def test_registry_matches_design_doc():
     # Every evaluation artifact of the paper has a CLI entry.
     expected = {
-        "fig02", "fig04", "fig05", "fig10", "fig11", "fig12",
+        "fig02", "fig04", "fig05", "fig10", "fig10x", "fig11", "fig12",
         "fig13a", "fig13b", "fig13c", "fig14", "fig15", "table1",
         "scaling", "mrc",
     }
@@ -509,3 +509,126 @@ class TestRunsJson:
         )
         assert code == 0
         assert jsonlib.loads("\n".join(lines))["runs"] == []
+
+
+class TestWorkloadRegistryCLI:
+    """The registry-facing surfaces: `workloads`, `point --spec`, and
+    slash-form specs on `submit` and `capture`."""
+
+    def collect(self, argv):
+        lines = []
+        code = main(argv, print_fn=lines.append)
+        return code, "\n".join(str(line) for line in lines)
+
+    def test_parser_accepts_point_spec(self):
+        args = build_parser().parse_args(
+            ["point", "--spec", "degree-count/KRON@12", "--mode", "cobra"]
+        )
+        assert args.spec == "degree-count/KRON@12"
+        assert args.workload is None and args.input is None
+
+    def test_parser_keeps_deprecated_positionals(self):
+        args = build_parser().parse_args(["point", "degree-count", "KRON"])
+        assert args.workload == "degree-count"
+        assert args.input == "KRON"
+        assert args.spec is None
+
+    def test_parser_accepts_capture_specs(self):
+        args = build_parser().parse_args(
+            ["capture", "--spec", "csr-build/KARATE:cobra",
+             "--spec", "degree-count/KRON@12"]
+        )
+        assert args.spec == [
+            "csr-build/KARATE:cobra", "degree-count/KRON@12"
+        ]
+
+    def test_workloads_lists_full_registry(self):
+        from repro.workloads.registry import WORKLOADS
+
+        code, output = self.collect(["workloads"])
+        assert code == 0
+        for name in WORKLOADS:
+            assert name in output
+        assert "Workload registry" in output
+
+    def test_workloads_json_is_machine_readable(self):
+        import json
+
+        from repro.workloads.registry import WORKLOADS
+
+        code, output = self.collect(["workloads", "--json"])
+        assert code == 0
+        rows = json.loads(output)
+        assert {row["workload"] for row in rows} == set(WORKLOADS)
+        by_name = {row["workload"]: row for row in rows}
+        assert by_name["csr-build"]["extension"] is True
+        assert "csr-build/KARATE@6" in by_name["csr-build"]["specs"]
+
+    def test_inputs_lists_ingested_datasets(self):
+        code, output = self.collect(["inputs"])
+        assert code == 0
+        assert "KARATE" in output and "FLORENT" in output
+
+    def test_point_spec_runs_end_to_end(self):
+        code, output = self.collect(
+            ["point", "--spec", "degree-count/KRON@10", "--no-cache"]
+        )
+        assert code == 0
+        assert "degree-count" in output
+        assert "total:" in output
+
+    def test_point_spec_runs_ingested_graph(self):
+        code, output = self.collect(
+            ["point", "--spec", "csr-build/KARATE", "--no-cache", "--json"]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(output)
+        assert payload["workload"] == "csr-build"
+
+    def test_point_rejects_spec_plus_positionals(self):
+        code, output = self.collect(
+            ["point", "degree-count", "KRON", "--spec", "degree-count/KRON"]
+        )
+        assert code == 2
+        assert "either --spec or positional" in output
+
+    def test_point_rejects_double_scale(self):
+        code, output = self.collect(
+            ["point", "--spec", "degree-count/KRON@10", "--scale", "11"]
+        )
+        assert code == 2
+        assert "either in --spec or via --scale" in output
+
+    def test_point_without_any_point_is_exit_2(self):
+        code, output = self.collect(["point"])
+        assert code == 2
+        assert "--spec" in output
+
+    def test_point_rejects_fixed_scale_conflict(self):
+        code, output = self.collect(
+            ["point", "--spec", "csr-build/KARATE@12", "--no-cache"]
+        )
+        assert code == 2
+        assert "fixed at" in output
+
+    def test_submit_accepts_slash_spec_form(self, tmp_path):
+        # Spec parses (so no exit 2); the daemon is absent (exit 1).
+        code, output = self.collect(
+            [
+                "submit", "degree-count/KRON@8:cobra",
+                "--state-dir", str(tmp_path / "empty"),
+            ]
+        )
+        assert code == 1
+        assert "submit failed" in output
+
+    def test_submit_slash_spec_with_unknown_workload_is_exit_2(
+        self, tmp_path
+    ):
+        code, output = self.collect(
+            ["submit", "nope/KRON@8", "--state-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "unknown workload" in output
