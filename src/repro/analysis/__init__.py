@@ -1,12 +1,18 @@
 """``repro.analysis`` — determinism & digest-purity static analysis.
 
-The ``repro lint`` subcommand (and CI gate) runs six repo-specific AST
-checkers over the checkout: unseeded randomness, result-digest purity,
-the ``REPRO_*`` knob registry, vector/scalar backend pairing,
-nondeterminism hazards, and process-pool worker safety. See
-:mod:`repro.analysis.rules` for the rule set and
-:mod:`repro.analysis.core` for suppression (``# repro: noqa[rule]``) and
-baseline semantics.
+The ``repro lint`` subcommand (and CI gate) runs ten repo-specific
+checkers over the checkout, in two layers. The file-local AST rules
+look at one module at a time: unseeded randomness, result-digest
+purity, the ``REPRO_*`` knob registry, vector/scalar backend pairing,
+nondeterminism hazards, process-pool worker safety, and the workload
+registry. The interprocedural rules share a whole-project call graph
+(:mod:`repro.analysis.callgraph`) and taint engine
+(:mod:`repro.analysis.dataflow`): concurrency-safety (execution-context
+reachability), digest-flow (env values reaching digests through helper
+chains), and telemetry-schema (emitted events vs the EXPERIMENTS.md
+table). See :mod:`repro.analysis.rules` for the rule set and
+:mod:`repro.analysis.core` for suppression (``# repro: noqa[rule]``)
+and baseline semantics.
 
 Programmatic entry point::
 

@@ -1,0 +1,1127 @@
+"""Project-wide call graph + module-import resolver for ``repro lint``.
+
+Like everything under :mod:`repro.analysis`, the graph is *purely
+static*: it is built from the :class:`~repro.analysis.core.LintContext`'s
+parsed ASTs and never imports the linted tree, so fixture mini-trees
+lint exactly like the real checkout.
+
+The graph answers the questions the interprocedural rules ask:
+
+* **Who calls whom.** Call edges are resolved through the module import
+  table (absolute and relative imports, re-export chasing), ``self.``
+  method dispatch, single-inheritance base-class lookup, and a small
+  flow-insensitive type inference (constructor assignments, classmethod
+  factories, helper return types, and parameter types propagated from
+  call sites). Dynamic dispatch that cannot be resolved statically is
+  kept as an edge with ``callee=None`` — the *unknown context* fallback,
+  never a guess.
+* **Which execution context a function runs in.** Spawn sites
+  (``threading.Thread(target=...)``, ``pool.submit(...)``, process-pool
+  ``initializer=``, ``loop.run_in_executor(...)``/``asyncio.to_thread``,
+  ``signal.signal(...)``, ``loop.add_signal_handler(...)``) seed
+  contexts, ``async def`` seeds the event-loop context, the CLI modules
+  seed ``main``, and contexts propagate along resolved call edges.
+  Functions reached by no root and no resolved edge stay ``unknown``.
+* **Which accesses hold a lock.** Each call site and ``self.<attr>``
+  access records whether it is lexically inside a ``with <lock>:``
+  block; a fixpoint additionally marks functions *always locked* when
+  every resolved caller invokes them with a lock held (the
+  journal-under-the-service-lock pattern).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.core import LintContext, SourceFile
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "SelfAccess",
+    "SpawnSite",
+    "CONTEXT_ASYNC",
+    "CONTEXT_EXECUTOR",
+    "CONTEXT_MAIN",
+    "CONTEXT_POOL",
+    "CONTEXT_SIGNAL",
+    "CONTEXT_THREAD",
+    "CONTEXT_UNKNOWN",
+]
+
+#: Both function-definition node flavours.
+FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+CONTEXT_MAIN = "main"  # the process's main thread (CLI entry points)
+CONTEXT_ASYNC = "async"  # the asyncio event loop
+CONTEXT_THREAD = "thread"  # a dedicated threading.Thread target
+CONTEXT_POOL = "pool"  # a process-pool worker (separate address space)
+CONTEXT_EXECUTOR = "executor"  # a run_in_executor/to_thread pool thread
+CONTEXT_SIGNAL = "signal"  # a signal.signal handler (interrupts main)
+CONTEXT_UNKNOWN = "unknown"  # never reached by a resolved edge or root
+
+#: Modules whose top-level functions seed the ``main`` context.
+_MAIN_ROOT_MODULES = ("repro.cli", "repro.__main__")
+
+#: Attribute names treated as locks when no constructor assignment
+#: proves it (belt and braces for fixture trees).
+_LOCK_NAME_HINTS = ("lock", "mutex", "cond", "wake")
+
+#: Constructors whose instances guard a ``with`` block.
+_LOCK_CONSTRUCTORS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    }
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: Receiver-name fragments identifying executor/pool ``.submit`` calls
+#: (a bare ``.submit`` is too common — the sweep service's job
+#: submission API uses the same verb).
+_POOL_RECEIVER_HINTS = ("pool", "executor")
+
+#: Methods decorated ``@classmethod`` (or named like factories) are
+#: assumed to return an instance of their class for type inference.
+_FACTORY_NAME_HINTS = ("from_", "load", "attach", "open", "create")
+
+
+def module_name(rel: str) -> Optional[str]:
+    """``src/repro/a/b.py`` -> ``repro.a.b`` (packages drop __init__)."""
+    if not rel.startswith("src/") or not rel.endswith(".py"):
+        return None
+    parts = rel[len("src/"):-len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the linted tree."""
+
+    qname: str  # module-qualified, e.g. repro.service.jobqueue.SweepService.submit
+    module: str
+    name: str
+    cls: Optional[str]  # owning class qname, None for module functions
+    source: SourceFile
+    node: ast.AST
+    is_async: bool
+    #: qnames of functions defined lexically inside this one.
+    nested: Dict[str, str] = field(default_factory=dict)
+    #: qname of the lexically enclosing function, if any.
+    parent: Optional[str] = None
+    #: self.<attr> accesses (methods only).
+    self_accesses: List["SelfAccess"] = field(default_factory=list)
+    #: True when the body acquires a lock via ``with``.
+    acquires_lock: bool = False
+
+
+@dataclass(frozen=True)
+class SelfAccess:
+    """One ``self.<attr>`` read or write inside a method."""
+
+    attr: str
+    kind: str  # "read" | "write"
+    line: int
+    guarded: bool  # lexically inside a with-lock block
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression, resolved where possible."""
+
+    caller: str  # qname of the enclosing function ("" at module level)
+    callee: Optional[str]  # resolved qname, None for dynamic dispatch
+    raw: str  # alias-qualified dotted text as written
+    line: int
+    guarded: bool  # lexically inside a with-lock block
+    path: str  # rel path of the source file
+
+
+@dataclass(frozen=True)
+class SpawnSite:
+    """A site that schedules a function onto another execution context."""
+
+    caller: str
+    target: Optional[str]  # resolved qname of the spawned function
+    raw: str  # the target expression as written
+    context: str  # one of the CONTEXT_* labels
+    line: int
+    path: str
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with resolved method/base/lock tables."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fn qname
+    base_qnames: List[str] = field(default_factory=list)
+    #: instance attributes proven to hold a lock/condition.
+    lock_attrs: Set[str] = field(default_factory=set)
+    #: inferred instance-attribute types: attr -> class qname.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+class _Module:
+    """Per-module symbol table used during resolution."""
+
+    def __init__(self, name: str, source: SourceFile, is_package: bool):
+        self.name = name
+        self.source = source
+        self.is_package = is_package
+        self.functions: Dict[str, str] = {}  # top-level name -> qname
+        self.classes: Dict[str, str] = {}  # top-level name -> class qname
+        self.imports: Dict[str, str] = {}  # local name -> dotted target
+        self.lock_globals: Set[str] = set()  # module vars holding locks
+
+
+class CallGraph:
+    """The resolved project call graph; build once per lint context."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.modules: Dict[str, _Module] = {}
+        self.calls: List[CallSite] = []
+        self.spawns: List[SpawnSite] = []
+        self.calls_by_caller: Dict[str, List[CallSite]] = {}
+        self.calls_by_callee: Dict[str, List[CallSite]] = {}
+        #: context labels per function qname (computed in build()).
+        self.contexts: Dict[str, FrozenSet[str]] = {}
+        #: functions whose every resolved call site holds a lock.
+        self.always_locked: Set[str] = set()
+        #: inferred return types: fn qname -> class qname.
+        self.return_types: Dict[str, str] = {}
+        #: inferred parameter types: fn qname -> {param name: class qname}.
+        self.param_types: Dict[str, Dict[str, str]] = {}
+
+    # -------------------------------------------------------------- #
+    # Construction
+    # -------------------------------------------------------------- #
+
+    @classmethod
+    def build(cls, ctx: LintContext) -> "CallGraph":
+        graph = cls()
+        graph._collect_modules(ctx)
+        graph._collect_definitions()
+        graph._resolve_bases_and_locks()
+        graph._infer_types()
+        graph._collect_edges()
+        graph._propagate_contexts()
+        graph._compute_always_locked()
+        return graph
+
+    def _collect_modules(self, ctx: LintContext) -> None:
+        for rel, source in ctx.files.items():
+            name = module_name(rel)
+            if name is None:
+                continue
+            self.modules[name] = _Module(
+                name, source, is_package=rel.endswith("/__init__.py")
+            )
+        for module in self.modules.values():
+            self._collect_imports(module)
+
+    def _collect_imports(self, module: _Module) -> None:
+        for node in ast.walk(module.source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        module.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        module.imports.setdefault(head, head)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.imports[local] = f"{base}.{alias.name}"
+
+    def _import_base(
+        self, module: _Module, node: ast.ImportFrom
+    ) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        # Relative import: resolve against the enclosing package.
+        parts = module.name.split(".")
+        if not module.is_package:
+            parts = parts[:-1]
+        drop = node.level - 1
+        if drop > len(parts):
+            return None
+        if drop:
+            parts = parts[: len(parts) - drop]
+        base = ".".join(parts)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+        return base or None
+
+    def _collect_definitions(self) -> None:
+        for module in self.modules.values():
+            for stmt in module.source.tree.body:
+                if isinstance(stmt, FuncDef):
+                    self._add_function(module, stmt, cls=None, parent=None)
+                elif isinstance(stmt, ast.ClassDef):
+                    self._add_class(module, stmt)
+
+    def _add_class(self, module: _Module, node: ast.ClassDef) -> None:
+        qname = f"{module.name}.{node.name}"
+        info = ClassInfo(
+            qname=qname, module=module.name, name=node.name, node=node
+        )
+        self.classes[qname] = info
+        module.classes[node.name] = qname
+        for stmt in node.body:
+            if isinstance(stmt, FuncDef):
+                fn = self._add_function(module, stmt, cls=qname, parent=None)
+                info.methods[stmt.name] = fn.qname
+
+    def _add_function(
+        self,
+        module: _Module,
+        node: ast.AST,
+        cls: Optional[str],
+        parent: Optional[str],
+    ) -> FunctionInfo:
+        assert isinstance(node, FuncDef)
+        if parent is not None:
+            qname = f"{parent}.{node.name}"
+        elif cls is not None:
+            qname = f"{cls}.{node.name}"
+        else:
+            qname = f"{module.name}.{node.name}"
+            module.functions[node.name] = qname
+        info = FunctionInfo(
+            qname=qname,
+            module=module.name,
+            name=node.name,
+            cls=cls,
+            source=module.source,
+            node=node,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            parent=parent,
+        )
+        self.functions[qname] = info
+        for stmt in node.body:
+            self._collect_nested(module, stmt, info)
+        return info
+
+    def _collect_nested(
+        self, module: _Module, stmt: ast.AST, owner: FunctionInfo
+    ) -> None:
+        """Register nested defs (one level of statements at a time)."""
+        if isinstance(stmt, FuncDef):
+            nested = self._add_function(
+                module, stmt, cls=owner.cls, parent=owner.qname
+            )
+            owner.nested[stmt.name] = nested.qname
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._collect_nested(module, child, owner)
+
+    # -------------------------------------------------------------- #
+    # Symbol resolution
+    # -------------------------------------------------------------- #
+
+    def _expand(self, module: _Module, dotted: str) -> str:
+        """Rewrite the leading segment through the import table."""
+        first, _, rest = dotted.partition(".")
+        target = module.imports.get(first)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_symbol(
+        self, dotted: str, depth: int = 0
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve an absolute dotted name to ("function"|"class", qname).
+
+        Chases re-exports (``from repro.a import f`` imported onward)
+        up to a small depth; returns None for anything outside the tree.
+        """
+        if depth > 8:
+            return None
+        # Longest project-module prefix wins.
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            module = self.modules.get(prefix)
+            if module is None:
+                continue
+            rest = parts[cut:]
+            if not rest:
+                return None  # a bare module, not a callable
+            head, tail = rest[0], rest[1:]
+            if head in module.functions and not tail:
+                return ("function", module.functions[head])
+            if head in module.classes:
+                klass = self.classes[module.classes[head]]
+                if not tail:
+                    return ("class", klass.qname)
+                if len(tail) == 1:
+                    method = self.lookup_method(klass.qname, tail[0])
+                    if method is not None:
+                        return ("function", method)
+                return None
+            if head in module.imports:
+                onward = module.imports[head] + (
+                    "." + ".".join(tail) if tail else ""
+                )
+                return self.resolve_symbol(onward, depth + 1)
+            return None
+        return None
+
+    def lookup_method(self, class_qname: str, name: str) -> Optional[str]:
+        """Find ``name`` on the class or its project-resolvable bases."""
+        seen: Set[str] = set()
+        queue = [class_qname]
+        while queue:
+            qname = queue.pop(0)
+            if qname in seen:
+                continue
+            seen.add(qname)
+            info = self.classes.get(qname)
+            if info is None:
+                continue
+            if name in info.methods:
+                return info.methods[name]
+            queue.extend(info.base_qnames)
+        return None
+
+    def _resolve_bases_and_locks(self) -> None:
+        for info in self.classes.values():
+            module = self.modules[info.module]
+            for base in info.node.bases:
+                dotted = _dotted(base)
+                if dotted is None:
+                    continue
+                resolved = self.resolve_symbol(self._expand(module, dotted))
+                if resolved is not None and resolved[0] == "class":
+                    info.base_qnames.append(resolved[1])
+            # Lock attributes: ``self.x = threading.Lock()`` in any method.
+            for method_qname in info.methods.values():
+                node = self.functions[method_qname].node
+                for stmt in ast.walk(node):
+                    if not isinstance(stmt, ast.Assign):
+                        continue
+                    value = stmt.value
+                    if not isinstance(value, ast.Call):
+                        continue
+                    ctor = _dotted(value.func)
+                    if ctor is None:
+                        continue
+                    ctor = self._expand(module, ctor)
+                    if ctor not in _LOCK_CONSTRUCTORS:
+                        continue
+                    for target in stmt.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            info.lock_attrs.add(attr)
+        for module in self.modules.values():
+            for stmt in module.source.tree.body:
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                if not isinstance(stmt.value, ast.Call):
+                    continue
+                ctor = _dotted(stmt.value.func)
+                if ctor and self._expand(module, ctor) in _LOCK_CONSTRUCTORS:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            module.lock_globals.add(target.id)
+
+    # -------------------------------------------------------------- #
+    # Type inference (flow-insensitive, fixpoint over a few rounds)
+    # -------------------------------------------------------------- #
+
+    def _infer_types(self) -> None:
+        for _ in range(4):
+            changed = False
+            for fn in self.functions.values():
+                changed |= self._infer_in_function(fn)
+            if not changed:
+                break
+
+    def _value_type(
+        self, fn: FunctionInfo, value: ast.AST, local_types: Dict[str, str]
+    ) -> Optional[str]:
+        """Class qname a value expression evaluates to, if inferable."""
+        if isinstance(value, ast.IfExp):
+            return self._value_type(
+                fn, value.body, local_types
+            ) or self._value_type(fn, value.orelse, local_types)
+        if isinstance(value, ast.Await):
+            return self._value_type(fn, value.value, local_types)
+        if isinstance(value, ast.Name):
+            if value.id == "self" and fn.cls is not None:
+                return fn.cls
+            if value.id in local_types:
+                return local_types[value.id]
+            return self._name_type(fn, value.id)
+        if isinstance(value, ast.Attribute):
+            attr = _self_attr(value)
+            if attr is not None and fn.cls is not None:
+                return self._class_attr_type(fn.cls, attr)
+            return None
+        if not isinstance(value, ast.Call):
+            return None
+        resolved = self._resolve_callee(fn, value.func, local_types)
+        if resolved is None:
+            return None
+        kind, qname = resolved
+        if kind == "class":
+            return qname
+        callee = self.functions.get(qname)
+        if callee is None:
+            return None
+        if callee.cls is not None and _is_factory(callee):
+            return callee.cls
+        return self.return_types.get(qname)
+
+    def _name_type(self, fn: FunctionInfo, name: str) -> Optional[str]:
+        """Parameter type for ``name``, searching enclosing scopes too."""
+        scope: Optional[FunctionInfo] = fn
+        while scope is not None:
+            typ = self.param_types.get(scope.qname, {}).get(name)
+            if typ is not None:
+                return typ
+            scope = self.functions.get(scope.parent) if scope.parent else None
+        return None
+
+    def _class_attr_type(self, class_qname: str, attr: str) -> Optional[str]:
+        seen: Set[str] = set()
+        queue = [class_qname]
+        while queue:
+            qname = queue.pop(0)
+            if qname in seen:
+                continue
+            seen.add(qname)
+            info = self.classes.get(qname)
+            if info is None:
+                continue
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+            queue.extend(info.base_qnames)
+        return None
+
+    def _infer_in_function(self, fn: FunctionInfo) -> bool:
+        changed = False
+        local_types: Dict[str, str] = {}
+        for node in _ordered_walk(fn.node):
+            if isinstance(node, ast.Assign):
+                typ = self._value_type(fn, node.value, local_types)
+                if typ is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if local_types.get(target.id) != typ:
+                            local_types[target.id] = typ
+                    attr = _self_attr(target)
+                    if attr is not None and fn.cls is not None:
+                        info = self.classes[fn.cls]
+                        if info.attr_types.get(attr) != typ:
+                            info.attr_types[attr] = typ
+                            changed = True
+            elif isinstance(node, ast.Return) and node.value is not None:
+                typ = self._value_type(fn, node.value, local_types)
+                if typ is not None and self.return_types.get(fn.qname) != typ:
+                    self.return_types[fn.qname] = typ
+                    changed = True
+            elif isinstance(node, ast.Call):
+                changed |= self._infer_param_types(fn, node, local_types)
+        return changed
+
+    def _infer_param_types(
+        self, fn: FunctionInfo, call: ast.Call, local_types: Dict[str, str]
+    ) -> bool:
+        resolved = self._resolve_callee(fn, call.func, local_types)
+        if resolved is None:
+            return False
+        kind, qname = resolved
+        if kind == "class":
+            init = self.lookup_method(qname, "__init__")
+            if init is None:
+                return False
+            callee, skip_self = self.functions[init], True
+        else:
+            callee = self.functions.get(qname)
+            if callee is None:
+                return False
+            skip_self = callee.cls is not None and not _is_staticmethod(callee)
+        params = _param_names(callee.node, skip_self=skip_self)
+        changed = False
+        table = self.param_types.setdefault(callee.qname, {})
+        for index, arg in enumerate(call.args):
+            if index >= len(params):
+                break
+            typ = self._value_type(fn, arg, local_types)
+            if typ is not None and table.get(params[index]) != typ:
+                table[params[index]] = typ
+                changed = True
+        names = set(params)
+        for keyword in call.keywords:
+            if keyword.arg in names:
+                typ = self._value_type(fn, keyword.value, local_types)
+                if typ is not None and table.get(keyword.arg) != typ:
+                    table[keyword.arg] = typ
+                    changed = True
+        return changed
+
+    # -------------------------------------------------------------- #
+    # Callee resolution
+    # -------------------------------------------------------------- #
+
+    def _resolve_callee(
+        self,
+        fn: FunctionInfo,
+        func: ast.AST,
+        local_types: Dict[str, str],
+    ) -> Optional[Tuple[str, str]]:
+        module = self.modules[fn.module]
+        if isinstance(func, ast.Name):
+            # Nested siblings / enclosing scopes first.
+            scope: Optional[FunctionInfo] = fn
+            while scope is not None:
+                if func.id in scope.nested:
+                    return ("function", scope.nested[func.id])
+                scope = (
+                    self.functions.get(scope.parent)
+                    if scope.parent
+                    else None
+                )
+            if func.id == "cls" and fn.cls is not None:
+                return ("class", fn.cls)
+            if func.id in module.functions:
+                return ("function", module.functions[func.id])
+            if func.id in module.classes:
+                return ("class", module.classes[func.id])
+            if func.id in module.imports:
+                return self.resolve_symbol(module.imports[func.id])
+            return None
+        if isinstance(func, ast.Attribute):
+            base, attr = func.value, func.attr
+            # self.method() / cls.method()
+            if (
+                isinstance(base, ast.Name)
+                and base.id in ("self", "cls")
+                and fn.cls
+            ):
+                method = self.lookup_method(fn.cls, attr)
+                if method is not None:
+                    return ("function", method)
+                return None
+            # self.attr.method() via inferred attribute types
+            base_attr = _self_attr(base)
+            if base_attr is not None and fn.cls is not None:
+                typ = self._class_attr_type(fn.cls, base_attr)
+                if typ is not None:
+                    method = self.lookup_method(typ, attr)
+                    if method is not None:
+                        return ("function", method)
+                return None
+            # local_var.method() via inferred local types
+            if isinstance(base, ast.Name):
+                typ = local_types.get(base.id) or self._name_type(
+                    fn, base.id
+                )
+                if typ is not None:
+                    method = self.lookup_method(typ, attr)
+                    if method is not None:
+                        return ("function", method)
+            # module-qualified (repro.a.b.f / Class.method via imports)
+            dotted = _dotted(func)
+            if dotted is not None:
+                return self.resolve_symbol(self._expand(module, dotted))
+            # chained calls: Cls(...).method(), helper().method()
+            typ = self._value_type(fn, base, local_types)
+            if typ is not None:
+                method = self.lookup_method(typ, attr)
+                if method is not None:
+                    return ("function", method)
+        return None
+
+    # -------------------------------------------------------------- #
+    # Edge extraction
+    # -------------------------------------------------------------- #
+
+    def _collect_edges(self) -> None:
+        for fn in list(self.functions.values()):
+            self._collect_edges_in(fn)
+        for site in self.calls:
+            self.calls_by_caller.setdefault(site.caller, []).append(site)
+            if site.callee is not None:
+                self.calls_by_callee.setdefault(site.callee, []).append(site)
+
+    def _is_lock_expr(self, fn: FunctionInfo, expr: ast.AST) -> bool:
+        attr = _self_attr(expr)
+        if attr is not None:
+            if fn.cls is not None:
+                info = self.classes.get(fn.cls)
+                if info is not None and attr in info.lock_attrs:
+                    return True
+            return any(hint in attr.lower() for hint in _LOCK_NAME_HINTS)
+        if isinstance(expr, ast.Name):
+            module = self.modules[fn.module]
+            if expr.id in module.lock_globals:
+                return True
+            return any(hint in expr.id.lower() for hint in _LOCK_NAME_HINTS)
+        return False
+
+    def _collect_edges_in(self, fn: FunctionInfo) -> None:
+        module = self.modules[fn.module]
+        local_types: Dict[str, str] = {}
+        lock_attrs: Set[str] = set()
+        if fn.cls is not None:
+            info = self.classes.get(fn.cls)
+            if info is not None:
+                lock_attrs = info.lock_attrs
+
+        def visit(node: ast.AST, guarded: bool) -> None:
+            if isinstance(node, FuncDef) and node is not fn.node:
+                return  # nested defs are walked as their own functions
+            if isinstance(node, ast.With) or isinstance(node, ast.AsyncWith):
+                holds = guarded or any(
+                    self._is_lock_expr(fn, item.context_expr)
+                    for item in node.items
+                )
+                if holds and not guarded:
+                    fn.acquires_lock = True
+                for item in node.items:
+                    visit(item.context_expr, guarded)
+                for stmt in node.body:
+                    visit(stmt, holds)
+                return
+            if isinstance(node, ast.Assign):
+                typ = self._value_type(fn, node.value, local_types)
+                for target in node.targets:
+                    if typ is not None and isinstance(target, ast.Name):
+                        local_types[target.id] = typ
+                    self._record_store(fn, target, guarded)
+                visit(node.value, guarded)
+                return
+            if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                self._record_store(fn, node.target, guarded)
+                if node.value is not None:
+                    visit(node.value, guarded)
+                return
+            if isinstance(node, ast.Call):
+                self._record_call(fn, module, node, local_types, guarded)
+                for child in ast.iter_child_nodes(node):
+                    visit(child, guarded)
+                return
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                attr = _self_attr(node)
+                if attr is not None and fn.cls and attr not in lock_attrs:
+                    fn.self_accesses.append(
+                        SelfAccess(attr, "read", node.lineno, guarded)
+                    )
+            for child in ast.iter_child_nodes(node):
+                visit(child, guarded)
+
+        node = fn.node
+        assert isinstance(node, FuncDef)
+        for stmt in node.body:
+            visit(stmt, False)
+
+    def _record_store(
+        self, fn: FunctionInfo, target: ast.AST, guarded: bool
+    ) -> None:
+        if fn.cls is None:
+            return
+        attr = _self_attr(target)
+        if attr is None and isinstance(target, ast.Subscript):
+            attr = _self_attr(target.value)
+        if attr is None and isinstance(target, ast.Tuple):
+            for element in target.elts:
+                self._record_store(fn, element, guarded)
+            return
+        if attr is None:
+            return
+        info = self.classes.get(fn.cls)
+        if info is not None and attr in info.lock_attrs:
+            return
+        fn.self_accesses.append(
+            SelfAccess(attr, "write", target.lineno, guarded)
+        )
+
+    def _record_call(
+        self,
+        fn: FunctionInfo,
+        module: _Module,
+        node: ast.Call,
+        local_types: Dict[str, str],
+        guarded: bool,
+    ) -> None:
+        dotted = _dotted(node.func)
+        raw = self._expand(module, dotted) if dotted else (
+            node.func.attr if isinstance(node.func, ast.Attribute) else "?"
+        )
+        resolved = self._resolve_callee(fn, node.func, local_types)
+        callee = None
+        if resolved is not None:
+            kind, qname = resolved
+            if kind == "class":
+                callee = self.lookup_method(qname, "__init__")
+            else:
+                callee = qname
+        self.calls.append(
+            CallSite(
+                caller=fn.qname,
+                callee=callee,
+                raw=raw,
+                line=node.lineno,
+                guarded=guarded,
+                path=fn.source.rel,
+            )
+        )
+        # Mutator method on a self attribute counts as a write — unless
+        # the attribute holds a project class instance, in which case
+        # ``self.journal.append(...)`` is a method call, not a container
+        # mutation (the callee's own accesses are analyzed separately).
+        if isinstance(node.func, ast.Attribute):
+            attr = _self_attr(node.func.value)
+            if (
+                attr is not None
+                and fn.cls is not None
+                and node.func.attr in _MUTATOR_METHODS
+                and self._class_attr_type(fn.cls, attr) is None
+            ):
+                info = self.classes.get(fn.cls)
+                if info is None or attr not in info.lock_attrs:
+                    fn.self_accesses.append(
+                        SelfAccess(attr, "write", node.lineno, guarded)
+                    )
+        self._record_spawn(fn, node, raw, local_types, guarded)
+
+    def _spawn_ref(
+        self, fn: FunctionInfo, expr: ast.AST, local_types: Dict[str, str]
+    ) -> Tuple[Optional[str], str]:
+        """Resolve a function *reference* (not call) passed to a spawner."""
+        resolved = self._resolve_callee(fn, expr, local_types)
+        raw = _dotted(expr) or "<dynamic>"
+        if resolved is None:
+            return None, raw
+        kind, qname = resolved
+        if kind == "class":
+            return self.lookup_method(qname, "__init__"), raw
+        return qname, raw
+
+    def _record_spawn(
+        self,
+        fn: FunctionInfo,
+        node: ast.Call,
+        raw: str,
+        local_types: Dict[str, str],
+        guarded: bool,
+    ) -> None:
+        del guarded
+        target_expr: Optional[ast.AST] = None
+        context: Optional[str] = None
+        tail = raw.rsplit(".", maxsplit=1)[-1]
+        if raw.endswith("threading.Thread") or raw == "Thread":
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    target_expr, context = keyword.value, CONTEXT_THREAD
+        elif tail == "submit" and isinstance(node.func, ast.Attribute):
+            receiver = _dotted(node.func.value) or ""
+            if any(h in receiver.lower() for h in _POOL_RECEIVER_HINTS):
+                if node.args:
+                    target_expr, context = node.args[0], CONTEXT_POOL
+        elif tail == "run_in_executor":
+            if len(node.args) >= 2:
+                target_expr, context = node.args[1], CONTEXT_EXECUTOR
+        elif raw.endswith("asyncio.to_thread") or tail == "to_thread":
+            if node.args:
+                target_expr, context = node.args[0], CONTEXT_EXECUTOR
+        elif raw.endswith("signal.signal"):
+            if len(node.args) >= 2:
+                target_expr, context = node.args[1], CONTEXT_SIGNAL
+        elif tail == "add_signal_handler":
+            if len(node.args) >= 2:
+                target_expr, context = node.args[1], CONTEXT_ASYNC
+        elif tail.endswith("PoolExecutor"):
+            for keyword in node.keywords:
+                if keyword.arg == "initializer":
+                    target_expr, context = keyword.value, CONTEXT_POOL
+        if target_expr is None or context is None:
+            return
+        if isinstance(target_expr, ast.Constant) and target_expr.value is None:
+            return
+        target, target_raw = self._spawn_ref(fn, target_expr, local_types)
+        self.spawns.append(
+            SpawnSite(
+                caller=fn.qname,
+                target=target,
+                raw=target_raw,
+                context=context,
+                line=node.lineno,
+                path=fn.source.rel,
+            )
+        )
+
+    # -------------------------------------------------------------- #
+    # Context propagation
+    # -------------------------------------------------------------- #
+
+    def _propagate_contexts(self) -> None:
+        contexts: Dict[str, Set[str]] = {q: set() for q in self.functions}
+        worklist: List[str] = []
+
+        def seed(qname: Optional[str], context: str) -> None:
+            if qname is None or qname not in contexts:
+                return
+            if context not in contexts[qname]:
+                contexts[qname].add(context)
+                worklist.append(qname)
+
+        for fn in self.functions.values():
+            if fn.is_async:
+                seed(fn.qname, CONTEXT_ASYNC)
+            if fn.module in _MAIN_ROOT_MODULES and fn.cls is None:
+                seed(fn.qname, CONTEXT_MAIN)
+        for spawn in self.spawns:
+            seed(spawn.target, spawn.context)
+        while worklist:
+            qname = worklist.pop()
+            fn = self.functions.get(qname)
+            if fn is None:
+                continue
+            spread = contexts[qname]
+            # An async function's own frame runs on the loop; its sync
+            # callees inherit every context, its awaited async callees
+            # are already seeded.
+            for site in self.calls_by_caller.get(qname, ()):
+                if site.callee is None or site.callee not in contexts:
+                    continue
+                before = set(contexts[site.callee])
+                contexts[site.callee] |= spread
+                if contexts[site.callee] != before:
+                    worklist.append(site.callee)
+        self.contexts = {
+            qname: frozenset(labels) if labels else frozenset({CONTEXT_UNKNOWN})
+            for qname, labels in contexts.items()
+        }
+
+    def context_of(self, qname: str) -> FrozenSet[str]:
+        return self.contexts.get(qname, frozenset({CONTEXT_UNKNOWN}))
+
+    def async_roots_reaching(self, qname: str) -> List[str]:
+        """Async-context roots from which ``qname`` is reachable (sorted)."""
+        roots = [
+            fn.qname
+            for fn in self.functions.values()
+            if fn.is_async
+            or any(
+                s.target == fn.qname and s.context == CONTEXT_ASYNC
+                for s in self.spawns
+            )
+        ]
+        reaching = []
+        for root in roots:
+            if self._reaches(root, qname):
+                reaching.append(root)
+        return sorted(reaching)
+
+    def _reaches(self, start: str, goal: str) -> bool:
+        if start == goal:
+            return True
+        seen = {start}
+        queue = [start]
+        while queue:
+            current = queue.pop(0)
+            for site in self.calls_by_caller.get(current, ()):
+                callee = site.callee
+                if callee is None or callee in seen:
+                    continue
+                if callee == goal:
+                    return True
+                seen.add(callee)
+                queue.append(callee)
+        return False
+
+    def call_path(self, start: str, goal: str) -> Optional[List[str]]:
+        """Shortest resolved call chain start -> goal, inclusive."""
+        if start == goal:
+            return [start]
+        parents: Dict[str, str] = {}
+        seen = {start}
+        queue = [start]
+        while queue:
+            current = queue.pop(0)
+            for site in self.calls_by_caller.get(current, ()):
+                callee = site.callee
+                if callee is None or callee in seen:
+                    continue
+                parents[callee] = current
+                if callee == goal:
+                    chain = [callee]
+                    while chain[-1] != start:
+                        chain.append(parents[chain[-1]])
+                    return list(reversed(chain))
+                seen.add(callee)
+                queue.append(callee)
+        return None
+
+    # -------------------------------------------------------------- #
+    # Public resolution helpers (used by the dataflow framework)
+    # -------------------------------------------------------------- #
+
+    def resolve_call_target(
+        self, fn: FunctionInfo, call: ast.Call
+    ) -> Optional[str]:
+        """Resolved function qname of a call inside ``fn`` (or None)."""
+        resolved = self._resolve_callee(fn, call.func, {})
+        if resolved is None:
+            return None
+        kind, qname = resolved
+        if kind == "class":
+            return self.lookup_method(qname, "__init__")
+        return qname
+
+    def raw_name(self, fn: FunctionInfo, node: ast.AST) -> Optional[str]:
+        """Alias-expanded dotted text of a Name/Attribute chain."""
+        dotted = _dotted(node)
+        if dotted is None:
+            return None
+        return self._expand(self.modules[fn.module], dotted)
+
+    # -------------------------------------------------------------- #
+    # Lock inheritance
+    # -------------------------------------------------------------- #
+
+    def _compute_always_locked(self) -> None:
+        """Functions every resolved caller invokes with a lock held.
+
+        Spawn targets and root functions (no resolved callers) never
+        qualify; the fixpoint removes any function one of whose call
+        sites is unguarded and whose caller is not itself always-locked.
+        """
+        spawned = {s.target for s in self.spawns if s.target}
+        candidates = {
+            qname
+            for qname in self.functions
+            if qname in self.calls_by_callee and qname not in spawned
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qname in list(candidates):
+                for site in self.calls_by_callee.get(qname, ()):
+                    if site.guarded:
+                        continue
+                    if site.caller in candidates:
+                        continue
+                    candidates.discard(qname)
+                    changed = True
+                    break
+        self.always_locked = candidates
+
+    def is_guarded(self, site_guarded: bool, caller: str) -> bool:
+        """A site holds a lock lexically or via an always-locked caller."""
+        return site_guarded or caller in self.always_locked
+
+
+# ------------------------------------------------------------------ #
+# Small AST helpers (shared shape with rules.py, kept local so the
+# module has no import cycle with it)
+# ------------------------------------------------------------------ #
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.<attr>`` -> attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_factory(fn: FunctionInfo) -> bool:
+    node = fn.node
+    assert isinstance(node, FuncDef)
+    for decorator in node.decorator_list:
+        if _dotted(decorator) == "classmethod":
+            return True
+    return any(fn.name.startswith(hint) for hint in _FACTORY_NAME_HINTS)
+
+
+def _is_staticmethod(fn: FunctionInfo) -> bool:
+    node = fn.node
+    assert isinstance(node, FuncDef)
+    return any(
+        _dotted(decorator) == "staticmethod"
+        for decorator in node.decorator_list
+    )
+
+
+def _param_names(node: ast.AST, skip_self: bool) -> List[str]:
+    assert isinstance(node, FuncDef)
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if skip_self and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    names.extend(a.arg for a in args.kwonlyargs)
+    return names
+
+
+def _ordered_walk(node: ast.AST) -> Iterable[ast.AST]:
+    """ast.walk, but skipping nested function bodies."""
+    queue: List[ast.AST] = [node]
+    root = node
+    while queue:
+        current = queue.pop(0)
+        if isinstance(current, FuncDef) and current is not root:
+            continue
+        yield current
+        queue.extend(ast.iter_child_nodes(current))

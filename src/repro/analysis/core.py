@@ -39,11 +39,15 @@ line-number-free so unrelated edits do not churn the file.
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.callgraph import CallGraph
 
 __all__ = [
     "BASELINE_NAME",
@@ -51,6 +55,7 @@ __all__ = [
     "LintContext",
     "SourceFile",
     "SourceError",
+    "ast_cache_stats",
     "baseline_identities",
     "find_root",
     "load_baseline",
@@ -70,6 +75,39 @@ _NOQA_RE = re.compile(
 
 class SourceError(RuntimeError):
     """A target-tree source file failed to parse."""
+
+
+# ------------------------------------------------------------------ #
+# Parsed-AST cache
+# ------------------------------------------------------------------ #
+#
+# Keyed by the sha256 of the source text, so every LintContext built in
+# one process (the CLI builds one per run; the test suite builds dozens
+# over the same checkout) parses each distinct file exactly once. Rules
+# only ever *read* trees, so sharing the parsed modules is safe.
+
+_AST_CACHE: Dict[str, ast.Module] = {}
+_AST_CACHE_MAX = 1024
+_AST_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def ast_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the process-wide parsed-AST cache."""
+    return dict(_AST_CACHE_STATS)
+
+
+def _parse_cached(text: str, filename: str) -> ast.Module:
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    tree = _AST_CACHE.get(digest)
+    if tree is not None:
+        _AST_CACHE_STATS["hits"] += 1
+        return tree
+    _AST_CACHE_STATS["misses"] += 1
+    tree = ast.parse(text, filename=filename)
+    if len(_AST_CACHE) >= _AST_CACHE_MAX:
+        _AST_CACHE.clear()
+    _AST_CACHE[digest] = tree
+    return tree
 
 
 @dataclass(frozen=True)
@@ -193,6 +231,7 @@ class LintContext:
         self.files: Dict[str, SourceFile] = {}
         self.test_texts: Dict[str, str] = {}
         self.experiments_text = ""
+        self._callgraph: Optional["CallGraph"] = None
         self._load()
 
     def _load(self) -> None:
@@ -205,7 +244,7 @@ class LintContext:
             rel = path.relative_to(self.root).as_posix()
             text = path.read_text(encoding="utf-8")
             try:
-                tree = ast.parse(text, filename=str(path))
+                tree = _parse_cached(text, filename=str(path))
             except SyntaxError as exc:
                 raise SourceError(f"{rel}: {exc}") from exc
             self.files[rel] = SourceFile(
@@ -252,6 +291,15 @@ class LintContext:
             for rel, text in self.test_texts.items()
             if all(needle in text for needle in needles)
         ]
+
+    def callgraph(self) -> "CallGraph":
+        """The project call graph, built lazily and shared by the
+        interprocedural rules (one build serves all of them)."""
+        if self._callgraph is None:
+            from repro.analysis.callgraph import CallGraph
+
+            self._callgraph = CallGraph.build(self)
+        return self._callgraph
 
 
 def filter_suppressed(

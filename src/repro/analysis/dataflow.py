@@ -1,0 +1,398 @@
+"""Forward data-flow / taint framework over the project call graph.
+
+A :class:`TaintSpec` names *sources* (expressions that introduce taint —
+for the digest-flow rule, environment reads) and *sinks* (calls whose
+arguments must stay untainted — ``run_digest``/``content_id``). The
+analysis is interprocedural and summary-based:
+
+* every expression evaluates to a set of **origins**: a source token
+  like ``"<env:REPRO_SALT>"`` when a source value flows in, or a bare
+  parameter name when the value derives from one of the enclosing
+  function's parameters;
+* per-function summaries record which source tokens reach the return
+  value, which parameters pass through to the return value, and which
+  parameters reach a sink inside the function (transitively);
+* a fixpoint iterates until summaries and class-attribute taint sets
+  stop changing, then a final pass reports :class:`TaintHit`s — direct
+  tainted-argument-at-sink sites plus call sites that feed a tainted
+  value into a callee's sink-reaching parameter.
+
+Like the rest of :mod:`repro.analysis` this never imports the linted
+tree. Precision limits, by design: unresolvable calls conservatively
+propagate their arguments' taint to their result (so ``str(knob)``,
+f-strings, and ``"".join`` chains stay tainted) but are never treated
+as sinks; flows through *resolved* constructors are containment, not
+value flow (storing a tainted path on an object does not taint every
+value later read out of that object) — the file-local ``digest-purity``
+rule owns the Runner-parameter dichotomy that covers those.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo
+
+__all__ = ["TaintAnalysis", "TaintHit", "TaintSpec", "is_source"]
+
+#: Both function-definition node flavours.
+_FUNC_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def is_source(origin: str) -> bool:
+    """True for source tokens (``"<...>"``), False for parameter names."""
+    return origin.startswith("<")
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """What counts as a source and what counts as a sink."""
+
+    name: str
+    #: Called with (enclosing FunctionInfo, Call node, alias-expanded
+    #: dotted name) — returns a source label (e.g. ``"env:REPRO_SALT"``)
+    #: when the call's *result* is tainted, else None.
+    source_of_call: Callable[[FunctionInfo, ast.Call, str], Optional[str]]
+    #: Called with (enclosing FunctionInfo, Subscript node, alias-expanded
+    #: dotted base name) — returns a source label when subscripting
+    #: yields taint, else None.
+    source_of_subscript: Callable[
+        [FunctionInfo, ast.Subscript, str], Optional[str]
+    ]
+    #: Called with (resolved callee qname or None, raw dotted name);
+    #: returns a display label when the call is a sink, else None.
+    sink_label: Callable[[Optional[str], str], Optional[str]]
+
+
+@dataclass(frozen=True)
+class TaintHit:
+    """One tainted value reaching a sink argument."""
+
+    path: str
+    line: int
+    sink: str  # the sink's display label
+    function: str  # qname of the function holding the flagged call
+    sources: Tuple[str, ...]  # source labels that reach the sink here
+    via: Tuple[str, ...]  # interprocedural chain below this call, if any
+
+
+@dataclass
+class _Summary:
+    ret_sources: Set[str] = field(default_factory=set)
+    ret_params: Set[str] = field(default_factory=set)
+    #: param name -> (sink label, chain of callee qnames to the sink).
+    sink_params: Dict[str, Tuple[str, Tuple[str, ...]]] = field(
+        default_factory=dict
+    )
+
+
+class TaintAnalysis:
+    """Run one :class:`TaintSpec` over a built :class:`CallGraph`."""
+
+    def __init__(self, graph: CallGraph, spec: TaintSpec):
+        self.graph = graph
+        self.spec = spec
+        self.summaries: Dict[str, _Summary] = {
+            qname: _Summary() for qname in graph.functions
+        }
+        #: class qname -> attr -> source tokens proven stored there.
+        self.tainted_attrs: Dict[str, Dict[str, Set[str]]] = {}
+        self.hits: List[TaintHit] = []
+        self._changed = False
+
+    # -------------------------------------------------------------- #
+    # Public API
+    # -------------------------------------------------------------- #
+
+    def run(self) -> List[TaintHit]:
+        for _ in range(10):
+            self._changed = False
+            for fn in self.graph.functions.values():
+                self._analyze(fn, collect=False)
+            if not self._changed:
+                break
+        for fn in self.graph.functions.values():
+            self._analyze(fn, collect=True)
+        seen: Set[Tuple[str, int, str]] = set()
+        unique: List[TaintHit] = []
+        for hit in self.hits:
+            key = (hit.path, hit.line, hit.sink)
+            if key not in seen:
+                seen.add(key)
+                unique.append(hit)
+        return sorted(unique, key=lambda h: (h.path, h.line, h.sink))
+
+    # -------------------------------------------------------------- #
+    # Per-function analysis
+    # -------------------------------------------------------------- #
+
+    def _params(self, fn: FunctionInfo) -> List[str]:
+        node = fn.node
+        assert isinstance(node, _FUNC_DEFS)
+        args = node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        names.extend(a.arg for a in args.kwonlyargs)
+        return [n for n in names if n not in ("self", "cls")]
+
+    def _analyze(self, fn: FunctionInfo, collect: bool) -> None:
+        env: Dict[str, FrozenSet[str]] = {}
+        for name in self._params(fn):
+            env[name] = frozenset({name})
+        summary = self.summaries[fn.qname]
+        node = fn.node
+        assert isinstance(node, _FUNC_DEFS)
+        for stmt in node.body:
+            self._visit_stmt(fn, stmt, env, summary, collect)
+
+    def _visit_stmt(
+        self,
+        fn: FunctionInfo,
+        stmt: ast.AST,
+        env: Dict[str, FrozenSet[str]],
+        summary: _Summary,
+        collect: bool,
+    ) -> None:
+        if isinstance(stmt, _FUNC_DEFS):
+            return  # nested functions are analyzed on their own
+        if isinstance(stmt, ast.Assign):
+            origins = self._eval(fn, stmt.value, env, summary, collect)
+            for target in stmt.targets:
+                self._assign(fn, target, origins, env)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            origins = self._eval(fn, stmt.value, env, summary, collect)
+            self._assign(fn, stmt.target, origins, env)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            origins = self._eval(fn, stmt.value, env, summary, collect)
+            if isinstance(stmt.target, ast.Name):
+                prior = env.get(stmt.target.id, frozenset())
+                self._assign(fn, stmt.target, origins | prior, env)
+            else:
+                self._assign(fn, stmt.target, origins, env)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                origins = self._eval(fn, stmt.value, env, summary, collect)
+                new_sources = {o for o in origins if is_source(o)}
+                if not new_sources <= summary.ret_sources:
+                    summary.ret_sources |= new_sources
+                    self._changed = True
+                new_params = {
+                    o for o in origins if not is_source(o)
+                } - summary.ret_params
+                if new_params:
+                    summary.ret_params |= new_params
+                    self._changed = True
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            origins = self._eval(fn, stmt.iter, env, summary, collect)
+            self._assign(fn, stmt.target, origins, env)
+            for child in stmt.body + stmt.orelse:
+                self._visit_stmt(fn, child, env, summary, collect)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                origins = self._eval(
+                    fn, item.context_expr, env, summary, collect
+                )
+                if item.optional_vars is not None:
+                    self._assign(fn, item.optional_vars, origins, env)
+            for child in stmt.body:
+                self._visit_stmt(fn, child, env, summary, collect)
+            return
+        # Generic statements: evaluate embedded expressions, then walk
+        # nested statement blocks in source order.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._visit_stmt(fn, child, env, summary, collect)
+            elif isinstance(child, ast.expr):
+                self._eval(fn, child, env, summary, collect)
+            elif isinstance(child, ast.excepthandler):
+                for grand in child.body:
+                    self._visit_stmt(fn, grand, env, summary, collect)
+
+    def _assign(
+        self,
+        fn: FunctionInfo,
+        target: ast.AST,
+        origins: FrozenSet[str],
+        env: Dict[str, FrozenSet[str]],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = origins
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(fn, element, origins, env)
+            return
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and fn.cls is not None
+        ):
+            sources = {o for o in origins if is_source(o)}
+            if not sources:
+                return
+            attrs = self.tainted_attrs.setdefault(fn.cls, {})
+            known = attrs.setdefault(target.attr, set())
+            if not sources <= known:
+                known |= sources
+                self._changed = True
+
+    # -------------------------------------------------------------- #
+    # Expression evaluation
+    # -------------------------------------------------------------- #
+
+    def _eval(
+        self,
+        fn: FunctionInfo,
+        expr: ast.AST,
+        env: Dict[str, FrozenSet[str]],
+        summary: _Summary,
+        collect: bool,
+    ) -> FrozenSet[str]:
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, frozenset())
+        if isinstance(expr, ast.Constant):
+            return frozenset()
+        if isinstance(expr, ast.Attribute):
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and fn.cls is not None
+            ):
+                stored = self.tainted_attrs.get(fn.cls, {}).get(expr.attr)
+                return frozenset(stored) if stored else frozenset()
+            return self._eval(fn, expr.value, env, summary, collect)
+        if isinstance(expr, ast.Subscript):
+            base_raw = self.graph.raw_name(fn, expr.value)
+            origins = self._eval(fn, expr.value, env, summary, collect)
+            origins |= self._eval(fn, expr.slice, env, summary, collect)
+            if base_raw is not None:
+                label = self.spec.source_of_subscript(fn, expr, base_raw)
+                if label is not None:
+                    origins |= {f"<{label}>"}
+            return origins
+        if isinstance(expr, ast.Call):
+            return self._eval_call(fn, expr, env, summary, collect)
+        if isinstance(expr, ast.Lambda):
+            return frozenset()
+        # Everything else: union of child expressions (BinOp, BoolOp,
+        # f-strings, comprehensions, ternaries, containers, compares).
+        origins: FrozenSet[str] = frozenset()
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                origins |= self._eval(fn, child, env, summary, collect)
+            elif isinstance(child, ast.comprehension):
+                origins |= self._eval(fn, child.iter, env, summary, collect)
+        return origins
+
+    def _eval_call(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        env: Dict[str, FrozenSet[str]],
+        summary: _Summary,
+        collect: bool,
+    ) -> FrozenSet[str]:
+        raw = self.graph.raw_name(fn, call.func) or (
+            call.func.attr if isinstance(call.func, ast.Attribute) else ""
+        )
+        callee_qname = self.graph.resolve_call_target(fn, call)
+        arg_origins: List[FrozenSet[str]] = []
+        all_origins: FrozenSet[str] = frozenset()
+        for arg in list(call.args) + [k.value for k in call.keywords]:
+            origins = self._eval(fn, arg, env, summary, collect)
+            arg_origins.append(origins)
+            all_origins |= origins
+        # Receiver taint flows through method calls (tainted.strip()).
+        if isinstance(call.func, ast.Attribute):
+            all_origins |= self._eval(
+                fn, call.func.value, env, summary, collect
+            )
+
+        sink = self.spec.sink_label(callee_qname, raw)
+        if sink is not None:
+            flagged: FrozenSet[str] = frozenset()
+            for origins in arg_origins:
+                flagged |= origins
+            self._report(fn, call, sink, flagged, summary, (), collect)
+            return frozenset()  # a digest of taint is not itself taint
+
+        label = self.spec.source_of_call(fn, call, raw)
+        if label is not None:
+            return frozenset({f"<{label}>"})
+
+        if callee_qname is not None:
+            callee_summary = self.summaries.get(callee_qname)
+            callee = self.graph.functions.get(callee_qname)
+            if callee_summary is not None and callee is not None:
+                params = self._params(callee)
+                keyword_names = [k.arg for k in call.keywords]
+
+                def origins_for(name: str) -> FrozenSet[str]:
+                    if name not in params:
+                        return frozenset()
+                    index = params.index(name)
+                    if index < len(call.args):
+                        return arg_origins[index]
+                    if name in keyword_names:
+                        return arg_origins[
+                            len(call.args) + keyword_names.index(name)
+                        ]
+                    return frozenset()
+
+                # Arguments reaching the callee's sink-bound parameters.
+                for name, (sink_name, chain) in list(
+                    callee_summary.sink_params.items()
+                ):
+                    origins = origins_for(name)
+                    if origins:
+                        self._report(
+                            fn,
+                            call,
+                            sink_name,
+                            origins,
+                            summary,
+                            (callee_qname,) + chain,
+                            collect,
+                        )
+                result: FrozenSet[str] = frozenset(
+                    callee_summary.ret_sources
+                )
+                for name in callee_summary.ret_params:
+                    result |= origins_for(name)
+                return result
+        # Unresolved call: conservatively pass argument taint through.
+        return all_origins
+
+    def _report(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        sink_name: str,
+        flagged: FrozenSet[str],
+        summary: _Summary,
+        chain: Tuple[str, ...],
+        collect: bool,
+    ) -> None:
+        sources = sorted(o[1:-1] for o in flagged if is_source(o))
+        if sources and collect:
+            self.hits.append(
+                TaintHit(
+                    path=fn.source.rel,
+                    line=call.lineno,
+                    sink=sink_name,
+                    function=fn.qname,
+                    sources=tuple(sources),
+                    via=chain,
+                )
+            )
+        for origin in flagged:
+            if not is_source(origin) and origin not in summary.sink_params:
+                summary.sink_params[origin] = (sink_name, chain)
+                self._changed = True

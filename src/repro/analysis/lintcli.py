@@ -13,12 +13,14 @@ from __future__ import annotations
 
 import argparse
 import json
+from pathlib import Path
 from typing import Any, Callable
 
 from repro.analysis import (
     BASELINE_NAME,
     RULES,
     SourceError,
+    baseline_identities,
     run_lint,
     write_baseline,
 )
@@ -36,11 +38,26 @@ def main(
         print_fn(f"repro lint: {exc}")
         return 2
 
+    if getattr(args, "sarif", None):
+        from repro.analysis.sarif import write_sarif
+
+        path = write_sarif(report, Path(args.sarif))
+        print_fn(f"wrote SARIF log to {path}")
+
     if args.baseline == "write":
+        # The baseline is rewritten wholesale from the current findings,
+        # so entries whose (rule, path, message) no longer fires — stale
+        # debt — are pruned by construction; report the ratchet delta.
+        old = baseline_identities(report.baseline)
+        new = {finding.identity for finding in report.findings}
         path = write_baseline(report.root, report.findings)
         print_fn(
             f"wrote {len(report.findings)} finding(s) to {path} "
             f"({len(report.suppressed)} suppressed)"
+        )
+        print_fn(
+            f"ratchet delta: +{len(new - old)} added, "
+            f"-{len(old - new)} pruned, {len(new & old)} kept"
         )
         return 0
 

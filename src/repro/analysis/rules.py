@@ -1,8 +1,12 @@
-"""The ``repro lint`` rule set: seven repo-specific determinism checkers.
+"""The ``repro lint`` rule set: ten repo-specific determinism checkers.
 
 Each rule is a callable ``rule(ctx) -> iterable[Finding]`` over a parsed
-:class:`~repro.analysis.core.LintContext`. Rules encode the reproduction
-invariants PRs 1–4 established informally:
+:class:`~repro.analysis.core.LintContext`. The first seven are
+file-local; the last three run over the project call graph
+(:mod:`repro.analysis.callgraph`) and data-flow framework
+(:mod:`repro.analysis.dataflow`), so they reason about reachability
+across module boundaries. Rules encode the reproduction invariants the
+earlier PRs established informally:
 
 ``unseeded-random``
     Module-level randomness in simulation packages must flow from an
@@ -33,11 +37,28 @@ invariants PRs 1–4 established informally:
     :mod:`repro.workloads.registry` (outside the workloads package
     itself), and raw dataset files (``.mtx``/``.snap``/``.el``) are read
     only by the digest-pinned ingester in :mod:`repro.graphs.ingest`.
+``concurrency-safety``
+    Every function is classified by execution context (main, asyncio
+    loop, worker thread, executor thread, pool process, signal handler)
+    via call-graph reachability; instance state written from one
+    concurrent context and touched from another must hold a lock,
+    blocking calls (fsync/sleep/subprocess) must not be reachable from
+    the event loop, and signal handlers must only set flags.
+``digest-flow``
+    Interprocedural digest purity: environment/knob values must not
+    flow into ``run_digest``/``content_id`` through helper chains —
+    digests are pure functions of declared config.
+``telemetry-schema``
+    Every statically-extractable ``telemetry.emit``/``emit_timed``
+    event name and field set is cross-checked against the
+    EXPERIMENTS.md event table in both directions (undocumented
+    emissions and documented-but-never-emitted rows both flag).
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -1158,6 +1179,472 @@ def check_workload_registry(ctx: LintContext) -> Iterator[Finding]:
 
 
 # ------------------------------------------------------------------ #
+# Interprocedural rules (call-graph / data-flow layer)
+# ------------------------------------------------------------------ #
+#
+# The three rules below run on the project call graph built by
+# :mod:`repro.analysis.callgraph` (one lazy build per lint context,
+# shared), so they see *reachability*, not just file-local syntax: which
+# execution context a function runs in, which helper chains an env value
+# flows through, which telemetry events a call tree can emit.
+
+#: Context labels that share the process address space concurrently.
+#: Pool workers run in their own process and "main" is where everything
+#: else is sequenced from, so neither joins a shared-state conflict.
+_CONCURRENT_CONTEXTS = frozenset({"async", "thread", "executor", "signal"})
+
+#: Methods that run before the instance is published to another context
+#: (or during pickling, when no other context holds a reference), so
+#: their unguarded writes are construction, not races.
+_CONSTRUCTION_METHODS = frozenset(
+    {
+        "__init__",
+        "__new__",
+        "__post_init__",
+        "__setstate__",
+        "__getstate__",
+        "__reduce__",
+    }
+)
+
+#: Fully-qualified callables that block the calling thread long enough
+#: to stall an event loop or wedge a signal handler. ``os.write`` is
+#: deliberately absent: single buffered-line writes to journal fds are
+#: sub-millisecond, while fsync waits on the disk.
+_BLOCKING_EXACT = frozenset(
+    {"time.sleep", "os.fsync", "os.fdatasync", "select.select"}
+)
+_BLOCKING_PREFIXES = ("subprocess.",)
+
+
+def _blocking_callable(raw: str) -> Optional[str]:
+    if raw in _BLOCKING_EXACT:
+        return raw
+    for prefix in _BLOCKING_PREFIXES:
+        if raw.startswith(prefix):
+            return raw
+    return None
+
+
+def _short(qname: str) -> str:
+    """Drop the ``repro.`` prefix for readable call chains."""
+    return qname[len("repro."):] if qname.startswith("repro.") else qname
+
+
+def _shared_state_findings(ctx: LintContext, graph) -> Iterator[Finding]:
+    """Instance attributes written from one concurrent context and
+    touched from another without a consistent lock."""
+    # A class participates when a spawn target is one of its methods,
+    # when it declares its own lock attributes, or when a participating
+    # class holds an instance of it in an attribute (closure below).
+    shared = {
+        fn.cls
+        for spawn in graph.spawns
+        if spawn.target is not None
+        and (fn := graph.functions.get(spawn.target)) is not None
+        and fn.cls is not None
+    }
+    shared |= {
+        info.qname for info in graph.classes.values() if info.lock_attrs
+    }
+    changed = True
+    while changed:
+        changed = False
+        for info in graph.classes.values():
+            if info.qname not in shared:
+                continue
+            for typ in info.attr_types.values():
+                if typ in graph.classes and typ not in shared:
+                    shared.add(typ)
+                    changed = True
+
+    for class_qname in sorted(shared):
+        info = graph.classes.get(class_qname)
+        if info is None:
+            continue
+        # attr -> (contexts, has_write, first unguarded access)
+        table: Dict[str, list] = {}
+        for method_qname in info.methods.values():
+            fn = graph.functions.get(method_qname)
+            if fn is None or fn.name in _CONSTRUCTION_METHODS:
+                continue
+            contexts = graph.context_of(method_qname) & _CONCURRENT_CONTEXTS
+            locked_caller = method_qname in graph.always_locked
+            for access in fn.self_accesses:
+                if access.attr in info.lock_attrs:
+                    continue
+                entry = table.setdefault(access.attr, [set(), False, None])
+                entry[0] |= contexts
+                if access.kind == "write":
+                    entry[1] = True
+                if not access.guarded and not locked_caller:
+                    if entry[2] is None or access.line < entry[2][1]:
+                        entry[2] = (fn.source.rel, access.line)
+        for attr in sorted(table):
+            contexts, has_write, unguarded = table[attr]
+            if len(contexts) < 2 or not has_write or unguarded is None:
+                continue
+            path, line = unguarded
+            yield Finding(
+                rule="concurrency-safety",
+                path=path,
+                line=line,
+                message=(
+                    f"{info.name}.{attr} is written in one of the "
+                    f"{'+'.join(sorted(contexts))} contexts and accessed "
+                    "from another without a consistent lock"
+                ),
+                hint="guard every access with the owning lock (or a "
+                "locked accessor); display-only state can be suppressed "
+                "with '# repro: noqa[concurrency-safety]'",
+            )
+
+
+def _blocking_async_findings(ctx: LintContext, graph) -> Iterator[Finding]:
+    """Blocking calls whose enclosing function runs on the event loop."""
+    for site in graph.calls:
+        blocking = _blocking_callable(site.raw)
+        if blocking is None:
+            continue
+        caller = graph.functions.get(site.caller)
+        if caller is None:
+            continue
+        if "async" not in graph.context_of(site.caller):
+            continue
+        roots = graph.async_roots_reaching(site.caller)
+        chain = ""
+        if roots:
+            path = graph.call_path(roots[0], site.caller)
+            if path:
+                chain = " via " + " -> ".join(_short(q) for q in path)
+        yield Finding(
+            rule="concurrency-safety",
+            path=site.path,
+            line=site.line,
+            message=(
+                f"blocking call {blocking} is reachable on the asyncio "
+                f"event loop{chain}"
+            ),
+            hint="hand the blocking work to a thread with "
+            "loop.run_in_executor(...) / asyncio.to_thread(...), or cut "
+            "the call edge from the coroutine",
+        )
+
+
+def _signal_reentrancy_findings(ctx: LintContext, graph) -> Iterator[Finding]:
+    """Non-reentrant work (locks, blocking IO) inside signal handlers.
+
+    A signal handler interrupts the main thread at an arbitrary bytecode
+    boundary: taking a non-reentrant lock there deadlocks if the
+    interrupted frame holds it, and blocking IO stretches the window in
+    which a second signal kills the process.
+    """
+    for qname, fn in sorted(graph.functions.items()):
+        if "signal" not in graph.context_of(qname):
+            continue
+        if fn.acquires_lock:
+            yield Finding(
+                rule="concurrency-safety",
+                path=fn.source.rel,
+                line=fn.node.lineno,
+                message=(
+                    f"{_short(qname)} acquires a lock but is reachable "
+                    "from a signal handler"
+                ),
+                hint="signal handlers must only set flags; move the "
+                "locked work to the interrupted loop's next iteration",
+            )
+        for site in graph.calls_by_caller.get(qname, ()):
+            blocking = _blocking_callable(site.raw)
+            tail = site.raw.rsplit(".", maxsplit=1)[-1]
+            if blocking is None and tail != "acquire":
+                continue
+            what = blocking or site.raw
+            yield Finding(
+                rule="concurrency-safety",
+                path=site.path,
+                line=site.line,
+                message=(
+                    f"non-reentrant call {what} in {_short(qname)} is "
+                    "reachable from a signal handler"
+                ),
+                hint="signal handlers must only set flags; defer the "
+                "work to the interrupted loop",
+            )
+
+
+def check_concurrency_safety(ctx: LintContext) -> Iterator[Finding]:
+    graph = ctx.callgraph()
+    yield from _shared_state_findings(ctx, graph)
+    yield from _blocking_async_findings(ctx, graph)
+    yield from _signal_reentrancy_findings(ctx, graph)
+
+
+# ------------------------------------------------------------------ #
+# Rule 9: digest-flow (interprocedural digest purity)
+# ------------------------------------------------------------------ #
+
+#: Call tails that name a digest sink anywhere in the tree.
+_DIGEST_SINKS = ("run_digest", "content_id")
+
+
+def _digest_sink_label(qname: Optional[str], raw: str) -> Optional[str]:
+    for name in _DIGEST_SINKS:
+        if qname is not None and qname.rsplit(".", 1)[-1] == name:
+            return name
+        if raw == name or raw.endswith("." + name):
+            return name
+    return None
+
+
+def _env_arg_label(fn, call: ast.Call) -> str:
+    """``env:<NAME>`` for the first argument of an env/knob read."""
+    if call.args:
+        arg = call.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return f"env:{arg.value}"
+        if isinstance(arg, ast.Name):
+            consts = fn.source.string_constants()
+            if arg.id in consts:
+                return f"env:{consts[arg.id]}"
+    return "env:?"
+
+
+def _digest_source_of_call(fn, call: ast.Call, raw: str) -> Optional[str]:
+    if raw == "os.getenv" or raw.endswith(".environ.get"):
+        return _env_arg_label(fn, call)
+    if raw in ("knobs.read", "knobs.get") or raw.endswith(
+        (".knobs.read", ".knobs.get")
+    ):
+        return _env_arg_label(fn, call)
+    return None
+
+
+def _digest_source_of_subscript(fn, sub: ast.Subscript, raw: str) -> Optional[str]:
+    if raw == "os.environ" or raw.endswith(".environ"):
+        key = sub.slice
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            return f"env:{key.value}"
+        return "env:?"
+    return None
+
+
+def check_digest_flow(ctx: LintContext) -> Iterator[Finding]:
+    from repro.analysis.dataflow import TaintAnalysis, TaintSpec
+
+    exempt, _parse_findings = _digest_exempt_entries(ctx)
+    spec = TaintSpec(
+        name="digest-flow",
+        source_of_call=_digest_source_of_call,
+        source_of_subscript=_digest_source_of_subscript,
+        sink_label=_digest_sink_label,
+    )
+    graph = ctx.callgraph()
+    for hit in TaintAnalysis(graph, spec).run():
+        sources = ", ".join(hit.sources)
+        chain = (
+            " via " + " -> ".join(_short(q) for q in hit.via)
+            if hit.via
+            else ""
+        )
+        exempted = sorted(
+            s[len("env:"):]
+            for s in hit.sources
+            if s.startswith("env:") and s[len("env:"):] in exempt
+        )
+        contradiction = (
+            f"; {', '.join(exempted)} is digest-allowlisted as unable to "
+            "affect digests" if exempted else ""
+        )
+        yield Finding(
+            rule="digest-flow",
+            path=hit.path,
+            line=hit.line,
+            message=(
+                f"environment input ({sources}) flows into {hit.sink} in "
+                f"{_short(hit.function)}{chain}{contradiction}"
+            ),
+            hint="digests must be pure functions of declared config "
+            "(machine, _digest_params, cache_key, mode); break the flow "
+            "or justify with '# repro: noqa[digest-flow]'",
+        )
+
+
+# ------------------------------------------------------------------ #
+# Rule 10: telemetry-schema
+# ------------------------------------------------------------------ #
+
+#: Method names that emit a telemetry event.
+_EMIT_METHODS = ("emit", "emit_timed")
+
+#: Fields every ``emit_timed`` event carries implicitly (the monotonic
+#: duration and its legacy alias), documented once in the prose above
+#: the EXPERIMENTS.md table rather than per row.
+_IMPLICIT_TIMED_FIELDS = frozenset({"duration_s", "seconds"})
+
+_EVENT_TABLE_HEADER = re.compile(r"\|\s*event\s*\|\s*fields\s*\|")
+_BACKTICKED = re.compile(r"`([^`]+)`")
+
+
+def _telemetry_table(ctx: LintContext):
+    """Rows of the EXPERIMENTS.md event-schema table.
+
+    Returns ``[(lineno, [event, ...], {field token, ...}), ...]`` — the
+    second cell's backticked tokens include enum *values* as well as
+    field names, which is fine: the checker only requires emitted fields
+    to appear among them (a superset check), so extra tokens never flag.
+    """
+    rows = []
+    in_table = False
+    for lineno, line in enumerate(
+        ctx.experiments_text.splitlines(), start=1
+    ):
+        stripped = line.strip()
+        if not in_table:
+            if _EVENT_TABLE_HEADER.fullmatch(stripped):
+                in_table = True
+            continue
+        if not stripped.startswith("|"):
+            break
+        if set(stripped) <= set("|-: "):
+            continue  # the header separator row
+        cells = [cell.strip() for cell in stripped.strip("|").split("|")]
+        if len(cells) < 2:
+            continue
+        events = _BACKTICKED.findall(cells[0])
+        fields = set(_BACKTICKED.findall(cells[1]))
+        if events:
+            rows.append((lineno, events, fields))
+    return rows
+
+
+def _emit_sites(ctx: LintContext):
+    """Every static telemetry emission in the package.
+
+    Yields ``(source, node, method, name, prefix, fields)`` where
+    exactly one of ``name`` (a literal event name) and ``prefix`` (the
+    literal head of a concatenated/f-string name) is set; fully dynamic
+    names yield neither and are skipped by the caller.
+    """
+    for source in ctx.package_files():
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _EMIT_METHODS:
+                continue
+            receiver = _dotted(func.value)
+            if receiver is None:
+                continue
+            if receiver.rsplit(".", maxsplit=1)[-1] != "telemetry":
+                continue
+            if not node.args:
+                continue
+            event = node.args[0]
+            name: Optional[str] = None
+            prefix: Optional[str] = None
+            if isinstance(event, ast.Constant) and isinstance(
+                event.value, str
+            ):
+                name = event.value
+            elif (
+                isinstance(event, ast.BinOp)
+                and isinstance(event.op, ast.Add)
+                and isinstance(event.left, ast.Constant)
+                and isinstance(event.left.value, str)
+            ):
+                prefix = event.left.value
+            elif (
+                isinstance(event, ast.JoinedStr)
+                and event.values
+                and isinstance(event.values[0], ast.Constant)
+                and isinstance(event.values[0].value, str)
+            ):
+                prefix = event.values[0].value
+            fields = {kw.arg for kw in node.keywords if kw.arg is not None}
+            yield source, node, func.attr, name, prefix, fields
+
+
+def check_telemetry_schema(ctx: LintContext) -> Iterator[Finding]:
+    rows = _telemetry_table(ctx)
+    if not rows:
+        return  # no event table to check against (e.g. fixture trees)
+    documented: Dict[str, set] = {}
+    for _lineno, events, fields in rows:
+        for event in events:
+            documented.setdefault(event, set()).update(fields)
+
+    emitted_names: set = set()
+    emitted_prefixes: set = set()
+    for source, node, method, name, prefix, fields in _emit_sites(ctx):
+        if method == "emit_timed":
+            fields = fields - _IMPLICIT_TIMED_FIELDS
+        if name is not None:
+            emitted_names.add(name)
+            if name not in documented:
+                yield Finding(
+                    rule="telemetry-schema",
+                    path=source.rel,
+                    line=node.lineno,
+                    message=(
+                        f"telemetry event {name!r} is not documented in "
+                        "the EXPERIMENTS.md event table"
+                    ),
+                    hint="add a `| event | fields |` row (the table is "
+                    "machine-checked against the emitting code)",
+                )
+                continue
+            for field_name in sorted(
+                fields - documented[name] - _IMPLICIT_TIMED_FIELDS
+            ):
+                yield Finding(
+                    rule="telemetry-schema",
+                    path=source.rel,
+                    line=node.lineno,
+                    message=(
+                        f"field {field_name!r} of telemetry event "
+                        f"{name!r} is missing from its EXPERIMENTS.md row"
+                    ),
+                    hint="document the field (or drop it from the "
+                    "emission)",
+                )
+        elif prefix is not None:
+            emitted_prefixes.add(prefix)
+            if not any(event.startswith(prefix) for event in documented):
+                yield Finding(
+                    rule="telemetry-schema",
+                    path=source.rel,
+                    line=node.lineno,
+                    message=(
+                        f"telemetry events {prefix!r}* are not documented "
+                        "in the EXPERIMENTS.md event table"
+                    ),
+                    hint="add rows for every concrete event name this "
+                    "site can emit",
+                )
+
+    for lineno, events, _fields in rows:
+        for event in events:
+            if event in emitted_names:
+                continue
+            if any(event.startswith(p) for p in emitted_prefixes):
+                continue
+            yield Finding(
+                rule="telemetry-schema",
+                path="EXPERIMENTS.md",
+                line=lineno,
+                message=(
+                    f"documented telemetry event {event!r} is never "
+                    "emitted by the package"
+                ),
+                hint="remove the stale row, or restore the emission it "
+                "documents",
+            )
+
+
+# ------------------------------------------------------------------ #
 # Registry
 # ------------------------------------------------------------------ #
 
@@ -1208,6 +1695,24 @@ RULES: Tuple[Rule, ...] = (
         "workload kernels resolve through the registry; raw dataset "
         "reads go through the digest-pinned ingester",
         check_workload_registry,
+    ),
+    Rule(
+        "concurrency-safety",
+        "call-graph contexts: no unlocked cross-context state, no "
+        "blocking calls on the event loop, flag-only signal handlers",
+        check_concurrency_safety,
+    ),
+    Rule(
+        "digest-flow",
+        "env/knob values must not flow into run_digest/content_id, "
+        "even through helper chains",
+        check_digest_flow,
+    ),
+    Rule(
+        "telemetry-schema",
+        "emitted telemetry events/fields match the EXPERIMENTS.md "
+        "event table in both directions",
+        check_telemetry_schema,
     ),
 )
 

@@ -1,0 +1,131 @@
+"""SARIF 2.1.0 export of a lint report (``repro lint --sarif PATH``).
+
+One run, one tool driver (``repro-lint``), one result per finding. The
+mapping keeps CI code-scanning annotations faithful to the gate's
+semantics:
+
+* findings beyond the committed baseline are ``level: error`` with
+  ``baselineState: new`` — these are what fail the build;
+* baselined findings are ``level: warning`` / ``baselineState:
+  unchanged`` — visible debt, not gating;
+* noqa-suppressed findings are emitted with an ``inSource`` suppression
+  object so scanners display them as dismissed rather than dropping
+  them silently.
+
+Paths are repo-relative ``artifactLocation.uri`` values against a
+``ROOT`` uriBase, so the log is machine-portable across checkouts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.analysis.rules import RULES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis import Finding, LintReport
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "sarif_log", "write_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Tool identity in the SARIF ``tool.driver`` block.
+TOOL_NAME = "repro-lint"
+
+
+def _result(
+    finding: "Finding",
+    rule_index: dict,
+    level: str,
+    baseline_state: Optional[str] = None,
+    suppressed: bool = False,
+) -> dict:
+    result = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": level,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "ROOT",
+                    },
+                    "region": {"startLine": max(1, finding.line)},
+                }
+            }
+        ],
+    }
+    if finding.hint:
+        result["message"]["markdown"] = (
+            f"{finding.message}\n\n**hint:** {finding.hint}"
+        )
+    if baseline_state is not None:
+        result["baselineState"] = baseline_state
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "inSource", "justification": "# repro: noqa marker"}
+        ]
+    return result
+
+
+def sarif_log(report: "LintReport") -> dict:
+    """The SARIF 2.1.0 log object for one lint report."""
+    rule_index = {rule.id: index for index, rule in enumerate(RULES)}
+    new_identities = {f.identity for f in report.new_findings}
+    results: List[dict] = []
+    for finding in report.findings:
+        if finding.identity in new_identities:
+            results.append(_result(finding, rule_index, "error", "new"))
+        else:
+            results.append(
+                _result(finding, rule_index, "warning", "unchanged")
+            )
+    for finding in report.suppressed:
+        results.append(
+            _result(finding, rule_index, "note", suppressed=True)
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "shortDescription": {"text": rule.summary},
+                                "defaultConfiguration": {"level": "error"},
+                            }
+                            for rule in RULES
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {
+                    "ROOT": {"uri": Path(report.root).as_uri() + "/"}
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(report: "LintReport", path: Path) -> Path:
+    """Serialize ``report`` as a SARIF 2.1.0 log at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(sarif_log(report), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

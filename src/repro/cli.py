@@ -494,10 +494,12 @@ def build_parser():
         "lint",
         help="run the determinism/digest-purity static analysis",
         description=(
-            "Runs the repo-specific AST checkers (unseeded randomness, "
-            "digest purity, knob registry, backend pairing, nondeterminism "
-            "hazards, worker safety) over the checkout. Exits 1 on "
-            "findings not excused by the committed lint_baseline.json."
+            "Runs the repo-specific static analysis over the checkout: "
+            "file-local AST checkers (unseeded randomness, digest purity, "
+            "knob registry, backend pairing, nondeterminism hazards, "
+            "worker safety) plus the interprocedural call-graph rules "
+            "(concurrency-safety, digest-flow, telemetry-schema). Exits 1 "
+            "on findings not excused by the committed lint_baseline.json."
         ),
     )
     lint_parser.add_argument(
@@ -522,6 +524,13 @@ def build_parser():
         "--verbose",
         action="store_true",
         help="also list baselined and suppressed findings",
+    )
+    lint_parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="also write the findings as a SARIF 2.1.0 log at PATH "
+        "(for CI code-scanning upload)",
     )
 
     report_parser = commands.add_parser(

@@ -224,7 +224,8 @@ class SweepService:
 
     @property
     def draining(self):
-        return self._draining
+        with self._lock:
+            return self._draining
 
     def drain(self, signum=None):
         """Stop admissions, drain the in-flight job, journal the rest.
@@ -379,68 +380,75 @@ class SweepService:
         normalized = self.normalize_points(raw_points)
         specs = self._specs_for(normalized)
         job_id = self.job_id_for(specs)
+        dedupe_hit = None
         with self._wake:
             record = self.jobs.get(job_id)
             if record is not None:
                 if record.state == JOB_COMPLETED:
-                    return record, self.results(job_id), False
-                if record.pending:
+                    # results() takes the admission lock itself (the
+                    # Condition wraps the same non-reentrant Lock), so
+                    # the dedupe hit is served after releasing it.
+                    dedupe_hit = record
+                elif record.pending:
                     return record, None, False
                 # A previously failed job: fall through and requeue it.
-            if self._draining:
-                raise AdmissionError(
-                    "service is draining; submit to the restarted daemon",
-                    status=503,
-                    retry_after=self._retry_after(len(self._queue)),
-                )
-            cached = self._cache_probe(specs)
-            record = JobRecord(
-                job_id=job_id,
-                points=tuple(specs),
-                label=label,
-                client=client,
-                # repro: noqa[nondet] display-only submission stamp; job
-                # identity and recovery key off the content-addressed id
-                submitted=time.time(),
-                from_cache=cached is not None,
-            )
-            record.updated = record.submitted
-            if cached is not None:
-                # Degraded/cache-only tier: even a saturated or
-                # rebuilding service serves fully-cached jobs without
-                # queueing them.
-                self._stats["cache_served"] += 1
-                self.jobs[job_id] = record
-                record.state = JOB_COMPLETED
-            else:
-                depth = len(self._queue) + (1 if self._running else 0)
-                if depth >= self.queue_max:
-                    self._stats["shed"] += 1
-                    self.telemetry.emit(
-                        "service_shed", client=client, depth=depth
-                    )
+            if dedupe_hit is None:
+                if self._draining:
                     raise AdmissionError(
-                        f"queue full ({depth}/{self.queue_max}); "
-                        "cache-only degraded mode",
-                        status=429,
-                        retry_after=self._retry_after(depth),
+                        "service is draining; submit to the restarted daemon",
+                        status=503,
+                        retry_after=self._retry_after(len(self._queue)),
                     )
-                in_flight = sum(
-                    1
-                    for other in self.jobs.values()
-                    if other.pending and other.client == client
+                cached = self._cache_probe(specs)
+                record = JobRecord(
+                    job_id=job_id,
+                    points=tuple(specs),
+                    label=label,
+                    client=client,
+                    # repro: noqa[nondet] display-only submission stamp; job
+                    # identity and recovery key off the content-addressed id
+                    submitted=time.time(),
+                    from_cache=cached is not None,
                 )
-                if client is not None and in_flight >= self.client_max:
-                    self._stats["shed"] += 1
-                    raise AdmissionError(
-                        f"client {client!r} has {in_flight} jobs in "
-                        f"flight (cap {self.client_max})",
-                        status=429,
-                        retry_after=self._retry_after(in_flight),
+                record.updated = record.submitted
+                if cached is not None:
+                    # Degraded/cache-only tier: even a saturated or
+                    # rebuilding service serves fully-cached jobs without
+                    # queueing them.
+                    self._stats["cache_served"] += 1
+                    self.jobs[job_id] = record
+                    record.state = JOB_COMPLETED
+                else:
+                    depth = len(self._queue) + (1 if self._running else 0)
+                    if depth >= self.queue_max:
+                        self._stats["shed"] += 1
+                        self.telemetry.emit(
+                            "service_shed", client=client, depth=depth
+                        )
+                        raise AdmissionError(
+                            f"queue full ({depth}/{self.queue_max}); "
+                            "cache-only degraded mode",
+                            status=429,
+                            retry_after=self._retry_after(depth),
+                        )
+                    in_flight = sum(
+                        1
+                        for other in self.jobs.values()
+                        if other.pending and other.client == client
                     )
-                self.jobs[job_id] = record
-                self._queue.append(job_id)
-                self._wake.notify_all()
+                    if client is not None and in_flight >= self.client_max:
+                        self._stats["shed"] += 1
+                        raise AdmissionError(
+                            f"client {client!r} has {in_flight} jobs in "
+                            f"flight (cap {self.client_max})",
+                            status=429,
+                            retry_after=self._retry_after(in_flight),
+                        )
+                    self.jobs[job_id] = record
+                    self._queue.append(job_id)
+                    self._wake.notify_all()
+        if dedupe_hit is not None:
+            return dedupe_hit, self.results(job_id), False
         # Journal outside the wake lock: fsync latency must not block
         # admission decisions for other clients.
         self.journal.append(
@@ -491,6 +499,15 @@ class SweepService:
             telemetry=self._sink,
         )
 
+    def job(self, job_id):
+        """The in-memory record for ``job_id`` (None when unknown).
+
+        The jobs table is written by the worker thread and read from the
+        request executor; this is the locked accessor both sides share.
+        """
+        with self._lock:
+            return self.jobs.get(job_id)
+
     def results(self, job_id):
         """Journaled counters for ``job_id`` in point order (None = missing).
 
@@ -498,7 +515,7 @@ class SweepService:
         journal — the single bit-identical source of truth shared with
         ``repro resume`` — never from transient in-memory state.
         """
-        record = self.jobs.get(job_id)
+        record = self.job(job_id)
         if record is None:
             return None
         try:
@@ -564,6 +581,7 @@ class SweepService:
                 else None
             )
             stats = dict(self._stats)
+            draining = self._draining
         hits = cache.hits if cache is not None else 0
         misses = cache.misses if cache is not None else 0
         lookups = hits + misses
@@ -581,7 +599,7 @@ class SweepService:
                 "shed": stats["shed"],
                 "cache_served": stats["cache_served"],
                 "client_max": self.client_max,
-                "draining": self._draining,
+                "draining": draining,
             },
             "pool": {
                 "rebuilds": stats["pool_rebuilds"],

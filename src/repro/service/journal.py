@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -118,6 +119,10 @@ class JobJournal:
         self.path = Path(path)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.injector = injector
+        # One writer at a time: admissions append from the request
+        # executor while the worker thread journals transitions, and the
+        # torn-write drill's close/reopen must not interleave with either.
+        self._lock = threading.Lock()
         self._fd = None
 
     # ------------------------------------------------------------------ #
@@ -163,27 +168,32 @@ class JobJournal:
         }
         entry.update(fields)
         data = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
-        fd = self._descriptor()
-        if self.injector is not None and self.injector.maybe_tear(
-            self.TORN_TOKEN
-        ):
-            # Injected torn write: leave a partial line (what a kill -9
-            # mid-append leaves behind), then recover exactly as a fresh
-            # writer would — reopen seals the tail — and rewrite the full
-            # transition so chaos drills can assert nothing was lost.
-            os.write(fd, data[: max(1, len(data) // 2)])
-            self.telemetry.emit(
-                "service_journal_torn", job_id=job_id, state=state
-            )
-            self.close()
+        with self._lock:
             fd = self._descriptor()
-        os.write(fd, data)
-        try:
-            os.fsync(fd)
-        except OSError:
-            pass
+            if self.injector is not None and self.injector.maybe_tear(
+                self.TORN_TOKEN
+            ):
+                # Injected torn write: leave a partial line (what a kill -9
+                # mid-append leaves behind), then recover exactly as a fresh
+                # writer would — reopen seals the tail — and rewrite the full
+                # transition so chaos drills can assert nothing was lost.
+                os.write(fd, data[: max(1, len(data) // 2)])
+                self.telemetry.emit(
+                    "service_journal_torn", job_id=job_id, state=state
+                )
+                self._close()
+                fd = self._descriptor()
+            os.write(fd, data)
+            try:
+                os.fsync(fd)
+            except OSError:
+                pass
 
     def flush(self):
+        with self._lock:
+            self._flush()
+
+    def _flush(self):
         if self._fd is not None:
             try:
                 os.fsync(self._fd)
@@ -191,8 +201,12 @@ class JobJournal:
                 pass
 
     def close(self):
+        with self._lock:
+            self._close()
+
+    def _close(self):
         if self._fd is not None:
-            self.flush()
+            self._flush()
             os.close(self._fd)
             self._fd = None
 

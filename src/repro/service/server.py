@@ -106,15 +106,20 @@ class ServiceServer:
             self._handle, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        self._publish_endpoint()
+        # endpoint.json is written atomically (tmp + fsync + rename);
+        # keep the fsync off the event loop. host/port travel as
+        # arguments so the executor thread reads no instance state.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._publish_endpoint, self.host, self.port
+        )
         return self
 
-    def _publish_endpoint(self):
+    def _publish_endpoint(self, host, port):
         state_dir = Path(self.service.state_dir)
         state_dir.mkdir(parents=True, exist_ok=True)
         _atomic_write_json(
             state_dir / ENDPOINT_NAME,
-            {"host": self.host, "port": self.port, "pid": os.getpid()},
+            {"host": host, "port": port, "pid": os.getpid()},
         )
 
     async def close(self):
@@ -136,8 +141,13 @@ class ServiceServer:
             except (ConnectionError, asyncio.IncompleteReadError, OSError):
                 return
             else:
-                status, payload, headers = self.handle_request(
-                    method, path, body
+                # Routing ends in journal fsyncs and checkpoint writes on
+                # the submit path; run it on the default executor so the
+                # event loop keeps answering liveness probes while a
+                # submission is on the disk.
+                status, payload, headers = await asyncio.get_running_loop(
+                ).run_in_executor(
+                    None, self.handle_request, method, path, body
                 )
             data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
             head = [
@@ -223,7 +233,7 @@ class ServiceServer:
         return 202, response, {}
 
     def _job(self, job_id):
-        record = self.service.jobs.get(job_id)
+        record = self.service.job(job_id)
         if record is None:
             return 404, {"error": f"unknown job {job_id!r}"}, {}
         response = {"job": self.service.job_payload(record)}
@@ -275,7 +285,9 @@ async def serve_forever(service, host="127.0.0.1", port=DEFAULT_PORT, print_fn=N
         for signum in installed:
             loop.remove_signal_handler(signum)
         await server.close()
-        service.close()
+        # service.close() fsyncs the job journal shut; same executor
+        # treatment as the request path.
+        await loop.run_in_executor(None, service.close)
     if print_fn is not None:
         print_fn(
             "sweep service drained"

@@ -68,8 +68,11 @@ class TestJsonOutput:
         payload = json.loads(out)
         assert payload["ok"] is True
         assert payload["new_findings"] == []
-        assert len(payload["rules"]) == 7
+        assert len(payload["rules"]) == 10
         assert "workload-registry" in payload["rules"]
+        assert "concurrency-safety" in payload["rules"]
+        assert "digest-flow" in payload["rules"]
+        assert "telemetry-schema" in payload["rules"]
 
     def test_findings_carry_location_and_hint(self, tmp_path):
         root = dirty_tree(tmp_path)
@@ -103,3 +106,35 @@ class TestBaselineWrite:
         code, out = run_cli(["lint", "--root", str(root), "--verbose"])
         assert code == 0
         assert "(baselined)" in out
+
+    def test_rewrite_prunes_stale_entries_and_reports_delta(self, tmp_path):
+        root = dirty_tree(tmp_path)
+        # Seed a baseline holding one live entry plus one stale entry for
+        # a file that no longer exists.
+        code, out = run_cli(["lint", "--root", str(root), "--baseline", "write"])
+        assert code == 0
+        payload = json.loads((root / "lint_baseline.json").read_text())
+        payload["findings"].append(
+            {
+                "rule": "nondet",
+                "path": "src/repro/core/deleted.py",
+                "message": "an entry whose file was deleted long ago",
+            }
+        )
+        (root / "lint_baseline.json").write_text(json.dumps(payload))
+
+        code, out = run_cli(["lint", "--root", str(root), "--baseline", "write"])
+        assert code == 0
+        assert "ratchet delta: +0 added, -1 pruned, 1 kept" in out
+        rewritten = json.loads((root / "lint_baseline.json").read_text())
+        assert len(rewritten["findings"]) == 1
+        assert not any(
+            entry["path"] == "src/repro/core/deleted.py"
+            for entry in rewritten["findings"]
+        )
+
+    def test_delta_counts_new_entries(self, tmp_path):
+        root = dirty_tree(tmp_path)
+        code, out = run_cli(["lint", "--root", str(root), "--baseline", "write"])
+        assert code == 0
+        assert "ratchet delta: +1 added, -0 pruned, 0 kept" in out

@@ -1,0 +1,219 @@
+"""Taint-framework tests: labeled sources, summaries, attribute flows.
+
+Driven through :class:`repro.analysis.dataflow.TaintAnalysis` with a
+small custom spec (pinning the framework API) — the digest-flow rule's
+end-to-end behaviour is covered in ``test_interprocedural_rules.py``.
+"""
+
+import ast
+
+from repro.analysis import LintContext
+from repro.analysis.dataflow import TaintAnalysis, TaintSpec, is_source
+
+
+def _spec():
+    """Sources: ``read_secret("NAME")`` calls. Sinks: ``leak`` calls."""
+
+    def source_of_call(fn, call, raw):
+        if raw.rsplit(".", 1)[-1] == "read_secret":
+            if call.args and isinstance(call.args[0], ast.Constant):
+                return f"secret:{call.args[0].value}"
+            return "secret:?"
+        return None
+
+    def source_of_subscript(fn, sub, raw):
+        return None
+
+    def sink_label(qname, raw):
+        tail = raw.rsplit(".", 1)[-1]
+        return "leak" if tail == "leak" else None
+
+    return TaintSpec(
+        name="test",
+        source_of_call=source_of_call,
+        source_of_subscript=source_of_subscript,
+        sink_label=sink_label,
+    )
+
+
+def run_taint(root):
+    graph = LintContext(root).callgraph()
+    return TaintAnalysis(graph, _spec()).run()
+
+
+def test_is_source_distinguishes_labels_from_params():
+    assert is_source("<secret:X>")
+    assert not is_source("param_name")
+
+
+def test_direct_flow_reports_source_label(mini_tree):
+    root = mini_tree(
+        {
+            "src/repro/app.py": """
+            from repro.io import leak, read_secret
+
+            def go():
+                value = read_secret("TOKEN")
+                leak(value)
+            """,
+            "src/repro/io.py": """
+            def read_secret(name):
+                return name
+
+            def leak(value):
+                return value
+            """,
+        }
+    )
+    hits = run_taint(root)
+    assert len(hits) == 1
+    hit = hits[0]
+    assert hit.sink == "leak"
+    assert hit.sources == ("secret:TOKEN",)
+    assert hit.function == "repro.app.go"
+
+
+def test_helper_mediated_flow_records_via_chain(mini_tree):
+    root = mini_tree(
+        {
+            "src/repro/app.py": """
+            from repro.helpers import wrapped
+            from repro.io import leak
+
+            def go():
+                leak(wrapped())
+            """,
+            "src/repro/helpers.py": """
+            from repro.io import read_secret
+
+            def wrapped():
+                return decorate(read_secret("KEY"))
+
+            def decorate(value):
+                return "v:" + value
+            """,
+            "src/repro/io.py": """
+            def read_secret(name):
+                return name
+
+            def leak(value):
+                return value
+            """,
+        }
+    )
+    hits = run_taint(root)
+    assert len(hits) == 1
+    hit = hits[0]
+    # The secret travelled out of two helper summaries (read_secret ->
+    # decorate -> wrapped) before reaching the sink in the caller.
+    assert hit.sources == ("secret:KEY",)
+    assert hit.function == "repro.app.go"
+
+
+def test_taint_into_sinking_helper_records_via_chain(mini_tree):
+    root = mini_tree(
+        {
+            "src/repro/app.py": """
+            from repro.helpers import publish
+            from repro.io import read_secret
+
+            def go():
+                publish(read_secret("KEY"))
+            """,
+            "src/repro/helpers.py": """
+            from repro.io import leak
+
+            def publish(value):
+                leak(value)
+            """,
+            "src/repro/io.py": """
+            def read_secret(name):
+                return name
+
+            def leak(value):
+                return value
+            """,
+        }
+    )
+    hits = run_taint(root)
+    assert len(hits) == 1
+    hit = hits[0]
+    assert hit.sources == ("secret:KEY",)
+    # The flow crossed into publish()'s summary; the hit is reported at
+    # the caller with the helper chain it traversed.
+    assert "repro.helpers.publish" in hit.via
+
+
+def test_untainted_values_stay_clean(mini_tree):
+    root = mini_tree(
+        {
+            "src/repro/app.py": """
+            from repro.io import leak, read_secret
+
+            def go():
+                secret = read_secret("TOKEN")
+                del secret
+                leak("a literal")
+            """,
+            "src/repro/io.py": """
+            def read_secret(name):
+                return name
+
+            def leak(value):
+                return value
+            """,
+        }
+    )
+    assert run_taint(root) == []
+
+
+def test_sink_result_is_not_itself_taint(mini_tree):
+    root = mini_tree(
+        {
+            "src/repro/app.py": """
+            from repro.io import leak, read_secret
+
+            def go():
+                token = leak(read_secret("A"))
+                leak(token)
+            """,
+            "src/repro/io.py": """
+            def read_secret(name):
+                return name
+
+            def leak(value):
+                return value
+            """,
+        }
+    )
+    # Only the first call leaks the secret; its return value is a digest
+    # of taint, not taint, so the second call stays clean.
+    assert len(run_taint(root)) == 1
+
+
+def test_instance_attribute_carries_taint_across_methods(mini_tree):
+    root = mini_tree(
+        {
+            "src/repro/app.py": """
+            from repro.io import leak, read_secret
+
+            class Holder:
+                def __init__(self):
+                    self._token = read_secret("HELD")
+
+                def spill(self):
+                    leak(self._token)
+            """,
+            "src/repro/io.py": """
+            def read_secret(name):
+                return name
+
+            def leak(value):
+                return value
+            """,
+        }
+    )
+    hits = run_taint(root)
+    assert len(hits) == 1
+    assert hits[0].sources == ("secret:HELD",)
+    assert hits[0].function == "repro.app.Holder.spill"

@@ -1,0 +1,433 @@
+"""Fixture tests for the three interprocedural rule families.
+
+Each family gets a positive case (the defect fires), a suppressed case
+(``# repro: noqa[rule]`` silences it with a justification), and a
+clean/allowlisted case (the compliant pattern stays quiet).
+"""
+
+import textwrap
+
+from repro.analysis import run_lint
+
+from tests.analysis.conftest import lint_findings
+
+IO_STUB = """
+def read_secret(name):
+    return name
+"""
+
+
+def suppressed(root, rule):
+    report = run_lint(root)
+    return [f for f in report.suppressed if f.rule == rule]
+
+
+# ------------------------------------------------------------------ #
+# concurrency-safety
+# ------------------------------------------------------------------ #
+
+SHARED_STATE_TREE = {
+    "src/repro/cli.py": """
+    import threading
+    from repro.svc import Service
+
+    def main():
+        svc = Service()
+        threading.Thread(target=svc.worker).start()
+    """,
+    "src/repro/svc.py": """
+    import threading
+
+    class Service:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0
+
+        def worker(self):
+            self.count += 1{worker_noqa}
+
+        def peek(self):
+            {peek_body}
+    """,
+}
+
+
+def _shared_state_tree(mini_tree, worker_noqa="", peek_body="return self.count"):
+    files = dict(SHARED_STATE_TREE)
+    files["src/repro/svc.py"] = files["src/repro/svc.py"].format(
+        worker_noqa=worker_noqa, peek_body=peek_body
+    )
+    # peek() must be reachable from a second concurrent context; the
+    # local constructor gives the resolver the receiver type.
+    files["src/repro/server.py"] = """
+    from repro.svc import Service
+
+    async def handle():
+        svc = Service()
+        return svc.peek()
+    """
+    return mini_tree(files)
+
+
+class TestSharedState:
+    def test_unlocked_cross_context_attribute_fires(self, mini_tree):
+        root = _shared_state_tree(mini_tree)
+        findings = lint_findings(root, "concurrency-safety")
+        assert any(
+            "Service.count is written" in f.message
+            and "without a consistent lock" in f.message
+            for f in findings
+        )
+
+    def test_noqa_on_the_write_suppresses(self, mini_tree):
+        root = _shared_state_tree(
+            mini_tree,
+            worker_noqa="  # repro: noqa[concurrency-safety] stats only",
+        )
+        assert suppressed(root, "concurrency-safety")
+        assert not any(
+            "Service.count" in f.message
+            for f in lint_findings(root, "concurrency-safety")
+        )
+
+    def test_locked_accessor_is_clean(self, mini_tree):
+        root = _shared_state_tree(
+            mini_tree,
+            worker_noqa="",
+            peek_body="with self._lock:\n                return self.count",
+        )
+        # The worker's write is still unguarded, but let's guard it too
+        # by checking the rule needs *both* sides: with the read locked
+        # the remaining findings must not blame peek()'s line.
+        findings = [
+            f
+            for f in lint_findings(root, "concurrency-safety")
+            if "Service.count" in f.message
+        ]
+        for finding in findings:
+            assert "self.count += 1" in (
+                (root / finding.path).read_text().splitlines()[
+                    finding.line - 1
+                ]
+            )
+
+
+class TestBlockingOnLoop:
+    def test_fsync_reachable_from_coroutine_fires(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/server.py": """
+                from repro.disk import persist
+
+                async def handle():
+                    persist()
+                """,
+                "src/repro/disk.py": """
+                import os
+
+                def persist():
+                    os.fsync(0)
+                """,
+            }
+        )
+        findings = lint_findings(root, "concurrency-safety")
+        assert any(
+            "blocking call os.fsync" in f.message
+            and "event loop" in f.message
+            for f in findings
+        )
+
+    def test_executor_hop_cuts_the_edge(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/server.py": """
+                import asyncio
+                from repro.disk import persist
+
+                async def handle():
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(None, persist)
+                """,
+                "src/repro/disk.py": """
+                import os
+
+                def persist():
+                    os.fsync(0)
+                """,
+            }
+        )
+        assert not any(
+            "blocking call" in f.message
+            for f in lint_findings(root, "concurrency-safety")
+        )
+
+
+class TestSignalReentrancy:
+    def test_lock_in_signal_handler_fires(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/cli.py": """
+                import signal
+                from repro.shutdown import on_signal
+
+                def main():
+                    signal.signal(signal.SIGTERM, on_signal)
+                """,
+                "src/repro/shutdown.py": """
+                import threading
+
+                _lock = threading.Lock()
+
+                def on_signal(signum, frame):
+                    with _lock:
+                        return signum
+                """,
+            }
+        )
+        findings = lint_findings(root, "concurrency-safety")
+        assert any(
+            "acquires a lock" in f.message
+            and "signal handler" in f.message
+            for f in findings
+        )
+
+    def test_flag_only_handler_is_clean(self, mini_tree):
+        root = mini_tree(
+            {
+                "src/repro/cli.py": """
+                import signal
+                from repro.shutdown import STATE, on_signal
+
+                def main():
+                    signal.signal(signal.SIGTERM, on_signal)
+                    return STATE
+                """,
+                "src/repro/shutdown.py": """
+                STATE = {"requested": False}
+
+                def on_signal(signum, frame):
+                    STATE["requested"] = True
+                """,
+            }
+        )
+        assert not lint_findings(root, "concurrency-safety")
+
+
+# ------------------------------------------------------------------ #
+# digest-flow
+# ------------------------------------------------------------------ #
+
+DIGEST_TREE = {
+    "src/repro/digest.py": """
+    def run_digest(*parts):
+        return hash(parts)
+    """,
+    "src/repro/helpers.py": """
+    import os
+
+    def salt():
+        return os.getenv("REPRO_SALT")
+    """,
+}
+
+
+def _digest_tree(mini_tree, entry, extra=None):
+    files = dict(DIGEST_TREE)
+    files["src/repro/entry.py"] = entry
+    files.update(extra or {})
+    return mini_tree(files)
+
+
+class TestDigestFlow:
+    def test_env_through_helper_into_digest_fires(self, mini_tree):
+        root = _digest_tree(
+            mini_tree,
+            """
+            from repro.digest import run_digest
+            from repro.helpers import salt
+
+            def identity():
+                return run_digest("machine", salt())
+            """,
+        )
+        findings = lint_findings(root, "digest-flow")
+        assert len(findings) == 1
+        assert "env:REPRO_SALT" in findings[0].message
+        assert "run_digest" in findings[0].message
+
+    def test_noqa_on_the_sink_suppresses(self, mini_tree):
+        root = _digest_tree(
+            mini_tree,
+            """
+            from repro.digest import run_digest
+            from repro.helpers import salt
+
+            def identity():
+                # repro: noqa[digest-flow] fixture: deliberate impurity
+                return run_digest("machine", salt())
+            """,
+        )
+        assert suppressed(root, "digest-flow")
+        assert not lint_findings(root, "digest-flow")
+
+    def test_allowlisted_knob_is_still_flagged_with_contradiction(
+        self, mini_tree
+    ):
+        # The env value *flows into the digest*, so even a DIGEST_EXEMPT
+        # entry doesn't silence the rule — it upgrades the message to a
+        # contradiction (the allowlist claims it cannot affect digests).
+        root = _digest_tree(
+            mini_tree,
+            """
+            from repro.digest import run_digest
+            from repro.helpers import salt
+
+            def identity():
+                return run_digest("machine", salt())
+            """,
+            extra={
+                "src/repro/analysis/__init__.py": "",
+                "src/repro/analysis/digest_exempt.py": """
+                DIGEST_EXEMPT = {
+                    "REPRO_SALT": "fixture: claims to never affect digests",
+                }
+                """,
+            },
+        )
+        findings = lint_findings(root, "digest-flow")
+        assert len(findings) == 1
+        assert "digest-allowlisted" in findings[0].message
+
+    def test_env_not_reaching_digest_is_clean(self, mini_tree):
+        root = _digest_tree(
+            mini_tree,
+            """
+            from repro.digest import run_digest
+            from repro.helpers import salt
+
+            def identity():
+                level = salt()
+                del level
+                return run_digest("machine", "fixed")
+            """,
+        )
+        assert not lint_findings(root, "digest-flow")
+
+
+# ------------------------------------------------------------------ #
+# telemetry-schema
+# ------------------------------------------------------------------ #
+
+EVENT_TABLE = """
+# fixtures
+
+| event | fields |
+|---|---|
+| `run_started` | `points`, `jobs` |
+| `never_emitted` | `ghost` |
+"""
+
+
+def _telemetry_tree(mini_tree, body, experiments=EVENT_TABLE):
+    return mini_tree(
+        {
+            "src/repro/emitter.py": textwrap.dedent(body),
+        },
+        experiments=experiments,
+    )
+
+
+class TestTelemetrySchema:
+    def test_documented_event_and_fields_are_clean(self, mini_tree):
+        root = _telemetry_tree(
+            mini_tree,
+            """
+            def announce(telemetry):
+                telemetry.emit("run_started", points=3, jobs=2)
+            """,
+            experiments="""
+            | event | fields |
+            |---|---|
+            | `run_started` | `points`, `jobs` |
+            """,
+        )
+        assert not lint_findings(root, "telemetry-schema")
+
+    def test_undocumented_event_fires(self, mini_tree):
+        root = _telemetry_tree(
+            mini_tree,
+            """
+            def announce(telemetry):
+                telemetry.emit("run_started", points=3, jobs=2)
+                telemetry.emit("surprise", detail="?")
+            """,
+        )
+        findings = lint_findings(root, "telemetry-schema")
+        assert any("'surprise'" in f.message for f in findings)
+
+    def test_undocumented_field_fires(self, mini_tree):
+        root = _telemetry_tree(
+            mini_tree,
+            """
+            def announce(telemetry):
+                telemetry.emit("run_started", points=3, jobs=2, mood="?")
+            """,
+        )
+        findings = lint_findings(root, "telemetry-schema")
+        assert any(
+            "field 'mood'" in f.message and "'run_started'" in f.message
+            for f in findings
+        )
+
+    def test_documented_but_never_emitted_row_fires(self, mini_tree):
+        root = _telemetry_tree(
+            mini_tree,
+            """
+            def announce(telemetry):
+                telemetry.emit("run_started", points=3, jobs=2)
+            """,
+        )
+        findings = lint_findings(root, "telemetry-schema")
+        stale = [f for f in findings if "'never_emitted'" in f.message]
+        assert stale and stale[0].path == "EXPERIMENTS.md"
+
+    def test_prefix_emission_covers_documented_rows(self, mini_tree):
+        root = _telemetry_tree(
+            mini_tree,
+            """
+            def transition(telemetry, state):
+                telemetry.emit("job_" + state, job_id="j")
+            """,
+            experiments="""
+            | event | fields |
+            |---|---|
+            | `job_completed` / `job_failed` | `job_id` |
+            """,
+        )
+        assert not lint_findings(root, "telemetry-schema")
+
+    def test_emit_timed_implicit_duration_fields_are_fine(self, mini_tree):
+        root = _telemetry_tree(
+            mini_tree,
+            """
+            def timed(telemetry):
+                telemetry.emit_timed("run_started", 1.5, points=3, jobs=1)
+            """,
+            experiments="""
+            | event | fields |
+            |---|---|
+            | `run_started` | `points`, `jobs` |
+            """,
+        )
+        assert not lint_findings(root, "telemetry-schema")
+
+    def test_no_event_table_stays_silent(self, mini_tree):
+        root = _telemetry_tree(
+            mini_tree,
+            """
+            def announce(telemetry):
+                telemetry.emit("anything_goes", x=1)
+            """,
+            experiments="# no table here\n",
+        )
+        assert not lint_findings(root, "telemetry-schema")

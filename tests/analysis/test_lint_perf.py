@@ -1,0 +1,58 @@
+"""Lint wall-clock smoke bound and the parsed-AST cache.
+
+The ten-rule set (three of them interprocedural) must stay fast enough
+to gate CI and pre-commit runs; the sha256-keyed AST cache guarantees
+each distinct source is parsed once per process however many
+``LintContext`` objects the suite builds.
+"""
+
+import time
+
+from repro.analysis import LintContext, run_lint
+from repro.analysis.core import ast_cache_stats
+from tests.analysis.conftest import REPO_ROOT
+
+#: Generous ceiling — the shipped tree lints in a few seconds on a
+#: developer laptop; this bound only catches order-of-magnitude
+#: regressions (e.g. reparsing per rule, quadratic propagation).
+WALL_CLOCK_BOUND_S = 60.0
+
+
+def test_shipped_tree_lints_inside_the_smoke_bound():
+    start = time.monotonic()
+    report = run_lint(REPO_ROOT)
+    elapsed = time.monotonic() - start
+    assert elapsed < WALL_CLOCK_BOUND_S, (
+        f"repro lint took {elapsed:.1f}s (bound {WALL_CLOCK_BOUND_S}s)"
+    )
+    assert report.findings is not None  # the run actually happened
+
+
+def test_second_context_hits_the_ast_cache(mini_tree):
+    root = mini_tree(
+        {
+            "src/repro/a.py": "def fa():\n    return 1\n",
+            "src/repro/b.py": "def fb():\n    return 2\n",
+        }
+    )
+    LintContext(root)
+    before = ast_cache_stats()
+    LintContext(root)
+    after = ast_cache_stats()
+    # Identical text, identical sha256 keys: the rebuild parses nothing.
+    assert after["misses"] == before["misses"]
+    assert after["hits"] >= before["hits"] + 3  # __init__, a.py, b.py
+
+
+def test_edited_file_misses_without_evicting_others(mini_tree):
+    root = mini_tree(
+        {
+            "src/repro/a.py": "def fa():\n    return 1\n",
+        }
+    )
+    LintContext(root)
+    (root / "src" / "repro" / "a.py").write_text("def fa():\n    return 9\n")
+    before = ast_cache_stats()
+    LintContext(root)
+    after = ast_cache_stats()
+    assert after["misses"] == before["misses"] + 1  # only the edited file

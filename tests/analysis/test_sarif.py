@@ -1,0 +1,216 @@
+"""SARIF 2.1.0 export: log shape, baseline states, CLI wiring.
+
+The log is validated with :mod:`jsonschema` against an embedded subset
+of the official SARIF 2.1.0 schema — the structural requirements a
+code-scanning consumer relies on (version const, tool.driver, result
+locations) — so the test needs no network fetch of the 200 KB original.
+"""
+
+import json
+
+import pytest
+
+jsonschema = pytest.importorskip("jsonschema")
+
+from repro.analysis import run_lint
+from repro.analysis.sarif import SARIF_VERSION, sarif_log, write_sarif
+from tests.analysis.test_cli import dirty_tree, run_cli
+
+#: Structural core of the SARIF 2.1.0 schema (property names, required
+#: fields, and types follow the OASIS sarif-schema-2.1.0.json).
+SARIF_21_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string", "format": "uri"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer",
+                                    "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "baselineState": {
+                                    "enum": [
+                                        "new",
+                                        "unchanged",
+                                        "updated",
+                                        "absent",
+                                    ]
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string"
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            }
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "suppressions": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["kind"],
+                                        "properties": {
+                                            "kind": {
+                                                "enum": [
+                                                    "inSource",
+                                                    "external",
+                                                ]
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+@pytest.fixture
+def dirty_report(tmp_path):
+    return run_lint(dirty_tree(tmp_path))
+
+
+def test_log_validates_against_sarif_21_schema(dirty_report):
+    log = sarif_log(dirty_report)
+    jsonschema.validate(log, SARIF_21_SUBSET_SCHEMA)
+    assert log["version"] == SARIF_VERSION
+    assert "2.1.0" in log["$schema"]
+
+
+def test_new_findings_are_error_level_with_new_baseline_state(dirty_report):
+    results = sarif_log(dirty_report)["runs"][0]["results"]
+    assert results
+    new = [r for r in results if r.get("baselineState") == "new"]
+    assert new and all(r["level"] == "error" for r in new)
+    location = new[0]["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("collect.py")
+    assert location["region"]["startLine"] >= 1
+
+
+def test_rule_index_points_into_driver_rules(dirty_report):
+    run = sarif_log(dirty_report)["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_suppressed_findings_carry_in_source_suppression(tmp_path):
+    root = dirty_tree(tmp_path)
+    collect = root / "src" / "repro" / "core" / "collect.py"
+    collect.write_text(
+        "def collect(value, acc=[]):  # repro: noqa[nondet] fixture\n"
+        "    return acc\n"
+    )
+    log = sarif_log(run_lint(root))
+    jsonschema.validate(log, SARIF_21_SUBSET_SCHEMA)
+    results = log["runs"][0]["results"]
+    assert results
+    assert all(
+        r["suppressions"][0]["kind"] == "inSource" for r in results
+    )
+
+
+def test_write_sarif_round_trips(dirty_report, tmp_path):
+    path = write_sarif(dirty_report, tmp_path / "out" / "lint.sarif")
+    log = json.loads(path.read_text(encoding="utf-8"))
+    jsonschema.validate(log, SARIF_21_SUBSET_SCHEMA)
+
+
+class TestCli:
+    def test_sarif_flag_writes_log_and_keeps_exit_code(self, tmp_path):
+        root = dirty_tree(tmp_path)
+        sarif_path = tmp_path / "lint.sarif"
+        code, out = run_cli(
+            ["lint", "--root", str(root), "--sarif", str(sarif_path)]
+        )
+        assert code == 1  # findings still gate
+        assert f"wrote SARIF log to {sarif_path}" in out
+        log = json.loads(sarif_path.read_text(encoding="utf-8"))
+        jsonschema.validate(log, SARIF_21_SUBSET_SCHEMA)
+        assert log["runs"][0]["results"]
+
+    def test_sarif_on_clean_tree_has_no_error_results(self, tmp_path):
+        root = dirty_tree(tmp_path)
+        run_cli(["lint", "--root", str(root), "--baseline", "write"])
+        sarif_path = tmp_path / "lint.sarif"
+        code, _out = run_cli(
+            ["lint", "--root", str(root), "--sarif", str(sarif_path)]
+        )
+        assert code == 0
+        log = json.loads(sarif_path.read_text(encoding="utf-8"))
+        results = log["runs"][0]["results"]
+        # The baselined finding is still visible, downgraded to warning.
+        assert all(r["level"] != "error" for r in results)
+        assert any(r.get("baselineState") == "unchanged" for r in results)

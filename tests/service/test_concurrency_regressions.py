@@ -1,0 +1,193 @@
+"""Regression tests for the defects the interprocedural lint surfaced.
+
+``repro lint``'s concurrency-safety rule flagged, in the shipped tree:
+blocking journal/checkpoint fsyncs reachable on the asyncio event loop,
+and the jobs table / draining flag / journal descriptor touched from
+the worker thread and the request path without a consistent lock. The
+fixes (executor offload in the HTTP front end, locked accessors in
+``SweepService``, a writer lock in ``JobJournal``) are pinned here.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+from repro.harness.resultcache import ResultCache
+from repro.harness.runner import Runner
+from repro.service.client import ServiceClient
+from repro.service.jobqueue import SweepService
+from repro.service.journal import JOB_COMPLETED, JOB_SUBMITTED, JobJournal
+from repro.service.server import ServiceServer
+
+SCALE = 8
+GRAPH = {"point": f"degree-count:KRON:{SCALE}", "mode": "baseline"}
+
+
+def make_service(tmp_path, **kwargs):
+    runner = Runner(result_cache=ResultCache(directory=tmp_path / "cache"))
+    return SweepService(
+        runner,
+        tmp_path / "svc",
+        sweep_jobs=1,
+        checkpoint_root=tmp_path / "runs",
+        **kwargs,
+    )
+
+
+class TestEventLoopResponsiveness:
+    def test_healthz_answers_while_a_submit_blocks_on_disk(self, tmp_path):
+        """A submission wedged in (simulated) fsync must not stall the
+        loop: request handling now runs on the default executor."""
+        service = make_service(tmp_path)
+        release = threading.Event()
+        original = service.submit
+
+        def slow_submit(*args, **kwargs):
+            release.wait(timeout=30.0)
+            return original(*args, **kwargs)
+
+        service.submit = slow_submit
+        holder = {}
+        ready = threading.Event()
+        stop = threading.Event()
+
+        def run():
+            async def main():
+                server = await ServiceServer(service, port=0).start()
+                holder["port"] = server.port
+                ready.set()
+                while not stop.is_set():
+                    await asyncio.sleep(0.02)
+                await server.close()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10)
+        try:
+            client = ServiceClient(port=holder["port"], client_name="reg")
+            submitter = threading.Thread(
+                target=lambda: client.submit([GRAPH]), daemon=True
+            )
+            submitter.start()
+            time.sleep(0.2)  # let the POST reach the blocked submit
+            start = time.monotonic()
+            assert client.healthz()
+            assert time.monotonic() - start < 2.0
+        finally:
+            release.set()
+            submitter.join(timeout=30)
+            stop.set()
+            thread.join(timeout=10)
+            service.drain()
+            service.close()
+
+
+class TestLockedAccessors:
+    def test_completed_dedupe_serves_results_without_deadlock(self, tmp_path):
+        """submit()'s dedupe branch used to call results() while holding
+        the admission Condition; results() now takes the same underlying
+        lock, so the branch must release it first."""
+        service = make_service(tmp_path)
+        try:
+            service.start()
+            record, results, accepted = service.submit([GRAPH])
+            assert accepted is True and results is None
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                current = service.job(record.job_id)
+                if current is not None and not current.pending:
+                    break
+                time.sleep(0.05)
+            assert service.job(record.job_id).state == JOB_COMPLETED
+
+            outcome = {}
+
+            def resubmit():
+                outcome["value"] = service.submit([GRAPH])
+
+            worker = threading.Thread(target=resubmit, daemon=True)
+            worker.start()
+            worker.join(timeout=10.0)
+            assert not worker.is_alive(), "dedupe resubmit deadlocked"
+            dup_record, dup_results, dup_accepted = outcome["value"]
+            assert dup_accepted is False
+            assert dup_record.job_id == record.job_id
+            assert dup_results == service.results(record.job_id)
+        finally:
+            service.drain()
+            service.close()
+
+    def test_job_accessor_and_status_report_draining_consistently(
+        self, tmp_path
+    ):
+        service = make_service(tmp_path)
+        try:
+            assert service.job("missing") is None
+            assert service.draining is False
+            assert service.status()["admission"]["draining"] is False
+            service.drain()
+            assert service.draining is True
+            assert service.status()["admission"]["draining"] is True
+            assert service.status()["state"] == "draining"
+        finally:
+            service.close()
+
+
+class TestJournalWriterLock:
+    def test_concurrent_appends_lose_no_transition(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        jobs_per_thread = 25
+        threads = 4
+
+        def writer(tag):
+            for index in range(jobs_per_thread):
+                job_id = f"job-{tag}-{index}"
+                journal.append(
+                    job_id, JOB_SUBMITTED, points=[{"point": job_id}]
+                )
+                journal.append(job_id, JOB_COMPLETED)
+
+        workers = [
+            threading.Thread(target=writer, args=(tag,)) for tag in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+        journal.close()
+
+        # Every line is intact JSON (no interleaved torn writes) and
+        # every job folded to its final state.
+        lines = (tmp_path / "jobs.jsonl").read_text().splitlines()
+        assert len(lines) == threads * jobs_per_thread * 2
+        for line in lines:
+            json.loads(line)
+        records = journal.replay()
+        assert len(records) == threads * jobs_per_thread
+        assert all(r.state == JOB_COMPLETED for r in records.values())
+
+    def test_append_after_concurrent_close_reopens_cleanly(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        journal.append("a", JOB_SUBMITTED, points=[{"point": "a"}])
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                journal.close()
+
+        closer = threading.Thread(target=churn, daemon=True)
+        closer.start()
+        try:
+            for index in range(50):
+                journal.append(
+                    f"b{index}", JOB_SUBMITTED, points=[{"point": "b"}]
+                )
+        finally:
+            stop.set()
+            closer.join(timeout=10)
+            journal.close()
+        records = journal.replay()
+        assert len(records) == 51
